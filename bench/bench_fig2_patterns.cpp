@@ -1,0 +1,56 @@
+// Fig. 2: the ISO 26262 ASIL decomposition pattern catalogue.
+//
+// Regenerates the catalogue, checks the sum-rule invariant on every
+// pattern, and times the validity predicate the transformations call.
+#include "bench_util.h"
+
+#include "core/decomposition.h"
+
+using namespace asilkit;
+
+namespace {
+
+void print_report() {
+    bench::heading("Fig. 2: ASIL decomposition patterns");
+    for (Asil parent : {Asil::D, Asil::C, Asil::B, Asil::A}) {
+        std::printf("  %s:\n", to_long_string(parent).c_str());
+        for (const DecompositionPattern& p : decompositions_of(parent)) {
+            std::printf("    %s   (sum rule: %d + %d >= %d)\n", to_string(p).c_str(),
+                        asil_value(p.left), asil_value(p.right), asil_value(p.parent));
+        }
+    }
+    bench::heading("Strategy selections");
+    for (DecompositionStrategy s :
+         {DecompositionStrategy::BB, DecompositionStrategy::AC}) {
+        for (Asil parent : {Asil::D, Asil::C, Asil::B, Asil::A}) {
+            bench::row(std::string(to_string(s)) + " on " + std::string(to_string(parent)),
+                       to_string(select_pattern(parent, s)));
+        }
+    }
+}
+
+void BM_ValidityCheck(benchmark::State& state) {
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const Asil parent = kAllAsilLevels[i % kAsilLevelCount];
+        const Asil left = kAllAsilLevels[(i + 1) % kAsilLevelCount];
+        const Asil right = kAllAsilLevels[(i + 2) % kAsilLevelCount];
+        benchmark::DoNotOptimize(is_valid_decomposition(parent, left, right));
+        ++i;
+    }
+}
+BENCHMARK(BM_ValidityCheck);
+
+void BM_SelectPattern(benchmark::State& state) {
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            select_pattern(Asil::D, DecompositionStrategy::RND, (i % 100) / 100.0));
+        ++i;
+    }
+}
+BENCHMARK(BM_SelectPattern);
+
+}  // namespace
+
+ASILKIT_BENCH_MAIN(print_report)

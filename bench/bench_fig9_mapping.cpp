@@ -1,0 +1,71 @@
+// Fig. 9: the effect of the mapping on the analysis — a dedicated
+// resource per application node (a) vs shared resources (b).
+// Paper: 8.29e-9 (dedicated) vs 4.26e-9 (shared).
+#include "bench_util.h"
+
+#include "analysis/ccf.h"
+#include "analysis/probability.h"
+#include "cost/cost_analysis.h"
+#include "explore/mapping_opt.h"
+#include "scenarios/micro.h"
+#include "transform/expand.h"
+
+using namespace asilkit;
+
+namespace {
+
+void print_report() {
+    bench::heading("Fig. 9: per-node mapping (a) vs shared-resource mapping (b)");
+
+    // (a) a 4-stage series chain, one resource per node.
+    ArchitectureModel dedicated = scenarios::chain_n_stages(4);
+    const double p_dedicated =
+        analysis::analyze_failure_probability(dedicated).failure_probability;
+    const double c_dedicated =
+        cost::total_cost(dedicated, cost::CostMetric::exponential_metric1());
+    bench::compare("P(fail) dedicated mapping", "8.29e-9", p_dedicated);
+
+    // (b) the same application on consolidated hardware (one ECU, one bus).
+    ArchitectureModel shared = scenarios::chain_n_stages(4);
+    explore::MappingOptimizeOptions options;
+    options.include_non_branch_nodes = true;
+    const explore::MappingOptimizeResult opt = explore::optimize_mapping(shared, options);
+    const double p_shared = analysis::analyze_failure_probability(shared).failure_probability;
+    const double c_shared = cost::total_cost(shared, cost::CostMetric::exponential_metric1());
+    bench::compare("P(fail) shared mapping", "4.26e-9", p_shared);
+    bench::row("resources", std::to_string(opt.resources_before) + " -> " +
+                                std::to_string(opt.resources_after));
+    std::printf("  %-46s %.6g -> %.6g\n", "cost", c_dedicated, c_shared);
+
+    bench::heading("Shared mapping inside redundant branches (CCF-safe)");
+    ArchitectureModel expanded = scenarios::chain_1in_1out();
+    transform::expand(expanded, expanded.find_app_node("n"));
+    const double p_before = analysis::analyze_failure_probability(expanded).failure_probability;
+    const double c_before = cost::total_cost(expanded, cost::CostMetric::exponential_metric1());
+    explore::optimize_mapping(expanded);
+    const double p_after = analysis::analyze_failure_probability(expanded).failure_probability;
+    const double c_after = cost::total_cost(expanded, cost::CostMetric::exponential_metric1());
+    std::printf("  %-46s %.6g -> %.6g\n", "P(fail)", p_before, p_after);
+    std::printf("  %-46s %.6g -> %.6g\n", "cost", c_before, c_after);
+    bench::row("still CCF-independent",
+               analysis::analyze_ccf(expanded).independent() ? "yes" : "NO");
+    bench::note("in-branch sharing lowers cost at (nearly) unchanged probability;");
+    bench::note("cross-branch sharing is never performed: it would be a CCF.");
+}
+
+void BM_OptimizeMapping(benchmark::State& state) {
+    for (auto _ : state) {
+        state.PauseTiming();
+        ArchitectureModel m = scenarios::chain_n_stages(6);
+        for (int i = 1; i <= 6; ++i) {
+            transform::expand(m, m.find_app_node("f" + std::to_string(i)));
+        }
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(explore::optimize_mapping(m));
+    }
+}
+BENCHMARK(BM_OptimizeMapping);
+
+}  // namespace
+
+ASILKIT_BENCH_MAIN(print_report)

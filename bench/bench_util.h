@@ -1,0 +1,49 @@
+// Shared helpers for the benchmark harness: every bench binary prints the
+// table/figure it regenerates (paper value next to measured value where
+// the paper states one) before running its google-benchmark timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace asilkit::bench {
+
+inline void heading(const std::string& title) {
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row(const std::string& label, const std::string& value) {
+    std::printf("  %-46s %s\n", label.c_str(), value.c_str());
+}
+
+inline void row(const std::string& label, double value) {
+    std::printf("  %-46s %.6g\n", label.c_str(), value);
+}
+
+/// "label: paper=X measured=Y" comparison row.
+inline void compare(const std::string& label, const std::string& paper, double measured) {
+    std::printf("  %-34s paper=%-12s measured=%.6g\n", label.c_str(), paper.c_str(), measured);
+}
+
+inline void compare(const std::string& label, const std::string& paper,
+                    const std::string& measured) {
+    std::printf("  %-34s paper=%-12s measured=%s\n", label.c_str(), paper.c_str(),
+                measured.c_str());
+}
+
+inline void note(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+}  // namespace asilkit::bench
+
+/// Prints the report, then runs any registered google-benchmark timings.
+#define ASILKIT_BENCH_MAIN(print_report)                 \
+    int main(int argc, char** argv) {                    \
+        print_report();                                  \
+        benchmark::Initialize(&argc, argv);              \
+        if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+        benchmark::RunSpecifiedBenchmarks();             \
+        benchmark::Shutdown();                           \
+        return 0;                                        \
+    }

@@ -1,0 +1,70 @@
+// Common-Cause-Fault analysis (paper Section V).
+//
+// ASIL decomposition is only valid when the redundant branches are
+// independent.  Three ways independence breaks, in decreasing severity:
+//   * SharedResource   — two branches mapped onto the same hardware: one
+//                        base event fails both branches at once (the
+//                        paper's dfus_1/dfus_2-on-one-ECU example);
+//   * SharedLocation   — branch hardware hosted at the same physical
+//                        position: a single local event (crash intrusion,
+//                        fire) removes both branches;
+//   * SharedEnvironment — branch hardware in different locations that
+//                        nevertheless share a non-benign environmental
+//                        zone (temperature / vibration / EMI / water):
+//                        the Freedom-From-Interference concern.
+//
+// A SharedResource finding additionally invalidates the Section V
+// fault-tree approximation (the approximation requires the branches not
+// to share base events); the fault-tree builder performs the same check
+// and falls back to the exact expansion.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "model/architecture.h"
+
+namespace asilkit::analysis {
+
+enum class CcfKind : std::uint8_t {
+    SharedResource,
+    SharedLocation,
+    SharedEnvironment,
+};
+
+[[nodiscard]] std::string_view to_string(CcfKind k) noexcept;
+
+struct CcfFinding {
+    CcfKind kind = CcfKind::SharedResource;
+    NodeId merger;                            ///< the block where independence breaks
+    std::string subject;                      ///< resource/location/zone name
+    std::vector<std::size_t> branch_indices;  ///< branches sharing it
+    std::string message;
+};
+
+std::ostream& operator<<(std::ostream& os, const CcfFinding& f);
+
+struct CcfReport {
+    std::vector<CcfFinding> findings;
+
+    [[nodiscard]] bool independent() const noexcept { return findings.empty(); }
+    /// True when the block at `merger` has no finding of any kind.
+    [[nodiscard]] bool block_independent(NodeId merger) const noexcept;
+    /// True when the block at `merger` has no SharedResource finding — the
+    /// condition for the fault-tree approximation and for the validity of
+    /// the decomposition's base-event independence.
+    [[nodiscard]] bool block_approximation_safe(NodeId merger) const noexcept;
+    [[nodiscard]] std::size_t count(CcfKind kind) const noexcept;
+};
+
+struct CcfOptions {
+    bool check_locations = true;
+    bool check_environment = true;
+};
+
+[[nodiscard]] CcfReport analyze_ccf(const ArchitectureModel& m, const CcfOptions& options = {});
+
+}  // namespace asilkit::analysis

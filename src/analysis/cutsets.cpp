@@ -1,0 +1,109 @@
+#include "analysis/cutsets.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "bdd/from_fault_tree.h"
+
+namespace asilkit::analysis {
+namespace {
+
+using SetList = std::vector<CutSet>;
+
+/// Union of two sorted sets.
+CutSet merge_sets(const CutSet& a, const CutSet& b) {
+    CutSet out;
+    out.reserve(a.size() + b.size());
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+    return out;
+}
+
+/// Removes non-minimal (superset) entries; input entries are sorted sets.
+void minimize(SetList& sets) {
+    std::sort(sets.begin(), sets.end(), [](const CutSet& a, const CutSet& b) {
+        if (a.size() != b.size()) return a.size() < b.size();
+        return a < b;
+    });
+    sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+    SetList minimal;
+    for (const CutSet& candidate : sets) {
+        const bool dominated = std::any_of(
+            minimal.begin(), minimal.end(), [&](const CutSet& kept) {
+                return std::includes(candidate.begin(), candidate.end(), kept.begin(), kept.end());
+            });
+        if (!dominated) minimal.push_back(candidate);
+    }
+    sets = std::move(minimal);
+}
+
+}  // namespace
+
+std::vector<CutSet> minimal_cut_sets(const ftree::FaultTree& ft, const CutSetOptions& options) {
+    std::unordered_map<std::uint32_t, SetList> gate_memo;
+
+    std::function<SetList(ftree::FtRef)> visit = [&](ftree::FtRef r) -> SetList {
+        if (r.kind == ftree::FtRef::Kind::Basic) return {CutSet{r.index}};
+        if (auto it = gate_memo.find(r.index); it != gate_memo.end()) return it->second;
+        const ftree::Gate& g = ft.gate(r.index);
+        SetList acc;
+        if (g.kind == ftree::GateKind::Or) {
+            for (ftree::FtRef c : g.children) {
+                SetList child = visit(c);
+                acc.insert(acc.end(), std::make_move_iterator(child.begin()),
+                           std::make_move_iterator(child.end()));
+                if (acc.size() > options.max_sets) {
+                    throw AnalysisError("minimal_cut_sets: intermediate set count exceeds max_sets");
+                }
+            }
+        } else {
+            acc = {CutSet{}};
+            for (ftree::FtRef c : g.children) {
+                const SetList child = visit(c);
+                SetList next;
+                for (const CutSet& a : acc) {
+                    for (const CutSet& b : child) {
+                        CutSet merged = merge_sets(a, b);
+                        if (merged.size() <= options.max_order) next.push_back(std::move(merged));
+                    }
+                    if (next.size() > options.max_sets) {
+                        throw AnalysisError(
+                            "minimal_cut_sets: intermediate set count exceeds max_sets");
+                    }
+                }
+                acc = std::move(next);
+            }
+        }
+        minimize(acc);
+        gate_memo.emplace(r.index, acc);
+        return acc;
+    };
+
+    SetList result = visit(ft.top());
+    minimize(result);
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+double cut_set_probability_bound(const ftree::FaultTree& ft, const std::vector<CutSet>& cut_sets,
+                                 double mission_hours) {
+    double total = 0.0;
+    for (const CutSet& cs : cut_sets) {
+        double p = 1.0;
+        for (std::uint32_t e : cs) {
+            p *= bdd::basic_event_probability(ft.basic_event(e).lambda, mission_hours);
+        }
+        total += p;
+    }
+    return std::min(total, 1.0);
+}
+
+std::size_t minimal_cut_order(const std::vector<CutSet>& cut_sets) noexcept {
+    std::size_t best = 0;
+    for (const CutSet& cs : cut_sets) {
+        if (best == 0 || cs.size() < best) best = cs.size();
+    }
+    return best;
+}
+
+}  // namespace asilkit::analysis

@@ -1,0 +1,61 @@
+#include "analysis/probability.h"
+
+#include <functional>
+#include <unordered_map>
+
+namespace asilkit::analysis {
+
+ProbabilityResult analyze_failure_probability(const ArchitectureModel& m,
+                                              const ProbabilityOptions& options) {
+    ftree::FtBuildOptions build_options;
+    build_options.approximate = options.approximate;
+    build_options.include_location_events = options.include_location_events;
+    build_options.rates = options.rates;
+    ftree::FtBuildResult built = ftree::build_fault_tree(m, build_options);
+
+    ProbabilityResult result;
+    result.ft_stats = built.tree.stats();
+    result.approximated_blocks = built.approximated_blocks;
+    result.cycles_cut = built.cycles_cut;
+    result.warnings = std::move(built.warnings);
+
+    bdd::CompiledFaultTree compiled = bdd::compile_fault_tree(built.tree);
+    result.variables = compiled.event_of_var.size();
+    result.bdd_nodes = compiled.manager.node_count(compiled.root);
+    result.bdd_total_nodes = compiled.manager.size();
+    const std::vector<double> probs =
+        compiled.variable_probabilities(built.tree, options.mission_hours);
+    result.failure_probability = compiled.manager.probability(compiled.root, probs);
+    return result;
+}
+
+double fault_tree_probability(const ftree::FaultTree& ft, double mission_hours) {
+    const bdd::CompiledFaultTree compiled = bdd::compile_fault_tree(ft);
+    return compiled.manager.probability(compiled.root,
+                                        compiled.variable_probabilities(ft, mission_hours));
+}
+
+double rare_event_probability(const ftree::FaultTree& ft, double mission_hours) {
+    std::unordered_map<std::uint32_t, double> gate_memo;
+    std::function<double(ftree::FtRef)> visit = [&](ftree::FtRef r) -> double {
+        if (r.kind == ftree::FtRef::Kind::Basic) {
+            return bdd::basic_event_probability(ft.basic_event(r.index).lambda, mission_hours);
+        }
+        if (auto it = gate_memo.find(r.index); it != gate_memo.end()) return it->second;
+        const ftree::Gate& g = ft.gate(r.index);
+        double p = g.kind == ftree::GateKind::Or ? 0.0 : 1.0;
+        if (g.children.empty()) p = 0.0;  // no failure mode
+        for (ftree::FtRef c : g.children) {
+            if (g.kind == ftree::GateKind::Or) {
+                p += visit(c);
+            } else {
+                p *= visit(c);
+            }
+        }
+        gate_memo.emplace(r.index, p);
+        return p;
+    };
+    return visit(ft.top());
+}
+
+}  // namespace asilkit::analysis

@@ -1,0 +1,60 @@
+#include "analysis/sensitivity.h"
+
+#include <algorithm>
+#include <set>
+
+namespace asilkit::analysis {
+
+std::vector<SensitivityPoint> sweep_failure_rate(const ArchitectureModel& m,
+                                                 const RateSweepOptions& options) {
+    std::vector<SensitivityPoint> out;
+    const double base = options.probability.rates.rate(options.kind, options.asil);
+    for (double multiplier : options.multipliers) {
+        ProbabilityOptions p = options.probability;
+        p.rates.set_rate(options.kind, options.asil, base * multiplier);
+        out.push_back({multiplier, analyze_failure_probability(m, p).failure_probability});
+    }
+    return out;
+}
+
+std::vector<SensitivityPoint> sweep_mission_time(const ArchitectureModel& m,
+                                                 const MissionSweepOptions& options) {
+    std::vector<SensitivityPoint> out;
+    for (double hours : options.hours) {
+        ProbabilityOptions p = options.probability;
+        p.mission_hours = hours;
+        out.push_back({hours, analyze_failure_probability(m, p).failure_probability});
+    }
+    return out;
+}
+
+std::vector<TornadoEntry> tornado(const ArchitectureModel& m, double factor,
+                                  const ProbabilityOptions& base) {
+    // Classes present in the model (override-carrying resources excluded:
+    // their rate does not come from the table).
+    std::set<std::pair<ResourceKind, Asil>> classes;
+    for (ResourceId r : m.used_resources()) {
+        const Resource& res = m.resources().node(r);
+        if (!res.lambda_override) classes.insert({res.kind, res.asil});
+    }
+    std::vector<TornadoEntry> out;
+    for (const auto& [kind, asil] : classes) {
+        const double rate = base.rates.rate(kind, asil);
+        TornadoEntry entry;
+        entry.kind = kind;
+        entry.asil = asil;
+        ProbabilityOptions low = base;
+        low.rates.set_rate(kind, asil, rate / factor);
+        entry.low = analyze_failure_probability(m, low).failure_probability;
+        ProbabilityOptions high = base;
+        high.rates.set_rate(kind, asil, rate * factor);
+        entry.high = analyze_failure_probability(m, high).failure_probability;
+        out.push_back(entry);
+    }
+    std::sort(out.begin(), out.end(), [](const TornadoEntry& a, const TornadoEntry& b) {
+        return a.swing() > b.swing();
+    });
+    return out;
+}
+
+}  // namespace asilkit::analysis

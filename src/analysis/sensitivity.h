@@ -1,0 +1,62 @@
+// Sensitivity analysis: how the system failure probability responds to
+// failure-rate assumptions and mission time.
+//
+// The paper's Fig. 8 discussion shows that the value of a transformation
+// depends on the lambda values assigned to resource classes; this module
+// systematises that: sweep one (kind, ASIL) rate across a factor range,
+// or the mission time across a horizon, and report the resulting
+// failure-probability curve.  Used by the fig8 bench's sensitivity table
+// and available to architects through the library API.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/probability.h"
+#include "model/architecture.h"
+
+namespace asilkit::analysis {
+
+struct SensitivityPoint {
+    double parameter = 0.0;  ///< the swept value (rate multiplier or hours)
+    double failure_probability = 0.0;
+};
+
+struct RateSweepOptions {
+    ResourceKind kind = ResourceKind::Functional;
+    Asil asil = Asil::D;
+    /// Multipliers applied to the Table I base rate of (kind, asil).
+    std::vector<double> multipliers{0.1, 0.5, 1.0, 2.0, 10.0};
+    ProbabilityOptions probability{};
+};
+
+/// Failure probability as a function of one resource-class rate.
+[[nodiscard]] std::vector<SensitivityPoint> sweep_failure_rate(const ArchitectureModel& m,
+                                                               const RateSweepOptions& options);
+
+struct MissionSweepOptions {
+    /// Mission durations in hours (e.g. 1 h trip .. 10 kh vehicle life).
+    std::vector<double> hours{1.0, 10.0, 100.0, 1000.0, 10000.0};
+    ProbabilityOptions probability{};
+};
+
+/// Failure probability as a function of mission time.
+[[nodiscard]] std::vector<SensitivityPoint> sweep_mission_time(const ArchitectureModel& m,
+                                                               const MissionSweepOptions& options);
+
+/// Tornado entry: the probability swing produced by scaling one resource
+/// class's rate down/up by `factor`.
+struct TornadoEntry {
+    ResourceKind kind = ResourceKind::Functional;
+    Asil asil = Asil::QM;
+    double low = 0.0;   ///< P with rate / factor
+    double high = 0.0;  ///< P with rate * factor
+    [[nodiscard]] double swing() const noexcept { return high - low; }
+};
+
+/// One entry per (kind, ASIL) class actually present in the model,
+/// sorted by descending swing — which rate assumption matters most.
+[[nodiscard]] std::vector<TornadoEntry> tornado(const ArchitectureModel& m, double factor = 10.0,
+                                                const ProbabilityOptions& base = {});
+
+}  // namespace asilkit::analysis

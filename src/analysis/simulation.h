@@ -1,0 +1,57 @@
+// Monte Carlo fault simulation.
+//
+// An independent estimator for the top-event probability: sample every
+// basic event as Bernoulli(p_i), evaluate the fault tree, repeat.  Used
+// as a cross-validation substrate for the analytic (BDD) pipeline — the
+// two implementations share no code beyond the fault tree itself, so
+// agreement within the confidence interval is strong evidence of
+// correctness.
+//
+// Naive sampling cannot resolve automotive-scale probabilities (1e-9
+// needs ~1e11 trials), so validation runs scale the rates up
+// (`rate_scale`) into the regime where a few hundred thousand trials
+// give tight intervals; the BDD is exact at every scale, so agreement at
+// inflated rates validates the machinery.
+#pragma once
+
+#include <cstdint>
+
+#include "ftree/fault_tree.h"
+#include "model/architecture.h"
+#include "model/failure_rates.h"
+
+namespace asilkit::analysis {
+
+struct SimulationOptions {
+    std::uint64_t trials = 100000;
+    std::uint32_t seed = 1;
+    double mission_hours = 1.0;
+    /// Multiplies every basic-event rate before sampling (validation aid).
+    double rate_scale = 1.0;
+    bool include_location_events = true;
+    FailureRates rates{};
+};
+
+struct SimulationResult {
+    double estimate = 0.0;   ///< failures / trials
+    double std_error = 0.0;  ///< sqrt(p(1-p)/n)
+    double ci95_low = 0.0;
+    double ci95_high = 0.0;
+    std::uint64_t failures = 0;
+    std::uint64_t trials = 0;
+
+    /// True when `value` lies within the 95% confidence interval.
+    [[nodiscard]] bool consistent_with(double value) const noexcept {
+        return value >= ci95_low && value <= ci95_high;
+    }
+};
+
+/// Simulates an already-built fault tree.
+[[nodiscard]] SimulationResult simulate_fault_tree(const ftree::FaultTree& ft,
+                                                   const SimulationOptions& options = {});
+
+/// Builds the model's fault tree (exact form) and simulates it.
+[[nodiscard]] SimulationResult simulate_failure_probability(const ArchitectureModel& m,
+                                                            const SimulationOptions& options = {});
+
+}  // namespace asilkit::analysis

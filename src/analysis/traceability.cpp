@@ -1,0 +1,84 @@
+#include "analysis/traceability.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <unordered_map>
+
+#include "model/blocks.h"
+
+namespace asilkit::analysis {
+
+std::ostream& operator<<(std::ostream& os, const FsrStatus& status) {
+    os << status.fsr << ": required " << to_long_string(status.required) << ", achieved "
+       << to_long_string(status.achieved) << (status.satisfied ? " [satisfied]" : " [VIOLATED]")
+       << " (" << status.nodes.size() << " nodes)";
+    return os;
+}
+
+bool TraceabilityReport::all_satisfied() const noexcept {
+    return std::all_of(requirements.begin(), requirements.end(),
+                       [](const FsrStatus& s) { return s.satisfied; });
+}
+
+const FsrStatus* TraceabilityReport::find(const std::string& fsr) const noexcept {
+    for (const FsrStatus& s : requirements) {
+        if (s.fsr == fsr) return &s;
+    }
+    return nullptr;
+}
+
+TraceabilityReport trace_requirements(const ArchitectureModel& m) {
+    // Credited level per node: block ASIL inside well-formed blocks
+    // (branch nodes, splitters and mergers all credit the block), the
+    // node's own effective ASIL (Eq. 3) otherwise.
+    std::unordered_map<NodeId, Asil> credit;
+    for (NodeId n : m.app().node_ids()) credit[n] = m.effective_asil(n);
+    for (const RedundantBlock& block : find_redundant_blocks(m)) {
+        if (!block.well_formed) continue;
+        const Asil level = block_asil(m, block);
+        auto credit_node = [&](NodeId n) {
+            credit[n] = asil_max(credit[n], level);
+        };
+        credit_node(block.merger);
+        for (NodeId s : block.splitters) credit_node(s);
+        for (const Branch& b : block.branches) {
+            for (NodeId n : b.nodes) credit_node(n);
+        }
+    }
+
+    std::map<std::string, FsrStatus> by_fsr;
+    TraceabilityReport report;
+    for (NodeId n : m.app().node_ids()) {
+        const AppNode& node = m.app().node(n);
+        if (node.fsr.empty()) {
+            report.untraced_nodes.push_back(node.name);
+            continue;
+        }
+        FsrStatus& status = by_fsr[node.fsr];
+        if (status.nodes.empty()) {
+            status.fsr = node.fsr;
+            status.required = node.asil.inherited;
+            status.achieved = credit[n];
+        } else {
+            status.required = asil_max(status.required, node.asil.inherited);
+            status.achieved = asil_min(status.achieved, credit[n]);
+        }
+        status.nodes.push_back(node.name);
+    }
+    for (auto& [fsr, status] : by_fsr) {
+        for (NodeId n : m.app().node_ids()) {
+            const AppNode& node = m.app().node(n);
+            if (node.fsr == fsr && asil_value(credit[n]) < asil_value(status.required)) {
+                status.under_implemented.push_back(node.name);
+            }
+        }
+        status.satisfied = asil_value(status.achieved) >= asil_value(status.required);
+        std::sort(status.nodes.begin(), status.nodes.end());
+        report.requirements.push_back(std::move(status));
+    }
+    std::sort(report.untraced_nodes.begin(), report.untraced_nodes.end());
+    return report;
+}
+
+}  // namespace asilkit::analysis

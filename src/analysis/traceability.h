@@ -1,0 +1,48 @@
+// Functional-Safety-Requirement traceability (paper Section X: the
+// framework provides "traceability of the FSRs on the architecture").
+//
+// Every application node may carry an FSR id; transformations propagate
+// it, so after any sequence of Expand/Connect/Reduce the question "which
+// architecture elements implement FSR-LAT-01, and do they still achieve
+// its ASIL?" has a mechanical answer:
+//
+//   required  = the strongest inherited level among the FSR's nodes
+//               (X(Y) tags keep Y through decompositions);
+//   achieved  = the weakest credited level among them, where a node
+//               inside a well-formed redundant block is credited with
+//               the block's Eq. 4 ASIL rather than its own (that is the
+//               point of decomposition);
+//   satisfied = achieved >= required.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/asil.h"
+#include "model/architecture.h"
+
+namespace asilkit::analysis {
+
+struct FsrStatus {
+    std::string fsr;
+    Asil required = Asil::QM;
+    Asil achieved = Asil::D;
+    bool satisfied = true;
+    std::vector<std::string> nodes;               ///< implementing node names
+    std::vector<std::string> under_implemented;   ///< nodes whose credit < required
+};
+
+std::ostream& operator<<(std::ostream& os, const FsrStatus& status);
+
+struct TraceabilityReport {
+    std::vector<FsrStatus> requirements;  ///< sorted by FSR id
+    std::vector<std::string> untraced_nodes;  ///< nodes with no FSR
+
+    [[nodiscard]] bool all_satisfied() const noexcept;
+    [[nodiscard]] const FsrStatus* find(const std::string& fsr) const noexcept;
+};
+
+[[nodiscard]] TraceabilityReport trace_requirements(const ArchitectureModel& m);
+
+}  // namespace asilkit::analysis

@@ -1,0 +1,133 @@
+#include "bdd/bdd.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+namespace asilkit::bdd {
+
+BddManager::BddManager(std::uint32_t variable_count) : variable_count_(variable_count) {
+    nodes_.push_back(Node{variable_count_, kFalse, kFalse});  // terminal 0
+    nodes_.push_back(Node{variable_count_, kTrue, kTrue});    // terminal 1
+}
+
+BddRef BddManager::variable(std::uint32_t var) {
+    if (var >= variable_count_) throw AnalysisError("bdd: variable index out of range");
+    return make(var, kTrue, kFalse);
+}
+
+BddRef BddManager::make(std::uint32_t var, BddRef high, BddRef low) {
+    if (high == low) return high;  // reduction rule
+    const NodeKey key{var, high, low};
+    if (auto it = unique_.find(key); it != unique_.end()) return it->second;
+    const auto ref = static_cast<BddRef>(nodes_.size());
+    nodes_.push_back(Node{var, high, low});
+    unique_.emplace(key, ref);
+    return ref;
+}
+
+BddRef BddManager::apply(BddOp op, BddRef f, BddRef g) {
+    // Terminal cases.
+    if (op == BddOp::Or) {
+        if (f == kTrue || g == kTrue) return kTrue;
+        if (f == kFalse) return g;
+        if (g == kFalse) return f;
+        if (f == g) return f;
+    } else {
+        if (f == kFalse || g == kFalse) return kFalse;
+        if (f == kTrue) return g;
+        if (g == kTrue) return f;
+        if (f == g) return f;
+    }
+    // Both operations are commutative: canonicalise the cache key.
+    const ApplyKey key{static_cast<std::uint8_t>(op), std::min(f, g), std::max(f, g)};
+    if (auto it = apply_cache_.find(key); it != apply_cache_.end()) return it->second;
+
+    const std::uint32_t vf = var_of(f);
+    const std::uint32_t vg = var_of(g);
+    const std::uint32_t v = std::min(vf, vg);
+    // Paper Eq. 1 (X < Y): recurse into the smaller variable only;
+    // Eq. 2 (X == Y): recurse into both cofactors.
+    const BddRef f_high = vf == v ? nodes_[f].high : f;
+    const BddRef f_low = vf == v ? nodes_[f].low : f;
+    const BddRef g_high = vg == v ? nodes_[g].high : g;
+    const BddRef g_low = vg == v ? nodes_[g].low : g;
+
+    const BddRef high = apply(op, f_high, g_high);
+    const BddRef low = apply(op, f_low, g_low);
+    const BddRef result = make(v, high, low);
+    apply_cache_.emplace(key, result);
+    return result;
+}
+
+BddRef BddManager::apply_not(BddRef f) {
+    if (f == kFalse) return kTrue;
+    if (f == kTrue) return kFalse;
+    // Negation via Shannon expansion; memoised through the unique table
+    // only (negation is rare in fault trees — used by importance
+    // measures), so a local cache per call suffices.
+    std::unordered_map<BddRef, BddRef> memo;
+    std::function<BddRef(BddRef)> rec = [&](BddRef x) -> BddRef {
+        if (x == kFalse) return kTrue;
+        if (x == kTrue) return kFalse;
+        if (auto it = memo.find(x); it != memo.end()) return it->second;
+        const Node& n = nodes_[x];
+        const BddRef r = make(n.var, rec(n.high), rec(n.low));
+        memo.emplace(x, r);
+        return r;
+    };
+    return rec(f);
+}
+
+double BddManager::probability(BddRef f, std::span<const double> var_probability) const {
+    if (var_probability.size() != variable_count_) {
+        throw AnalysisError("bdd: probability vector size != variable count");
+    }
+    std::unordered_map<BddRef, double> memo;
+    std::function<double(BddRef)> rec = [&](BddRef x) -> double {
+        if (x == kFalse) return 0.0;
+        if (x == kTrue) return 1.0;
+        if (auto it = memo.find(x); it != memo.end()) return it->second;
+        const Node& n = nodes_[x];
+        const double p = var_probability[n.var];
+        const double result = p * rec(n.high) + (1.0 - p) * rec(n.low);
+        memo.emplace(x, result);
+        return result;
+    };
+    return rec(f);
+}
+
+std::size_t BddManager::node_count(BddRef f) const {
+    std::unordered_set<BddRef> seen;
+    std::vector<BddRef> stack{f};
+    while (!stack.empty()) {
+        const BddRef x = stack.back();
+        stack.pop_back();
+        if (is_terminal(x) || !seen.insert(x).second) continue;
+        stack.push_back(nodes_[x].high);
+        stack.push_back(nodes_[x].low);
+    }
+    return seen.size();
+}
+
+bool BddManager::evaluate(BddRef f, const std::vector<bool>& assignment) const {
+    if (assignment.size() != variable_count_) {
+        throw AnalysisError("bdd: assignment size != variable count");
+    }
+    BddRef x = f;
+    while (!is_terminal(x)) {
+        const Node& n = nodes_[x];
+        x = assignment[n.var] ? n.high : n.low;
+    }
+    return x == kTrue;
+}
+
+BddManager::NodeView BddManager::node(BddRef f) const {
+    if (is_terminal(f) || f >= nodes_.size()) {
+        throw AnalysisError("bdd: node() on terminal or invalid ref");
+    }
+    const Node& n = nodes_[f];
+    return NodeView{n.var, n.high, n.low};
+}
+
+}  // namespace asilkit::bdd

@@ -1,0 +1,129 @@
+// Reduced Ordered Binary Decision Diagram (ROBDD) engine.
+//
+// The paper converts the generated fault tree into a BDD through an
+// If-Then-Else (ITE) structure: every basic event b becomes ITE(b, 1, 0),
+// OR gates combine operands with <op> = "+" and AND gates with "*", using
+// the two ITE composition rules (paper Eqs. 1 and 2) that recurse on the
+// smaller variable.  That construction is exactly Bryant's apply()
+// algorithm; this manager implements it with the two standard dynamic
+// programming tables:
+//   * a unique table hash-consing (var, high, low) triples, which makes
+//     equality O(1) and keeps the diagram reduced, and
+//   * an apply cache memoising (op, f, g) results, which bounds apply()
+//     by O(|f|*|g|) instead of the naive exponential recursion the paper
+//     describes (Section V reports that cost growing exponentially with
+//     the number of redundant blocks).
+//
+// The exact top-event probability is evaluated on the BDD by the
+// Shannon expansion P(f) = p_v * P(f_high) + (1 - p_v) * P(f_low), which
+// — unlike summing rates on the fault tree — is exact for repeated events.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/error.h"
+
+namespace asilkit::bdd {
+
+/// Handle to a BDD node within a manager.  0 and 1 are the terminals.
+using BddRef = std::uint32_t;
+
+inline constexpr BddRef kFalse = 0;
+inline constexpr BddRef kTrue = 1;
+
+enum class BddOp : std::uint8_t { Or, And };
+
+class BddManager {
+public:
+    /// `variable_count` fixes the variable order: variable 0 is tested
+    /// first (the paper orders variables by a top-down, left-to-right
+    /// traversal of the fault tree so that events nearest the top event
+    /// come first).
+    explicit BddManager(std::uint32_t variable_count);
+
+    [[nodiscard]] std::uint32_t variable_count() const noexcept { return variable_count_; }
+
+    /// The BDD for a single variable: ITE(var, 1, 0).
+    [[nodiscard]] BddRef variable(std::uint32_t var);
+
+    /// Reduced node (var, high, low); returns `high` when high == low.
+    [[nodiscard]] BddRef make(std::uint32_t var, BddRef high, BddRef low);
+
+    [[nodiscard]] BddRef apply(BddOp op, BddRef f, BddRef g);
+    [[nodiscard]] BddRef apply_or(BddRef f, BddRef g) { return apply(BddOp::Or, f, g); }
+    [[nodiscard]] BddRef apply_and(BddRef f, BddRef g) { return apply(BddOp::And, f, g); }
+    [[nodiscard]] BddRef apply_not(BddRef f);
+
+    /// Exact probability that the function is true, given independent
+    /// per-variable probabilities (size must equal variable_count()).
+    [[nodiscard]] double probability(BddRef f, std::span<const double> var_probability) const;
+
+    /// Number of interior nodes reachable from `f` (terminals excluded).
+    [[nodiscard]] std::size_t node_count(BddRef f) const;
+
+    /// Total interior nodes ever created in this manager.
+    [[nodiscard]] std::size_t size() const noexcept { return nodes_.size() - 2; }
+
+    /// Evaluates f under a complete truth assignment (for property tests
+    /// against brute-force enumeration).
+    [[nodiscard]] bool evaluate(BddRef f, const std::vector<bool>& assignment) const;
+
+    struct NodeView {
+        std::uint32_t var;
+        BddRef high;
+        BddRef low;
+    };
+    [[nodiscard]] NodeView node(BddRef f) const;
+    [[nodiscard]] static bool is_terminal(BddRef f) noexcept { return f <= kTrue; }
+
+private:
+    struct Node {
+        std::uint32_t var;
+        BddRef high;
+        BddRef low;
+    };
+
+    struct NodeKey {
+        std::uint32_t var;
+        BddRef high;
+        BddRef low;
+        friend bool operator==(const NodeKey&, const NodeKey&) = default;
+    };
+    struct NodeKeyHash {
+        std::size_t operator()(const NodeKey& k) const noexcept {
+            std::uint64_t h = k.var;
+            h = h * 0x9E3779B97F4A7C15ull + k.high;
+            h = h * 0x9E3779B97F4A7C15ull + k.low;
+            return static_cast<std::size_t>(h ^ (h >> 32));
+        }
+    };
+    struct ApplyKey {
+        std::uint8_t op;
+        BddRef f;
+        BddRef g;
+        friend bool operator==(const ApplyKey&, const ApplyKey&) = default;
+    };
+    struct ApplyKeyHash {
+        std::size_t operator()(const ApplyKey& k) const noexcept {
+            std::uint64_t h = k.op;
+            h = h * 0x9E3779B97F4A7C15ull + k.f;
+            h = h * 0x9E3779B97F4A7C15ull + k.g;
+            return static_cast<std::size_t>(h ^ (h >> 32));
+        }
+    };
+
+    [[nodiscard]] std::uint32_t var_of(BddRef f) const noexcept {
+        // Terminals sort after every variable.
+        return f <= kTrue ? variable_count_ : nodes_[f].var;
+    }
+
+    std::uint32_t variable_count_;
+    std::vector<Node> nodes_;  // [0]=false, [1]=true (var fields unused)
+    std::unordered_map<NodeKey, BddRef, NodeKeyHash> unique_;
+    std::unordered_map<ApplyKey, BddRef, ApplyKeyHash> apply_cache_;
+};
+
+}  // namespace asilkit::bdd

@@ -1,0 +1,92 @@
+#include "bdd/from_fault_tree.h"
+
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace asilkit::bdd {
+
+using ftree::FaultTree;
+using ftree::FtRef;
+using ftree::GateKind;
+
+std::vector<std::uint32_t> ft_variable_order(const FaultTree& ft) {
+    std::vector<std::uint32_t> order;
+    std::unordered_set<std::uint32_t> seen_events;
+    std::unordered_set<std::uint32_t> seen_gates;
+    std::deque<FtRef> queue{ft.top()};
+    while (!queue.empty()) {
+        const FtRef r = queue.front();
+        queue.pop_front();
+        if (r.kind == FtRef::Kind::Basic) {
+            if (seen_events.insert(r.index).second) order.push_back(r.index);
+            continue;
+        }
+        if (!seen_gates.insert(r.index).second) continue;
+        for (FtRef c : ft.gate(r.index).children) queue.push_back(c);
+    }
+    return order;
+}
+
+CompiledFaultTree compile_fault_tree(const FaultTree& ft) {
+    return compile_fault_tree(ft, ft_variable_order(ft));
+}
+
+CompiledFaultTree compile_fault_tree(const FaultTree& ft,
+                                     const std::vector<std::uint32_t>& event_order) {
+    CompiledFaultTree out{BddManager{static_cast<std::uint32_t>(event_order.size())}, kFalse,
+                          event_order};
+    std::unordered_map<std::uint32_t, std::uint32_t> var_of_event;
+    for (std::uint32_t v = 0; v < event_order.size(); ++v) {
+        var_of_event.emplace(event_order[v], v);
+    }
+
+    std::unordered_map<std::uint32_t, BddRef> gate_memo;
+    std::function<BddRef(FtRef)> compile = [&](FtRef r) -> BddRef {
+        if (r.kind == FtRef::Kind::Basic) {
+            const auto it = var_of_event.find(r.index);
+            if (it == var_of_event.end()) {
+                throw AnalysisError("compile_fault_tree: event '" +
+                                    ft.basic_event(r.index).name + "' missing from ordering");
+            }
+            return out.manager.variable(it->second);
+        }
+        if (auto it = gate_memo.find(r.index); it != gate_memo.end()) return it->second;
+        const ftree::Gate& g = ft.gate(r.index);
+        // A failure gate with no children has no failure mode: constant 0
+        // for both gate kinds (fault-tree semantics, not boolean algebra).
+        BddRef acc = kFalse;
+        bool first = true;
+        for (FtRef c : g.children) {
+            const BddRef cb = compile(c);
+            if (first) {
+                acc = cb;
+                first = false;
+            } else {
+                acc = out.manager.apply(g.kind == GateKind::Or ? BddOp::Or : BddOp::And, acc, cb);
+            }
+        }
+        gate_memo.emplace(r.index, acc);
+        return acc;
+    };
+    out.root = compile(ft.top());
+    return out;
+}
+
+double basic_event_probability(double lambda, double hours) noexcept {
+    return 1.0 - std::exp(-lambda * hours);
+}
+
+std::vector<double> CompiledFaultTree::variable_probabilities(const FaultTree& ft,
+                                                              double hours) const {
+    std::vector<double> probs;
+    probs.reserve(event_of_var.size());
+    for (std::uint32_t event : event_of_var) {
+        probs.push_back(basic_event_probability(ft.basic_event(event).lambda, hours));
+    }
+    return probs;
+}
+
+}  // namespace asilkit::bdd

@@ -1,0 +1,391 @@
+#include "cli/cli.h"
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/ccf.h"
+#include "analysis/fmea.h"
+#include "analysis/probability.h"
+#include "analysis/tolerance.h"
+#include "analysis/traceability.h"
+#include "cost/cost_analysis.h"
+#include "explore/advisor.h"
+#include "explore/driver.h"
+#include "io/csv.h"
+#include "io/dot.h"
+#include "io/graphml.h"
+#include "io/model_diff.h"
+#include "io/model_json.h"
+#include "model/validation.h"
+#include "scenarios/ecotwin.h"
+#include "scenarios/fig3.h"
+#include "scenarios/longitudinal.h"
+#include "transform/connect.h"
+#include "transform/expand.h"
+#include "transform/reduce.h"
+
+namespace asilkit::cli {
+namespace {
+
+/// Parsed invocation: positionals + --key value / --flag options.
+struct Args {
+    std::vector<std::string> positionals;
+    std::map<std::string, std::string> options;
+
+    [[nodiscard]] bool has(const std::string& key) const { return options.contains(key); }
+    [[nodiscard]] std::string get(const std::string& key, const std::string& fallback = "") const {
+        if (auto it = options.find(key); it != options.end()) return it->second;
+        return fallback;
+    }
+};
+
+/// Options that are flags (no value follows).
+bool is_flag(const std::string& key) {
+    return key == "approximate" || key == "all" || key == "help";
+}
+
+Args parse_args(const std::vector<std::string>& argv) {
+    Args args;
+    for (std::size_t i = 0; i < argv.size(); ++i) {
+        const std::string& token = argv[i];
+        if (token.rfind("--", 0) == 0) {
+            const std::string key = token.substr(2);
+            if (is_flag(key)) {
+                args.options[key] = "1";
+            } else if (i + 1 < argv.size()) {
+                args.options[key] = argv[++i];
+            } else {
+                throw IoError("option --" + key + " needs a value");
+            }
+        } else if (token == "-o" && i + 1 < argv.size()) {
+            args.options["out"] = argv[++i];
+        } else {
+            args.positionals.push_back(token);
+        }
+    }
+    return args;
+}
+
+DecompositionStrategy parse_strategy(const std::string& text) {
+    if (text == "BB" || text == "bb") return DecompositionStrategy::BB;
+    if (text == "AC" || text == "ac") return DecompositionStrategy::AC;
+    if (text == "RND" || text == "rnd") return DecompositionStrategy::RND;
+    throw IoError("unknown strategy '" + text + "' (expected BB, AC or RND)");
+}
+
+cost::CostMetric parse_metric(const std::string& text) {
+    if (text == "1" || text.empty()) return cost::CostMetric::exponential_metric1();
+    if (text == "2") return cost::CostMetric::exponential_metric2();
+    if (text == "3") return cost::CostMetric::linear_metric3();
+    throw IoError("unknown metric '" + text + "' (expected 1, 2 or 3)");
+}
+
+ArchitectureModel load_positional_model(const Args& args) {
+    if (args.positionals.size() < 2) throw IoError("missing model file argument");
+    return io::load_model(args.positionals[1]);
+}
+
+std::string require_out(const Args& args) {
+    if (!args.has("out")) throw IoError("missing -o <output file>");
+    return args.get("out");
+}
+
+int cmd_demo(const Args& args, std::ostream& out) {
+    if (args.positionals.size() < 2) throw IoError("demo: missing scenario name");
+    const std::string& name = args.positionals[1];
+    ArchitectureModel m;
+    if (name == "fig3") {
+        m = scenarios::fig3_camera_gps_fusion();
+    } else if (name == "fig3-ccf") {
+        m = scenarios::fig3_with_shared_ecu_ccf();
+    } else if (name == "ecotwin") {
+        m = scenarios::ecotwin_lateral_control();
+    } else if (name == "longitudinal") {
+        m = scenarios::ecotwin_longitudinal_control();
+    } else {
+        throw IoError("unknown demo scenario '" + name +
+                      "' (expected fig3, fig3-ccf, ecotwin or longitudinal)");
+    }
+    io::save_model(m, require_out(args));
+    out << "wrote " << m.name() << " (" << m.app().node_count() << " nodes, "
+        << m.resources().node_count() << " resources) to " << args.get("out") << "\n";
+    return 0;
+}
+
+int cmd_validate(const Args& args, std::ostream& out) {
+    const ArchitectureModel m = load_positional_model(args);
+    const ValidationReport report = validate(m);
+    out << m.name() << ": " << report.error_count() << " errors, " << report.warning_count()
+        << " warnings\n";
+    for (const ValidationIssue& issue : report.issues) out << "  " << issue << "\n";
+    return report.error_count() == 0 ? 0 : 1;
+}
+
+int cmd_analyze(const Args& args, std::ostream& out) {
+    const ArchitectureModel m = load_positional_model(args);
+    analysis::ProbabilityOptions options;
+    options.approximate = args.has("approximate");
+    if (args.has("hours")) options.mission_hours = std::stod(args.get("hours"));
+    const analysis::ProbabilityResult result = analysis::analyze_failure_probability(m, options);
+    const cost::CostMetric metric = parse_metric(args.get("metric", "1"));
+    out << "model              : " << m.name() << "\n"
+        << "application nodes  : " << m.app().node_count() << "\n"
+        << "resources          : " << m.resources().node_count() << "\n"
+        << "cost (" << metric.name() << "): " << cost::total_cost(m, metric) << "\n"
+        << "fault tree         : " << result.ft_stats.dag_nodes << " nodes, "
+        << result.ft_stats.paths << " paths\n"
+        << "bdd                : " << result.bdd_nodes << " nodes over " << result.variables
+        << " variables\n"
+        << "P(system failure)  : " << result.failure_probability << " over "
+        << options.mission_hours << " h\n";
+    if (result.approximated_blocks > 0) {
+        out << "approximated blocks: " << result.approximated_blocks << "\n";
+    }
+    for (const std::string& w : result.warnings) out << "warning: " << w << "\n";
+    return 0;
+}
+
+int cmd_ccf(const Args& args, std::ostream& out) {
+    const ArchitectureModel m = load_positional_model(args);
+    const analysis::CcfReport report = analysis::analyze_ccf(m);
+    if (report.independent()) {
+        out << "no common cause faults: every decomposition is independent\n";
+        return 0;
+    }
+    out << report.findings.size() << " finding(s):\n";
+    for (const analysis::CcfFinding& f : report.findings) out << "  " << f << "\n";
+    return 1;
+}
+
+int cmd_tolerance(const Args& args, std::ostream& out) {
+    const ArchitectureModel m = load_positional_model(args);
+    analysis::FaultToleranceOptions options;
+    if (args.has("max-order")) {
+        options.max_order = static_cast<std::size_t>(std::stoul(args.get("max-order")));
+    }
+    const analysis::FaultToleranceReport report = analyze_fault_tolerance(m, options);
+    out << "minimal cut order : " << report.min_cut_order << "\n"
+        << "tolerated faults  : " << report.tolerated_faults << "\n";
+    for (std::size_t order = 1; order < report.cut_sets_by_order.size(); ++order) {
+        out << "cut sets, order " << order << " : " << report.cut_sets_by_order[order] << "\n";
+    }
+    out << "single points of failure:\n";
+    for (const std::string& spof : report.single_points_of_failure) out << "  " << spof << "\n";
+    return 0;
+}
+
+int cmd_trace(const Args& args, std::ostream& out) {
+    const ArchitectureModel m = load_positional_model(args);
+    const analysis::TraceabilityReport report = analysis::trace_requirements(m);
+    for (const analysis::FsrStatus& status : report.requirements) {
+        out << "  " << status << "\n";
+        for (const std::string& node : status.under_implemented) {
+            out << "    under-implemented: " << node << "\n";
+        }
+    }
+    if (!report.untraced_nodes.empty()) {
+        out << "  " << report.untraced_nodes.size() << " node(s) without an FSR\n";
+    }
+    return report.all_satisfied() ? 0 : 1;
+}
+
+int cmd_fmea(const Args& args, std::ostream& out) {
+    const ArchitectureModel m = load_positional_model(args);
+    analysis::FmeaOptions options;
+    if (args.has("hours")) options.mission_hours = std::stod(args.get("hours"));
+    for (const analysis::FmeaRow& row : analysis::fmea_report(m, options)) {
+        out << "  " << row << "\n";
+    }
+    return 0;
+}
+
+int cmd_advise(const Args& args, std::ostream& out) {
+    const ArchitectureModel m = load_positional_model(args);
+    explore::AdvisorOptions options;
+    options.strategy = parse_strategy(args.get("strategy", "BB"));
+    if (args.has("branches")) {
+        options.branches = static_cast<std::size_t>(std::stoul(args.get("branches")));
+    }
+    options.probability.approximate = true;
+    for (const explore::ExpansionAdvice& advice : explore::advise_expansions(m, options)) {
+        out << "  " << advice << "\n";
+    }
+    return 0;
+}
+
+int cmd_expand(const Args& args, std::ostream& out) {
+    ArchitectureModel m = load_positional_model(args);
+    if (!args.has("node")) throw IoError("expand: missing --node NAME");
+    const NodeId n = m.find_app_node(args.get("node"));
+    if (!n.valid()) throw IoError("no application node named '" + args.get("node") + "'");
+    transform::ExpandOptions options;
+    options.strategy = parse_strategy(args.get("strategy", "BB"));
+    if (args.has("branches")) {
+        options.branches = static_cast<std::size_t>(std::stoul(args.get("branches")));
+    }
+    const transform::ExpandResult result = transform::expand(m, n, options);
+    io::save_model(m, require_out(args));
+    out << "expanded '" << args.get("node") << "' with " << to_string(result.pattern) << " into "
+        << result.branches.size() << " branches; wrote " << args.get("out") << "\n";
+    return 0;
+}
+
+int cmd_connect(const Args& args, std::ostream& out) {
+    ArchitectureModel m = load_positional_model(args);
+    std::size_t merges = 0;
+    if (args.has("all")) {
+        transform::reduce_all(m);
+        merges = transform::connect_all(m);
+    } else {
+        if (!args.has("merger")) throw IoError("connect: need --merger NAME or --all");
+        const NodeId merger = m.find_app_node(args.get("merger"));
+        if (!merger.valid()) throw IoError("no node named '" + args.get("merger") + "'");
+        transform::connect(m, merger);
+        merges = 1;
+    }
+    io::save_model(m, require_out(args));
+    out << "performed " << merges << " connect(s); wrote " << args.get("out") << "\n";
+    return 0;
+}
+
+int cmd_reduce(const Args& args, std::ostream& out) {
+    ArchitectureModel m = load_positional_model(args);
+    const std::size_t reductions = transform::reduce_all(m);
+    io::save_model(m, require_out(args));
+    out << "performed " << reductions << " reduction(s); wrote " << args.get("out") << "\n";
+    return 0;
+}
+
+int cmd_explore(const Args& args, std::ostream& out) {
+    const ArchitectureModel m = load_positional_model(args);
+    if (!args.has("nodes")) throw IoError("explore: missing --nodes a,b,c");
+    std::vector<std::string> nodes;
+    std::stringstream ss(args.get("nodes"));
+    for (std::string item; std::getline(ss, item, ',');) {
+        if (!item.empty()) nodes.push_back(item);
+    }
+    explore::ExplorationOptions options;
+    options.strategy = parse_strategy(args.get("strategy", "BB"));
+    options.metric = parse_metric(args.get("metric", "1"));
+    options.probability.approximate = true;
+    const explore::ExplorationResult result = explore::run_exploration(m, nodes, options);
+    for (const explore::TradeoffPoint& p : result.curve.points) out << "  " << p << "\n";
+    if (args.has("csv")) {
+        io::CsvWriter csv({"label", "cost", "failure_probability"});
+        for (const explore::TradeoffPoint& p : result.curve.points) {
+            csv.add_row({p.label, io::CsvWriter::number(p.cost),
+                         io::CsvWriter::number(p.failure_probability)});
+        }
+        csv.save(args.get("csv"));
+        out << "curve written to " << args.get("csv") << "\n";
+    }
+    if (args.has("out")) {
+        io::save_model(result.final_model, args.get("out"));
+        out << "final model written to " << args.get("out") << "\n";
+    }
+    return 0;
+}
+
+int cmd_export(const Args& args, std::ostream& out) {
+    const ArchitectureModel m = load_positional_model(args);
+    const std::string layer = args.get("layer", "app");
+    const std::string format = args.get("format", "dot");
+    std::string text;
+    if (format == "graphml") {
+        if (layer == "app") {
+            text = io::app_graph_to_graphml(m);
+        } else if (layer == "resources") {
+            text = io::resource_graph_to_graphml(m);
+        } else {
+            throw IoError("graphml export supports layers: app, resources");
+        }
+    } else if (format == "dot") {
+        if (layer == "app") {
+            text = io::app_graph_to_dot(m);
+        } else if (layer == "resources") {
+            text = io::resource_graph_to_dot(m);
+        } else if (layer == "physical") {
+            text = io::physical_graph_to_dot(m);
+        } else if (layer == "ftree") {
+            text = io::fault_tree_to_dot(ftree::build_fault_tree(m).tree);
+        } else {
+            throw IoError("unknown layer '" + layer +
+                          "' (expected app, resources, physical, ftree)");
+        }
+    } else {
+        throw IoError("unknown format '" + format + "' (expected dot or graphml)");
+    }
+    io::save_text_file(text, require_out(args));
+    out << "wrote " << layer << " graph (" << format << ") to " << args.get("out") << "\n";
+    return 0;
+}
+
+int cmd_diff(const Args& args, std::ostream& out) {
+    if (args.positionals.size() < 3) throw IoError("diff: need two model files");
+    const ArchitectureModel before = io::load_model(args.positionals[1]);
+    const ArchitectureModel after = io::load_model(args.positionals[2]);
+    const io::ModelDiff diff = io::diff_models(before, after);
+    out << diff;
+    return diff.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+std::string usage() {
+    return "usage: asilkit_cli <command> [arguments]\n"
+           "\n"
+           "commands:\n"
+           "  demo <fig3|fig3-ccf|ecotwin|longitudinal> -o model.json\n"
+           "  validate  model.json\n"
+           "  analyze   model.json [--approximate] [--hours H] [--metric 1|2|3]\n"
+           "  ccf       model.json\n"
+           "  tolerance model.json [--max-order K]\n"
+           "  trace     model.json\n"
+           "  fmea      model.json [--hours H]\n"
+           "  advise    model.json [--strategy BB|AC|RND] [--branches N]\n"
+           "  expand    model.json --node NAME [--strategy S] [--branches N] -o out.json\n"
+           "  connect   model.json [--merger NAME | --all] -o out.json\n"
+           "  reduce    model.json -o out.json\n"
+           "  explore   model.json --nodes a,b,c [--strategy S] [--metric M]\n"
+           "            [--csv curve.csv] [-o final.json]\n"
+           "  export    model.json --layer app|resources|physical|ftree\n"
+           "            [--format dot|graphml] -o out.dot\n"
+           "  diff      before.json after.json\n";
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+    try {
+        const Args parsed = parse_args(args);
+        if (parsed.positionals.empty() || parsed.has("help")) {
+            out << usage();
+            return parsed.positionals.empty() && !parsed.has("help") ? 2 : 0;
+        }
+        const std::string& command = parsed.positionals.front();
+        if (command == "demo") return cmd_demo(parsed, out);
+        if (command == "validate") return cmd_validate(parsed, out);
+        if (command == "analyze") return cmd_analyze(parsed, out);
+        if (command == "ccf") return cmd_ccf(parsed, out);
+        if (command == "tolerance") return cmd_tolerance(parsed, out);
+        if (command == "trace") return cmd_trace(parsed, out);
+        if (command == "fmea") return cmd_fmea(parsed, out);
+        if (command == "advise") return cmd_advise(parsed, out);
+        if (command == "expand") return cmd_expand(parsed, out);
+        if (command == "connect") return cmd_connect(parsed, out);
+        if (command == "reduce") return cmd_reduce(parsed, out);
+        if (command == "explore") return cmd_explore(parsed, out);
+        if (command == "export") return cmd_export(parsed, out);
+        if (command == "diff") return cmd_diff(parsed, out);
+        err << "unknown command '" << command << "'\n" << usage();
+        return 2;
+    } catch (const Error& e) {
+        err << "error: " << e.what() << "\n";
+        return 1;
+    } catch (const std::exception& e) {
+        err << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+}  // namespace asilkit::cli

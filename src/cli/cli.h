@@ -1,0 +1,35 @@
+// Command-line interface for asilkit, as a testable library function.
+//
+// The `asilkit_cli` binary is a thin wrapper around run_cli(); every
+// subcommand reads a JSON model (io::model_json schema), performs one
+// operation, and either prints a report or writes a transformed model.
+//
+//   asilkit_cli demo <fig3|fig3-ccf|ecotwin|longitudinal> -o model.json
+//   asilkit_cli validate  model.json
+//   asilkit_cli analyze   model.json [--approximate] [--hours H] [--metric 1|2|3]
+//   asilkit_cli ccf       model.json
+//   asilkit_cli tolerance model.json [--max-order K]
+//   asilkit_cli advise    model.json [--strategy BB|AC|RND] [--branches N]
+//   asilkit_cli expand    model.json --node NAME [--strategy S] [--branches N] -o out.json
+//   asilkit_cli connect   model.json [--merger NAME | --all] -o out.json
+//   asilkit_cli reduce    model.json -o out.json
+//   asilkit_cli explore   model.json --nodes a,b,c [--strategy S] [--metric M]
+//                         [--csv curve.csv] [-o final.json]
+//   asilkit_cli export    model.json --layer app|resources|physical|ftree -o out.dot
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace asilkit::cli {
+
+/// Runs one CLI invocation.  `args` excludes the program name.  Reports
+/// go to `out`, errors to `err`.  Returns a process exit code (0 = ok,
+/// 1 = user/input error, 2 = usage error).
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+/// The usage text printed on `--help` / usage errors.
+[[nodiscard]] std::string usage();
+
+}  // namespace asilkit::cli

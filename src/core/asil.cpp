@@ -1,0 +1,62 @@
+#include "core/asil.h"
+
+#include <array>
+#include <cctype>
+#include <ostream>
+
+namespace asilkit {
+namespace {
+
+constexpr std::array<std::string_view, kAsilLevelCount> kShortNames = {
+    "QM", "A", "B", "C", "D"};
+
+[[nodiscard]] std::string to_upper(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) out.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    return out;
+}
+
+}  // namespace
+
+std::string_view to_string(Asil a) noexcept {
+    return kShortNames[static_cast<std::size_t>(a)];
+}
+
+std::string to_long_string(Asil a) {
+    if (a == Asil::QM) return "QM";
+    return "ASIL " + std::string(to_string(a));
+}
+
+std::optional<Asil> asil_from_string(std::string_view text) noexcept {
+    std::string upper = to_upper(text);
+    std::string_view s = upper;
+    if (s.starts_with("ASIL")) {
+        s.remove_prefix(4);
+        while (!s.empty() && (s.front() == ' ' || s.front() == '_' || s.front() == '-')) {
+            s.remove_prefix(1);
+        }
+    }
+    for (Asil a : kAllAsilLevels) {
+        if (s == to_string(a)) return a;
+    }
+    return std::nullopt;
+}
+
+std::ostream& operator<<(std::ostream& os, Asil a) { return os << to_string(a); }
+
+std::string to_string(const AsilTag& tag) {
+    std::string out{to_string(tag.level)};
+    if (tag.is_decomposed()) {
+        out += '(';
+        out += to_string(tag.inherited);
+        out += ')';
+    }
+    return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const AsilTag& tag) {
+    return os << to_string(tag);
+}
+
+}  // namespace asilkit

@@ -1,0 +1,105 @@
+// Automotive Safety Integrity Level (ASIL) algebra.
+//
+// ISO 26262 classifies hazards into five levels: QM (lowest, "Quality
+// Management", no safety requirement) through ASIL D (highest).  The paper
+// treats the levels as a small ordered algebra: levels can be compared,
+// take minima (Eq. 3: effective ASIL of a mapped node), and summed
+// (Eq. 4: the ASIL of a redundant block is bounded by the *sum* of the
+// branch ASILs, saturating at D).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace asilkit {
+
+/// The five ISO 26262 integrity levels, ordered from least to most critical.
+enum class Asil : std::uint8_t {
+    QM = 0,  ///< Quality Management: no ASIL requirement.
+    A = 1,
+    B = 2,
+    C = 3,
+    D = 4,
+};
+
+/// Number of distinct ASIL levels (QM, A, B, C, D).
+inline constexpr int kAsilLevelCount = 5;
+
+/// All levels in ascending order, for iteration in tables and tests.
+inline constexpr Asil kAllAsilLevels[kAsilLevelCount] = {
+    Asil::QM, Asil::A, Asil::B, Asil::C, Asil::D};
+
+/// Numeric weight of a level: QM=0 .. D=4.  This is the quantity that is
+/// summed in the ISO 26262 decomposition rule ("ASIL C = ASIL B(C) +
+/// ASIL A(C)" because 3 = 2 + 1).
+[[nodiscard]] constexpr int asil_value(Asil a) noexcept {
+    return static_cast<int>(a);
+}
+
+/// Inverse of asil_value(); values outside [0,4] saturate into the range.
+[[nodiscard]] constexpr Asil asil_from_value(int v) noexcept {
+    if (v <= 0) return Asil::QM;
+    if (v >= 4) return Asil::D;
+    return static_cast<Asil>(v);
+}
+
+[[nodiscard]] constexpr Asil asil_min(Asil a, Asil b) noexcept {
+    return asil_value(a) < asil_value(b) ? a : b;
+}
+
+[[nodiscard]] constexpr Asil asil_max(Asil a, Asil b) noexcept {
+    return asil_value(a) > asil_value(b) ? a : b;
+}
+
+/// Saturating sum of two levels: the combined integrity credit of two
+/// independent redundant branches (Eq. 4).  QM + X == X; B + B == D.
+[[nodiscard]] constexpr Asil asil_sum(Asil a, Asil b) noexcept {
+    return asil_from_value(asil_value(a) + asil_value(b));
+}
+
+/// Short canonical name: "QM", "A", "B", "C", "D".
+[[nodiscard]] std::string_view to_string(Asil a) noexcept;
+
+/// Long name as used in reports: "QM", "ASIL A", ... "ASIL D".
+[[nodiscard]] std::string to_long_string(Asil a);
+
+/// Parses "QM"/"A".."D" (case-insensitive, optional "ASIL " prefix).
+[[nodiscard]] std::optional<Asil> asil_from_string(std::string_view text) noexcept;
+
+std::ostream& operator<<(std::ostream& os, Asil a);
+
+/// An ASIL requirement with decomposition provenance: ISO 26262 writes a
+/// decomposed requirement as "ASIL X(Y)" where X is the level the element
+/// is developed to and Y is the level of the original requirement before
+/// decomposition.  System-level measures (e.g. the independence analysis)
+/// must still be carried out at level Y.
+struct AsilTag {
+    Asil level = Asil::QM;      ///< X: the decomposed, assigned level.
+    Asil inherited = Asil::QM;  ///< Y: the level of the original FSR.
+
+    constexpr AsilTag() = default;
+
+    /// A non-decomposed requirement: X(X).
+    constexpr explicit AsilTag(Asil a) : level(a), inherited(a) {}
+
+    constexpr AsilTag(Asil x, Asil y) : level(x), inherited(y) {}
+
+    /// True when this tag is the result of a decomposition (X < Y never
+    /// happens the other way: the assigned level cannot exceed the origin).
+    [[nodiscard]] constexpr bool is_decomposed() const noexcept {
+        return level != inherited;
+    }
+
+    friend constexpr bool operator==(const AsilTag&, const AsilTag&) = default;
+};
+
+/// Renders "B(D)" for decomposed tags and plain "B" otherwise.
+[[nodiscard]] std::string to_string(const AsilTag& tag);
+
+std::ostream& operator<<(std::ostream& os, const AsilTag& tag);
+
+}  // namespace asilkit

@@ -1,0 +1,130 @@
+#include "core/decomposition.h"
+
+#include <algorithm>
+#include <array>
+#include <ostream>
+#include <stdexcept>
+
+namespace asilkit {
+namespace {
+
+// Canonical catalogue, left >= right (paper Fig. 2).
+constexpr std::array<DecompositionPattern, 8> kCatalogue = {{
+    {Asil::D, Asil::C, Asil::A},
+    {Asil::D, Asil::B, Asil::B},
+    {Asil::D, Asil::D, Asil::QM},
+    {Asil::C, Asil::B, Asil::A},
+    {Asil::C, Asil::C, Asil::QM},
+    {Asil::B, Asil::A, Asil::A},
+    {Asil::B, Asil::B, Asil::QM},
+    {Asil::A, Asil::A, Asil::QM},
+}};
+
+}  // namespace
+
+std::ostream& operator<<(std::ostream& os, const DecompositionPattern& p) {
+    return os << to_string(p.parent) << " -> " << to_string(p.left) << "(" << to_string(p.parent)
+              << ") + " << to_string(p.right) << "(" << to_string(p.parent) << ")";
+}
+
+std::string to_string(const DecompositionPattern& p) {
+    std::string out{to_string(p.parent)};
+    out += " -> ";
+    out += to_string(p.left);
+    out += "(";
+    out += to_string(p.parent);
+    out += ") + ";
+    out += to_string(p.right);
+    out += "(";
+    out += to_string(p.parent);
+    out += ")";
+    return out;
+}
+
+std::span<const DecompositionPattern> all_decomposition_patterns() noexcept {
+    return kCatalogue;
+}
+
+std::vector<DecompositionPattern> decompositions_of(Asil parent) {
+    std::vector<DecompositionPattern> out;
+    for (const auto& p : kCatalogue) {
+        if (p.parent == parent) out.push_back(p);
+    }
+    return out;
+}
+
+bool is_valid_decomposition(Asil parent, Asil left, Asil right) noexcept {
+    const Asil hi = asil_max(left, right);
+    const Asil lo = asil_min(left, right);
+    return std::ranges::any_of(kCatalogue, [&](const DecompositionPattern& p) {
+        return p.parent == parent && p.left == hi && p.right == lo;
+    });
+}
+
+bool is_valid_decomposition(Asil parent, std::span<const Asil> branches) noexcept {
+    if (branches.empty()) return false;
+    if (branches.size() == 1) return branches[0] == parent;
+    // Repeated application of the two-way catalogue is equivalent to the
+    // saturating-sum rule: the integrity credits of the branches must add
+    // up to at least the parent's.  (Every catalogue pattern satisfies
+    // value(left)+value(right) >= value(parent), and conversely any split
+    // with a sufficient sum can be reached by decomposing the larger side
+    // first.)  One subtlety: a branch set of all-QM sums to 0 and is only
+    // valid for parent QM, which the sum rule already encodes.
+    int sum = 0;
+    for (Asil b : branches) sum += asil_value(b);
+    return sum >= asil_value(parent);
+}
+
+std::string_view to_string(DecompositionStrategy s) noexcept {
+    switch (s) {
+        case DecompositionStrategy::BB: return "BB";
+        case DecompositionStrategy::AC: return "AC";
+        case DecompositionStrategy::RND: return "RND";
+    }
+    return "?";
+}
+
+DecompositionPattern select_pattern(Asil parent, DecompositionStrategy strategy,
+                                    double rng_draw) {
+    if (parent == Asil::QM) {
+        throw std::invalid_argument("select_pattern: QM requirements cannot be decomposed");
+    }
+    switch (strategy) {
+        case DecompositionStrategy::BB:
+            switch (parent) {
+                case Asil::D: return {Asil::D, Asil::B, Asil::B};
+                case Asil::C: return {Asil::C, Asil::B, Asil::A};
+                case Asil::B: return {Asil::B, Asil::A, Asil::A};
+                case Asil::A: return {Asil::A, Asil::A, Asil::QM};
+                case Asil::QM: break;
+            }
+            break;
+        case DecompositionStrategy::AC:
+            switch (parent) {
+                case Asil::D: return {Asil::D, Asil::C, Asil::A};
+                case Asil::C: return {Asil::C, Asil::C, Asil::QM};
+                case Asil::B: return {Asil::B, Asil::B, Asil::QM};
+                case Asil::A: return {Asil::A, Asil::A, Asil::QM};
+                case Asil::QM: break;
+            }
+            break;
+        case DecompositionStrategy::RND: {
+            // "RND" in the paper alternates between the proper redundant
+            // patterns (e.g. D -> B+B or A+C); the trivial X+QM split is
+            // excluded when a proper pattern exists because it does not
+            // actually lower the required level of both sides.
+            std::vector<DecompositionPattern> candidates;
+            for (const auto& p : decompositions_of(parent)) {
+                if (p.right != Asil::QM || p.parent == Asil::A) candidates.push_back(p);
+            }
+            if (candidates.empty()) candidates = decompositions_of(parent);
+            double clamped = std::clamp(rng_draw, 0.0, 0.999999);
+            auto idx = static_cast<std::size_t>(clamped * static_cast<double>(candidates.size()));
+            return candidates[idx];
+        }
+    }
+    throw std::invalid_argument("select_pattern: unsupported parent/strategy combination");
+}
+
+}  // namespace asilkit

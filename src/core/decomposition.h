@@ -1,0 +1,79 @@
+// ISO 26262 ASIL decomposition pattern catalogue (paper Fig. 2).
+//
+// The standard permits splitting a requirement at level P into two
+// redundant requirements (L, R) only for the listed combinations; the
+// invariant behind every pattern is asil_sum(L, R) >= P, and each listed
+// pattern satisfies it with equality or by keeping one side at the
+// original level.  Decomposing into more than two branches is expressed
+// by repeated application of two-way patterns.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/asil.h"
+
+namespace asilkit {
+
+/// One two-way decomposition: parent -> left + right.  Left/right order is
+/// not significant to the standard; patterns are stored with
+/// left >= right for canonical comparison.
+struct DecompositionPattern {
+    Asil parent = Asil::QM;
+    Asil left = Asil::QM;
+    Asil right = Asil::QM;
+
+    friend bool operator==(const DecompositionPattern&, const DecompositionPattern&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const DecompositionPattern& p);
+
+[[nodiscard]] std::string to_string(const DecompositionPattern& p);
+
+/// The complete Fig. 2 catalogue:
+///   D -> C+A | B+B | D+QM
+///   C -> B+A | C+QM
+///   B -> A+A | B+QM
+///   A -> A+QM
+/// QM cannot be decomposed (there is nothing to decompose).
+[[nodiscard]] std::span<const DecompositionPattern> all_decomposition_patterns() noexcept;
+
+/// Patterns applicable to a given parent level, in catalogue order.
+[[nodiscard]] std::vector<DecompositionPattern> decompositions_of(Asil parent);
+
+/// True iff (left, right) is a catalogue pattern for parent (order of
+/// left/right does not matter).
+[[nodiscard]] bool is_valid_decomposition(Asil parent, Asil left, Asil right) noexcept;
+
+/// Generalised n-way validity: a multiset of branch levels is an
+/// acceptable decomposition of `parent` iff it can be produced by repeated
+/// application of catalogue patterns.  For the ISO catalogue this is
+/// equivalent to: sum of branch values >= parent value (QM-only branch
+/// sets are valid only for parent QM).
+[[nodiscard]] bool is_valid_decomposition(Asil parent, std::span<const Asil> branches) noexcept;
+
+/// Named strategies used throughout the paper's experiments to pick a
+/// pattern when expanding a node.
+enum class DecompositionStrategy : std::uint8_t {
+    /// Prefer the symmetric pattern: D->B+B, C->B+A, B->A+A, A->A+QM.
+    BB,
+    /// Prefer the asymmetric pattern: D->C+A, C->C+QM, B->B+QM, A->A+QM.
+    AC,
+    /// Pick uniformly at random among the proper (non X+QM for parent>A
+    /// unless it is the only choice) patterns; seeded, deterministic.
+    RND,
+};
+
+[[nodiscard]] std::string_view to_string(DecompositionStrategy s) noexcept;
+
+/// Selects the two-way pattern the given strategy uses for `parent`.
+/// `rng_draw` is consumed only by RND: a value in [0,1) used to index the
+/// candidate list, so callers own the random stream (determinism).
+[[nodiscard]] DecompositionPattern select_pattern(Asil parent,
+                                                  DecompositionStrategy strategy,
+                                                  double rng_draw = 0.0);
+
+}  // namespace asilkit

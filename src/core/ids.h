@@ -1,0 +1,64 @@
+// Strongly-typed integer identifiers for the three model layers.
+//
+// The three graphs of the model (application, resource, physical) each key
+// their elements by a distinct id type so that a NodeId cannot silently be
+// used where a ResourceId is expected.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+#include <ostream>
+
+namespace asilkit {
+
+/// CRTP-free strong id: a wrapped 32-bit index with a tag type.
+template <typename Tag>
+class StrongId {
+public:
+    using value_type = std::uint32_t;
+
+    static constexpr value_type kInvalid = std::numeric_limits<value_type>::max();
+
+    constexpr StrongId() = default;
+    constexpr explicit StrongId(value_type v) noexcept : value_(v) {}
+
+    [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
+    [[nodiscard]] constexpr bool valid() const noexcept { return value_ != kInvalid; }
+
+    friend constexpr bool operator==(StrongId, StrongId) = default;
+    friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+    friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+        if (!id.valid()) return os << "#invalid";
+        return os << '#' << id.value();
+    }
+
+private:
+    value_type value_ = kInvalid;
+};
+
+struct AppNodeTag {};
+struct AppEdgeTag {};
+struct ResourceTag {};
+struct ResourceLinkTag {};
+struct LocationTag {};
+struct LocationLinkTag {};
+
+using NodeId = StrongId<AppNodeTag>;          ///< Application-layer node (N).
+using ChannelId = StrongId<AppEdgeTag>;       ///< Application-layer channel (E).
+using ResourceId = StrongId<ResourceTag>;     ///< Resource-layer node (R).
+using LinkId = StrongId<ResourceLinkTag>;     ///< Resource-layer link (L).
+using LocationId = StrongId<LocationTag>;     ///< Physical-layer node (P).
+using ConnectionId = StrongId<LocationLinkTag>;  ///< Physical-layer connection (C).
+
+}  // namespace asilkit
+
+template <typename Tag>
+struct std::hash<asilkit::StrongId<Tag>> {
+    std::size_t operator()(asilkit::StrongId<Tag> id) const noexcept {
+        return std::hash<typename asilkit::StrongId<Tag>::value_type>{}(id.value());
+    }
+};

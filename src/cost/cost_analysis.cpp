@@ -1,0 +1,42 @@
+#include "cost/cost_analysis.h"
+
+#include <algorithm>
+
+namespace asilkit::cost {
+namespace {
+
+std::vector<ResourceId> counted_resources(const ArchitectureModel& m, const CostOptions& options) {
+    if (options.include_unused_resources) return m.resources().node_ids();
+    return m.used_resources();
+}
+
+}  // namespace
+
+double total_cost(const ArchitectureModel& m, const CostMetric& metric,
+                  const CostOptions& options) {
+    double total = 0.0;
+    for (ResourceId r : counted_resources(m, options)) {
+        total += metric.resource_cost(m.resources().node(r));
+    }
+    return total;
+}
+
+CostReport cost_report(const ArchitectureModel& m, const CostMetric& metric,
+                       const CostOptions& options) {
+    CostReport report;
+    for (ResourceId r : counted_resources(m, options)) {
+        const Resource& res = m.resources().node(r);
+        const double c = metric.resource_cost(res);
+        report.total += c;
+        report.by_kind[static_cast<std::size_t>(res.kind)] += c;
+        report.breakdown.push_back(CostBreakdownEntry{r, res.name, res.kind, res.asil, c});
+    }
+    std::sort(report.breakdown.begin(), report.breakdown.end(),
+              [](const CostBreakdownEntry& a, const CostBreakdownEntry& b) {
+                  if (a.cost != b.cost) return a.cost > b.cost;
+                  return a.name < b.name;
+              });
+    return report;
+}
+
+}  // namespace asilkit::cost

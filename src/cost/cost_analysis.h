@@ -1,0 +1,43 @@
+// Architecture cost calculation (paper Section VI).
+//
+// The cost of an architecture is the sum of the metric cost of its
+// resources.  Only resources that actually implement application nodes
+// count by default (MapG-used), so removing a node together with its
+// dedicated hardware — as Connect()/Reduce() do — lowers the total.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_metric.h"
+#include "model/architecture.h"
+
+namespace asilkit::cost {
+
+struct CostOptions {
+    /// Count every resource in the resource graph, including unused spares.
+    bool include_unused_resources = false;
+};
+
+struct CostBreakdownEntry {
+    ResourceId resource;
+    std::string name;
+    ResourceKind kind = ResourceKind::Functional;
+    Asil asil = Asil::QM;
+    double cost = 0.0;
+};
+
+struct CostReport {
+    double total = 0.0;
+    std::vector<CostBreakdownEntry> breakdown;  ///< descending by cost
+    /// Per-kind subtotal, indexed by static_cast<size_t>(ResourceKind).
+    std::array<double, kResourceKindCount> by_kind{};
+};
+
+[[nodiscard]] double total_cost(const ArchitectureModel& m, const CostMetric& metric,
+                                const CostOptions& options = {});
+
+[[nodiscard]] CostReport cost_report(const ArchitectureModel& m, const CostMetric& metric,
+                                     const CostOptions& options = {});
+
+}  // namespace asilkit::cost

@@ -1,0 +1,59 @@
+#include "cost/cost_metric.h"
+
+namespace asilkit::cost {
+namespace {
+
+constexpr std::array<double, kResourceKindCount> kTable2Bases = [] {
+    std::array<double, kResourceKindCount> bases{};
+    bases[static_cast<std::size_t>(ResourceKind::Sensor)] = 8.0;
+    bases[static_cast<std::size_t>(ResourceKind::Actuator)] = 8.0;
+    bases[static_cast<std::size_t>(ResourceKind::Functional)] = 5.0;
+    bases[static_cast<std::size_t>(ResourceKind::Communication)] = 4.0;
+    bases[static_cast<std::size_t>(ResourceKind::Splitter)] = 1.0;
+    bases[static_cast<std::size_t>(ResourceKind::Merger)] = 1.0;
+    return bases;
+}();
+
+}  // namespace
+
+CostMetric CostMetric::exponential(std::array<double, kResourceKindCount> base_by_kind,
+                                   double factor, std::string name) {
+    CostMetric m(std::move(name));
+    for (ResourceKind kind : kAllResourceKinds) {
+        double value = base_by_kind[static_cast<std::size_t>(kind)];
+        for (Asil a : kAllAsilLevels) {
+            m.set_cost(kind, a, value);
+            value *= factor;
+        }
+    }
+    return m;
+}
+
+CostMetric CostMetric::exponential_metric1() {
+    return exponential(kTable2Bases, 10.0, "exponential-metric-1");
+}
+
+CostMetric CostMetric::exponential_metric2() {
+    return exponential(kTable2Bases, 20.0, "exponential-metric-2");
+}
+
+CostMetric CostMetric::linear_metric3() {
+    CostMetric m("linear-metric-3");
+    for (ResourceKind kind : kAllResourceKinds) {
+        const double base = kTable2Bases[static_cast<std::size_t>(kind)] * 1000.0;
+        for (Asil a : kAllAsilLevels) {
+            m.set_cost(kind, a, base * (1.0 + 4.0 * asil_value(a)));
+        }
+    }
+    return m;
+}
+
+double CostMetric::cost(ResourceKind kind, Asil asil) const noexcept {
+    return table_[static_cast<std::size_t>(kind)][static_cast<std::size_t>(asil)];
+}
+
+void CostMetric::set_cost(ResourceKind kind, Asil asil, double value) noexcept {
+    table_[static_cast<std::size_t>(kind)][static_cast<std::size_t>(asil)] = value;
+}
+
+}  // namespace asilkit::cost

@@ -1,0 +1,65 @@
+// Cost metrics (paper Section VI, Table II).
+//
+// A cost metric maps (resource kind, ASIL readiness) to a unit cost.  The
+// paper's headline metric is exponential — one decade per ASIL step —
+// with splitter/merger hardware an order of magnitude cheaper than
+// general-purpose hardware of the same level, because its fixed function
+// simplifies certification.  Alternative metrics (a steeper exponential
+// and a linear one) reproduce the "-1/-2/-3" curve families of Fig. 1.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "core/asil.h"
+#include "model/resource.h"
+
+namespace asilkit::cost {
+
+class CostMetric {
+public:
+    CostMetric() = default;
+    explicit CostMetric(std::string name) : name_(std::move(name)) {}
+
+    /// Paper Table II ("Exponential Cost Metric 1"):
+    ///   kind           QM   A    B     C      D
+    ///   functional     5    50   500   5000   50000
+    ///   communication  4    40   400   4000   40000
+    ///   sensor         8    80   800   8000   80000
+    ///   actuator       8    80   800   8000   80000
+    ///   splitter       1    10   100   1000   10000
+    ///   merger         1    10   100   1000   10000
+    [[nodiscard]] static CostMetric exponential_metric1();
+
+    /// Steeper exponential (factor 20 per level, same kind bases):
+    /// punishes high-ASIL general-purpose parts harder, which shifts the
+    /// trade-off further in favour of decomposition.
+    [[nodiscard]] static CostMetric exponential_metric2();
+
+    /// Linear metric (base * (1 + 4*level)): redundancy is mostly cost-
+    /// neutral, so decomposition never pays for itself on cost alone.
+    [[nodiscard]] static CostMetric linear_metric3();
+
+    /// Generic exponential builder: per-kind base cost at QM, multiplied
+    /// by `factor` per ASIL level.
+    [[nodiscard]] static CostMetric exponential(std::array<double, kResourceKindCount> base_by_kind,
+                                                double factor, std::string name);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    [[nodiscard]] double cost(ResourceKind kind, Asil asil) const noexcept;
+    void set_cost(ResourceKind kind, Asil asil, double value) noexcept;
+
+    /// Metric lookup for a concrete resource; a per-resource cost_override
+    /// wins when set.
+    [[nodiscard]] double resource_cost(const Resource& r) const noexcept {
+        if (r.cost_override) return *r.cost_override;
+        return cost(r.kind, r.asil);
+    }
+
+private:
+    std::string name_ = "custom";
+    std::array<std::array<double, kAsilLevelCount>, kResourceKindCount> table_{};
+};
+
+}  // namespace asilkit::cost

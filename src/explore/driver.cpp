@@ -1,0 +1,79 @@
+#include "explore/driver.h"
+
+#include <random>
+
+#include "core/error.h"
+#include "explore/mapping_opt.h"
+#include "transform/connect.h"
+#include "transform/expand.h"
+#include "transform/reduce.h"
+
+namespace asilkit::explore {
+
+ExplorationResult run_exploration(const ArchitectureModel& model,
+                                  const std::vector<std::string>& nodes_to_expand,
+                                  const ExplorationOptions& options) {
+    ExplorationResult result;
+    result.final_model = model;  // work on a copy
+    ArchitectureModel& m = result.final_model;
+    result.curve.name = std::string(to_string(options.strategy)) + "/" + options.metric.name();
+
+    std::mt19937 rng(options.rng_seed);
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+    auto record = [&](std::string label) {
+        result.curve.points.push_back(
+            measure_point(m, std::move(label), options.metric, options.probability));
+    };
+
+    record("initial");
+
+    // Phase 1: Expand (A -> B).
+    for (const std::string& name : nodes_to_expand) {
+        const NodeId n = m.find_app_node(name);
+        if (!n.valid()) {
+            throw TransformError("run_exploration: no application node named '" + name + "'");
+        }
+        transform::ExpandOptions expand_options;
+        expand_options.strategy = options.strategy;
+        expand_options.splitter_merger_asil = options.splitter_merger_asil;
+        expand_options.rng_draws = {uniform(rng), uniform(rng)};
+        transform::expand(m, n, expand_options);
+        ++result.expansions;
+        record("expand(" + name + ")");
+    }
+
+    // Phase 2: Connect + Reduce (B -> C).  Reducing first matters: two
+    // adjacent expanded blocks leave a c_post -> c_pre communication pair
+    // between them, and Connect() requires a single middle node.
+    if (options.run_connect_reduce) {
+        result.reductions += transform::reduce_all(m);
+        for (;;) {
+            const std::vector<NodeId> connectable = transform::find_connectable(m);
+            if (connectable.empty()) break;
+            transform::connect(m, connectable.front());
+            ++result.connects;
+            result.reductions += transform::reduce_all(m);
+            if (options.record_each_connect) {
+                record("connect#" + std::to_string(result.connects));
+            }
+        }
+        result.reductions += transform::reduce_all(m);
+        if (!options.record_each_connect || result.connects == 0) {
+            record("connected+reduced");
+        }
+    }
+
+    // Phase 3: mapping optimisation (C -> D).
+    if (options.run_mapping_optimization) {
+        MappingOptimizeOptions mapping_options;
+        mapping_options.include_non_branch_nodes = options.trunk_consolidation;
+        const MappingOptimizeResult opt = optimize_mapping(m, mapping_options);
+        result.mapping_groups_merged = opt.groups_merged;
+        record("mapping-optimized");
+    }
+
+    return result;
+}
+
+}  // namespace asilkit::explore

@@ -1,0 +1,60 @@
+// The exploration driver: the paper's experiment loop (Section IX).
+//
+// Starting from an "ideal" architecture (every node at its required ASIL
+// on dedicated ASIL-ready hardware), the driver replays the EcoTwin
+// design flow:
+//   1. Expand() each selected node (points A ... B of Fig. 12),
+//   2. Connect() + Reduce() until no pair remains (... point C),
+//   3. in-branch mapping optimisation (point D),
+// measuring cost and failure probability after every step.  The RND
+// strategy draws from a seeded generator owned by the driver, so a curve
+// is a pure function of (model, node list, options).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/probability.h"
+#include "core/decomposition.h"
+#include "cost/cost_metric.h"
+#include "explore/tradeoff.h"
+#include "model/architecture.h"
+
+namespace asilkit::explore {
+
+struct ExplorationOptions {
+    DecompositionStrategy strategy = DecompositionStrategy::BB;
+    cost::CostMetric metric = cost::CostMetric::exponential_metric1();
+    analysis::ProbabilityOptions probability{};
+    /// ASIL for new splitters/mergers; nullopt keeps each expanded node's
+    /// original level (the paper's configuration).
+    std::optional<Asil> splitter_merger_asil;
+    unsigned rng_seed = 42;  ///< consumed only by the RND strategy
+    bool run_connect_reduce = true;
+    bool run_mapping_optimization = true;
+    /// Also consolidate trunk (non-branch) functional/communication nodes
+    /// onto shared hardware during the mapping phase.
+    bool trunk_consolidation = false;
+    /// Record a point after every individual connect (otherwise only
+    /// after the whole phase).
+    bool record_each_connect = true;
+};
+
+struct ExplorationResult {
+    TradeoffCurve curve;
+    ArchitectureModel final_model;
+    std::size_t expansions = 0;
+    std::size_t connects = 0;
+    std::size_t reductions = 0;
+    std::size_t mapping_groups_merged = 0;
+};
+
+/// Runs the flow on a copy of `model`, expanding the nodes named in
+/// `nodes_to_expand` (names, not ids: ids do not survive the expansions).
+/// Unknown names throw TransformError.
+[[nodiscard]] ExplorationResult run_exploration(const ArchitectureModel& model,
+                                                const std::vector<std::string>& nodes_to_expand,
+                                                const ExplorationOptions& options = {});
+
+}  // namespace asilkit::explore

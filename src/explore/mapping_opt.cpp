@@ -1,0 +1,91 @@
+#include "explore/mapping_opt.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "model/blocks.h"
+
+namespace asilkit::explore {
+namespace {
+
+/// Replaces the mappings of `group` (all of kind `node_kind`) with one
+/// shared resource; erases dedicated resources that become unused.
+void share_group(ArchitectureModel& m, const std::vector<NodeId>& group, NodeKind node_kind,
+                 const std::string& shared_name, MappingOptimizeResult& result) {
+    if (group.size() < 2) return;
+
+    Asil required = Asil::QM;
+    LocationId loc;
+    std::vector<ResourceId> old_resources;
+    for (NodeId n : group) {
+        required = asil_max(required, m.app().node(n).asil.level);
+        for (ResourceId r : m.mapped_resources(n)) {
+            old_resources.push_back(r);
+            if (!loc.valid()) {
+                const auto& ps = m.resource_locations(r);
+                if (!ps.empty()) loc = ps.front();
+            }
+        }
+    }
+
+    Resource shared;
+    shared.name = shared_name;
+    shared.kind = default_resource_kind(node_kind);
+    shared.asil = required;
+    const ResourceId shared_id = m.add_resource(shared);
+    if (loc.valid()) m.place_resource(shared_id, loc);
+
+    for (NodeId n : group) m.remap_node(n, {shared_id});
+    for (ResourceId r : old_resources) {
+        if (m.resources().contains(r) && m.nodes_on_resource(r).empty()) m.erase_resource(r);
+    }
+    ++result.groups_merged;
+}
+
+void optimize_region(ArchitectureModel& m, const std::vector<NodeId>& region,
+                     const std::string& tag, MappingOptimizeResult& result) {
+    std::vector<NodeId> functional;
+    std::vector<NodeId> communication;
+    for (NodeId n : region) {
+        switch (m.app().node(n).kind) {
+            case NodeKind::Functional: functional.push_back(n); break;
+            case NodeKind::Communication: communication.push_back(n); break;
+            default: break;  // sensors/actuators/splitters/mergers keep dedicated hw
+        }
+    }
+    share_group(m, functional, NodeKind::Functional, "shared_ecu_" + tag, result);
+    share_group(m, communication, NodeKind::Communication, "shared_bus_" + tag, result);
+}
+
+}  // namespace
+
+MappingOptimizeResult optimize_mapping(ArchitectureModel& m,
+                                       const MappingOptimizeOptions& options) {
+    MappingOptimizeResult result;
+    result.resources_before = m.resources().node_count();
+
+    std::unordered_set<NodeId> in_branch;
+    for (const RedundantBlock& block : find_redundant_blocks(m)) {
+        if (!block.well_formed) continue;
+        const std::string merger_name = m.app().node(block.merger).name;
+        for (std::size_t i = 0; i < block.branches.size(); ++i) {
+            optimize_region(m, block.branches[i].nodes,
+                            merger_name + "_b" + std::to_string(i + 1), result);
+            for (NodeId n : block.branches[i].nodes) in_branch.insert(n);
+        }
+    }
+
+    if (options.include_non_branch_nodes) {
+        std::vector<NodeId> rest;
+        for (NodeId n : m.app().node_ids()) {
+            if (!in_branch.contains(n)) rest.push_back(n);
+        }
+        optimize_region(m, rest, "trunk", result);
+    }
+
+    result.resources_after = m.resources().node_count();
+    return result;
+}
+
+}  // namespace asilkit::explore

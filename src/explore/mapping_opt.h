@@ -1,0 +1,38 @@
+// Mapping optimisation (paper Section VII-B, Fig. 9).
+//
+// After Expand()/Connect()/Reduce(), every application node still owns a
+// dedicated resource — the paper's deliberately pessimistic starting
+// point.  Sharing one resource among the nodes of a redundant branch
+// (one ECU running the whole branch, one bus carrying its messages)
+// removes base events from the fault tree and hardware from the bill of
+// materials, lowering both the failure probability and the cost (the
+// paper's point C -> D step).  Sharing is only performed *within* a
+// branch: cross-branch sharing would create exactly the Common Cause
+// Faults the CCF analysis rejects.
+#pragma once
+
+#include <cstddef>
+
+#include "model/architecture.h"
+
+namespace asilkit::explore {
+
+struct MappingOptimizeOptions {
+    /// Also consolidate the functional/communication nodes that are not
+    /// part of any redundant branch onto shared hardware.
+    bool include_non_branch_nodes = false;
+};
+
+struct MappingOptimizeResult {
+    std::size_t resources_before = 0;
+    std::size_t resources_after = 0;
+    std::size_t groups_merged = 0;  ///< shared resources created
+};
+
+/// Greedy in-branch resource sharing.  The shared resource's ASIL
+/// readiness is the maximum level required by any node in the group, so
+/// no node's effective ASIL (Eq. 3) degrades.
+MappingOptimizeResult optimize_mapping(ArchitectureModel& m,
+                                       const MappingOptimizeOptions& options = {});
+
+}  // namespace asilkit::explore

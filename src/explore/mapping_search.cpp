@@ -1,0 +1,131 @@
+#include "explore/mapping_search.h"
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cost/cost_analysis.h"
+#include "model/blocks.h"
+
+namespace asilkit::explore {
+namespace {
+
+/// Region id per node: (merger id, branch index) for branch nodes, a
+/// distinct trunk region otherwise.  Resources may only be merged when
+/// all their nodes live in one common region.
+using RegionId = std::uint64_t;
+constexpr RegionId kTrunk = ~RegionId{0};
+
+std::unordered_map<NodeId, RegionId> region_of_nodes(const ArchitectureModel& m) {
+    std::unordered_map<NodeId, RegionId> region;
+    for (NodeId n : m.app().node_ids()) region[n] = kTrunk;
+    for (const RedundantBlock& block : find_redundant_blocks(m)) {
+        if (!block.well_formed) continue;
+        for (std::size_t b = 0; b < block.branches.size(); ++b) {
+            const RegionId id = (static_cast<RegionId>(block.merger.value()) << 16) | b;
+            for (NodeId n : block.branches[b].nodes) region[n] = id;
+        }
+    }
+    return region;
+}
+
+/// The single region of a resource's nodes, or nullopt when mixed/empty.
+std::optional<RegionId> resource_region(const ArchitectureModel& m, ResourceId r,
+                                        const std::unordered_map<NodeId, RegionId>& region) {
+    const auto nodes = m.nodes_on_resource(r);
+    if (nodes.empty()) return std::nullopt;
+    const RegionId first = region.at(nodes.front());
+    for (NodeId n : nodes) {
+        if (region.at(n) != first) return std::nullopt;
+    }
+    return first;
+}
+
+struct Objective {
+    double probability;
+    double cost;
+    friend bool operator<(const Objective& a, const Objective& b) {
+        if (a.probability != b.probability) return a.probability < b.probability;
+        return a.cost < b.cost;
+    }
+};
+
+Objective evaluate(const ArchitectureModel& m, const MappingSearchOptions& options) {
+    return {analysis::analyze_failure_probability(m, options.probability).failure_probability,
+            cost::total_cost(m, options.metric)};
+}
+
+/// Merges `from` into `into`: remaps nodes, raises the readiness level if
+/// needed, and erases `from`.
+void apply_merge(ArchitectureModel& m, ResourceId into, ResourceId from) {
+    const Asil needed = asil_max(m.resources().node(into).asil, m.resources().node(from).asil);
+    m.resources().node(into).asil = needed;
+    for (NodeId n : m.nodes_on_resource(from)) {
+        m.map_node(n, into);
+        m.unmap_node(n, from);
+    }
+    m.erase_resource(from);
+}
+
+}  // namespace
+
+MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOptions& options) {
+    MappingSearchResult result;
+    {
+        const Objective initial = evaluate(m, options);
+        result.probability_before = initial.probability;
+        result.cost_before = initial.cost;
+    }
+
+    for (; result.iterations < options.max_iterations; ++result.iterations) {
+        const auto region = region_of_nodes(m);
+
+        // Candidate buckets: (kind, region) -> mergeable resources.
+        std::map<std::pair<int, RegionId>, std::vector<ResourceId>> buckets;
+        for (ResourceId r : m.used_resources()) {
+            const Resource& res = m.resources().node(r);
+            if (res.kind == ResourceKind::Splitter || res.kind == ResourceKind::Merger ||
+                res.kind == ResourceKind::Sensor || res.kind == ResourceKind::Actuator) {
+                continue;  // physical devices & redundancy management stay dedicated
+            }
+            if (const auto reg = resource_region(m, r, region)) {
+                if (!options.include_non_branch_nodes && *reg == kTrunk) continue;
+                buckets[{static_cast<int>(res.kind), *reg}].push_back(r);
+            }
+        }
+
+        const Objective current = evaluate(m, options);
+        Objective best = current;
+        std::optional<std::pair<ResourceId, ResourceId>> best_move;
+        for (const auto& [key, resources] : buckets) {
+            for (std::size_t i = 0; i < resources.size(); ++i) {
+                for (std::size_t j = i + 1; j < resources.size(); ++j) {
+                    const std::size_t combined = m.nodes_on_resource(resources[i]).size() +
+                                                 m.nodes_on_resource(resources[j]).size();
+                    if (combined > options.max_nodes_per_resource) continue;
+                    ArchitectureModel trial = m;
+                    apply_merge(trial, resources[i], resources[j]);
+                    const Objective candidate = evaluate(trial, options);
+                    if (candidate < best) {
+                        best = candidate;
+                        best_move = {resources[i], resources[j]};
+                    }
+                }
+            }
+        }
+        if (!best_move) {
+            result.reached_local_optimum = true;
+            break;
+        }
+        apply_merge(m, best_move->first, best_move->second);
+        ++result.merges;
+    }
+
+    const Objective final_objective = evaluate(m, options);
+    result.probability_after = final_objective.probability;
+    result.cost_after = final_objective.cost;
+    return result;
+}
+
+}  // namespace asilkit::explore

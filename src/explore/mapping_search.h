@@ -1,0 +1,49 @@
+// Mapping search (paper Section VII-B closing remark: "Advanced mapping
+// algorithms can be used to identify the minimum set of necessary
+// resources to achieve the minimum failure probability for the system,
+// but we defer these techniques to future work").
+//
+// A steepest-descent local search over resource-merge moves: two
+// resources of the same kind hosting nodes of the same *region* (the same
+// redundant branch, or both outside any branch) may be merged when the
+// combined utilisation stays within capacity.  Every candidate move is
+// evaluated on the real objective — exact BDD failure probability first,
+// architecture cost second — and the best improving move is applied until
+// a local optimum is reached.  Cross-branch merges are never candidates:
+// they would introduce the Common Cause Faults the CCF analysis rejects.
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/probability.h"
+#include "cost/cost_metric.h"
+#include "model/architecture.h"
+
+namespace asilkit::explore {
+
+struct MappingSearchOptions {
+    /// Capacity limit: a shared resource may host at most this many
+    /// application nodes (models ECU utilisation / bus load headroom).
+    std::size_t max_nodes_per_resource = 4;
+    cost::CostMetric metric = cost::CostMetric::exponential_metric1();
+    analysis::ProbabilityOptions probability{};
+    std::size_t max_iterations = 200;
+    /// Also consider merging resources of trunk (non-branch) nodes.
+    bool include_non_branch_nodes = true;
+};
+
+struct MappingSearchResult {
+    std::size_t merges = 0;
+    std::size_t iterations = 0;
+    double probability_before = 0.0;
+    double probability_after = 0.0;
+    double cost_before = 0.0;
+    double cost_after = 0.0;
+    bool reached_local_optimum = false;
+};
+
+/// Runs the search in place; the model's mapping (and resource set) is
+/// modified, the application graph is not.
+MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOptions& options = {});
+
+}  // namespace asilkit::explore

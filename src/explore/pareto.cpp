@@ -1,0 +1,34 @@
+#include "explore/pareto.h"
+
+#include <algorithm>
+
+namespace asilkit::explore {
+
+bool dominates(const TradeoffPoint& a, const TradeoffPoint& b) noexcept {
+    const bool no_worse = a.cost <= b.cost && a.failure_probability <= b.failure_probability;
+    const bool better = a.cost < b.cost || a.failure_probability < b.failure_probability;
+    return no_worse && better;
+}
+
+std::vector<TradeoffPoint> pareto_front(const std::vector<TradeoffPoint>& points) {
+    std::vector<TradeoffPoint> front;
+    for (const TradeoffPoint& candidate : points) {
+        const bool dominated = std::any_of(points.begin(), points.end(), [&](const TradeoffPoint& other) {
+            return dominates(other, candidate);
+        });
+        if (!dominated) front.push_back(candidate);
+    }
+    std::sort(front.begin(), front.end(), [](const TradeoffPoint& a, const TradeoffPoint& b) {
+        if (a.cost != b.cost) return a.cost < b.cost;
+        return a.failure_probability < b.failure_probability;
+    });
+    front.erase(std::unique(front.begin(), front.end(),
+                            [](const TradeoffPoint& a, const TradeoffPoint& b) {
+                                return a.cost == b.cost &&
+                                       a.failure_probability == b.failure_probability;
+                            }),
+                front.end());
+    return front;
+}
+
+}  // namespace asilkit::explore

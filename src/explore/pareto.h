@@ -1,0 +1,19 @@
+// Pareto-front extraction over trade-off points (lower cost AND lower
+// failure probability are both better).  Used to compare curve families
+// (Fig. 1: which decomposition/metric combinations dominate).
+#pragma once
+
+#include <vector>
+
+#include "explore/tradeoff.h"
+
+namespace asilkit::explore {
+
+/// True iff `a` dominates `b` (no worse in both objectives, strictly
+/// better in at least one).
+[[nodiscard]] bool dominates(const TradeoffPoint& a, const TradeoffPoint& b) noexcept;
+
+/// The non-dominated subset, sorted by ascending cost.
+[[nodiscard]] std::vector<TradeoffPoint> pareto_front(const std::vector<TradeoffPoint>& points);
+
+}  // namespace asilkit::explore

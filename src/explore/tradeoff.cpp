@@ -1,0 +1,32 @@
+#include "explore/tradeoff.h"
+
+#include <ostream>
+
+#include "cost/cost_analysis.h"
+
+namespace asilkit::explore {
+
+std::ostream& operator<<(std::ostream& os, const TradeoffPoint& p) {
+    return os << p.label << ": cost=" << p.cost << ", P(fail)=" << p.failure_probability
+              << ", app_nodes=" << p.app_nodes << ", resources=" << p.resources
+              << ", ft_nodes=" << p.ft_dag_nodes << ", ft_paths=" << p.ft_paths
+              << ", bdd_nodes=" << p.bdd_nodes;
+}
+
+TradeoffPoint measure_point(const ArchitectureModel& m, std::string label,
+                            const cost::CostMetric& metric,
+                            const analysis::ProbabilityOptions& prob_options) {
+    TradeoffPoint point;
+    point.label = std::move(label);
+    point.cost = cost::total_cost(m, metric);
+    const analysis::ProbabilityResult prob = analysis::analyze_failure_probability(m, prob_options);
+    point.failure_probability = prob.failure_probability;
+    point.app_nodes = m.app().node_count();
+    point.resources = m.resources().node_count();
+    point.ft_dag_nodes = prob.ft_stats.dag_nodes;
+    point.ft_paths = prob.ft_stats.paths;
+    point.bdd_nodes = prob.bdd_nodes;
+    return point;
+}
+
+}  // namespace asilkit::explore

@@ -1,0 +1,237 @@
+#include "ftree/builder.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "model/blocks.h"
+
+namespace asilkit::ftree {
+namespace {
+
+/// Collects the base-event names an application node would contribute
+/// (used for the branch-independence check before approximating a block).
+void collect_event_names(const ArchitectureModel& m, NodeId n, bool with_locations,
+                         std::unordered_set<std::string>& out) {
+    for (ResourceId r : m.mapped_resources(n)) {
+        out.insert(std::string(kResourceEventPrefix) + m.resources().node(r).name);
+        if (with_locations) {
+            for (LocationId p : m.resource_locations(r)) {
+                out.insert(std::string(kLocationEventPrefix) + m.physical().node(p).name);
+            }
+        }
+    }
+}
+
+class Builder {
+public:
+    Builder(const ArchitectureModel& m, const FtBuildOptions& options)
+        : m_(m), options_(options) {}
+
+    FtBuildResult run() {
+        std::vector<NodeId> actuators;
+        std::vector<NodeId> qm_actuators;
+        for (NodeId n : m_.app().node_ids()) {
+            if (m_.app().node(n).kind != NodeKind::Actuator) continue;
+            if (m_.app().node(n).asil.level == Asil::QM && !options_.include_qm_actuators) {
+                qm_actuators.push_back(n);
+            } else {
+                actuators.push_back(n);
+            }
+        }
+        if (actuators.empty()) actuators = std::move(qm_actuators);
+        if (actuators.empty()) {
+            throw AnalysisError("fault-tree generation requires at least one actuator node");
+        }
+        if (options_.approximate) index_blocks();
+
+        std::vector<FtRef> tops;
+        for (NodeId a : actuators) {
+            if (auto g = gate_for(a)) tops.push_back(*g);
+        }
+        if (tops.size() == 1) {
+            result_.tree.set_top(tops.front());
+        } else {
+            result_.tree.set_top(result_.tree.add_gate("system_failure", GateKind::Or, tops));
+        }
+        return std::move(result_);
+    }
+
+private:
+    /// Caches the block headed by each merger and whether it may be
+    /// approximated (well-formed + branch base-event independence).
+    void index_blocks() {
+        for (RedundantBlock& block : find_redundant_blocks(m_)) {
+            bool collapsible = block.well_formed;
+            if (collapsible) {
+                // Branch independence: pairwise disjoint base-event sets.
+                std::vector<std::unordered_set<std::string>> branch_events;
+                for (const Branch& b : block.branches) {
+                    std::unordered_set<std::string> events;
+                    for (NodeId n : b.nodes) {
+                        collect_event_names(m_, n, options_.include_location_events, events);
+                    }
+                    branch_events.push_back(std::move(events));
+                }
+                for (std::size_t i = 0; collapsible && i < branch_events.size(); ++i) {
+                    for (std::size_t j = i + 1; collapsible && j < branch_events.size(); ++j) {
+                        for (const std::string& e : branch_events[i]) {
+                            if (branch_events[j].contains(e)) {
+                                result_.warnings.push_back(
+                                    "approximation disabled for block at merger '" +
+                                    m_.app().node(block.merger).name +
+                                    "': branches share base event '" + e +
+                                    "' (potential common cause fault)");
+                                collapsible = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                for (const Branch& b : block.branches) {
+                    if (b.feeding_splitters.empty()) collapsible = false;
+                }
+            }
+            const NodeId merger = block.merger;
+            blocks_.emplace(merger, std::pair{std::move(block), collapsible});
+        }
+    }
+
+    /// Adds the intrinsic base events of `n` to `children`.
+    void add_intrinsic_events(NodeId n, std::vector<FtRef>& children) {
+        const auto& resources = m_.mapped_resources(n);
+        if (resources.empty()) {
+            result_.warnings.push_back("node '" + m_.app().node(n).name +
+                                       "' has no mapped resource; it contributes no base event");
+        }
+        for (ResourceId r : resources) {
+            const Resource& res = m_.resources().node(r);
+            children.push_back(result_.tree.add_basic_event(
+                std::string(kResourceEventPrefix) + res.name, options_.rates.resource_rate(res)));
+            if (options_.include_location_events) {
+                for (LocationId p : m_.resource_locations(r)) {
+                    const Location& loc = m_.physical().node(p);
+                    children.push_back(result_.tree.add_basic_event(
+                        std::string(kLocationEventPrefix) + loc.name,
+                        options_.rates.location_rate(loc)));
+                }
+            }
+        }
+        // A resource mapped twice (e.g. a node on two shared ECUs in one
+        // location) must not OR the same event twice; dedup keeps gate
+        // child lists canonical.
+        std::sort(children.begin(), children.end(), [](FtRef a, FtRef b) {
+            return std::pair{a.kind, a.index} < std::pair{b.kind, b.index};
+        });
+        children.erase(std::unique(children.begin(), children.end()), children.end());
+    }
+
+    /// OR of a gate set, hash-consed on the (sorted, deduplicated) child
+    /// set so that structurally identical inputs yield the same FtRef.
+    FtRef or_of(std::vector<FtRef> gates, const std::string& name) {
+        std::sort(gates.begin(), gates.end(), [](FtRef a, FtRef b) {
+            return std::pair{a.kind, a.index} < std::pair{b.kind, b.index};
+        });
+        gates.erase(std::unique(gates.begin(), gates.end()), gates.end());
+        if (gates.size() == 1) return gates.front();
+        std::vector<std::uint64_t> key;
+        key.reserve(gates.size());
+        for (FtRef g : gates) {
+            key.push_back((static_cast<std::uint64_t>(g.kind) << 32) | g.index);
+        }
+        if (auto it = or_cache_.find(key); it != or_cache_.end()) return it->second;
+        const FtRef gate = result_.tree.add_gate(name, GateKind::Or, std::move(gates));
+        or_cache_.emplace(std::move(key), gate);
+        return gate;
+    }
+
+    /// Failure gate of application node `n`; nullopt when `n` is on the
+    /// current traversal stack (cycle cut).
+    std::optional<FtRef> gate_for(NodeId n) {
+        if (auto it = memo_.find(n); it != memo_.end()) return it->second;
+        if (on_stack_.contains(n)) {
+            ++result_.cycles_cut;
+            return std::nullopt;
+        }
+        on_stack_.insert(n);
+        const AppNode& node = m_.app().node(n);
+
+        std::vector<FtRef> children;
+        add_intrinsic_events(n, children);
+
+        const bool is_merger = node.kind == NodeKind::Merger;
+        if (is_merger) {
+            if (auto child = merger_input_gate(n)) children.push_back(*child);
+        } else {
+            for (NodeId p : m_.app().predecessors(n)) {
+                if (auto g = gate_for(p)) children.push_back(*g);
+            }
+        }
+
+        const FtRef gate = result_.tree.add_gate(std::string(kNodeGatePrefix) + node.name,
+                                                 GateKind::Or, std::move(children));
+        on_stack_.erase(n);
+        memo_.emplace(n, gate);
+        return gate;
+    }
+
+    /// The AND gate over a merger's redundant inputs — collapsed to the
+    /// feeding splitters when the Section V approximation applies.
+    std::optional<FtRef> merger_input_gate(NodeId merger) {
+        const AppNode& node = m_.app().node(merger);
+        if (options_.approximate) {
+            if (auto it = blocks_.find(merger); it != blocks_.end() && it->second.second) {
+                const RedundantBlock& block = it->second.first;
+                // One input per branch: the (OR of the) splitter gates that
+                // feed it.  Branches fed by the same splitters collapse to
+                // the SAME gate, and AND(g, g) == g, so the AND is dropped
+                // when every branch reduces to one shared input — this is
+                // what halves the path count per decomposition (Sec. V).
+                std::vector<FtRef> branch_inputs;
+                for (const Branch& b : block.branches) {
+                    std::vector<FtRef> splitter_gates;
+                    for (NodeId s : b.feeding_splitters) {
+                        if (auto g = gate_for(s)) splitter_gates.push_back(*g);
+                    }
+                    if (splitter_gates.empty()) continue;
+                    branch_inputs.push_back(or_of(splitter_gates, "approx_in:" + node.name));
+                }
+                std::sort(branch_inputs.begin(), branch_inputs.end(), [](FtRef a, FtRef b) {
+                    return std::pair{a.kind, a.index} < std::pair{b.kind, b.index};
+                });
+                branch_inputs.erase(std::unique(branch_inputs.begin(), branch_inputs.end()),
+                                    branch_inputs.end());
+                ++result_.approximated_blocks;
+                if (branch_inputs.empty()) return std::nullopt;
+                if (branch_inputs.size() == 1) return branch_inputs.front();
+                return result_.tree.add_gate("and:" + node.name, GateKind::And,
+                                             std::move(branch_inputs));
+            }
+        }
+        std::vector<FtRef> inputs;
+        for (NodeId p : m_.app().predecessors(merger)) {
+            if (auto g = gate_for(p)) inputs.push_back(*g);
+        }
+        if (inputs.empty()) return std::nullopt;
+        return result_.tree.add_gate("and:" + node.name, GateKind::And, std::move(inputs));
+    }
+
+    const ArchitectureModel& m_;
+    const FtBuildOptions& options_;
+    FtBuildResult result_;
+    std::unordered_map<NodeId, FtRef> memo_;
+    std::unordered_set<NodeId> on_stack_;
+    std::unordered_map<NodeId, std::pair<RedundantBlock, bool>> blocks_;
+    std::map<std::vector<std::uint64_t>, FtRef> or_cache_;
+};
+
+}  // namespace
+
+FtBuildResult build_fault_tree(const ArchitectureModel& m, const FtBuildOptions& options) {
+    return Builder(m, options).run();
+}
+
+}  // namespace asilkit::ftree

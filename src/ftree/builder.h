@@ -1,0 +1,71 @@
+// Automatic fault-tree generation from the architecture model (Section V).
+//
+// The application graph is explored from the actuators backwards to the
+// sensors.  Each application node contributes an OR gate combining
+//   * its intrinsic base events — one per mapped resource, one per
+//     physical location hosting those resources — and
+//   * the failure gates of its input nodes,
+// with one exception: a MERGER combines its inputs through an AND gate,
+// because the merger can pick whichever redundant input is still correct,
+// so the redundant inputs must all fail for the merger's output to fail.
+//
+// Cycles (the application graph is a DCG) are cut: a back edge found
+// during the traversal is simply not followed, matching the paper
+// ("cyclic dependencies are not analyzed with the FTA").
+//
+// The Section V approximation removes the base events of the nodes that
+// form the redundant branches and wires each merger input directly to the
+// failure gates of the splitters feeding that branch.  It is applied only
+// where it is sound: the block must be well-formed and its branches must
+// not share base events (shared events are exactly the Common Cause
+// Faults that would also invalidate the decomposition); otherwise the
+// builder falls back to the exact expansion for that block and reports a
+// warning.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ftree/fault_tree.h"
+#include "model/architecture.h"
+#include "model/failure_rates.h"
+
+namespace asilkit::ftree {
+
+struct FtBuildOptions {
+    /// Apply the Section V path-collapsing approximation.
+    bool approximate = false;
+    /// Contribute a base event per physical location (1e-11/h by default).
+    bool include_location_events = true;
+    /// Include QM actuators in the top event.  Off by default: the top
+    /// event is the failure of the SAFETY function, and a QM actuator
+    /// (e.g. a driver display) is by definition not safety-relevant.
+    /// When the model has no actuator above QM, all actuators are used.
+    bool include_qm_actuators = false;
+    /// Failure-rate table (defaults to paper Table I).
+    FailureRates rates{};
+};
+
+struct FtBuildResult {
+    FaultTree tree;
+    /// Soundness diagnostics: CCF-driven approximation fallbacks, nodes
+    /// with no mapped resources, ...
+    std::vector<std::string> warnings;
+    std::size_t approximated_blocks = 0;  ///< blocks collapsed by the approximation
+    std::size_t cycles_cut = 0;           ///< back edges dropped during traversal
+};
+
+/// Prefix conventions for generated event/gate names; analyses and tests
+/// key off these.
+inline constexpr const char* kResourceEventPrefix = "res:";
+inline constexpr const char* kLocationEventPrefix = "loc:";
+inline constexpr const char* kNodeGatePrefix = "fail:";
+
+/// Generates the system fault tree.  The top event is the failure of the
+/// single actuator, or an OR over all actuators when there are several.
+/// Throws AnalysisError when the model has no actuator.
+[[nodiscard]] FtBuildResult build_fault_tree(const ArchitectureModel& m,
+                                             const FtBuildOptions& options = {});
+
+}  // namespace asilkit::ftree

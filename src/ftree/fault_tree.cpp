@@ -1,0 +1,165 @@
+#include "ftree/fault_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <ostream>
+#include <unordered_set>
+
+namespace asilkit::ftree {
+
+std::string_view to_string(GateKind k) noexcept {
+    return k == GateKind::Or ? "OR" : "AND";
+}
+
+std::ostream& operator<<(std::ostream& os, const FaultTreeStats& s) {
+    return os << "{basic_events=" << s.basic_events << ", gates=" << s.gates
+              << ", dag_nodes=" << s.dag_nodes << ", expanded_nodes=" << s.expanded_nodes
+              << ", paths=" << s.paths << ", depth=" << s.depth << "}";
+}
+
+FtRef FaultTree::add_basic_event(std::string name, double lambda) {
+    if (auto it = basic_by_name_.find(name); it != basic_by_name_.end()) {
+        const BasicEvent& existing = basics_[it->second];
+        if (existing.lambda != lambda) {
+            throw AnalysisError("basic event '" + name + "' re-added with lambda " +
+                                std::to_string(lambda) + " != " + std::to_string(existing.lambda));
+        }
+        return FtRef{FtRef::Kind::Basic, it->second};
+    }
+    const auto index = static_cast<std::uint32_t>(basics_.size());
+    basic_by_name_.emplace(name, index);
+    basics_.push_back(BasicEvent{std::move(name), lambda});
+    return FtRef{FtRef::Kind::Basic, index};
+}
+
+FtRef FaultTree::add_gate(std::string name, GateKind kind, std::vector<FtRef> children) {
+    const auto index = static_cast<std::uint32_t>(gates_.size());
+    gates_.push_back(Gate{std::move(name), kind, std::move(children)});
+    return FtRef{FtRef::Kind::Gate, index};
+}
+
+void FaultTree::add_child(FtRef gate_ref, FtRef child) {
+    if (gate_ref.kind != FtRef::Kind::Gate || gate_ref.index >= gates_.size()) {
+        throw AnalysisError("add_child: parent is not a valid gate");
+    }
+    gates_[gate_ref.index].children.push_back(child);
+}
+
+void FaultTree::set_top(FtRef top) {
+    top_ = top;
+    has_top_ = true;
+}
+
+FtRef FaultTree::top() const {
+    if (!has_top_) throw AnalysisError("fault tree has no top event");
+    return top_;
+}
+
+const BasicEvent& FaultTree::basic_event(std::uint32_t index) const {
+    if (index >= basics_.size()) throw AnalysisError("basic event index out of range");
+    return basics_[index];
+}
+
+const Gate& FaultTree::gate(std::uint32_t index) const {
+    if (index >= gates_.size()) throw AnalysisError("gate index out of range");
+    return gates_[index];
+}
+
+const BasicEvent& FaultTree::basic_event(FtRef r) const {
+    if (r.kind != FtRef::Kind::Basic) throw AnalysisError("FtRef is not a basic event");
+    return basic_event(r.index);
+}
+
+const Gate& FaultTree::gate(FtRef r) const {
+    if (r.kind != FtRef::Kind::Gate) throw AnalysisError("FtRef is not a gate");
+    return gate(r.index);
+}
+
+FtRef FaultTree::find_basic_event(std::string_view name) const {
+    if (auto it = basic_by_name_.find(std::string(name)); it != basic_by_name_.end()) {
+        return FtRef{FtRef::Kind::Basic, it->second};
+    }
+    throw AnalysisError("no basic event named '" + std::string(name) + "'");
+}
+
+bool FaultTree::has_basic_event(std::string_view name) const noexcept {
+    return basic_by_name_.contains(std::string(name));
+}
+
+FaultTreeStats FaultTree::stats() const {
+    FaultTreeStats s;
+    if (!has_top_) return s;
+    constexpr std::uint64_t kCap = std::uint64_t{1} << 62;
+    auto sat_add = [kCap](std::uint64_t a, std::uint64_t b) {
+        return a > kCap - std::min(b, kCap) ? kCap : a + b;
+    };
+
+    struct Memo {
+        std::uint64_t expanded = 0;
+        std::uint64_t paths = 0;
+        std::size_t depth = 0;
+    };
+    std::unordered_map<std::uint64_t, Memo> memo;  // key: kind<<32|index
+    std::unordered_set<std::uint64_t> dag_seen;
+    auto key = [](FtRef r) {
+        return (static_cast<std::uint64_t>(r.kind) << 32) | r.index;
+    };
+
+    std::function<Memo(FtRef)> visit = [&](FtRef r) -> Memo {
+        if (auto it = memo.find(key(r)); it != memo.end()) return it->second;
+        dag_seen.insert(key(r));
+        Memo m;
+        if (r.kind == FtRef::Kind::Basic) {
+            m = Memo{1, 1, 1};
+        } else {
+            m.expanded = 1;
+            m.paths = 0;
+            m.depth = 1;
+            for (FtRef c : gates_[r.index].children) {
+                const Memo cm = visit(c);
+                m.expanded = sat_add(m.expanded, cm.expanded);
+                m.paths = sat_add(m.paths, cm.paths);
+                m.depth = std::max(m.depth, cm.depth + 1);
+            }
+        }
+        memo[key(r)] = m;
+        return m;
+    };
+    const Memo top_memo = visit(top_);
+    for (std::uint64_t k : dag_seen) {
+        if ((k >> 32) == static_cast<std::uint64_t>(FtRef::Kind::Basic)) {
+            ++s.basic_events;
+        } else {
+            ++s.gates;
+        }
+    }
+    s.dag_nodes = s.basic_events + s.gates;
+    s.expanded_nodes = top_memo.expanded;
+    s.paths = top_memo.paths;
+    s.depth = top_memo.depth;
+    return s;
+}
+
+std::vector<std::uint32_t> FaultTree::reachable_basic_events(FtRef root) const {
+    std::vector<std::uint32_t> out;
+    std::unordered_set<std::uint64_t> seen;
+    auto key = [](FtRef r) {
+        return (static_cast<std::uint64_t>(r.kind) << 32) | r.index;
+    };
+    std::vector<FtRef> stack{root};
+    while (!stack.empty()) {
+        const FtRef r = stack.back();
+        stack.pop_back();
+        if (!seen.insert(key(r)).second) continue;
+        if (r.kind == FtRef::Kind::Basic) {
+            out.push_back(r.index);
+        } else {
+            for (FtRef c : gate(r.index).children) stack.push_back(c);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace asilkit::ftree

@@ -1,0 +1,105 @@
+// Fault-tree data structure (paper Section V).
+//
+// A fault tree here is a rooted DAG: interior nodes are AND/OR gates,
+// leaves are basic events with a failure rate lambda (failures/hour).
+// DAG — not tree — because a resource shared by several application nodes
+// contributes ONE basic event referenced from several gates; that sharing
+// is precisely what the Common-Cause-Fault analysis looks for and what
+// makes the Fig. 9 mapping experiment behave.
+//
+// Nodes are index-addressed within the owning FaultTree; FtRef is a typed
+// (kind, index) handle.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/error.h"
+
+namespace asilkit::ftree {
+
+enum class GateKind : std::uint8_t { Or, And };
+
+[[nodiscard]] std::string_view to_string(GateKind k) noexcept;
+
+/// Reference to a node inside a FaultTree.
+struct FtRef {
+    enum class Kind : std::uint8_t { Basic, Gate } kind = Kind::Basic;
+    std::uint32_t index = 0;
+
+    friend bool operator==(const FtRef&, const FtRef&) = default;
+};
+
+struct BasicEvent {
+    std::string name;
+    double lambda = 0.0;  ///< failures/hour
+};
+
+struct Gate {
+    std::string name;
+    GateKind kind = GateKind::Or;
+    std::vector<FtRef> children;
+};
+
+/// Statistics of a fault tree; `dag_nodes` counts each shared node once,
+/// `expanded_nodes` and `paths` treat the structure as a tree (the
+/// quantities the paper reports: the Fig. 3 example goes from 87 to 51
+/// nodes under the approximation, and the number of root-to-leaf paths
+/// doubles per ASIL decomposition without it).
+struct FaultTreeStats {
+    std::size_t basic_events = 0;
+    std::size_t gates = 0;
+    std::size_t dag_nodes = 0;
+    std::uint64_t expanded_nodes = 0;  ///< saturates at 2^62
+    std::uint64_t paths = 0;           ///< saturates at 2^62
+    std::size_t depth = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const FaultTreeStats& s);
+
+class FaultTree {
+public:
+    /// Adds (or finds) a basic event by name.  Re-adding an existing name
+    /// with a different lambda is an error: one physical cause, one rate.
+    FtRef add_basic_event(std::string name, double lambda);
+
+    /// Adds a gate.  Children may be added later via add_child.
+    FtRef add_gate(std::string name, GateKind kind, std::vector<FtRef> children = {});
+
+    void add_child(FtRef gate, FtRef child);
+
+    void set_top(FtRef top);
+    [[nodiscard]] FtRef top() const;
+    [[nodiscard]] bool has_top() const noexcept { return has_top_; }
+
+    [[nodiscard]] const BasicEvent& basic_event(std::uint32_t index) const;
+    [[nodiscard]] const Gate& gate(std::uint32_t index) const;
+    [[nodiscard]] const BasicEvent& basic_event(FtRef r) const;
+    [[nodiscard]] const Gate& gate(FtRef r) const;
+
+    [[nodiscard]] std::span<const BasicEvent> basic_events() const noexcept { return basics_; }
+    [[nodiscard]] std::span<const Gate> gates() const noexcept { return gates_; }
+
+    /// Finds a basic event by name; returns {Basic, index} or throws.
+    [[nodiscard]] FtRef find_basic_event(std::string_view name) const;
+    [[nodiscard]] bool has_basic_event(std::string_view name) const noexcept;
+
+    /// Statistics over the subtree reachable from top().
+    [[nodiscard]] FaultTreeStats stats() const;
+
+    /// The basic events reachable from `root` (deduplicated, by index).
+    [[nodiscard]] std::vector<std::uint32_t> reachable_basic_events(FtRef root) const;
+
+private:
+    std::vector<BasicEvent> basics_;
+    std::vector<Gate> gates_;
+    std::unordered_map<std::string, std::uint32_t> basic_by_name_;
+    FtRef top_{};
+    bool has_top_ = false;
+};
+
+}  // namespace asilkit::ftree

@@ -1,0 +1,137 @@
+// Graph algorithms used by the model, transformations and fault-tree
+// builder: cycle detection (application graphs are DCGs), topological
+// order over the acyclic part, reachability, and simple-path counting
+// (the quantity whose exponential growth motivates the Section V
+// approximation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace asilkit::graph {
+
+/// DFS colouring used by the traversals below.
+enum class DfsColor : std::uint8_t { White, Grey, Black };
+
+/// True iff the graph contains a directed cycle.
+template <typename G>
+[[nodiscard]] bool has_cycle(const G& g) {
+    std::vector<DfsColor> color(g.node_capacity(), DfsColor::White);
+    // Iterative DFS with an explicit stack of (node, next-successor-index).
+    for (auto root : g.node_ids()) {
+        if (color[root.value()] != DfsColor::White) continue;
+        std::vector<std::pair<typename G::node_id, std::size_t>> stack;
+        stack.emplace_back(root, 0);
+        color[root.value()] = DfsColor::Grey;
+        while (!stack.empty()) {
+            auto& [n, i] = stack.back();
+            const auto& outs = g.out_edges(n);
+            if (i < outs.size()) {
+                auto next = g.edge(outs[i]).sink;
+                ++i;
+                if (color[next.value()] == DfsColor::Grey) return true;
+                if (color[next.value()] == DfsColor::White) {
+                    color[next.value()] = DfsColor::Grey;
+                    stack.emplace_back(next, 0);
+                }
+            } else {
+                color[n.value()] = DfsColor::Black;
+                stack.pop_back();
+            }
+        }
+    }
+    return false;
+}
+
+/// Topological order of an acyclic graph; throws ModelError on cycles.
+template <typename G>
+[[nodiscard]] std::vector<typename G::node_id> topological_order(const G& g) {
+    std::unordered_map<typename G::node_id, std::size_t> indegree;
+    for (auto n : g.node_ids()) indegree[n] = g.in_degree(n);
+    std::vector<typename G::node_id> ready;
+    for (auto& [n, d] : indegree) {
+        if (d == 0) ready.push_back(n);
+    }
+    // Deterministic order regardless of hash iteration.
+    std::sort(ready.begin(), ready.end());
+    std::vector<typename G::node_id> order;
+    order.reserve(indegree.size());
+    while (!ready.empty()) {
+        auto n = ready.back();
+        ready.pop_back();
+        order.push_back(n);
+        for (auto s : g.successors(n)) {
+            if (--indegree[s] == 0) ready.push_back(s);
+        }
+    }
+    if (order.size() != g.node_count()) {
+        throw ModelError("topological_order: graph contains a cycle");
+    }
+    return order;
+}
+
+/// All nodes reachable from `start` following edge direction (inclusive).
+template <typename G>
+[[nodiscard]] std::unordered_set<typename G::node_id> reachable_from(
+    const G& g, typename G::node_id start) {
+    std::unordered_set<typename G::node_id> seen{start};
+    std::vector<typename G::node_id> stack{start};
+    while (!stack.empty()) {
+        auto n = stack.back();
+        stack.pop_back();
+        for (auto s : g.successors(n)) {
+            if (seen.insert(s).second) stack.push_back(s);
+        }
+    }
+    return seen;
+}
+
+/// All nodes that reach `target` following edge direction (inclusive).
+template <typename G>
+[[nodiscard]] std::unordered_set<typename G::node_id> reaching(
+    const G& g, typename G::node_id target) {
+    std::unordered_set<typename G::node_id> seen{target};
+    std::vector<typename G::node_id> stack{target};
+    while (!stack.empty()) {
+        auto n = stack.back();
+        stack.pop_back();
+        for (auto p : g.predecessors(n)) {
+            if (seen.insert(p).second) stack.push_back(p);
+        }
+    }
+    return seen;
+}
+
+/// Number of distinct simple source->sink paths in an *acyclic* graph,
+/// saturating at 2^62 to avoid overflow on pathological inputs.  On cyclic
+/// graphs back edges are ignored (the fault-tree builder cuts cycles the
+/// same way).
+template <typename G>
+[[nodiscard]] std::uint64_t count_paths(const G& g, typename G::node_id source,
+                                        typename G::node_id sink) {
+    constexpr std::uint64_t kCap = std::uint64_t{1} << 62;
+    std::unordered_map<typename G::node_id, std::uint64_t> memo;
+    std::unordered_set<typename G::node_id> on_stack;
+    std::function<std::uint64_t(typename G::node_id)> visit =
+        [&](typename G::node_id n) -> std::uint64_t {
+        if (n == sink) return 1;
+        if (auto it = memo.find(n); it != memo.end()) return it->second;
+        if (!on_stack.insert(n).second) return 0;  // back edge: cut
+        std::uint64_t total = 0;
+        for (auto s : g.successors(n)) {
+            const std::uint64_t sub = visit(s);
+            total = (total > kCap - sub) ? kCap : total + sub;
+        }
+        on_stack.erase(n);
+        memo[n] = total;
+        return total;
+    };
+    return visit(source);
+}
+
+}  // namespace asilkit::graph

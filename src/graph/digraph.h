@@ -1,0 +1,255 @@
+// A small, self-contained directed-graph container.
+//
+// All three layers of the architecture model are instances of this
+// template.  Design constraints that drove it:
+//   * stable strongly-typed ids: transformations hold on to node ids across
+//     insertions and unrelated erasures;
+//   * payloads by value: node/edge data are plain structs;
+//   * cheap predecessor *and* successor iteration: the fault-tree builder
+//     walks the application graph backwards (actuators to sensors), the
+//     transformations walk it forwards;
+//   * erasure keeps the container compact enough for linear scans, so
+//     storage is a slot map (free-listed vector) with O(1) insert/erase.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/ids.h"
+
+namespace asilkit::graph {
+
+/// Directed multigraph with value-type payloads and stable ids.
+///
+/// NodeIdT / EdgeIdT are StrongId instantiations; their 32-bit value is an
+/// index into the slot vectors.  Erased slots are recycled; ids are *not*
+/// generation-checked, so holding an id across an erase of that same
+/// element is a precondition violation (checked: contains() and the
+/// throwing accessors catch stale ids that point at freed slots).
+template <typename NodeData, typename EdgeData, typename NodeIdT, typename EdgeIdT>
+class Digraph {
+public:
+    using node_id = NodeIdT;
+    using edge_id = EdgeIdT;
+    using node_data = NodeData;
+    using edge_data = EdgeData;
+
+    struct Edge {
+        node_id source;
+        node_id sink;
+        EdgeData data;
+    };
+
+    // ---- nodes ----------------------------------------------------------
+
+    node_id add_node(NodeData data) {
+        const auto idx = allocate_slot(node_live_, node_free_);
+        if (idx == nodes_.size()) {
+            nodes_.push_back(std::move(data));
+            out_edges_.emplace_back();
+            in_edges_.emplace_back();
+        } else {
+            nodes_[idx] = std::move(data);
+            out_edges_[idx].clear();
+            in_edges_[idx].clear();
+        }
+        return node_id{static_cast<typename node_id::value_type>(idx)};
+    }
+
+    [[nodiscard]] bool contains(node_id n) const noexcept {
+        return n.valid() && n.value() < nodes_.size() && node_live_[n.value()];
+    }
+
+    /// Throws ModelError unless `n` is a live node; for callers that want
+    /// the precondition check without reading the payload.
+    void require(node_id n) const { check_node(n); }
+    void require(edge_id e) const { check_edge(e); }
+
+    [[nodiscard]] const NodeData& node(node_id n) const {
+        check_node(n);
+        return nodes_[n.value()];
+    }
+
+    [[nodiscard]] NodeData& node(node_id n) {
+        check_node(n);
+        return nodes_[n.value()];
+    }
+
+    /// Removes a node and every incident edge.
+    void erase_node(node_id n) {
+        check_node(n);
+        // Copy: erase_edge mutates the adjacency lists we are iterating.
+        auto outs = out_edges_[n.value()];
+        for (edge_id e : outs) erase_edge(e);
+        auto ins = in_edges_[n.value()];
+        for (edge_id e : ins) erase_edge(e);
+        node_live_[n.value()] = false;
+        node_free_.push_back(n.value());
+    }
+
+    [[nodiscard]] std::size_t node_count() const noexcept {
+        return nodes_.size() - node_free_.size();
+    }
+
+    /// Live node ids in ascending id order.
+    [[nodiscard]] std::vector<node_id> node_ids() const {
+        std::vector<node_id> out;
+        out.reserve(node_count());
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            if (node_live_[i]) out.push_back(node_id{static_cast<typename node_id::value_type>(i)});
+        }
+        return out;
+    }
+
+    // ---- edges ----------------------------------------------------------
+
+    edge_id add_edge(node_id source, node_id sink, EdgeData data = {}) {
+        check_node(source);
+        check_node(sink);
+        const auto idx = allocate_slot(edge_live_, edge_free_);
+        Edge e{source, sink, std::move(data)};
+        if (idx == edges_.size()) {
+            edges_.push_back(std::move(e));
+        } else {
+            edges_[idx] = std::move(e);
+        }
+        const edge_id id{static_cast<typename edge_id::value_type>(idx)};
+        out_edges_[source.value()].push_back(id);
+        in_edges_[sink.value()].push_back(id);
+        return id;
+    }
+
+    [[nodiscard]] bool contains(edge_id e) const noexcept {
+        return e.valid() && e.value() < edges_.size() && edge_live_[e.value()];
+    }
+
+    [[nodiscard]] const Edge& edge(edge_id e) const {
+        check_edge(e);
+        return edges_[e.value()];
+    }
+
+    [[nodiscard]] EdgeData& edge_data_ref(edge_id e) {
+        check_edge(e);
+        return edges_[e.value()].data;
+    }
+
+    void erase_edge(edge_id e) {
+        check_edge(e);
+        const Edge& ed = edges_[e.value()];
+        auto& outs = out_edges_[ed.source.value()];
+        outs.erase(std::remove(outs.begin(), outs.end(), e), outs.end());
+        auto& ins = in_edges_[ed.sink.value()];
+        ins.erase(std::remove(ins.begin(), ins.end(), e), ins.end());
+        edge_live_[e.value()] = false;
+        edge_free_.push_back(e.value());
+    }
+
+    [[nodiscard]] std::size_t edge_count() const noexcept {
+        return edges_.size() - edge_free_.size();
+    }
+
+    [[nodiscard]] std::vector<edge_id> edge_ids() const {
+        std::vector<edge_id> out;
+        out.reserve(edge_count());
+        for (std::size_t i = 0; i < edges_.size(); ++i) {
+            if (edge_live_[i]) out.push_back(edge_id{static_cast<typename edge_id::value_type>(i)});
+        }
+        return out;
+    }
+
+    /// Returns the edge source->sink if one exists (first match).
+    [[nodiscard]] edge_id find_edge(node_id source, node_id sink) const {
+        check_node(source);
+        for (edge_id e : out_edges_[source.value()]) {
+            if (edges_[e.value()].sink == sink) return e;
+        }
+        return edge_id{};
+    }
+
+    // ---- adjacency ------------------------------------------------------
+
+    [[nodiscard]] const std::vector<edge_id>& out_edges(node_id n) const {
+        check_node(n);
+        return out_edges_[n.value()];
+    }
+
+    [[nodiscard]] const std::vector<edge_id>& in_edges(node_id n) const {
+        check_node(n);
+        return in_edges_[n.value()];
+    }
+
+    [[nodiscard]] std::vector<node_id> successors(node_id n) const {
+        check_node(n);
+        std::vector<node_id> out;
+        out.reserve(out_edges_[n.value()].size());
+        for (edge_id e : out_edges_[n.value()]) out.push_back(edges_[e.value()].sink);
+        return out;
+    }
+
+    [[nodiscard]] std::vector<node_id> predecessors(node_id n) const {
+        check_node(n);
+        std::vector<node_id> out;
+        out.reserve(in_edges_[n.value()].size());
+        for (edge_id e : in_edges_[n.value()]) out.push_back(edges_[e.value()].source);
+        return out;
+    }
+
+    [[nodiscard]] std::size_t in_degree(node_id n) const { return in_edges(n).size(); }
+    [[nodiscard]] std::size_t out_degree(node_id n) const { return out_edges(n).size(); }
+
+    /// Capacity of the id space (max id value + 1); useful for dense
+    /// per-node scratch arrays in algorithms.
+    [[nodiscard]] std::size_t node_capacity() const noexcept { return nodes_.size(); }
+
+    void clear() {
+        nodes_.clear();
+        edges_.clear();
+        node_live_.clear();
+        edge_live_.clear();
+        node_free_.clear();
+        edge_free_.clear();
+        out_edges_.clear();
+        in_edges_.clear();
+    }
+
+private:
+    static std::size_t allocate_slot(std::vector<bool>& live, std::vector<std::uint32_t>& free_list) {
+        if (!free_list.empty()) {
+            const std::size_t idx = free_list.back();
+            free_list.pop_back();
+            live[idx] = true;
+            return idx;
+        }
+        live.push_back(true);
+        return live.size() - 1;
+    }
+
+    void check_node(node_id n) const {
+        if (!contains(n)) {
+            throw ModelError("graph: node id " + (n.valid() ? std::to_string(n.value()) : std::string("<invalid>")) +
+                             " is not in the graph");
+        }
+    }
+
+    void check_edge(edge_id e) const {
+        if (!contains(e)) {
+            throw ModelError("graph: edge id " + (e.valid() ? std::to_string(e.value()) : std::string("<invalid>")) +
+                             " is not in the graph");
+        }
+    }
+
+    std::vector<NodeData> nodes_;
+    std::vector<Edge> edges_;
+    std::vector<bool> node_live_;
+    std::vector<bool> edge_live_;
+    std::vector<std::uint32_t> node_free_;
+    std::vector<std::uint32_t> edge_free_;
+    std::vector<std::vector<edge_id>> out_edges_;
+    std::vector<std::vector<edge_id>> in_edges_;
+};
+
+}  // namespace asilkit::graph

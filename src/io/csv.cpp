@@ -1,0 +1,72 @@
+#include "io/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/error.h"
+
+namespace asilkit::io {
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+    return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void write_cell(std::string& out, const std::string& cell) {
+    if (!needs_quoting(cell)) {
+        out += cell;
+        return;
+    }
+    out += '"';
+    for (char c : cell) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {
+    if (header_.empty()) throw IoError("csv: header must not be empty");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+    if (cells.size() != header_.size()) {
+        throw IoError("csv: row width " + std::to_string(cells.size()) + " != header width " +
+                      std::to_string(header_.size()));
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::number(double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", value);
+    return buf;
+}
+
+std::string CsvWriter::to_string() const {
+    std::string out;
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+        if (i) out += ',';
+        write_cell(out, header_[i]);
+    }
+    out += '\n';
+    for (const auto& row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i) out += ',';
+            write_cell(out, row[i]);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+void CsvWriter::save(const std::string& path) const {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw IoError("cannot open '" + path + "' for writing");
+    out << to_string();
+    if (!out) throw IoError("write to '" + path + "' failed");
+}
+
+}  // namespace asilkit::io

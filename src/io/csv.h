@@ -1,0 +1,31 @@
+// Tiny CSV table writer (RFC 4180 quoting) for the benchmark harness:
+// every figure regenerates its data series as a CSV next to the console
+// output so it can be re-plotted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace asilkit::io {
+
+class CsvWriter {
+public:
+    explicit CsvWriter(std::vector<std::string> header);
+
+    /// Row width must match the header; throws IoError otherwise.
+    void add_row(std::vector<std::string> cells);
+
+    /// Numeric convenience: formats with %.17g-style shortest round-trip.
+    [[nodiscard]] static std::string number(double value);
+
+    [[nodiscard]] std::string to_string() const;
+    void save(const std::string& path) const;
+
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace asilkit::io

@@ -1,0 +1,122 @@
+#include "io/dot.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace asilkit::io {
+namespace {
+
+std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+const char* node_shape(NodeKind k) {
+    switch (k) {
+        case NodeKind::Sensor: return "house";
+        case NodeKind::Actuator: return "invhouse";
+        case NodeKind::Functional: return "box";
+        case NodeKind::Communication: return "ellipse";
+        case NodeKind::Splitter: return "triangle";
+        case NodeKind::Merger: return "invtriangle";
+    }
+    return "box";
+}
+
+const char* resource_shape(ResourceKind k) {
+    switch (k) {
+        case ResourceKind::Sensor: return "house";
+        case ResourceKind::Actuator: return "invhouse";
+        case ResourceKind::Functional: return "box3d";
+        case ResourceKind::Communication: return "cds";
+        case ResourceKind::Splitter: return "triangle";
+        case ResourceKind::Merger: return "invtriangle";
+    }
+    return "box3d";
+}
+
+}  // namespace
+
+std::string app_graph_to_dot(const ArchitectureModel& m) {
+    std::ostringstream os;
+    os << "digraph application {\n  rankdir=LR;\n  node [fontsize=10];\n";
+    for (NodeId n : m.app().node_ids()) {
+        const AppNode& node = m.app().node(n);
+        os << "  n" << n.value() << " [label=\"" << escape(node.name) << "\\n"
+           << to_string(node.asil) << "\", shape=" << node_shape(node.kind) << "];\n";
+    }
+    for (ChannelId e : m.app().edge_ids()) {
+        const auto& edge = m.app().edge(e);
+        os << "  n" << edge.source.value() << " -> n" << edge.sink.value();
+        if (!edge.data.label.empty()) os << " [label=\"" << escape(edge.data.label) << "\"]";
+        os << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string resource_graph_to_dot(const ArchitectureModel& m) {
+    std::ostringstream os;
+    os << "digraph resources {\n  rankdir=LR;\n  node [fontsize=10];\n";
+    for (ResourceId r : m.resources().node_ids()) {
+        const Resource& res = m.resources().node(r);
+        os << "  r" << r.value() << " [label=\"" << escape(res.name) << "\\n"
+           << to_string(res.asil) << "\", shape=" << resource_shape(res.kind) << "];\n";
+    }
+    for (LinkId e : m.resources().edge_ids()) {
+        const auto& edge = m.resources().edge(e);
+        os << "  r" << edge.source.value() << " -> r" << edge.sink.value() << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string physical_graph_to_dot(const ArchitectureModel& m) {
+    std::ostringstream os;
+    os << "graph physical {\n  node [fontsize=10, shape=component];\n";
+    for (LocationId p : m.physical().node_ids()) {
+        const Location& loc = m.physical().node(p);
+        os << "  p" << p.value() << " [label=\"" << escape(loc.name) << "\"];\n";
+    }
+    for (ConnectionId e : m.physical().edge_ids()) {
+        const auto& edge = m.physical().edge(e);
+        os << "  p" << edge.source.value() << " -- p" << edge.sink.value() << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string fault_tree_to_dot(const ftree::FaultTree& ft) {
+    std::ostringstream os;
+    os << "digraph fault_tree {\n  rankdir=TB;\n  node [fontsize=9];\n";
+    for (std::size_t i = 0; i < ft.basic_events().size(); ++i) {
+        const ftree::BasicEvent& e = ft.basic_events()[i];
+        os << "  b" << i << " [label=\"" << escape(e.name) << "\\nl=" << e.lambda
+           << "\", shape=circle];\n";
+    }
+    for (std::size_t i = 0; i < ft.gates().size(); ++i) {
+        const ftree::Gate& g = ft.gates()[i];
+        os << "  g" << i << " [label=\"" << escape(g.name) << "\\n" << to_string(g.kind)
+           << "\", shape=" << (g.kind == ftree::GateKind::Or ? "box" : "box, style=rounded")
+           << "];\n";
+        for (const ftree::FtRef& c : g.children) {
+            os << "  g" << i << " -> " << (c.kind == ftree::FtRef::Kind::Basic ? "b" : "g")
+               << c.index << ";\n";
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+void save_text_file(const std::string& text, const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw IoError("cannot open '" + path + "' for writing");
+    out << text;
+    if (!out) throw IoError("write to '" + path + "' failed");
+}
+
+}  // namespace asilkit::io

@@ -1,0 +1,23 @@
+// Graphviz DOT export for the three model layers and for fault trees.
+//
+// Shapes encode node kinds (sensors: house, actuators: inverted house,
+// splitters/mergers: triangles, communication: ellipse, functional: box);
+// labels carry the ASIL tag.  Fault trees render gates as OR/AND boxes
+// and basic events as circles with their lambda.
+#pragma once
+
+#include <string>
+
+#include "ftree/fault_tree.h"
+#include "model/architecture.h"
+
+namespace asilkit::io {
+
+[[nodiscard]] std::string app_graph_to_dot(const ArchitectureModel& m);
+[[nodiscard]] std::string resource_graph_to_dot(const ArchitectureModel& m);
+[[nodiscard]] std::string physical_graph_to_dot(const ArchitectureModel& m);
+[[nodiscard]] std::string fault_tree_to_dot(const ftree::FaultTree& ft);
+
+void save_text_file(const std::string& text, const std::string& path);
+
+}  // namespace asilkit::io

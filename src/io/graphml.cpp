@@ -1,0 +1,92 @@
+#include "io/graphml.h"
+
+#include <sstream>
+
+#include "model/failure_rates.h"
+
+namespace asilkit::io {
+namespace {
+
+std::string xml_escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+            case '&': out += "&amp;"; break;
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '"': out += "&quot;"; break;
+            case '\'': out += "&apos;"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+void open_document(std::ostringstream& os) {
+    os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+       << "<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n";
+}
+
+void declare_key(std::ostringstream& os, const char* id, const char* name, const char* type) {
+    os << "  <key id=\"" << id << "\" for=\"node\" attr.name=\"" << name << "\" attr.type=\""
+       << type << "\"/>\n";
+}
+
+}  // namespace
+
+std::string app_graph_to_graphml(const ArchitectureModel& m) {
+    std::ostringstream os;
+    open_document(os);
+    declare_key(os, "d_name", "name", "string");
+    declare_key(os, "d_kind", "kind", "string");
+    declare_key(os, "d_asil", "asil", "string");
+    declare_key(os, "d_fsr", "fsr", "string");
+    os << "  <graph id=\"application\" edgedefault=\"directed\">\n";
+    for (NodeId n : m.app().node_ids()) {
+        const AppNode& node = m.app().node(n);
+        os << "    <node id=\"n" << n.value() << "\">\n"
+           << "      <data key=\"d_name\">" << xml_escape(node.name) << "</data>\n"
+           << "      <data key=\"d_kind\">" << to_string(node.kind) << "</data>\n"
+           << "      <data key=\"d_asil\">" << xml_escape(to_string(node.asil)) << "</data>\n";
+        if (!node.fsr.empty()) {
+            os << "      <data key=\"d_fsr\">" << xml_escape(node.fsr) << "</data>\n";
+        }
+        os << "    </node>\n";
+    }
+    for (ChannelId e : m.app().edge_ids()) {
+        const auto& edge = m.app().edge(e);
+        os << "    <edge source=\"n" << edge.source.value() << "\" target=\"n"
+           << edge.sink.value() << "\"/>\n";
+    }
+    os << "  </graph>\n</graphml>\n";
+    return os.str();
+}
+
+std::string resource_graph_to_graphml(const ArchitectureModel& m) {
+    const FailureRates rates;
+    std::ostringstream os;
+    open_document(os);
+    declare_key(os, "d_name", "name", "string");
+    declare_key(os, "d_kind", "kind", "string");
+    declare_key(os, "d_asil", "asil", "string");
+    declare_key(os, "d_lambda", "lambda", "double");
+    os << "  <graph id=\"resources\" edgedefault=\"directed\">\n";
+    for (ResourceId r : m.resources().node_ids()) {
+        const Resource& res = m.resources().node(r);
+        os << "    <node id=\"r" << r.value() << "\">\n"
+           << "      <data key=\"d_name\">" << xml_escape(res.name) << "</data>\n"
+           << "      <data key=\"d_kind\">" << to_string(res.kind) << "</data>\n"
+           << "      <data key=\"d_asil\">" << to_string(res.asil) << "</data>\n"
+           << "      <data key=\"d_lambda\">" << rates.resource_rate(res) << "</data>\n"
+           << "    </node>\n";
+    }
+    for (LinkId e : m.resources().edge_ids()) {
+        const auto& edge = m.resources().edge(e);
+        os << "    <edge source=\"r" << edge.source.value() << "\" target=\"r"
+           << edge.sink.value() << "\"/>\n";
+    }
+    os << "  </graph>\n</graphml>\n";
+    return os.str();
+}
+
+}  // namespace asilkit::io

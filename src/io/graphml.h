@@ -1,0 +1,16 @@
+// GraphML export for interoperability with graph tools (yEd, Gephi,
+// NetworkX).  Node attributes carry kind, ASIL tag and FSR (application
+// layer) or kind/ASIL/lambda (resource layer), so downstream tooling can
+// style by criticality.
+#pragma once
+
+#include <string>
+
+#include "model/architecture.h"
+
+namespace asilkit::io {
+
+[[nodiscard]] std::string app_graph_to_graphml(const ArchitectureModel& m);
+[[nodiscard]] std::string resource_graph_to_graphml(const ArchitectureModel& m);
+
+}  // namespace asilkit::io

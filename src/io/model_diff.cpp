@@ -1,0 +1,182 @@
+#include "io/model_diff.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <set>
+
+namespace asilkit::io {
+namespace {
+
+/// Canonical multiset of "from -> to" channel strings.
+std::multiset<std::string> channel_set(const ArchitectureModel& m) {
+    std::multiset<std::string> out;
+    for (ChannelId e : m.app().edge_ids()) {
+        const auto& edge = m.app().edge(e);
+        out.insert(m.app().node(edge.source).name + " -> " + m.app().node(edge.sink).name);
+    }
+    return out;
+}
+
+/// Sorted resource-name list of a node's mapping.
+std::vector<std::string> mapping_names(const ArchitectureModel& m, NodeId n) {
+    std::vector<std::string> out;
+    for (ResourceId r : m.mapped_resources(n)) out.push_back(m.resources().node(r).name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::string> location_names(const ArchitectureModel& m, ResourceId r) {
+    std::vector<std::string> out;
+    for (LocationId p : m.resource_locations(r)) out.push_back(m.physical().node(p).name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string join(const std::vector<std::string>& items) {
+    std::string out;
+    for (const std::string& item : items) {
+        if (!out.empty()) out += ",";
+        out += item;
+    }
+    return out.empty() ? "<none>" : out;
+}
+
+}  // namespace
+
+bool ModelDiff::empty() const noexcept { return total_changes() == 0; }
+
+std::size_t ModelDiff::total_changes() const noexcept {
+    return added_nodes.size() + removed_nodes.size() + changed_nodes.size() +
+           added_resources.size() + removed_resources.size() + changed_resources.size() +
+           added_locations.size() + removed_locations.size() + added_channels.size() +
+           removed_channels.size();
+}
+
+std::ostream& operator<<(std::ostream& os, const ModelDiff& diff) {
+    auto section = [&](const char* label, const std::vector<std::string>& items,
+                       const char* prefix) {
+        if (items.empty()) return;
+        os << label << ":\n";
+        for (const std::string& item : items) os << "  " << prefix << item << "\n";
+    };
+    section("nodes", diff.added_nodes, "+ ");
+    section("nodes", diff.removed_nodes, "- ");
+    section("nodes", diff.changed_nodes, "~ ");
+    section("resources", diff.added_resources, "+ ");
+    section("resources", diff.removed_resources, "- ");
+    section("resources", diff.changed_resources, "~ ");
+    section("locations", diff.added_locations, "+ ");
+    section("locations", diff.removed_locations, "- ");
+    section("channels", diff.added_channels, "+ ");
+    section("channels", diff.removed_channels, "- ");
+    if (diff.empty()) os << "no differences\n";
+    return os;
+}
+
+ModelDiff diff_models(const ArchitectureModel& before, const ArchitectureModel& after) {
+    ModelDiff diff;
+
+    // ---- application nodes -------------------------------------------------
+    std::map<std::string, NodeId> before_nodes;
+    for (NodeId n : before.app().node_ids()) before_nodes.emplace(before.app().node(n).name, n);
+    std::map<std::string, NodeId> after_nodes;
+    for (NodeId n : after.app().node_ids()) after_nodes.emplace(after.app().node(n).name, n);
+
+    for (const auto& [name, n] : after_nodes) {
+        if (!before_nodes.contains(name)) diff.added_nodes.push_back(name);
+    }
+    for (const auto& [name, bn] : before_nodes) {
+        const auto it = after_nodes.find(name);
+        if (it == after_nodes.end()) {
+            diff.removed_nodes.push_back(name);
+            continue;
+        }
+        const AppNode& b = before.app().node(bn);
+        const AppNode& a = after.app().node(it->second);
+        std::vector<std::string> changes;
+        if (b.kind != a.kind) {
+            changes.push_back("kind " + std::string(to_string(b.kind)) + " -> " +
+                              std::string(to_string(a.kind)));
+        }
+        if (b.asil != a.asil) {
+            changes.push_back("ASIL " + to_string(b.asil) + " -> " + to_string(a.asil));
+        }
+        if (b.fsr != a.fsr) changes.push_back("fsr '" + b.fsr + "' -> '" + a.fsr + "'");
+        const auto bm = mapping_names(before, bn);
+        const auto am = mapping_names(after, it->second);
+        if (bm != am) changes.push_back("mapping {" + join(bm) + "} -> {" + join(am) + "}");
+        if (!changes.empty()) {
+            std::string summary = name + ": " + changes.front();
+            for (std::size_t i = 1; i < changes.size(); ++i) summary += "; " + changes[i];
+            diff.changed_nodes.push_back(std::move(summary));
+        }
+    }
+
+    // ---- resources ----------------------------------------------------------
+    std::map<std::string, ResourceId> before_res;
+    for (ResourceId r : before.resources().node_ids()) {
+        before_res.emplace(before.resources().node(r).name, r);
+    }
+    std::map<std::string, ResourceId> after_res;
+    for (ResourceId r : after.resources().node_ids()) {
+        after_res.emplace(after.resources().node(r).name, r);
+    }
+    for (const auto& [name, r] : after_res) {
+        if (!before_res.contains(name)) diff.added_resources.push_back(name);
+    }
+    for (const auto& [name, br] : before_res) {
+        const auto it = after_res.find(name);
+        if (it == after_res.end()) {
+            diff.removed_resources.push_back(name);
+            continue;
+        }
+        const Resource& b = before.resources().node(br);
+        const Resource& a = after.resources().node(it->second);
+        std::vector<std::string> changes;
+        if (b.kind != a.kind) {
+            changes.push_back("kind " + std::string(to_string(b.kind)) + " -> " +
+                              std::string(to_string(a.kind)));
+        }
+        if (b.asil != a.asil) {
+            changes.push_back("ASIL " + std::string(to_string(b.asil)) + " -> " +
+                              std::string(to_string(a.asil)));
+        }
+        if (b.lambda_override != a.lambda_override) changes.push_back("lambda override changed");
+        const auto bl = location_names(before, br);
+        const auto al = location_names(after, it->second);
+        if (bl != al) changes.push_back("placement {" + join(bl) + "} -> {" + join(al) + "}");
+        if (!changes.empty()) {
+            std::string summary = name + ": " + changes.front();
+            for (std::size_t i = 1; i < changes.size(); ++i) summary += "; " + changes[i];
+            diff.changed_resources.push_back(std::move(summary));
+        }
+    }
+
+    // ---- locations ------------------------------------------------------------
+    std::set<std::string> before_locs;
+    for (LocationId p : before.physical().node_ids()) {
+        before_locs.insert(before.physical().node(p).name);
+    }
+    std::set<std::string> after_locs;
+    for (LocationId p : after.physical().node_ids()) {
+        after_locs.insert(after.physical().node(p).name);
+    }
+    for (const std::string& name : after_locs) {
+        if (!before_locs.contains(name)) diff.added_locations.push_back(name);
+    }
+    for (const std::string& name : before_locs) {
+        if (!after_locs.contains(name)) diff.removed_locations.push_back(name);
+    }
+
+    // ---- channels ----------------------------------------------------------------
+    const auto before_channels = channel_set(before);
+    const auto after_channels = channel_set(after);
+    std::set_difference(after_channels.begin(), after_channels.end(), before_channels.begin(),
+                        before_channels.end(), std::back_inserter(diff.added_channels));
+    std::set_difference(before_channels.begin(), before_channels.end(), after_channels.begin(),
+                        after_channels.end(), std::back_inserter(diff.removed_channels));
+    return diff;
+}
+
+}  // namespace asilkit::io

@@ -1,0 +1,41 @@
+// Structural diff between two architecture models.
+//
+// Transformations and CLI steps produce model files; the diff answers
+// "what did this step actually change" in review-friendly terms, matching
+// elements by name (ids are not stable across serialization).  Used by
+// the CLI's `diff` command and by tests that pin down a transformation's
+// exact footprint.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model/architecture.h"
+
+namespace asilkit::io {
+
+struct ModelDiff {
+    std::vector<std::string> added_nodes;
+    std::vector<std::string> removed_nodes;
+    /// "name: <what changed>" for nodes present on both sides.
+    std::vector<std::string> changed_nodes;
+    std::vector<std::string> added_resources;
+    std::vector<std::string> removed_resources;
+    std::vector<std::string> changed_resources;
+    std::vector<std::string> added_locations;
+    std::vector<std::string> removed_locations;
+    /// "from -> to" channel endpoints (by node name).
+    std::vector<std::string> added_channels;
+    std::vector<std::string> removed_channels;
+
+    [[nodiscard]] bool empty() const noexcept;
+    [[nodiscard]] std::size_t total_changes() const noexcept;
+};
+
+std::ostream& operator<<(std::ostream& os, const ModelDiff& diff);
+
+[[nodiscard]] ModelDiff diff_models(const ArchitectureModel& before,
+                                    const ArchitectureModel& after);
+
+}  // namespace asilkit::io

@@ -1,0 +1,29 @@
+#include "model/failure_rates.h"
+
+namespace asilkit {
+
+FailureRates::FailureRates() {
+    for (ResourceKind kind : kAllResourceKinds) {
+        const bool dedicated = kind == ResourceKind::Splitter || kind == ResourceKind::Merger;
+        double lambda = dedicated ? 1e-6 : 1e-5;
+        for (Asil a : kAllAsilLevels) {
+            rates_[static_cast<std::size_t>(kind)][static_cast<std::size_t>(a)] = lambda;
+            lambda /= 10.0;
+        }
+    }
+}
+
+double FailureRates::rate(ResourceKind kind, Asil asil) const noexcept {
+    return rates_[static_cast<std::size_t>(kind)][static_cast<std::size_t>(asil)];
+}
+
+void FailureRates::set_rate(ResourceKind kind, Asil asil, double lambda) noexcept {
+    rates_[static_cast<std::size_t>(kind)][static_cast<std::size_t>(asil)] = lambda;
+}
+
+double FailureRates::resource_rate(const Resource& r) const noexcept {
+    if (r.lambda_override) return *r.lambda_override;
+    return rate(r.kind, r.asil);
+}
+
+}  // namespace asilkit

@@ -1,0 +1,45 @@
+// Physical-layer node types.
+//
+// The physical graph F = (P, C) partitions the vehicle into locations
+// (front-left corner, central tunnel, rear compartment, cable duct c4,
+// ...).  Locations carry the environmental information used by the
+// Freedom-From-Interference analysis: two redundant branches placed in
+// the same high-vibration zone share a common stressor, which the CCF
+// analysis reports.  Each location also contributes a base event to the
+// fault tree with rate `lambda` (paper: 1e-11 failures/hour) that models
+// position-local destruction (crash intrusion, water, fire).
+#pragma once
+
+#include <string>
+
+namespace asilkit {
+
+/// Environmental profile of a physical location, bucketed into coarse
+/// severity zones (0 = benign).  Identical non-zero zones across redundant
+/// branches indicate a shared environmental stressor.
+struct Environment {
+    int temperature_zone = 0;
+    int vibration_zone = 0;
+    int emi_zone = 0;
+    int water_exposure_zone = 0;
+
+    friend bool operator==(const Environment&, const Environment&) = default;
+};
+
+/// Default failure rate of a physical location (failures/hour); conveys
+/// the probability of accidents/conditions destroying everything at that
+/// position of the vehicle.
+inline constexpr double kDefaultLocationLambda = 1e-11;
+
+struct Location {
+    std::string name;
+    double lambda = kDefaultLocationLambda;
+    Environment env;
+};
+
+/// Physical-layer edge payload (adjacency / cable duct between locations).
+struct PhysicalConnection {
+    std::string label;
+};
+
+}  // namespace asilkit

@@ -1,0 +1,21 @@
+#include "model/node.h"
+
+#include <ostream>
+
+namespace asilkit {
+
+std::string_view to_string(NodeKind k) noexcept {
+    switch (k) {
+        case NodeKind::Sensor: return "sensor";
+        case NodeKind::Actuator: return "actuator";
+        case NodeKind::Functional: return "functional";
+        case NodeKind::Communication: return "communication";
+        case NodeKind::Splitter: return "splitter";
+        case NodeKind::Merger: return "merger";
+    }
+    return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, NodeKind k) { return os << to_string(k); }
+
+}  // namespace asilkit

@@ -1,0 +1,58 @@
+// Application-layer node types.
+//
+// The application graph G = (N, E) describes the functional view: what the
+// vehicle does, independent of which ECU or wire implements it.
+// Communication is explicit (its own node kind) because channels carry
+// their own ASIL requirements and are mapped onto buses/links.  Splitter
+// and merger are the two special kinds that delimit redundant blocks:
+// a splitter replicates its input onto its outputs, a merger compares its
+// redundant inputs and forwards exactly one correct value.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "core/asil.h"
+
+namespace asilkit {
+
+enum class NodeKind : std::uint8_t {
+    Sensor,
+    Actuator,
+    Functional,
+    Communication,
+    Splitter,
+    Merger,
+};
+
+inline constexpr int kNodeKindCount = 6;
+
+inline constexpr NodeKind kAllNodeKinds[kNodeKindCount] = {
+    NodeKind::Sensor,    NodeKind::Actuator, NodeKind::Functional,
+    NodeKind::Communication, NodeKind::Splitter, NodeKind::Merger};
+
+[[nodiscard]] std::string_view to_string(NodeKind k) noexcept;
+std::ostream& operator<<(std::ostream& os, NodeKind k);
+
+/// One application node: a named function with an ASIL requirement derived
+/// from the Functional Safety Requirement it implements.
+struct AppNode {
+    std::string name;
+    NodeKind kind = NodeKind::Functional;
+    AsilTag asil{Asil::QM};
+    /// Id of the Functional Safety Requirement this node traces to
+    /// (e.g. "FSR-LAT-01"); empty = not assigned.  Transformations carry
+    /// the FSR onto replicas and management nodes, preserving
+    /// requirement-to-architecture traceability across decompositions.
+    std::string fsr;
+};
+
+/// Application-layer edge payload.  Channels are pure precedence/dataflow
+/// relations; bandwidth or latency annotations would live here.
+struct Channel {
+    std::string label;
+};
+
+}  // namespace asilkit

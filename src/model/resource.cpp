@@ -1,0 +1,49 @@
+#include "model/resource.h"
+
+#include <ostream>
+
+namespace asilkit {
+
+std::string_view to_string(ResourceKind k) noexcept {
+    switch (k) {
+        case ResourceKind::Sensor: return "sensor";
+        case ResourceKind::Actuator: return "actuator";
+        case ResourceKind::Functional: return "functional";
+        case ResourceKind::Communication: return "communication";
+        case ResourceKind::Splitter: return "splitter";
+        case ResourceKind::Merger: return "merger";
+    }
+    return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, ResourceKind k) { return os << to_string(k); }
+
+ResourceKind default_resource_kind(NodeKind k) noexcept {
+    switch (k) {
+        case NodeKind::Sensor: return ResourceKind::Sensor;
+        case NodeKind::Actuator: return ResourceKind::Actuator;
+        case NodeKind::Functional: return ResourceKind::Functional;
+        case NodeKind::Communication: return ResourceKind::Communication;
+        case NodeKind::Splitter: return ResourceKind::Splitter;
+        case NodeKind::Merger: return ResourceKind::Merger;
+    }
+    return ResourceKind::Functional;
+}
+
+bool mapping_compatible(NodeKind n, ResourceKind r) noexcept {
+    switch (n) {
+        case NodeKind::Sensor: return r == ResourceKind::Sensor;
+        case NodeKind::Actuator: return r == ResourceKind::Actuator;
+        case NodeKind::Functional: return r == ResourceKind::Functional;
+        case NodeKind::Communication: return r == ResourceKind::Communication;
+        case NodeKind::Splitter:
+            return r == ResourceKind::Splitter || r == ResourceKind::Functional ||
+                   r == ResourceKind::Communication;
+        case NodeKind::Merger:
+            return r == ResourceKind::Merger || r == ResourceKind::Functional ||
+                   r == ResourceKind::Communication;
+    }
+    return false;
+}
+
+}  // namespace asilkit

@@ -1,0 +1,72 @@
+// Resource-layer (hardware) node types.
+//
+// The resource graph H = (R, L) is the EE architecture: ECUs, buses,
+// gateways, sensors, actuators and the dedicated voting/replication
+// hardware (splitter / merger resources).  Each resource is "ASIL-X
+// ready": X is the maximum integrity level a function mapped on it can
+// claim (Eq. 3).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/asil.h"
+#include "model/node.h"
+
+namespace asilkit {
+
+/// Resource categories; these are the row labels of the paper's Table I
+/// (failure rates) and Table II (cost metric).
+enum class ResourceKind : std::uint8_t {
+    Sensor,
+    Actuator,
+    Functional,     ///< processing hardware: ECU, domain controller, ...
+    Communication,  ///< buses, point-to-point links, gateways, switches
+    Splitter,       ///< dedicated replication hardware
+    Merger,         ///< dedicated comparison/voting hardware
+};
+
+inline constexpr int kResourceKindCount = 6;
+
+inline constexpr ResourceKind kAllResourceKinds[kResourceKindCount] = {
+    ResourceKind::Sensor,        ResourceKind::Actuator, ResourceKind::Functional,
+    ResourceKind::Communication, ResourceKind::Splitter, ResourceKind::Merger};
+
+[[nodiscard]] std::string_view to_string(ResourceKind k) noexcept;
+std::ostream& operator<<(std::ostream& os, ResourceKind k);
+
+/// The resource kind a node of the given application kind maps onto by
+/// default (sensor nodes on sensor hardware, communication nodes on
+/// communication hardware, ...).
+[[nodiscard]] ResourceKind default_resource_kind(NodeKind k) noexcept;
+
+/// True iff an application node of kind `n` may be mapped onto a resource
+/// of kind `r`.  Functional nodes may run on functional resources;
+/// splitter/merger application nodes may run on dedicated splitter/merger
+/// hardware or on functional/communication resources (the Fig. 3 example
+/// implements them in Ethernet switches).
+[[nodiscard]] bool mapping_compatible(NodeKind n, ResourceKind r) noexcept;
+
+/// One hardware resource.
+struct Resource {
+    std::string name;
+    ResourceKind kind = ResourceKind::Functional;
+    Asil asil = Asil::QM;  ///< ASIL-readiness: max level obtainable on it.
+    /// Overrides the Table I failure rate when the data sheet provides a
+    /// measured value.
+    std::optional<double> lambda_override;
+    /// Overrides the cost-metric lookup (e.g. virtual/free elements such
+    /// as the "observed scene" pseudo-source behind a virtual splitter).
+    std::optional<double> cost_override;
+};
+
+/// Resource-layer edge payload (physical or logical link between two
+/// resources).
+struct ResourceLink {
+    std::string label;
+};
+
+}  // namespace asilkit

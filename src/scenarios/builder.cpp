@@ -1,0 +1,47 @@
+#include "scenarios/builder.h"
+
+namespace asilkit::scenarios {
+
+LocationId ScenarioBuilder::loc(const std::string& name, Environment env) {
+    const LocationId existing = m_.find_location(name);
+    if (existing.valid()) return existing;
+    return m_.add_location(Location{name, kDefaultLocationLambda, env});
+}
+
+NodeId ScenarioBuilder::add(const std::string& name, NodeKind kind, Asil a, LocationId at) {
+    return m_.add_node_with_dedicated_resource(AppNode{name, kind, AsilTag{a}, fsr_}, at);
+}
+
+NodeId ScenarioBuilder::sensor(const std::string& name, Asil a, LocationId at) {
+    return add(name, NodeKind::Sensor, a, at);
+}
+
+NodeId ScenarioBuilder::actuator(const std::string& name, Asil a, LocationId at) {
+    return add(name, NodeKind::Actuator, a, at);
+}
+
+NodeId ScenarioBuilder::func(const std::string& name, Asil a, LocationId at) {
+    return add(name, NodeKind::Functional, a, at);
+}
+
+NodeId ScenarioBuilder::comm(const std::string& name, Asil a, LocationId at) {
+    return add(name, NodeKind::Communication, a, at);
+}
+
+NodeId ScenarioBuilder::splitter(const std::string& name, Asil a, LocationId at) {
+    return add(name, NodeKind::Splitter, a, at);
+}
+
+NodeId ScenarioBuilder::merger(const std::string& name, Asil a, LocationId at) {
+    return add(name, NodeKind::Merger, a, at);
+}
+
+void ScenarioBuilder::chain(std::initializer_list<NodeId> nodes) {
+    const NodeId* prev = nullptr;
+    for (const NodeId& n : nodes) {
+        if (prev) m_.connect_app(*prev, n);
+        prev = &n;
+    }
+}
+
+}  // namespace asilkit::scenarios

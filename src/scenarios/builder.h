@@ -1,0 +1,46 @@
+// Fluent construction helper for scenario models.
+//
+// Every node gets a dedicated resource of the default kind at the given
+// location (the paper's pre-optimisation assumption), so scenario code
+// reads as the application graph it draws.
+#pragma once
+
+#include <string>
+
+#include "model/architecture.h"
+
+namespace asilkit::scenarios {
+
+class ScenarioBuilder {
+public:
+    explicit ScenarioBuilder(std::string model_name) : m_(std::move(model_name)) {}
+
+    /// Creates (or returns the existing) location with this name.
+    LocationId loc(const std::string& name, Environment env = {});
+
+    /// Sets the FSR id stamped onto subsequently created nodes ("" = none).
+    void set_fsr(std::string fsr) { fsr_ = std::move(fsr); }
+
+    NodeId sensor(const std::string& name, Asil a, LocationId at);
+    NodeId actuator(const std::string& name, Asil a, LocationId at);
+    NodeId func(const std::string& name, Asil a, LocationId at);
+    NodeId comm(const std::string& name, Asil a, LocationId at);
+    NodeId splitter(const std::string& name, Asil a, LocationId at);
+    NodeId merger(const std::string& name, Asil a, LocationId at);
+
+    void link(NodeId from, NodeId to) { m_.connect_app(from, to); }
+
+    /// Chains a >= 2 node path: link(n0,n1), link(n1,n2), ...
+    void chain(std::initializer_list<NodeId> nodes);
+
+    [[nodiscard]] ArchitectureModel take() { return std::move(m_); }
+    [[nodiscard]] ArchitectureModel& model() noexcept { return m_; }
+
+private:
+    NodeId add(const std::string& name, NodeKind kind, Asil a, LocationId at);
+
+    ArchitectureModel m_;
+    std::string fsr_;
+};
+
+}  // namespace asilkit::scenarios

@@ -1,0 +1,134 @@
+#include "scenarios/ecotwin.h"
+
+#include "scenarios/builder.h"
+
+namespace asilkit::scenarios {
+namespace {
+
+/// A zero-lambda, zero-cost pseudo element: virtual splitters model the
+/// physical environment replicating information into several sensors, and
+/// their "source" is the observed scene itself — neither can fail as a
+/// component, neither costs anything.
+void make_virtual(ArchitectureModel& m, NodeId n) {
+    for (ResourceId r : m.mapped_resources(n)) {
+        Resource& res = m.resources().node(r);
+        res.lambda_override = 0.0;
+        res.cost_override = 0.0;
+    }
+}
+
+}  // namespace
+
+ArchitectureModel ecotwin_lateral_control() {
+    ScenarioBuilder b("ecotwin-lateral-control");
+    ArchitectureModel& m = b.model();
+
+    // Physical zones of the tractor.
+    const LocationId windshield = b.loc("windshield");
+    const LocationId front_bumper = b.loc("front_bumper");
+    const LocationId roof = b.loc("roof");
+    const LocationId cabin = b.loc("cabin");
+    const LocationId chassis = b.loc("chassis");
+    const LocationId steering_column = b.loc("steering_column");
+
+    const Asil D = Asil::D;
+
+    b.set_fsr("FSR-LAT-SENSE");
+    // ---- forward object sensing: three heterogeneous sensors observe the
+    // same preceding truck; a virtual splitter models the scene feeding all
+    // three, and the sensor-fusion node is a MERGER — the fused estimate
+    // survives any single sensing-chain failure.
+    const NodeId scene = b.sensor("observed_scene", D, front_bumper);
+    const NodeId vsplit_scene = b.splitter("vsplit_scene", D, front_bumper);
+    b.link(scene, vsplit_scene);
+    make_virtual(m, scene);
+    make_virtual(m, vsplit_scene);
+
+    const NodeId fusion = b.merger("object_fusion", D, cabin);
+    const struct {
+        const char* sensor;
+        const char* link;
+        const char* proc;
+        const char* objs;
+        LocationId at;
+    } chains[] = {
+        {"camera", "cam_link", "cam_proc", "cam_objs", windshield},
+        {"radar", "radar_link", "radar_proc", "radar_objs", front_bumper},
+        {"lidar", "lidar_link", "lidar_proc", "lidar_objs", roof},
+    };
+    for (const auto& c : chains) {
+        const NodeId s = b.sensor(c.sensor, D, c.at);
+        const NodeId link = b.comm(c.link, D, c.at);
+        const NodeId proc = b.func(c.proc, D, c.at);
+        const NodeId objs = b.comm(c.objs, D, c.at);
+        b.chain({vsplit_scene, s, link, proc, objs, fusion});
+    }
+
+    b.set_fsr("FSR-LAT-EGO");
+    // ---- ego-state sensing: INS and wheel odometry measure the same
+    // vehicle motion; same virtual-splitter + merger pattern.
+    const NodeId motion = b.sensor("vehicle_motion", D, chassis);
+    const NodeId vsplit_ego = b.splitter("vsplit_ego", D, chassis);
+    b.link(motion, vsplit_ego);
+    make_virtual(m, motion);
+    make_virtual(m, vsplit_ego);
+
+    const NodeId ego_fusion = b.merger("ego_fusion", D, cabin);
+    {
+        const NodeId ins = b.sensor("gps_imu", D, roof);
+        const NodeId ins_link = b.comm("ins_link", D, roof);
+        const NodeId ins_proc = b.func("ins_proc", D, cabin);
+        const NodeId ins_out = b.comm("ins_out", D, cabin);
+        b.chain({vsplit_ego, ins, ins_link, ins_proc, ins_out, ego_fusion});
+        const NodeId odo = b.sensor("wheel_odometry", D, chassis);
+        const NodeId odo_link = b.comm("odo_link", D, chassis);
+        const NodeId odo_proc = b.func("odo_proc", D, chassis);
+        const NodeId odo_out = b.comm("odo_out", D, chassis);
+        b.chain({vsplit_ego, odo, odo_link, odo_proc, odo_out, ego_fusion});
+    }
+    const NodeId ego_out = b.comm("ego_out", D, cabin);
+    b.link(ego_fusion, ego_out);
+
+    b.set_fsr("FSR-LAT-V2V");
+    // ---- V2V: the lead truck's state arrives over a single radio link.
+    const NodeId v2v = b.sensor("v2v_radio", D, roof);
+    const NodeId v2v_link = b.comm("v2v_link", D, cabin);
+    b.chain({v2v, v2v_link});
+
+    b.set_fsr("FSR-LAT-01");
+    // ---- decision chain (the blue region of Fig. 10) -----------------------
+    // Every hop between processing steps is an explicit communication node
+    // (Ethernet segment, backbone, CAN), so the expandable set is
+    // communication-heavy like the paper's.
+    const NodeId objs_eth = b.comm("objs_eth", D, cabin);
+    const NodeId objs_bb = b.comm("objs_bb", D, cabin);
+    const NodeId env_model = b.func("environment_model", D, cabin);
+    const NodeId env_out = b.comm("env_out", D, cabin);
+    const NodeId world_model = b.func("world_model", D, cabin);
+    const NodeId wm_eth = b.comm("wm_eth", D, cabin);
+    const NodeId wm_can = b.comm("wm_can", D, cabin);
+    const NodeId lateral_ctrl = b.func("lateral_control", D, cabin);
+    const NodeId ctrl_out = b.comm("ctrl_out", D, cabin);
+    const NodeId steer_plan = b.func("steer_plan", D, steering_column);
+    const NodeId steer_req = b.comm("steer_req", D, steering_column);
+
+    b.chain({fusion, objs_eth, objs_bb, env_model, env_out, world_model});
+    b.link(ego_out, world_model);
+    b.link(v2v_link, world_model);
+    b.chain({world_model, wm_eth, wm_can, lateral_ctrl, ctrl_out, steer_plan, steer_req});
+
+    b.set_fsr("FSR-LAT-ACT");
+    // ---- actuation ----------------------------------------------------------
+    const NodeId steering = b.actuator("steering_actuator", D, steering_column);
+    b.link(steer_req, steering);
+
+    return b.take();
+}
+
+std::vector<std::string> ecotwin_decision_nodes() {
+    return {"objs_eth", "objs_bb",       "environment_model", "env_out",
+            "world_model", "wm_eth",     "wm_can",            "lateral_control",
+            "ctrl_out",    "steer_plan", "steer_req"};
+}
+
+}  // namespace asilkit::scenarios

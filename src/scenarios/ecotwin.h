@@ -1,0 +1,31 @@
+// The EcoTwin truck-platooning lateral-control application (paper
+// Sections VIII-IX, Figs. 10-12).
+//
+// The published figure gives the structure class but not the exact node
+// list (the project model is proprietary), so this is a reconstruction
+// with the same shape: heterogeneous forward sensors whose data is
+// virtually split between object detection and an independent collision
+// monitor, ego-state and V2V inputs, and a single decision chain
+// (sensor fusion -> world model -> lateral control -> steering request)
+// that the experiments expand into two redundant branches.  All nodes
+// start at ASIL D on dedicated ASIL-D resources: the paper's "ideal but
+// infeasible" position A.
+//
+// ecotwin_decision_nodes() lists the blue nodes of Fig. 10 — the
+// functional and communication nodes the experiments Expand(), in chain
+// order so that consecutive blocks become Connect()-able.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/architecture.h"
+
+namespace asilkit::scenarios {
+
+[[nodiscard]] ArchitectureModel ecotwin_lateral_control();
+
+/// Names of the decision-path nodes to expand, in dataflow order.
+[[nodiscard]] std::vector<std::string> ecotwin_decision_nodes();
+
+}  // namespace asilkit::scenarios

@@ -1,0 +1,92 @@
+#include "scenarios/fig3.h"
+
+#include "scenarios/builder.h"
+
+namespace asilkit::scenarios {
+namespace {
+
+ArchitectureModel build(bool shared_ecu) {
+    ScenarioBuilder b(shared_ecu ? "fig3-camera-gps-shared-ecu" : "fig3-camera-gps");
+    ArchitectureModel& m = b.model();
+
+    // Physical locations (the paper's c1..c5 cable spaces / compartments).
+    const LocationId front_left = b.loc("c1_front_left");
+    const LocationId front_right = b.loc("c2_front_right");
+    const LocationId front_center = b.loc("c3_front_center");
+    const LocationId duct = b.loc("c4_duct_front_rear");
+    const LocationId rear = b.loc("c5_rear");
+
+    // Resources (hand-placed: this scenario does NOT use the 1:1 default).
+    auto res = [&](const char* name, ResourceKind kind, Asil a, LocationId at) {
+        const ResourceId r = m.add_resource(Resource{name, kind, a, std::nullopt});
+        m.place_resource(r, at);
+        return r;
+    };
+    const ResourceId camera_hw = res("camera_hw", ResourceKind::Sensor, Asil::B, front_left);
+    const ResourceId gps_hw = res("gps_hw", ResourceKind::Sensor, Asil::B, front_right);
+    const ResourceId eth1 = res("eth1", ResourceKind::Communication, Asil::D, front_left);
+    const ResourceId can_bus = res("can_bus", ResourceKind::Communication, Asil::D, front_right);
+    const ResourceId gateway = res("can_eth_gw", ResourceKind::Communication, Asil::D, front_right);
+    const ResourceId eth2 = res("eth2", ResourceKind::Communication, Asil::D, front_right);
+    const ResourceId sw1 = res("switch1", ResourceKind::Communication, Asil::D, front_center);
+    const ResourceId sw2 = res("switch2", ResourceKind::Communication, Asil::D, front_center);
+    const ResourceId eth3 = res("eth3", ResourceKind::Communication, Asil::B, front_center);
+    const ResourceId eth4 = res("eth4", ResourceKind::Communication, Asil::B, duct);
+    const ResourceId ecu1 = res("ecu1", ResourceKind::Functional, Asil::B, front_center);
+    const ResourceId ecu2 = res("ecu2", ResourceKind::Functional, Asil::B, rear);
+    const ResourceId eth5 = res("eth5", ResourceKind::Communication, Asil::B, front_center);
+    const ResourceId eth6 = res("eth6", ResourceKind::Communication, Asil::B, duct);
+    const ResourceId can2 = res("can2", ResourceKind::Communication, Asil::D, front_center);
+    const ResourceId steer_hw = res("steering_hw", ResourceKind::Actuator, Asil::D, front_center);
+
+    // Application nodes.  The sensing side carries decomposed B(D) tags;
+    // redundancy management and the output path are full D.
+    auto node = [&](const char* name, NodeKind kind, AsilTag tag,
+                    std::initializer_list<ResourceId> mapped) {
+        const NodeId n = m.add_app_node(AppNode{name, kind, tag});
+        for (ResourceId r : mapped) m.map_node(n, r);
+        return n;
+    };
+    const AsilTag bd{Asil::B, Asil::D};
+    const AsilTag dd{Asil::D};
+
+    const NodeId camera = node("camera", NodeKind::Sensor, bd, {camera_hw});
+    const NodeId cam_stream = node("cam_stream", NodeKind::Communication, bd, {eth1});
+    const NodeId split_cam = node("split_cam", NodeKind::Splitter, dd, {sw1});
+    const NodeId gps = node("gps", NodeKind::Sensor, bd, {gps_hw});
+    const NodeId gps_coord =
+        node("gps_coord", NodeKind::Communication, bd, {can_bus, gateway, eth2});
+    const NodeId split_gps = node("split_gps", NodeKind::Splitter, dd, {sw1});
+
+    const NodeId c_c1 = node("c_cam1", NodeKind::Communication, bd, {eth3});
+    const NodeId c_g1 = node("c_gps1", NodeKind::Communication, bd, {eth3});
+    const NodeId dfus1 = node("dfus_1", NodeKind::Functional, bd, {ecu1});
+    const NodeId com_a1 = node("com_a1", NodeKind::Communication, bd, {eth5});
+
+    const NodeId c_c2 = node("c_cam2", NodeKind::Communication, bd, {eth4});
+    const NodeId c_g2 = node("c_gps2", NodeKind::Communication, bd, {eth4});
+    const NodeId dfus2 = node("dfus_2", NodeKind::Functional, bd, {shared_ecu ? ecu1 : ecu2});
+    const NodeId com_a2 = node("com_a2", NodeKind::Communication, bd, {eth6});
+
+    const NodeId merge_df = node("merge_dfus", NodeKind::Merger, dd, {sw2});
+    const NodeId steer_cmd = node("steer_cmd", NodeKind::Communication, dd, {can2});
+    const NodeId steering = node("steering", NodeKind::Actuator, dd, {steer_hw});
+
+    b.chain({camera, cam_stream, split_cam});
+    b.chain({gps, gps_coord, split_gps});
+    b.chain({split_cam, c_c1, dfus1, com_a1, merge_df});
+    b.chain({split_gps, c_g1, dfus1});
+    b.chain({split_cam, c_c2, dfus2, com_a2, merge_df});
+    b.chain({split_gps, c_g2, dfus2});
+    b.chain({merge_df, steer_cmd, steering});
+
+    return b.take();
+}
+
+}  // namespace
+
+ArchitectureModel fig3_camera_gps_fusion() { return build(/*shared_ecu=*/false); }
+
+ArchitectureModel fig3_with_shared_ecu_ccf() { return build(/*shared_ecu=*/true); }
+
+}  // namespace asilkit::scenarios

@@ -1,0 +1,28 @@
+// The paper's Fig. 3 running example: a redundant camera + GPS data
+// fusion system steering the vehicle.
+//
+// Two sensors (camera, GPS) feed two redundant data-fusion branches
+// through virtual splitters implemented in the Ethernet switches; a
+// merger (also in a switch) selects a correct steering command.  The
+// sensor part is ASIL B(D) hardware (each source alone is B; the fused
+// pair provides the D), the redundancy-management and output parts are
+// ASIL D.  Mapping is deliberately non-1:1 (both splitters share switch
+// sw1, the GPS coordinates ride CAN + gateway + Ethernet) to exercise
+// shared base events.
+//
+// Paper reference values for this model: failure probability 2.04180e-7
+// fph exact vs 2.04179e-7 approximated; fault tree 87 -> 51 nodes.
+#pragma once
+
+#include "model/architecture.h"
+
+namespace asilkit::scenarios {
+
+[[nodiscard]] ArchitectureModel fig3_camera_gps_fusion();
+
+/// The same system with both data-fusion nodes mapped onto ONE shared ECU
+/// — the paper's example of an invalid decomposition that the CCF
+/// analysis must flag.
+[[nodiscard]] ArchitectureModel fig3_with_shared_ecu_ccf();
+
+}  // namespace asilkit::scenarios

@@ -1,0 +1,101 @@
+#include "scenarios/longitudinal.h"
+
+#include "scenarios/builder.h"
+
+namespace asilkit::scenarios {
+
+ArchitectureModel ecotwin_longitudinal_control() {
+    ScenarioBuilder b("ecotwin-longitudinal-control");
+    ArchitectureModel& m = b.model();
+
+    const LocationId front_bumper = b.loc("front_bumper");
+    const LocationId cabin = b.loc("cabin");
+    const LocationId chassis = b.loc("chassis");
+    const LocationId engine_bay = b.loc("engine_bay", Environment{.temperature_zone = 2,
+                                                                  .vibration_zone = 2,
+                                                                  .emi_zone = 0,
+                                                                  .water_exposure_zone = 0});
+    const LocationId roof = b.loc("roof");
+
+    const Asil D = Asil::D;
+
+    b.set_fsr("FSR-LONG-SENSE");
+    // ---- gap sensing: radar and V2V both observe the lead truck's
+    // motion; fused redundantly (virtual splitter + merger), as in the
+    // lateral application.
+    const NodeId lead = b.sensor("lead_truck_motion", D, front_bumper);
+    const NodeId vsplit = b.splitter("vsplit_lead", D, front_bumper);
+    b.link(lead, vsplit);
+    for (ResourceId r : m.mapped_resources(lead)) {
+        m.resources().node(r).lambda_override = 0.0;
+        m.resources().node(r).cost_override = 0.0;
+    }
+    for (ResourceId r : m.mapped_resources(vsplit)) {
+        m.resources().node(r).lambda_override = 0.0;
+        m.resources().node(r).cost_override = 0.0;
+    }
+
+    const NodeId gap_fusion = b.merger("gap_fusion", D, cabin);
+    {
+        const NodeId radar = b.sensor("gap_radar", D, front_bumper);
+        const NodeId radar_link = b.comm("gap_radar_link", D, front_bumper);
+        const NodeId radar_proc = b.func("gap_radar_proc", D, cabin);
+        const NodeId radar_out = b.comm("gap_radar_out", D, cabin);
+        b.chain({vsplit, radar, radar_link, radar_proc, radar_out, gap_fusion});
+
+        const NodeId v2v = b.sensor("v2v_lead_state", D, roof);
+        const NodeId v2v_link = b.comm("v2v_lead_link", D, cabin);
+        const NodeId v2v_proc = b.func("v2v_lead_proc", D, cabin);
+        const NodeId v2v_out = b.comm("v2v_lead_out", D, cabin);
+        b.chain({vsplit, v2v, v2v_link, v2v_proc, v2v_out, gap_fusion});
+    }
+
+    b.set_fsr("FSR-LONG-EGO");
+    // ---- ego speed (single channel).
+    const NodeId wheel = b.sensor("wheel_speed", D, chassis);
+    const NodeId wheel_link = b.comm("wheel_link", D, chassis);
+    b.chain({wheel, wheel_link});
+
+    b.set_fsr("FSR-LONG-01");
+    // ---- decision chain: gap state -> CACC controller -> acceleration
+    // request -> torque/brake arbitration.
+    const NodeId gap_state = b.comm("gap_state", D, cabin);
+    const NodeId cacc = b.func("cacc_controller", D, cabin);
+    const NodeId accel_req = b.comm("accel_req", D, cabin);
+    const NodeId arbiter = b.func("torque_brake_arbiter", D, cabin);
+    b.chain({gap_fusion, gap_state, cacc, accel_req, arbiter});
+    b.link(wheel_link, cacc);
+
+    b.set_fsr("FSR-LONG-ACT");
+    // ---- actuation: two actuators, each through its own network.
+    const NodeId torque_cmd = b.comm("torque_cmd", D, engine_bay);
+    const NodeId engine = b.actuator("engine_torque", D, engine_bay);
+    b.chain({arbiter, torque_cmd, engine});
+    const NodeId brake_cmd = b.comm("brake_cmd", D, chassis);
+    const NodeId brake = b.actuator("brake", D, chassis);
+    b.chain({arbiter, brake_cmd, brake});
+
+    b.set_fsr("FSR-LONG-01");
+    // ---- feedback loop: the applied acceleration changes the ego motion
+    // that the CACC controller regulates (a DCG, as the paper notes
+    // automotive applications are).
+    const NodeId accel_feedback = b.comm("accel_feedback", D, cabin);
+    b.link(arbiter, accel_feedback);
+    b.link(accel_feedback, cacc);
+
+    b.set_fsr("QM-HMI");
+    // ---- mixed criticality: the driver display is QM and must not
+    // inflate the safety analysis.
+    const NodeId hmi_data = b.comm("hmi_data", Asil::QM, cabin);
+    const NodeId display = b.actuator("driver_display", Asil::QM, cabin);
+    b.link(gap_state, hmi_data);
+    b.link(hmi_data, display);
+
+    return b.take();
+}
+
+std::vector<std::string> longitudinal_decision_nodes() {
+    return {"gap_state", "cacc_controller", "accel_req", "torque_brake_arbiter"};
+}
+
+}  // namespace asilkit::scenarios

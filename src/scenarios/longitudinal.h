@@ -1,0 +1,29 @@
+// A second case study: the EcoTwin platoon's LONGITUDINAL control
+// (cooperative adaptive cruise control — keeping the short gap to the
+// lead truck that produces the fuel savings, plus emergency braking).
+//
+// Not a figure of the paper, but the companion function its introduction
+// motivates; structurally it differs from the lateral application in
+// ways that exercise other parts of the library:
+//   * a feedback loop (applied acceleration -> ego dynamics -> gap
+//     sensing), so the application graph is a true DCG and fault-tree
+//     generation must cut a cycle;
+//   * two actuators (engine torque and brake), so the fault tree has a
+//     system-level OR top event;
+//   * a mixed-criticality side chain (QM driver display).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/architecture.h"
+
+namespace asilkit::scenarios {
+
+[[nodiscard]] ArchitectureModel ecotwin_longitudinal_control();
+
+/// The single-channel decision nodes of the gap controller, in dataflow
+/// order (the candidates for ASIL decomposition).
+[[nodiscard]] std::vector<std::string> longitudinal_decision_nodes();
+
+}  // namespace asilkit::scenarios

@@ -1,0 +1,38 @@
+// Micro-scenarios for the Section VII-B experiments (paper Figs. 5-9).
+//
+// Each builder returns the *initial* (non-redundant) model; the benches
+// and tests apply the transformation under study and compare failure
+// probabilities before/after, mirroring the paper's examples:
+//   Fig. 5/7: expanding a 1-input node lowers the failure probability;
+//   Fig. 8:   expanding a 3-input/3-output node raises it;
+//   Fig. 6:   connecting two consecutive blocks lowers it;
+//   Fig. 9:   sharing resources inside branches lowers it further.
+#pragma once
+
+#include <string>
+
+#include "model/architecture.h"
+
+namespace asilkit::scenarios {
+
+/// sensor -> c_in -> n -> c_out -> actuator, every node ASIL D on
+/// dedicated hardware (Fig. 5's starting point).
+[[nodiscard]] ArchitectureModel chain_1in_1out();
+
+/// One functional node with 1 input and 2 outputs feeding two actuators
+/// (Fig. 7's starting point).
+[[nodiscard]] ArchitectureModel chain_1in_2out();
+
+/// One functional node with 3 inputs and 3 outputs (Fig. 8).
+[[nodiscard]] ArchitectureModel chain_3in_3out();
+
+/// sensor -> c0 -> n1 -> c_mid -> n2 -> c5 -> actuator: expanding both n1
+/// and n2 yields the two consecutive blocks of Fig. 6.
+[[nodiscard]] ArchitectureModel chain_two_stages();
+
+/// A plain chain of `stages` functional nodes separated by communication
+/// nodes (scalability studies; each stage is independently expandable).
+/// Stage functional nodes are named "f1" ... "f<stages>".
+[[nodiscard]] ArchitectureModel chain_n_stages(std::size_t stages, Asil level = Asil::D);
+
+}  // namespace asilkit::scenarios

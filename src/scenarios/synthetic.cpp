@@ -1,0 +1,66 @@
+#include "scenarios/synthetic.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "scenarios/builder.h"
+
+namespace asilkit::scenarios {
+
+ArchitectureModel synthetic_model(const SyntheticOptions& options) {
+    ScenarioBuilder b("synthetic-" + std::to_string(options.seed));
+    std::mt19937 rng(options.seed);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    const Asil level = options.level;
+
+    const LocationId zone_a = b.loc("zone_a");
+    const LocationId zone_b = b.loc("zone_b");
+    const LocationId zone_c = b.loc("zone_c");
+    const LocationId zones[] = {zone_a, zone_b, zone_c};
+    auto pick_zone = [&]() { return zones[rng() % 3]; };
+
+    // Sensors feed the first layer through explicit communication nodes.
+    std::vector<NodeId> previous;
+    for (std::size_t i = 0; i < options.sensors; ++i) {
+        const LocationId at = pick_zone();
+        const NodeId s = b.sensor("s" + std::to_string(i), level, at);
+        const NodeId c = b.comm("sc" + std::to_string(i), level, at);
+        b.link(s, c);
+        previous.push_back(c);
+    }
+
+    for (std::size_t layer = 0; layer < options.layers; ++layer) {
+        std::vector<NodeId> current;
+        for (std::size_t i = 0; i < options.width; ++i) {
+            const LocationId at = pick_zone();
+            const std::string tag = std::to_string(layer) + "_" + std::to_string(i);
+            const NodeId f = b.func("f" + tag, level, at);
+            // Primary input keeps the graph connected; optional extras add
+            // fan-in.
+            b.link(previous[rng() % previous.size()], f);
+            if (previous.size() > 1 && coin(rng) < options.extra_edge_probability) {
+                b.link(previous[rng() % previous.size()], f);
+            }
+            const NodeId c = b.comm("c" + tag, level, at);
+            b.link(f, c);
+            current.push_back(c);
+        }
+        previous = std::move(current);
+    }
+
+    for (std::size_t i = 0; i < options.actuators; ++i) {
+        const NodeId a = b.actuator("a" + std::to_string(i), level, pick_zone());
+        b.link(previous[rng() % previous.size()], a);
+        // Every layer output must reach some actuator to avoid dangling
+        // chains: the first actuator absorbs the rest.
+        if (i == 0) {
+            for (NodeId c : previous) {
+                if (!b.model().app().find_edge(c, a).valid()) b.link(c, a);
+            }
+        }
+    }
+    return b.take();
+}
+
+}  // namespace asilkit::scenarios

@@ -1,0 +1,28 @@
+// Seeded synthetic model generator for scalability studies and
+// randomized property tests.
+//
+// Generates layered sensor -> processing -> actuator DAGs whose size and
+// fan-in/out are parameterized; every node sits on dedicated hardware.
+// The generator is a pure function of its options (std::mt19937 with the
+// given seed), so tests and benches are reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "model/architecture.h"
+
+namespace asilkit::scenarios {
+
+struct SyntheticOptions {
+    std::uint32_t seed = 1;
+    std::size_t sensors = 3;
+    std::size_t layers = 3;            ///< functional layers between sensors and actuators
+    std::size_t width = 3;             ///< functional nodes per layer
+    std::size_t actuators = 1;
+    double extra_edge_probability = 0.2;  ///< chance of a second input per node
+    Asil level = Asil::D;              ///< requirement level of every node
+};
+
+[[nodiscard]] ArchitectureModel synthetic_model(const SyntheticOptions& options = {});
+
+}  // namespace asilkit::scenarios

@@ -1,0 +1,55 @@
+// The Connect() transformation (paper Section VII-A, Fig. 6).
+//
+// Two consecutive redundant blocks
+//
+//   s1 =< branches1 >= n_m --> c --> f_s =< branches2 >= m2
+//
+// are merged into a single block by wiring each branch of block 1
+// directly into the ASIL-matching branch of block 2 and removing the
+// middle merger n_m, communication node c, and splitter f_s (together
+// with their dedicated hardware).  The transformation is ASIL-equivalent
+// iff the paper's four conditions hold:
+//   1. the two blocks have the same block ASIL (Eq. 4);
+//   2. they have the same number of branches;
+//   3. c is connected to nothing but n_m and f_s;
+//   4. the branch ASIL multisets match pairwise.
+// Under a single-fault assumption reliability is unchanged; with two or
+// more faults the merged block is weaker (one fault per side of the old
+// boundary could previously be masked), which is exactly the trade the
+// paper's Fig. 6/12 experiments quantify.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/asil.h"
+#include "model/architecture.h"
+
+namespace asilkit::transform {
+
+struct ConnectResult {
+    NodeId removed_merger;    ///< n_m (now erased)
+    NodeId removed_comm;      ///< c
+    NodeId removed_splitter;  ///< f_s
+    /// New branch-to-branch edges: (tail of block-1 branch, head of
+    /// block-2 branch), one per matched pair.
+    std::vector<std::pair<NodeId, NodeId>> stitched;
+};
+
+/// Merges the block ending at `merger` with the next block downstream.
+/// Throws TransformError when any of the four conditions fails or the
+/// n_m -> c -> f_s chain is not present.
+ConnectResult connect(ArchitectureModel& m, NodeId merger);
+
+/// True iff connect(m, merger) would succeed (non-mutating).
+[[nodiscard]] bool can_connect(const ArchitectureModel& m, NodeId merger,
+                               std::string* why = nullptr);
+
+/// Mergers for which can_connect() holds, in id order.
+[[nodiscard]] std::vector<NodeId> find_connectable(const ArchitectureModel& m);
+
+/// Applies connect() until no connectable pair remains; returns the
+/// number of merges performed.
+std::size_t connect_all(ArchitectureModel& m);
+
+}  // namespace asilkit::transform

@@ -1,0 +1,60 @@
+#include "transform/reduce.h"
+
+#include "core/error.h"
+
+namespace asilkit::transform {
+
+bool can_reduce(const ArchitectureModel& m, NodeId first, NodeId second) {
+    const AppGraph& g = m.app();
+    if (!g.contains(first) || !g.contains(second)) return false;
+    if (g.node(first).kind != NodeKind::Communication ||
+        g.node(second).kind != NodeKind::Communication) {
+        return false;
+    }
+    if (!g.find_edge(first, second).valid()) return false;
+    // `first` must feed only `second`, and `second` must be fed only by
+    // `first`: both then provably carry the same data.
+    return g.out_degree(first) == 1 && g.in_degree(second) == 1;
+}
+
+ReduceResult reduce(ArchitectureModel& m, NodeId first, NodeId second) {
+    if (!can_reduce(m, first, second)) {
+        throw TransformError("Reduce: nodes are not a collapsible communication pair");
+    }
+    AppGraph& g = m.app();
+    AppNode& kept = g.node(first);
+    const AppNode& gone = g.node(second);
+    // The surviving node carries the weaker of the two guarantees.
+    if (asil_value(gone.asil.level) < asil_value(kept.asil.level)) {
+        kept.asil.level = gone.asil.level;
+    }
+    kept.asil.inherited = asil_max(kept.asil.inherited, gone.asil.inherited);
+    if (kept.fsr.empty()) kept.fsr = gone.fsr;
+
+    for (ChannelId e : g.out_edges(second)) {
+        m.connect_app(first, g.edge(e).sink, g.edge(e).data);
+    }
+    m.erase_app_node(second, /*drop_dedicated_resources=*/true);
+    return ReduceResult{first, second};
+}
+
+std::size_t reduce_all(ArchitectureModel& m) {
+    std::size_t reductions = 0;
+    for (;;) {
+        bool progressed = false;
+        for (NodeId n : m.app().node_ids()) {
+            if (m.app().node(n).kind != NodeKind::Communication) continue;
+            if (m.app().out_degree(n) != 1) continue;
+            const NodeId next = m.app().successors(n).front();
+            if (can_reduce(m, n, next)) {
+                reduce(m, n, next);
+                ++reductions;
+                progressed = true;
+                break;  // node_ids() snapshot is stale after a mutation
+            }
+        }
+        if (!progressed) return reductions;
+    }
+}
+
+}  // namespace asilkit::transform

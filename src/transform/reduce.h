@@ -1,0 +1,33 @@
+// The Reduce() transformation (paper Section VII-A).
+//
+// Two consecutive communication nodes carry the same information; the
+// pair is collapsed into a single communication node whose ASIL is the
+// minimum of the two.  Such pairs appear as a by-product of Expand() and
+// Connect() (e.g. c_out_x -> c_pre_y chains); Reduce() trims them and
+// their dedicated hardware, lowering cost with negligible effect on the
+// failure probability.
+#pragma once
+
+#include <vector>
+
+#include "model/architecture.h"
+
+namespace asilkit::transform {
+
+struct ReduceResult {
+    NodeId kept;    ///< the surviving communication node (was `first`)
+    NodeId removed; ///< the erased node (was `second`)
+};
+
+/// Collapses the pair (first -> second).  Preconditions: both are
+/// communication nodes, the edge exists, `first` has no other output and
+/// `second` no other input.  Throws TransformError.
+ReduceResult reduce(ArchitectureModel& m, NodeId first, NodeId second);
+
+/// True iff reduce(m, first, second) would succeed.
+[[nodiscard]] bool can_reduce(const ArchitectureModel& m, NodeId first, NodeId second);
+
+/// Collapses every reducible pair; returns the number of reductions.
+std::size_t reduce_all(ArchitectureModel& m);
+
+}  // namespace asilkit::transform

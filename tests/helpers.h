@@ -1,0 +1,81 @@
+// Shared test utilities: brute-force fault-tree evaluation (ground truth
+// for the BDD engine) and a seeded random fault-tree generator for
+// property tests.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "ftree/fault_tree.h"
+
+namespace asilkit::testing {
+
+/// Evaluates the tree under a complete basic-event truth assignment.
+/// Empty gates are "no failure mode": false.
+inline bool evaluate_fault_tree(const ftree::FaultTree& ft, ftree::FtRef node,
+                                const std::vector<bool>& assignment) {
+    if (node.kind == ftree::FtRef::Kind::Basic) return assignment[node.index];
+    const ftree::Gate& g = ft.gate(node.index);
+    if (g.children.empty()) return false;
+    if (g.kind == ftree::GateKind::Or) {
+        for (const ftree::FtRef& c : g.children) {
+            if (evaluate_fault_tree(ft, c, assignment)) return true;
+        }
+        return false;
+    }
+    for (const ftree::FtRef& c : g.children) {
+        if (!evaluate_fault_tree(ft, c, assignment)) return false;
+    }
+    return true;
+}
+
+/// Exact top-event probability by enumerating all 2^n assignments
+/// (n = number of basic events; keep n <= 20).
+inline double brute_force_probability(const ftree::FaultTree& ft, double mission_hours = 1.0) {
+    const std::size_t n = ft.basic_events().size();
+    std::vector<double> p(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        p[i] = 1.0 - std::exp(-ft.basic_events()[i].lambda * mission_hours);
+    }
+    double total = 0.0;
+    std::vector<bool> assignment(n);
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+        double weight = 1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            assignment[i] = (mask >> i) & 1u;
+            weight *= assignment[i] ? p[i] : 1.0 - p[i];
+        }
+        if (weight > 0.0 && evaluate_fault_tree(ft, ft.top(), assignment)) total += weight;
+    }
+    return total;
+}
+
+/// A random DAG-shaped fault tree with `events` basic events and `gates`
+/// gates, rooted at the last gate.  Same seed, same tree.
+inline ftree::FaultTree random_fault_tree(std::uint32_t seed, std::size_t events,
+                                          std::size_t gates) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> prob(0.01, 0.4);
+    ftree::FaultTree ft;
+    std::vector<ftree::FtRef> pool;
+    for (std::size_t i = 0; i < events; ++i) {
+        // lambda chosen so the 1-hour probability is prob(rng).
+        const double p = prob(rng);
+        pool.push_back(ft.add_basic_event("e" + std::to_string(i), -std::log(1.0 - p)));
+    }
+    for (std::size_t i = 0; i < gates; ++i) {
+        const auto kind = (rng() % 2) ? ftree::GateKind::Or : ftree::GateKind::And;
+        const std::size_t arity = 2 + rng() % 3;
+        std::vector<ftree::FtRef> children;
+        for (std::size_t c = 0; c < arity; ++c) {
+            children.push_back(pool[rng() % pool.size()]);
+        }
+        pool.push_back(ft.add_gate("g" + std::to_string(i), kind, std::move(children)));
+    }
+    ft.set_top(pool.back());
+    return ft;
+}
+
+}  // namespace asilkit::testing

@@ -1,0 +1,109 @@
+#include "core/asil.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace asilkit {
+namespace {
+
+TEST(Asil, ValuesAreOrdered) {
+    EXPECT_EQ(asil_value(Asil::QM), 0);
+    EXPECT_EQ(asil_value(Asil::A), 1);
+    EXPECT_EQ(asil_value(Asil::B), 2);
+    EXPECT_EQ(asil_value(Asil::C), 3);
+    EXPECT_EQ(asil_value(Asil::D), 4);
+}
+
+TEST(Asil, FromValueRoundTripsAndSaturates) {
+    for (Asil a : kAllAsilLevels) {
+        EXPECT_EQ(asil_from_value(asil_value(a)), a);
+    }
+    EXPECT_EQ(asil_from_value(-3), Asil::QM);
+    EXPECT_EQ(asil_from_value(99), Asil::D);
+}
+
+TEST(Asil, MinMax) {
+    EXPECT_EQ(asil_min(Asil::B, Asil::D), Asil::B);
+    EXPECT_EQ(asil_min(Asil::QM, Asil::A), Asil::QM);
+    EXPECT_EQ(asil_max(Asil::B, Asil::D), Asil::D);
+    EXPECT_EQ(asil_max(Asil::C, Asil::C), Asil::C);
+}
+
+TEST(Asil, SumSaturatesAtD) {
+    EXPECT_EQ(asil_sum(Asil::B, Asil::B), Asil::D);
+    EXPECT_EQ(asil_sum(Asil::A, Asil::C), Asil::D);
+    EXPECT_EQ(asil_sum(Asil::A, Asil::A), Asil::B);
+    EXPECT_EQ(asil_sum(Asil::QM, Asil::C), Asil::C);
+    EXPECT_EQ(asil_sum(Asil::D, Asil::D), Asil::D);
+}
+
+TEST(Asil, SumIsCommutativeAndMonotone) {
+    for (Asil a : kAllAsilLevels) {
+        for (Asil b : kAllAsilLevels) {
+            EXPECT_EQ(asil_sum(a, b), asil_sum(b, a));
+            EXPECT_GE(asil_value(asil_sum(a, b)), asil_value(a));
+            EXPECT_GE(asil_value(asil_sum(a, b)), asil_value(b));
+        }
+    }
+}
+
+TEST(Asil, ToString) {
+    EXPECT_EQ(to_string(Asil::QM), "QM");
+    EXPECT_EQ(to_string(Asil::D), "D");
+    EXPECT_EQ(to_long_string(Asil::QM), "QM");
+    EXPECT_EQ(to_long_string(Asil::B), "ASIL B");
+}
+
+TEST(Asil, Parse) {
+    EXPECT_EQ(asil_from_string("D"), Asil::D);
+    EXPECT_EQ(asil_from_string("qm"), Asil::QM);
+    EXPECT_EQ(asil_from_string("ASIL C"), Asil::C);
+    EXPECT_EQ(asil_from_string("asil_b"), Asil::B);
+    EXPECT_EQ(asil_from_string("ASIL-A"), Asil::A);
+    EXPECT_EQ(asil_from_string("E"), std::nullopt);
+    EXPECT_EQ(asil_from_string(""), std::nullopt);
+    EXPECT_EQ(asil_from_string("ASILD"), Asil::D);
+}
+
+TEST(Asil, ParseRoundTripsEveryLevel) {
+    for (Asil a : kAllAsilLevels) {
+        EXPECT_EQ(asil_from_string(to_string(a)), a);
+        EXPECT_EQ(asil_from_string(to_long_string(a)), a);
+    }
+}
+
+TEST(Asil, StreamOutput) {
+    std::ostringstream os;
+    os << Asil::C;
+    EXPECT_EQ(os.str(), "C");
+}
+
+TEST(AsilTag, PlainTagIsNotDecomposed) {
+    const AsilTag tag{Asil::C};
+    EXPECT_EQ(tag.level, Asil::C);
+    EXPECT_EQ(tag.inherited, Asil::C);
+    EXPECT_FALSE(tag.is_decomposed());
+    EXPECT_EQ(to_string(tag), "C");
+}
+
+TEST(AsilTag, DecomposedTagShowsProvenance) {
+    const AsilTag tag{Asil::B, Asil::D};
+    EXPECT_TRUE(tag.is_decomposed());
+    EXPECT_EQ(to_string(tag), "B(D)");
+}
+
+TEST(AsilTag, Equality) {
+    EXPECT_EQ((AsilTag{Asil::B, Asil::D}), (AsilTag{Asil::B, Asil::D}));
+    EXPECT_NE((AsilTag{Asil::B, Asil::D}), (AsilTag{Asil::B, Asil::B}));
+    EXPECT_NE((AsilTag{Asil::B, Asil::D}), (AsilTag{Asil::A, Asil::D}));
+}
+
+TEST(AsilTag, DefaultIsQm) {
+    const AsilTag tag;
+    EXPECT_EQ(tag.level, Asil::QM);
+    EXPECT_FALSE(tag.is_decomposed());
+}
+
+}  // namespace
+}  // namespace asilkit

@@ -1,0 +1,272 @@
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "io/model_json.h"
+
+namespace asilkit::cli {
+namespace {
+
+struct CliRun {
+    int exit_code;
+    std::string out;
+    std::string err;
+};
+
+CliRun run(std::vector<std::string> args) {
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code = run_cli(args, out, err);
+    return {code, out.str(), err.str()};
+}
+
+std::string temp_path(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+/// Writes the fig3 demo model once for the read-only commands.
+class CliTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        model_path_ = new std::string(temp_path("cli_fig3.json"));
+        ASSERT_EQ(run({"demo", "fig3", "-o", *model_path_}).exit_code, 0);
+    }
+    static void TearDownTestSuite() {
+        delete model_path_;
+        model_path_ = nullptr;
+    }
+    static const std::string& model() { return *model_path_; }
+
+private:
+    static std::string* model_path_;
+};
+
+std::string* CliTest::model_path_ = nullptr;
+
+TEST_F(CliTest, NoArgsPrintsUsageAndFails) {
+    const CliRun r = run({});
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, HelpSucceeds) {
+    const CliRun r = run({"analyze", "--help"});
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+    const CliRun r = run({"frobnicate"});
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingFileReportsError) {
+    const CliRun r = run({"analyze", "/nonexistent/model.json"});
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST_F(CliTest, DemoWritesLoadableModel) {
+    const std::string path = temp_path("cli_demo_longitudinal.json");
+    const CliRun r = run({"demo", "longitudinal", "-o", path});
+    EXPECT_EQ(r.exit_code, 0);
+    const ArchitectureModel m = io::load_model(path);
+    EXPECT_EQ(m.name(), "ecotwin-longitudinal-control");
+}
+
+TEST_F(CliTest, DemoUnknownScenarioFails) {
+    const CliRun r = run({"demo", "warpdrive", "-o", temp_path("x.json")});
+    EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST_F(CliTest, ValidateCleanModel) {
+    const CliRun r = run({"validate", model()});
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.out.find("0 errors"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeReportsProbabilityAndCost) {
+    const CliRun r = run({"analyze", model()});
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.out.find("P(system failure)"), std::string::npos);
+    EXPECT_NE(r.out.find("cost"), std::string::npos);
+    EXPECT_NE(r.out.find("2.08"), std::string::npos);  // ~2.08e-7
+}
+
+TEST_F(CliTest, AnalyzeApproximateAndHours) {
+    const CliRun r = run({"analyze", model(), "--approximate", "--hours", "100"});
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.out.find("approximated blocks: 1"), std::string::npos);
+    EXPECT_NE(r.out.find("over 100 h"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeRejectsBadMetric) {
+    const CliRun r = run({"analyze", model(), "--metric", "9"});
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_NE(r.err.find("metric"), std::string::npos);
+}
+
+TEST_F(CliTest, CcfCleanModelExitsZero) {
+    const CliRun r = run({"ccf", model()});
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.out.find("independent"), std::string::npos);
+}
+
+TEST_F(CliTest, CcfBrokenModelExitsOne) {
+    const std::string path = temp_path("cli_fig3_ccf.json");
+    ASSERT_EQ(run({"demo", "fig3-ccf", "-o", path}).exit_code, 0);
+    const CliRun r = run({"ccf", path});
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_NE(r.out.find("shared-resource"), std::string::npos);
+}
+
+TEST_F(CliTest, ToleranceListsSpofs) {
+    const CliRun r = run({"tolerance", model(), "--max-order", "2"});
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.out.find("minimal cut order : 1"), std::string::npos);
+    EXPECT_NE(r.out.find("res:camera_hw"), std::string::npos);
+}
+
+TEST_F(CliTest, AdviseRanksExpansions) {
+    const CliRun r = run({"advise", model()});
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.out.find("expand("), std::string::npos);
+}
+
+TEST_F(CliTest, ExpandWritesTransformedModel) {
+    const std::string eco = temp_path("cli_eco.json");
+    ASSERT_EQ(run({"demo", "ecotwin", "-o", eco}).exit_code, 0);
+    const std::string out_path = temp_path("cli_eco_expanded.json");
+    const CliRun r =
+        run({"expand", eco, "--node", "world_model", "--strategy", "AC", "-o", out_path});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    const ArchitectureModel m = io::load_model(out_path);
+    EXPECT_FALSE(m.find_app_node("world_model").valid());
+    EXPECT_TRUE(m.find_app_node("world_model_1").valid());
+    EXPECT_EQ(m.app().node(m.find_app_node("world_model_1")).asil,
+              (AsilTag{Asil::C, Asil::D}));
+}
+
+TEST_F(CliTest, ExpandUnknownNodeFails) {
+    const CliRun r = run({"expand", model(), "--node", "nope", "-o", temp_path("x.json")});
+    EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST_F(CliTest, ConnectAllAfterExpansions) {
+    const std::string eco = temp_path("cli_eco2.json");
+    ASSERT_EQ(run({"demo", "ecotwin", "-o", eco}).exit_code, 0);
+    const std::string e1 = temp_path("cli_eco2_e1.json");
+    ASSERT_EQ(run({"expand", eco, "--node", "wm_eth", "-o", e1}).exit_code, 0);
+    const std::string e2 = temp_path("cli_eco2_e2.json");
+    ASSERT_EQ(run({"expand", e1, "--node", "wm_can", "-o", e2}).exit_code, 0);
+    const std::string connected = temp_path("cli_eco2_connected.json");
+    const CliRun r = run({"connect", e2, "--all", "-o", connected});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    EXPECT_NE(r.out.find("performed 1 connect"), std::string::npos);
+}
+
+TEST_F(CliTest, ReduceWritesModel) {
+    const std::string out_path = temp_path("cli_fig3_reduced.json");
+    const CliRun r = run({"reduce", model(), "-o", out_path});
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NO_THROW(io::load_model(out_path));
+}
+
+TEST_F(CliTest, ExploreProducesCurveAndCsv) {
+    const std::string eco = temp_path("cli_eco3.json");
+    ASSERT_EQ(run({"demo", "ecotwin", "-o", eco}).exit_code, 0);
+    const std::string csv = temp_path("cli_curve.csv");
+    const std::string final_model = temp_path("cli_final.json");
+    const CliRun r = run({"explore", eco, "--nodes", "wm_eth,wm_can,lateral_control", "--csv",
+                          csv, "-o", final_model});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    EXPECT_NE(r.out.find("initial:"), std::string::npos);
+    EXPECT_NE(r.out.find("mapping-optimized"), std::string::npos);
+    std::ifstream csv_in(csv);
+    std::string header;
+    std::getline(csv_in, header);
+    EXPECT_EQ(header, "label,cost,failure_probability");
+    EXPECT_NO_THROW(io::load_model(final_model));
+}
+
+TEST_F(CliTest, ExportEveryLayer) {
+    for (const std::string layer : {"app", "resources", "physical", "ftree"}) {
+        const std::string path = temp_path("cli_" + layer + ".dot");
+        const CliRun r = run({"export", model(), "--layer", layer, "-o", path});
+        EXPECT_EQ(r.exit_code, 0) << layer << ": " << r.err;
+        std::ifstream in(path);
+        std::string first_line;
+        std::getline(in, first_line);
+        EXPECT_NE(first_line.find("graph"), std::string::npos) << layer;
+    }
+}
+
+TEST_F(CliTest, ExportUnknownLayerFails) {
+    const CliRun r = run({"export", model(), "--layer", "warp", "-o", temp_path("x.dot")});
+    EXPECT_EQ(r.exit_code, 1);
+}
+
+
+TEST_F(CliTest, TraceReportsRequirements) {
+    const std::string eco = temp_path("cli_trace_eco.json");
+    ASSERT_EQ(run({"demo", "ecotwin", "-o", eco}).exit_code, 0);
+    const CliRun r = run({"trace", eco});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    EXPECT_NE(r.out.find("FSR-LAT-01"), std::string::npos);
+    EXPECT_NE(r.out.find("[satisfied]"), std::string::npos);
+}
+
+TEST_F(CliTest, TraceFlagsViolations) {
+    // fig3 has no FSR tags: trivially satisfied (no requirements), exit 0.
+    const CliRun r = run({"trace", model()});
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.out.find("without an FSR"), std::string::npos);
+}
+
+TEST_F(CliTest, FmeaRanksResources) {
+    const CliRun r = run({"fmea", model()});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    EXPECT_NE(r.out.find("camera_hw"), std::string::npos);
+    EXPECT_NE(r.out.find("[SPOF]"), std::string::npos);
+    // Sensors first (highest Fussell-Vesely).
+    EXPECT_LT(r.out.find("camera_hw"), r.out.find("ecu1"));
+}
+
+
+TEST_F(CliTest, DiffReportsTransformationFootprint) {
+    const std::string eco = temp_path("cli_diff_eco.json");
+    ASSERT_EQ(run({"demo", "ecotwin", "-o", eco}).exit_code, 0);
+    const std::string expanded = temp_path("cli_diff_expanded.json");
+    ASSERT_EQ(run({"expand", eco, "--node", "world_model", "-o", expanded}).exit_code, 0);
+    const CliRun r = run({"diff", eco, expanded});
+    EXPECT_EQ(r.exit_code, 1);  // differences found
+    EXPECT_NE(r.out.find("- world_model"), std::string::npos);
+    EXPECT_NE(r.out.find("+ world_model_1"), std::string::npos);
+    const CliRun same = run({"diff", eco, eco});
+    EXPECT_EQ(same.exit_code, 0);
+    EXPECT_NE(same.out.find("no differences"), std::string::npos);
+}
+
+TEST_F(CliTest, ExportGraphml) {
+    const std::string path = temp_path("cli_app.graphml");
+    const CliRun r = run({"export", model(), "--layer", "app", "--format", "graphml", "-o", path});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    std::ifstream in(path);
+    std::string first_line;
+    std::getline(in, first_line);
+    EXPECT_NE(first_line.find("<?xml"), std::string::npos);
+    const CliRun bad = run({"export", model(), "--layer", "ftree", "--format", "graphml", "-o",
+                            temp_path("x.graphml")});
+    EXPECT_EQ(bad.exit_code, 1);
+}
+
+TEST_F(CliTest, OptionNeedingValueAtEndFails) {
+    const CliRun r = run({"analyze", model(), "--hours"});
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_NE(r.err.find("needs a value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asilkit::cli

@@ -1,0 +1,191 @@
+#include "transform/connect.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/probability.h"
+#include "core/error.h"
+#include "model/blocks.h"
+#include "model/validation.h"
+#include "scenarios/micro.h"
+#include "transform/expand.h"
+#include "transform/reduce.h"
+
+namespace asilkit::transform {
+namespace {
+
+/// Expands both stages of the two-stage chain, producing the Fig. 6
+/// configuration: block(n1) -> c_mid -> block(n2).
+ArchitectureModel two_blocks(DecompositionStrategy strategy = DecompositionStrategy::BB) {
+    ArchitectureModel m = scenarios::chain_two_stages();
+    ExpandOptions options;
+    options.strategy = strategy;
+    expand(m, m.find_app_node("n1"), options);
+    expand(m, m.find_app_node("n2"), options);
+    return m;
+}
+
+NodeId merger_of_block1(const ArchitectureModel& m) { return m.find_app_node("merge_n1"); }
+
+TEST(Connect, TwoExpandedStagesAreConnectable) {
+    const ArchitectureModel m = two_blocks();
+    std::string why;
+    EXPECT_TRUE(can_connect(m, merger_of_block1(m), &why)) << why;
+    EXPECT_EQ(find_connectable(m), (std::vector<NodeId>{merger_of_block1(m)}));
+}
+
+TEST(Connect, RemovesMergerCommSplitter) {
+    ArchitectureModel m = two_blocks();
+    const std::size_t nodes_before = m.app().node_count();
+    const std::size_t resources_before = m.resources().node_count();
+    const ConnectResult r = connect(m, merger_of_block1(m));
+    EXPECT_EQ(m.app().node_count(), nodes_before - 3);
+    EXPECT_EQ(m.resources().node_count(), resources_before - 3);
+    EXPECT_FALSE(m.find_app_node("merge_n1").valid());
+    EXPECT_FALSE(m.find_app_node("c_mid").valid());
+    EXPECT_FALSE(m.find_app_node("split_n2").valid());
+    EXPECT_EQ(r.stitched.size(), 2u);
+}
+
+TEST(Connect, StitchesBranchesByAsil) {
+    ArchitectureModel m = two_blocks(DecompositionStrategy::AC);  // branches C(D) + A(D)
+    connect(m, merger_of_block1(m));
+    // After stitching, each n1 replica's chain must lead to the SAME-level
+    // n2 replica: c_out_n1_x -> c_in_n2_y with matching levels.
+    const NodeId n1_c = m.find_app_node("n1_1");  // level C replica of stage 1
+    ASSERT_TRUE(n1_c.valid());
+    EXPECT_EQ(m.app().node(n1_c).asil.level, Asil::C);
+    // Walk forward to the stage-2 replica.
+    NodeId cursor = n1_c;
+    for (int hops = 0; hops < 4; ++hops) {
+        const auto succ = m.app().successors(cursor);
+        ASSERT_EQ(succ.size(), 1u);
+        cursor = succ.front();
+        if (m.app().node(cursor).name.rfind("n2_", 0) == 0) break;
+    }
+    EXPECT_EQ(m.app().node(cursor).asil.level, Asil::C)
+        << "C branch of block 1 must continue into the C branch of block 2";
+}
+
+TEST(Connect, MergedBlockKeepsAsil) {
+    ArchitectureModel m = two_blocks();
+    connect(m, merger_of_block1(m));
+    const auto blocks = find_redundant_blocks(m);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_TRUE(blocks.front().well_formed);
+    EXPECT_EQ(block_asil(m, blocks.front()), Asil::D);
+    EXPECT_EQ(validate(m).error_count(), 0u);
+}
+
+TEST(Connect, LowersFailureProbability) {
+    // Paper Fig. 6: 5.49e-9 -> 4.26e-9 (removes three series resources).
+    ArchitectureModel m = two_blocks();
+    const double before = analysis::analyze_failure_probability(m).failure_probability;
+    connect(m, merger_of_block1(m));
+    const double after = analysis::analyze_failure_probability(m).failure_probability;
+    EXPECT_LT(after, before);
+    // Removed: merger (1e-10) + D comm (1e-9) + splitter (1e-10).
+    EXPECT_NEAR(before - after, 1.2e-9, 2e-10);
+}
+
+TEST(Connect, RefusesNonMerger) {
+    ArchitectureModel m = two_blocks();
+    EXPECT_THROW(connect(m, m.find_app_node("sens")), TransformError);
+    EXPECT_FALSE(can_connect(m, m.find_app_node("sens")));
+}
+
+TEST(Connect, RefusesWhenMiddleCommHasExternalReader) {
+    ArchitectureModel m = two_blocks();
+    // An external consumer of c_mid violates condition 3.
+    const NodeId tap = m.add_node_with_dedicated_resource(
+        {"diag_tap", NodeKind::Actuator, AsilTag{Asil::QM}}, m.find_location("center"));
+    m.connect_app(m.find_app_node("c_mid"), tap);
+    std::string why;
+    EXPECT_FALSE(can_connect(m, merger_of_block1(m), &why));
+    EXPECT_NE(why.find("external"), std::string::npos);
+    EXPECT_THROW(connect(m, merger_of_block1(m)), TransformError);
+}
+
+TEST(Connect, RefusesDifferentBlockAsil) {
+    ArchitectureModel m = scenarios::chain_two_stages();
+    // Stage 1 at D, stage 2 downgraded to C before expansion.
+    const NodeId n2 = m.find_app_node("n2");
+    m.app().node(n2).asil = AsilTag{Asil::C};
+    m.resources().node(m.mapped_resources(n2).front()).asil = Asil::C;
+    expand(m, m.find_app_node("n1"));
+    expand(m, n2);
+    std::string why;
+    EXPECT_FALSE(can_connect(m, merger_of_block1(m), &why));
+    EXPECT_NE(why.find("ASIL"), std::string::npos);
+}
+
+TEST(Connect, RefusesMismatchedBranchAsils) {
+    // Same block ASIL (D) but BB branches {B,B} cannot stitch onto AC
+    // branches {C,A}: condition 4.
+    ArchitectureModel m = scenarios::chain_two_stages();
+    ExpandOptions bb;
+    bb.strategy = DecompositionStrategy::BB;
+    expand(m, m.find_app_node("n1"), bb);
+    ExpandOptions ac;
+    ac.strategy = DecompositionStrategy::AC;
+    expand(m, m.find_app_node("n2"), ac);
+    std::string why;
+    EXPECT_FALSE(can_connect(m, merger_of_block1(m), &why));
+    EXPECT_NE(why.find("match"), std::string::npos);
+}
+
+TEST(Connect, RefusesLoneBlock) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    const ExpandResult r = expand(m, m.find_app_node("n"));
+    std::string why;
+    EXPECT_FALSE(can_connect(m, r.mergers[0], &why));
+}
+
+TEST(Connect, ConnectAllMergesWholeChain) {
+    ArchitectureModel m = scenarios::chain_n_stages(4);
+    for (int i = 1; i <= 4; ++i) {
+        expand(m, m.find_app_node("f" + std::to_string(i)));
+    }
+    // Adjacent expanded blocks leave c_post/c_pre residue only for
+    // communication expansions; functional stages sit between original
+    // comm nodes, so reduce first, then connect everything.
+    reduce_all(m);
+    const std::size_t merges = connect_all(m);
+    EXPECT_EQ(merges, 3u);  // 4 blocks -> 1
+    const auto blocks = find_redundant_blocks(m);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_TRUE(blocks.front().well_formed);
+    EXPECT_EQ(validate(m).error_count(), 0u);
+}
+
+TEST(Connect, SingleFaultToleranceIsPreserved) {
+    // Any single branch-resource failure must not fail the system, both
+    // before and after Connect() (the transformation is single-fault
+    // equivalent; only multi-fault behaviour degrades).
+    ArchitectureModel m = two_blocks();
+    auto survives_single_fault = [](const ArchitectureModel& model, const std::string& res) {
+        ftree::FtBuildResult ft = ftree::build_fault_tree(model);
+        // Setting lambda extremely high approximates "failed".
+        ArchitectureModel copy = model;
+        copy.resources().node(copy.find_resource(res)).lambda_override = 1e9;
+        const double p = analysis::analyze_failure_probability(copy).failure_probability;
+        return p < 0.5;
+    };
+    ASSERT_TRUE(survives_single_fault(m, "n1_1_hw"));
+    connect(m, merger_of_block1(m));
+    EXPECT_TRUE(survives_single_fault(m, "n1_1_hw"));
+    EXPECT_TRUE(survives_single_fault(m, "n2_2_hw"));
+}
+
+TEST(Connect, ResultRecordsRemovedNodes) {
+    ArchitectureModel m = two_blocks();
+    const NodeId merger = merger_of_block1(m);
+    const NodeId comm = m.find_app_node("c_mid");
+    const NodeId splitter = m.find_app_node("split_n2");
+    const ConnectResult r = connect(m, merger);
+    EXPECT_EQ(r.removed_merger, merger);
+    EXPECT_EQ(r.removed_comm, comm);
+    EXPECT_EQ(r.removed_splitter, splitter);
+}
+
+}  // namespace
+}  // namespace asilkit::transform

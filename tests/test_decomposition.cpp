@@ -1,0 +1,172 @@
+#include "core/decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace asilkit {
+namespace {
+
+TEST(Decomposition, CatalogueHasEightPatterns) {
+    EXPECT_EQ(all_decomposition_patterns().size(), 8u);
+}
+
+TEST(Decomposition, CatalogueMatchesFig2) {
+    // D row of Fig. 2.
+    EXPECT_TRUE(is_valid_decomposition(Asil::D, Asil::C, Asil::A));
+    EXPECT_TRUE(is_valid_decomposition(Asil::D, Asil::B, Asil::B));
+    EXPECT_TRUE(is_valid_decomposition(Asil::D, Asil::D, Asil::QM));
+    // C row.
+    EXPECT_TRUE(is_valid_decomposition(Asil::C, Asil::B, Asil::A));
+    EXPECT_TRUE(is_valid_decomposition(Asil::C, Asil::C, Asil::QM));
+    // B row.
+    EXPECT_TRUE(is_valid_decomposition(Asil::B, Asil::A, Asil::A));
+    EXPECT_TRUE(is_valid_decomposition(Asil::B, Asil::B, Asil::QM));
+    // A row.
+    EXPECT_TRUE(is_valid_decomposition(Asil::A, Asil::A, Asil::QM));
+}
+
+TEST(Decomposition, OrderOfPartsDoesNotMatter) {
+    EXPECT_TRUE(is_valid_decomposition(Asil::D, Asil::A, Asil::C));
+    EXPECT_TRUE(is_valid_decomposition(Asil::C, Asil::A, Asil::B));
+    EXPECT_TRUE(is_valid_decomposition(Asil::D, Asil::QM, Asil::D));
+}
+
+TEST(Decomposition, RejectsInvalidPairs) {
+    EXPECT_FALSE(is_valid_decomposition(Asil::D, Asil::B, Asil::A));   // sums to 3 < 4
+    EXPECT_FALSE(is_valid_decomposition(Asil::D, Asil::A, Asil::A));   // sums to 2
+    EXPECT_FALSE(is_valid_decomposition(Asil::D, Asil::QM, Asil::QM));
+    EXPECT_FALSE(is_valid_decomposition(Asil::C, Asil::A, Asil::A));
+    EXPECT_FALSE(is_valid_decomposition(Asil::B, Asil::A, Asil::QM));
+    EXPECT_FALSE(is_valid_decomposition(Asil::A, Asil::QM, Asil::QM));
+    EXPECT_FALSE(is_valid_decomposition(Asil::QM, Asil::QM, Asil::QM));
+}
+
+TEST(Decomposition, RejectsOverAchievingNonCataloguePairs) {
+    // C + C "covers" D numerically (3+3 >= 4) but over-achieving pairs are
+    // not in the ISO catalogue as two-way patterns.
+    EXPECT_FALSE(is_valid_decomposition(Asil::D, Asil::C, Asil::C));
+    EXPECT_FALSE(is_valid_decomposition(Asil::D, Asil::D, Asil::D));
+    EXPECT_FALSE(is_valid_decomposition(Asil::B, Asil::B, Asil::B));
+}
+
+// Every catalogue pattern satisfies the saturating-sum invariant.
+class CataloguePattern : public ::testing::TestWithParam<DecompositionPattern> {};
+
+TEST_P(CataloguePattern, SumRuleHolds) {
+    const DecompositionPattern& p = GetParam();
+    EXPECT_GE(asil_value(p.left) + asil_value(p.right), asil_value(p.parent));
+}
+
+TEST_P(CataloguePattern, PartsDoNotExceedParent) {
+    const DecompositionPattern& p = GetParam();
+    EXPECT_LE(asil_value(p.left), asil_value(p.parent));
+    EXPECT_LE(asil_value(p.right), asil_value(p.parent));
+}
+
+TEST_P(CataloguePattern, ValidityPredicateAccepts) {
+    const DecompositionPattern& p = GetParam();
+    EXPECT_TRUE(is_valid_decomposition(p.parent, p.left, p.right)) << to_string(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, CataloguePattern,
+                         ::testing::ValuesIn(all_decomposition_patterns().begin(),
+                                             all_decomposition_patterns().end()));
+
+TEST(Decomposition, DecompositionsOfEachLevel) {
+    EXPECT_EQ(decompositions_of(Asil::D).size(), 3u);
+    EXPECT_EQ(decompositions_of(Asil::C).size(), 2u);
+    EXPECT_EQ(decompositions_of(Asil::B).size(), 2u);
+    EXPECT_EQ(decompositions_of(Asil::A).size(), 1u);
+    EXPECT_TRUE(decompositions_of(Asil::QM).empty());
+}
+
+TEST(Decomposition, NWayValidityUsesSumRule) {
+    const Asil bbb[] = {Asil::B, Asil::B, Asil::B};
+    EXPECT_TRUE(is_valid_decomposition(Asil::D, bbb));  // reachable via repeated patterns
+    const Asil aab[] = {Asil::A, Asil::A, Asil::B};
+    EXPECT_TRUE(is_valid_decomposition(Asil::D, aab));
+    const Asil aaa[] = {Asil::A, Asil::A, Asil::A};
+    EXPECT_FALSE(is_valid_decomposition(Asil::D, aaa));  // sums to 3
+    const Asil qm_only[] = {Asil::QM, Asil::QM};
+    EXPECT_FALSE(is_valid_decomposition(Asil::A, qm_only));
+}
+
+TEST(Decomposition, NWayEdgeCases) {
+    EXPECT_FALSE(is_valid_decomposition(Asil::D, std::span<const Asil>{}));
+    const Asil single_d[] = {Asil::D};
+    EXPECT_TRUE(is_valid_decomposition(Asil::D, single_d));
+    const Asil single_c[] = {Asil::C};
+    EXPECT_FALSE(is_valid_decomposition(Asil::D, single_c));
+}
+
+TEST(Strategy, BbPrefersSymmetricSplit) {
+    EXPECT_EQ(select_pattern(Asil::D, DecompositionStrategy::BB),
+              (DecompositionPattern{Asil::D, Asil::B, Asil::B}));
+    EXPECT_EQ(select_pattern(Asil::C, DecompositionStrategy::BB),
+              (DecompositionPattern{Asil::C, Asil::B, Asil::A}));
+    EXPECT_EQ(select_pattern(Asil::B, DecompositionStrategy::BB),
+              (DecompositionPattern{Asil::B, Asil::A, Asil::A}));
+    EXPECT_EQ(select_pattern(Asil::A, DecompositionStrategy::BB),
+              (DecompositionPattern{Asil::A, Asil::A, Asil::QM}));
+}
+
+TEST(Strategy, AcPrefersAsymmetricSplit) {
+    EXPECT_EQ(select_pattern(Asil::D, DecompositionStrategy::AC),
+              (DecompositionPattern{Asil::D, Asil::C, Asil::A}));
+    EXPECT_EQ(select_pattern(Asil::C, DecompositionStrategy::AC),
+              (DecompositionPattern{Asil::C, Asil::C, Asil::QM}));
+    EXPECT_EQ(select_pattern(Asil::B, DecompositionStrategy::AC),
+              (DecompositionPattern{Asil::B, Asil::B, Asil::QM}));
+}
+
+TEST(Strategy, RndIsDeterministicInTheDraw) {
+    const auto p0 = select_pattern(Asil::D, DecompositionStrategy::RND, 0.0);
+    const auto p1 = select_pattern(Asil::D, DecompositionStrategy::RND, 0.99);
+    EXPECT_EQ(p0, select_pattern(Asil::D, DecompositionStrategy::RND, 0.0));
+    EXPECT_NE(p0, p1);  // D has two proper patterns: C+A and B+B
+}
+
+TEST(Strategy, RndOnlyPicksProperPatterns) {
+    for (double draw : {0.0, 0.3, 0.6, 0.99}) {
+        const auto p = select_pattern(Asil::D, DecompositionStrategy::RND, draw);
+        EXPECT_NE(p.right, Asil::QM) << "draw " << draw;
+        EXPECT_TRUE(is_valid_decomposition(Asil::D, p.left, p.right));
+    }
+}
+
+TEST(Strategy, RndDrawOutOfRangeIsClamped) {
+    EXPECT_NO_THROW(select_pattern(Asil::D, DecompositionStrategy::RND, -1.0));
+    EXPECT_NO_THROW(select_pattern(Asil::D, DecompositionStrategy::RND, 2.0));
+}
+
+TEST(Strategy, QmCannotBeDecomposed) {
+    EXPECT_THROW(select_pattern(Asil::QM, DecompositionStrategy::BB), std::invalid_argument);
+    EXPECT_THROW(select_pattern(Asil::QM, DecompositionStrategy::RND), std::invalid_argument);
+}
+
+TEST(Strategy, EverySelectedPatternIsValid) {
+    for (Asil parent : {Asil::A, Asil::B, Asil::C, Asil::D}) {
+        for (DecompositionStrategy s : {DecompositionStrategy::BB, DecompositionStrategy::AC,
+                                        DecompositionStrategy::RND}) {
+            const auto p = select_pattern(parent, s, 0.5);
+            EXPECT_EQ(p.parent, parent);
+            EXPECT_TRUE(is_valid_decomposition(parent, p.left, p.right))
+                << to_string(s) << " on " << to_string(parent);
+        }
+    }
+}
+
+TEST(Strategy, Names) {
+    EXPECT_EQ(to_string(DecompositionStrategy::BB), "BB");
+    EXPECT_EQ(to_string(DecompositionStrategy::AC), "AC");
+    EXPECT_EQ(to_string(DecompositionStrategy::RND), "RND");
+}
+
+TEST(Decomposition, PatternToString) {
+    const DecompositionPattern p{Asil::D, Asil::B, Asil::B};
+    EXPECT_EQ(to_string(p), "D -> B(D) + B(D)");
+}
+
+}  // namespace
+}  // namespace asilkit

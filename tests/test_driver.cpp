@@ -1,0 +1,255 @@
+#include "explore/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "explore/pareto.h"
+#include "transform/connect.h"
+#include "transform/expand.h"
+#include "transform/reduce.h"
+#include "model/blocks.h"
+#include "model/validation.h"
+#include "scenarios/ecotwin.h"
+#include "scenarios/micro.h"
+
+namespace asilkit::explore {
+namespace {
+
+ExplorationOptions fast_options() {
+    ExplorationOptions options;
+    options.probability.approximate = true;
+    return options;
+}
+
+TEST(Driver, RecordsInitialPointFirst) {
+    const ArchitectureModel m = scenarios::chain_two_stages();
+    const ExplorationResult r = run_exploration(m, {"n1"}, fast_options());
+    ASSERT_GE(r.curve.points.size(), 2u);
+    EXPECT_EQ(r.curve.points.front().label, "initial");
+    EXPECT_EQ(r.curve.points[1].label, "expand(n1)");
+}
+
+TEST(Driver, UnknownNodeNameThrows) {
+    const ArchitectureModel m = scenarios::chain_two_stages();
+    EXPECT_THROW(run_exploration(m, {"does_not_exist"}, fast_options()), TransformError);
+}
+
+TEST(Driver, InputModelIsNotMutated) {
+    const ArchitectureModel m = scenarios::chain_two_stages();
+    const std::size_t nodes = m.app().node_count();
+    (void)run_exploration(m, {"n1", "n2"}, fast_options());
+    EXPECT_EQ(m.app().node_count(), nodes);
+}
+
+TEST(Driver, FullPipelineOnTwoStages) {
+    const ArchitectureModel m = scenarios::chain_two_stages();
+    const ExplorationResult r = run_exploration(m, {"n1", "n2"}, fast_options());
+    EXPECT_EQ(r.expansions, 2u);
+    EXPECT_EQ(r.connects, 1u);
+    EXPECT_EQ(validate(r.final_model).error_count(), 0u);
+    // One merged block remains.
+    const auto blocks = find_redundant_blocks(r.final_model);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(block_asil(r.final_model, blocks.front()), Asil::D);
+    EXPECT_EQ(r.curve.points.back().label, "mapping-optimized");
+}
+
+TEST(Driver, EcotwinTrajectoryMatchesPaperShape) {
+    // Fig. 12 qualitative shape:
+    //  - B (max expansion) costs more than A and fails more often than A,
+    //  - connect phase decreases cost and probability monotonically,
+    //  - D (final) costs less than B and is close to A's probability.
+    const ArchitectureModel m = scenarios::ecotwin_lateral_control();
+    const ExplorationResult r =
+        run_exploration(m, scenarios::ecotwin_decision_nodes(), fast_options());
+
+    const TradeoffPoint& a = r.curve.points.front();
+    // Point B: last expand(...) point.
+    std::size_t b_index = 0;
+    for (std::size_t i = 0; i < r.curve.points.size(); ++i) {
+        if (r.curve.points[i].label.rfind("expand(", 0) == 0) b_index = i;
+    }
+    const TradeoffPoint& b = r.curve.points[b_index];
+    const TradeoffPoint& d = r.curve.points.back();
+
+    EXPECT_GT(b.cost, a.cost);
+    EXPECT_GT(b.failure_probability, a.failure_probability);
+    for (std::size_t i = b_index + 1; i < r.curve.points.size(); ++i) {
+        EXPECT_LE(r.curve.points[i].cost, r.curve.points[i - 1].cost + 1e-9)
+            << r.curve.points[i].label;
+        EXPECT_LE(r.curve.points[i].failure_probability,
+                  r.curve.points[i - 1].failure_probability + 1e-20)
+            << r.curve.points[i].label;
+    }
+    EXPECT_LT(d.cost, b.cost);
+    EXPECT_LT(d.failure_probability, 1.5 * a.failure_probability);
+}
+
+TEST(Driver, EcotwinConnectsWholeDecisionChain) {
+    const ArchitectureModel m = scenarios::ecotwin_lateral_control();
+    const ExplorationResult r =
+        run_exploration(m, scenarios::ecotwin_decision_nodes(), fast_options());
+    EXPECT_EQ(r.expansions, scenarios::ecotwin_decision_nodes().size());
+    EXPECT_EQ(r.connects, r.expansions - 1);  // chain fuses into one block
+    EXPECT_EQ(validate(r.final_model).error_count(), 0u);
+}
+
+TEST(Driver, FinalEcotwinUsesDOnlyForRedundancyManagement) {
+    // The paper's headline conclusion: after the flow, general-purpose
+    // ASIL D parts appear only where unavoidable (sensing trunk, steering
+    // output); the decision functionality itself runs on ASIL B hardware,
+    // with D reserved for splitters/mergers.
+    const ArchitectureModel m = scenarios::ecotwin_lateral_control();
+    const ExplorationResult r =
+        run_exploration(m, scenarios::ecotwin_decision_nodes(), fast_options());
+    const ArchitectureModel& final_model = r.final_model;
+    for (const RedundantBlock& block : find_redundant_blocks(final_model)) {
+        for (const Branch& branch : block.branches) {
+            for (NodeId n : branch.nodes) {
+                for (ResourceId res : final_model.mapped_resources(n)) {
+                    const Resource& hw = final_model.resources().node(res);
+                    if (hw.kind == ResourceKind::Functional ||
+                        hw.kind == ResourceKind::Communication) {
+                        // Sensing branches keep their (original) D parts;
+                        // decision branches must be B or lower.
+                        if (final_model.app().node(n).asil.is_decomposed()) {
+                            EXPECT_LE(asil_value(hw.asil), asil_value(Asil::B))
+                                << hw.name << " implements decomposed node "
+                                << final_model.app().node(n).name;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(Driver, RndStrategyIsSeedDeterministic) {
+    const ArchitectureModel m = scenarios::chain_two_stages();
+    ExplorationOptions options = fast_options();
+    options.strategy = DecompositionStrategy::RND;
+    options.rng_seed = 7;
+    const ExplorationResult r1 = run_exploration(m, {"n1", "n2"}, options);
+    const ExplorationResult r2 = run_exploration(m, {"n1", "n2"}, options);
+    ASSERT_EQ(r1.curve.points.size(), r2.curve.points.size());
+    for (std::size_t i = 0; i < r1.curve.points.size(); ++i) {
+        EXPECT_DOUBLE_EQ(r1.curve.points[i].cost, r2.curve.points[i].cost);
+        EXPECT_DOUBLE_EQ(r1.curve.points[i].failure_probability,
+                         r2.curve.points[i].failure_probability);
+    }
+}
+
+TEST(Driver, PhasesCanBeDisabled) {
+    const ArchitectureModel m = scenarios::chain_two_stages();
+    ExplorationOptions options = fast_options();
+    options.run_connect_reduce = false;
+    options.run_mapping_optimization = false;
+    const ExplorationResult r = run_exploration(m, {"n1", "n2"}, options);
+    EXPECT_EQ(r.connects, 0u);
+    EXPECT_EQ(r.mapping_groups_merged, 0u);
+    EXPECT_EQ(r.curve.points.back().label, "expand(n2)");
+}
+
+TEST(Driver, CurveNameIdentifiesConfiguration) {
+    const ArchitectureModel m = scenarios::chain_two_stages();
+    ExplorationOptions options = fast_options();
+    options.strategy = DecompositionStrategy::AC;
+    options.metric = cost::CostMetric::linear_metric3();
+    const ExplorationResult r = run_exploration(m, {"n1"}, options);
+    EXPECT_EQ(r.curve.name, "AC/linear-metric-3");
+}
+
+TEST(Driver, ApproximateAndExactAgreeOnEcotwin) {
+    const ArchitectureModel m = scenarios::ecotwin_lateral_control();
+    ExplorationOptions exact = fast_options();
+    exact.probability.approximate = false;
+    const ExplorationResult ra =
+        run_exploration(m, scenarios::ecotwin_decision_nodes(), fast_options());
+    const ExplorationResult re =
+        run_exploration(m, scenarios::ecotwin_decision_nodes(), exact);
+    ASSERT_EQ(ra.curve.points.size(), re.curve.points.size());
+    for (std::size_t i = 0; i < ra.curve.points.size(); ++i) {
+        const double pa = ra.curve.points[i].failure_probability;
+        const double pe = re.curve.points[i].failure_probability;
+        EXPECT_NEAR(pa, pe, 0.001 * pe) << ra.curve.points[i].label;
+    }
+}
+
+
+TEST(Driver, CoarseRecordingSkipsPerConnectPoints) {
+    const ArchitectureModel m = scenarios::chain_two_stages();
+    ExplorationOptions options = fast_options();
+    options.record_each_connect = false;
+    const ExplorationResult r = run_exploration(m, {"n1", "n2"}, options);
+    bool has_connect_point = false;
+    bool has_phase_point = false;
+    for (const auto& p : r.curve.points) {
+        if (p.label.rfind("connect#", 0) == 0) has_connect_point = true;
+        if (p.label == "connected+reduced") has_phase_point = true;
+    }
+    EXPECT_FALSE(has_connect_point);
+    EXPECT_TRUE(has_phase_point);
+}
+
+TEST(Driver, TrunkConsolidationLowersCostFurther) {
+    const ArchitectureModel m = scenarios::ecotwin_lateral_control();
+    ExplorationOptions plain = fast_options();
+    ExplorationOptions consolidated = fast_options();
+    consolidated.trunk_consolidation = true;
+    const auto r_plain = run_exploration(m, scenarios::ecotwin_decision_nodes(), plain);
+    const auto r_cons = run_exploration(m, scenarios::ecotwin_decision_nodes(), consolidated);
+    EXPECT_LT(r_cons.curve.back().cost, r_plain.curve.back().cost);
+    EXPECT_LE(r_cons.curve.back().failure_probability,
+              r_plain.curve.back().failure_probability);
+    EXPECT_EQ(validate(r_cons.final_model).error_count(), 0u);
+}
+
+TEST(Driver, ThreeWayStrategyViaExpandOptionsStillConnects) {
+    // The driver uses 2-way expansion; verify manually-built 3-way blocks
+    // also pass through connect_all when counts/levels match.
+    ArchitectureModel m = scenarios::chain_two_stages();
+    transform::ExpandOptions options;
+    options.branches = 3;
+    transform::expand(m, m.find_app_node("n1"), options);
+    transform::expand(m, m.find_app_node("n2"), options);
+    transform::reduce_all(m);
+    EXPECT_EQ(transform::connect_all(m), 1u);
+    const auto blocks = find_redundant_blocks(m);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks.front().branches.size(), 3u);
+    EXPECT_EQ(validate(m).error_count(), 0u);
+}
+
+TEST(Pareto, DominanceRules) {
+    TradeoffPoint cheap_safe{"a", 10.0, 1e-9, 0, 0, 0, 0, 0};
+    TradeoffPoint pricey_risky{"b", 20.0, 2e-9, 0, 0, 0, 0, 0};
+    TradeoffPoint cheap_risky{"c", 10.0, 2e-9, 0, 0, 0, 0, 0};
+    EXPECT_TRUE(dominates(cheap_safe, pricey_risky));
+    EXPECT_TRUE(dominates(cheap_safe, cheap_risky));
+    EXPECT_FALSE(dominates(cheap_safe, cheap_safe));
+    EXPECT_FALSE(dominates(pricey_risky, cheap_safe));
+    // Incomparable pair.
+    TradeoffPoint pricey_safe{"d", 20.0, 0.5e-9, 0, 0, 0, 0, 0};
+    EXPECT_FALSE(dominates(cheap_safe, pricey_safe));
+    EXPECT_FALSE(dominates(pricey_safe, cheap_safe));
+}
+
+TEST(Pareto, FrontExtractsNonDominatedSortedByCost) {
+    std::vector<TradeoffPoint> points{
+        {"a", 10.0, 1e-9, 0, 0, 0, 0, 0},  {"b", 20.0, 2e-9, 0, 0, 0, 0, 0},
+        {"c", 5.0, 3e-9, 0, 0, 0, 0, 0},   {"d", 30.0, 0.5e-9, 0, 0, 0, 0, 0},
+        {"e", 10.0, 1e-9, 0, 0, 0, 0, 0},  // duplicate of a
+    };
+    const auto front = pareto_front(points);
+    ASSERT_EQ(front.size(), 3u);
+    EXPECT_EQ(front[0].label, "c");
+    EXPECT_EQ(front[1].label, "a");
+    EXPECT_EQ(front[2].label, "d");
+}
+
+TEST(Pareto, EmptyInput) {
+    EXPECT_TRUE(pareto_front({}).empty());
+}
+
+}  // namespace
+}  // namespace asilkit::explore

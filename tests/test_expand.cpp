@@ -1,0 +1,300 @@
+#include "transform/expand.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "model/blocks.h"
+#include "model/validation.h"
+#include "scenarios/micro.h"
+
+namespace asilkit::transform {
+namespace {
+
+TEST(Expand, Adds7NodesFor1In1OutFunctional) {
+    // Paper Fig. 5: "this transformation adds 7 extra nodes".
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    const std::size_t before = m.app().node_count();
+    const ExpandResult r = expand(m, m.find_app_node("n"));
+    EXPECT_EQ(m.app().node_count(), before + 7);
+    EXPECT_EQ(r.nodes_added, 7u);
+    EXPECT_EQ(r.splitters.size(), 1u);
+    EXPECT_EQ(r.mergers.size(), 1u);
+    EXPECT_EQ(r.replicas.size(), 2u);
+    ASSERT_EQ(r.branches.size(), 2u);
+    EXPECT_EQ(r.branches[0].size(), 3u);  // c_in, replica, c_out
+}
+
+TEST(Expand, OriginalNodeAndResourceRemoved) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    expand(m, m.find_app_node("n"));
+    // Ids are slot-recycled, so check by name: the original node and its
+    // dedicated resource are gone, the replicas exist.
+    EXPECT_FALSE(m.find_app_node("n").valid());
+    EXPECT_FALSE(m.find_resource("n_hw").valid());
+    EXPECT_TRUE(m.find_app_node("n_1").valid());
+    EXPECT_TRUE(m.find_app_node("n_2").valid());
+}
+
+TEST(Expand, StaysValid) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    expand(m, m.find_app_node("n"));
+    const ValidationReport report = validate(m);
+    EXPECT_EQ(report.error_count(), 0u);
+    for (const auto& issue : report.issues) {
+        EXPECT_NE(issue.code, IssueCode::InvalidDecomposition) << issue.message;
+    }
+}
+
+TEST(Expand, BbPatternAssignsDecomposedTags) {
+    ArchitectureModel m = scenarios::chain_1in_1out();  // node n is ASIL D
+    const ExpandResult r = expand(m, m.find_app_node("n"));
+    EXPECT_EQ(r.pattern, (DecompositionPattern{Asil::D, Asil::B, Asil::B}));
+    for (NodeId replica : r.replicas) {
+        const AsilTag tag = m.app().node(replica).asil;
+        EXPECT_EQ(tag.level, Asil::B);
+        EXPECT_EQ(tag.inherited, Asil::D);
+        EXPECT_TRUE(tag.is_decomposed());
+    }
+}
+
+TEST(Expand, SplitterMergerKeepOriginalLevelByDefault) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    const ExpandResult r = expand(m, m.find_app_node("n"));
+    for (NodeId s : r.splitters) EXPECT_EQ(m.app().node(s).asil.level, Asil::D);
+    for (NodeId g : r.mergers) EXPECT_EQ(m.app().node(g).asil.level, Asil::D);
+}
+
+TEST(Expand, SplitterMergerLevelOverride) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    ExpandOptions options;
+    options.splitter_merger_asil = Asil::C;
+    const ExpandResult r = expand(m, m.find_app_node("n"), options);
+    EXPECT_EQ(m.app().node(r.splitters[0]).asil.level, Asil::C);
+    EXPECT_EQ(m.app().node(r.mergers[0]).asil.level, Asil::C);
+}
+
+TEST(Expand, AcPatternGivesAsymmetricBranches) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    ExpandOptions options;
+    options.strategy = DecompositionStrategy::AC;
+    const ExpandResult r = expand(m, m.find_app_node("n"), options);
+    EXPECT_EQ(m.app().node(r.replicas[0]).asil.level, Asil::C);
+    EXPECT_EQ(m.app().node(r.replicas[1]).asil.level, Asil::A);
+}
+
+TEST(Expand, DedicatedResourcesMatchNodeKindAndLevel) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    const ExpandResult r = expand(m, m.find_app_node("n"));
+    for (NodeId s : r.splitters) {
+        const Resource& res = m.resources().node(m.mapped_resources(s).front());
+        EXPECT_EQ(res.kind, ResourceKind::Splitter);
+        EXPECT_EQ(res.asil, Asil::D);
+    }
+    for (NodeId replica : r.replicas) {
+        const Resource& res = m.resources().node(m.mapped_resources(replica).front());
+        EXPECT_EQ(res.kind, ResourceKind::Functional);
+        EXPECT_EQ(res.asil, Asil::B);
+    }
+}
+
+TEST(Expand, BranchesGetFreshDisjointLocations) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    const ExpandResult r = expand(m, m.find_app_node("n"));
+    const auto loc1 = m.node_locations(r.replicas[0]);
+    const auto loc2 = m.node_locations(r.replicas[1]);
+    ASSERT_EQ(loc1.size(), 1u);
+    ASSERT_EQ(loc2.size(), 1u);
+    EXPECT_NE(loc1[0], loc2[0]);
+}
+
+TEST(Expand, ExplicitBranchLocationsHonoured) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    const LocationId bay1 = m.add_location({"bay1", kDefaultLocationLambda, {}});
+    const LocationId bay2 = m.add_location({"bay2", kDefaultLocationLambda, {}});
+    ExpandOptions options;
+    options.branch_locations = {bay1, bay2};
+    const ExpandResult r = expand(m, m.find_app_node("n"), options);
+    EXPECT_EQ(m.node_locations(r.replicas[0]), (std::vector<LocationId>{bay1}));
+    EXPECT_EQ(m.node_locations(r.replicas[1]), (std::vector<LocationId>{bay2}));
+}
+
+TEST(Expand, MultiInputOutputCreatesPerEdgeManagement) {
+    ArchitectureModel m = scenarios::chain_3in_3out();
+    const ExpandResult r = expand(m, m.find_app_node("n"));
+    EXPECT_EQ(r.splitters.size(), 3u);
+    EXPECT_EQ(r.mergers.size(), 3u);
+    // Branch: 3 c_in + replica + 3 c_out.
+    EXPECT_EQ(r.branches[0].size(), 7u);
+    EXPECT_EQ(validate(m).error_count(), 0u);
+}
+
+TEST(Expand, CommunicationNodeVariant) {
+    // Expanding a communication node inserts c_pre/c_post around the
+    // splitter/merger and one comm node per branch (paper Sec. VII-A).
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    const std::size_t before = m.app().node_count();
+    const ExpandResult r = expand(m, m.find_app_node("c_out"));
+    EXPECT_EQ(m.app().node_count(), before + 5);  // pre+split+2 branches+merge+post -1 removed
+    ASSERT_EQ(r.replicas.size(), 2u);
+    for (NodeId replica : r.replicas) {
+        EXPECT_EQ(m.app().node(replica).kind, NodeKind::Communication);
+    }
+    // c_pre exists and feeds the splitter.
+    const NodeId pre = m.find_app_node("c_pre_c_out");
+    ASSERT_TRUE(pre.valid());
+    EXPECT_EQ(m.app().successors(pre).front(), r.splitters[0]);
+    EXPECT_EQ(validate(m).error_count(), 0u);
+}
+
+TEST(Expand, ResultingBlockIsDetectable) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    const ExpandResult r = expand(m, m.find_app_node("n"));
+    const RedundantBlock block = find_block_at_merger(m, r.mergers[0]);
+    EXPECT_TRUE(block.well_formed);
+    EXPECT_EQ(block.splitters, r.splitters);
+    EXPECT_EQ(block.branches.size(), 2u);
+}
+
+TEST(Expand, BlockAsilPreservesOriginalRequirement) {
+    // Property (Eq. 4): for every strategy and level, the expanded block
+    // achieves at least the original ASIL.
+    for (DecompositionStrategy strategy :
+         {DecompositionStrategy::BB, DecompositionStrategy::AC, DecompositionStrategy::RND}) {
+        for (Asil level : {Asil::A, Asil::B, Asil::C, Asil::D}) {
+            ArchitectureModel m = scenarios::chain_1in_1out(/*defaults to D*/);
+            const NodeId n = m.find_app_node("n");
+            m.app().node(n).asil = AsilTag{level};
+            m.resources().node(m.mapped_resources(n).front()).asil = level;
+            ExpandOptions options;
+            options.strategy = strategy;
+            options.set_rng_draw(0.7);
+            const ExpandResult r = expand(m, n, options);
+            const RedundantBlock block = find_block_at_merger(m, r.mergers[0]);
+            EXPECT_GE(asil_value(block_asil(m, block)), asil_value(level))
+                << to_string(strategy) << " at " << to_string(level);
+        }
+    }
+}
+
+TEST(Expand, RejectsSensorsActuatorsSplittersMergers) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    EXPECT_THROW(expand(m, m.find_app_node("sens")), TransformError);
+    EXPECT_THROW(expand(m, m.find_app_node("act")), TransformError);
+    const ExpandResult r = expand(m, m.find_app_node("n"));
+    EXPECT_THROW(expand(m, r.splitters[0]), TransformError);
+    EXPECT_THROW(expand(m, r.mergers[0]), TransformError);
+}
+
+TEST(Expand, RejectsQmNodes) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    const NodeId n = m.find_app_node("n");
+    m.app().node(n).asil = AsilTag{Asil::QM};
+    EXPECT_THROW(expand(m, n), TransformError);
+}
+
+TEST(Expand, RejectsDanglingNodes) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    const NodeId orphan = m.add_node_with_dedicated_resource(
+        {"orphan", NodeKind::Functional, AsilTag{Asil::B}}, m.find_location("front"));
+    EXPECT_THROW(expand(m, orphan), TransformError);
+}
+
+TEST(Expand, RejectsBadBranchLocationCount) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    ExpandOptions options;
+    options.branch_locations = {m.find_location("front")};
+    EXPECT_THROW(expand(m, m.find_app_node("n"), options), TransformError);
+}
+
+TEST(Expand, PreservesNeighbourEdgesAndLabels) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    const NodeId cin = m.find_app_node("c_in");
+    const NodeId cout = m.find_app_node("c_out");
+    const ExpandResult r = expand(m, m.find_app_node("n"));
+    // c_in now feeds the splitter; merger feeds c_out.
+    EXPECT_EQ(m.app().successors(cin), (std::vector<NodeId>{r.splitters[0]}));
+    EXPECT_EQ(m.app().predecessors(cout), (std::vector<NodeId>{r.mergers[0]}));
+}
+
+TEST(Expand, BranchLevelsByRepeatedSplitting) {
+    using transform::branch_levels;
+    // BB on D, 3 branches: D -> B+B, then B -> A+A  =>  {B, A, A}.
+    EXPECT_EQ(branch_levels(Asil::D, DecompositionStrategy::BB, 3),
+              (std::vector<Asil>{Asil::B, Asil::A, Asil::A}));
+    // BB on D, 4 branches: {A, A, A, A}.
+    EXPECT_EQ(branch_levels(Asil::D, DecompositionStrategy::BB, 4),
+              (std::vector<Asil>{Asil::A, Asil::A, Asil::A, Asil::A}));
+    // AC on D, 3 branches: D -> C+A, C -> C+QM => {C, A, QM}.
+    EXPECT_EQ(branch_levels(Asil::D, DecompositionStrategy::AC, 3),
+              (std::vector<Asil>{Asil::C, Asil::A, Asil::QM}));
+}
+
+TEST(Expand, BranchLevelsAlwaysCoverParent) {
+    using transform::branch_levels;
+    for (Asil parent : {Asil::A, Asil::B, Asil::C, Asil::D}) {
+        for (DecompositionStrategy s :
+             {DecompositionStrategy::BB, DecompositionStrategy::AC}) {
+            for (std::size_t n = 2; n <= 4; ++n) {
+                const auto levels = branch_levels(parent, s, n);
+                ASSERT_EQ(levels.size(), n);
+                EXPECT_TRUE(is_valid_decomposition(parent, levels))
+                    << to_string(s) << " " << to_string(parent) << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(Expand, BranchLevelsRejectsDegenerateCases) {
+    EXPECT_THROW(transform::branch_levels(Asil::D, DecompositionStrategy::BB, 1), TransformError);
+    // A -> A+QM; the QM branch cannot split again, but the A branch can,
+    // so 3 branches work: {A, QM, QM}... A -> A+QM, A -> A+QM.
+    EXPECT_EQ(transform::branch_levels(Asil::A, DecompositionStrategy::BB, 3),
+              (std::vector<Asil>{Asil::A, Asil::QM, Asil::QM}));
+}
+
+TEST(Expand, ThreeWayExpansionBuildsThreeBranches) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    ExpandOptions options;
+    options.branches = 3;
+    const ExpandResult r = expand(m, m.find_app_node("n"), options);
+    EXPECT_EQ(r.replicas.size(), 3u);
+    EXPECT_EQ(r.branches.size(), 3u);
+    EXPECT_EQ(r.branch_levels, (std::vector<Asil>{Asil::B, Asil::A, Asil::A}));
+    EXPECT_EQ(m.app().node(r.replicas[0]).asil, (AsilTag{Asil::B, Asil::D}));
+    EXPECT_EQ(m.app().node(r.replicas[2]).asil, (AsilTag{Asil::A, Asil::D}));
+
+    const RedundantBlock block = find_block_at_merger(m, r.mergers[0]);
+    ASSERT_TRUE(block.well_formed);
+    EXPECT_EQ(block.branches.size(), 3u);
+    // Eq. 4: B + A + A = D, bounded by D splitter/merger.
+    EXPECT_EQ(block_asil(m, block), Asil::D);
+    EXPECT_EQ(validate(m).error_count(), 0u);
+}
+
+TEST(Expand, ThreeWayBranchesGetDistinctLocations) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    ExpandOptions options;
+    options.branches = 3;
+    const ExpandResult r = expand(m, m.find_app_node("n"), options);
+    std::vector<LocationId> locs;
+    for (NodeId replica : r.replicas) {
+        const auto l = m.node_locations(replica);
+        ASSERT_EQ(l.size(), 1u);
+        locs.push_back(l[0]);
+    }
+    std::sort(locs.begin(), locs.end());
+    EXPECT_EQ(std::unique(locs.begin(), locs.end()), locs.end());
+}
+
+TEST(Expand, RepeatedExpansionOfReplicaWorks) {
+    // A decomposed B(D) replica can itself be expanded (B -> A + A),
+    // supporting the paper's "repeatedly decomposes" RND-3 curve.
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    const ExpandResult first = expand(m, m.find_app_node("n"));
+    const ExpandResult second = expand(m, first.replicas[0]);
+    EXPECT_EQ(second.pattern, (DecompositionPattern{Asil::B, Asil::A, Asil::A}));
+    EXPECT_EQ(validate(m).error_count(), 0u);
+}
+
+}  // namespace
+}  // namespace asilkit::transform

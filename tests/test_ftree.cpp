@@ -1,0 +1,141 @@
+#include "ftree/fault_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace asilkit::ftree {
+namespace {
+
+TEST(FaultTree, BasicEventsDedupByName) {
+    FaultTree ft;
+    const FtRef a = ft.add_basic_event("e", 1e-6);
+    const FtRef b = ft.add_basic_event("e", 1e-6);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(ft.basic_events().size(), 1u);
+}
+
+TEST(FaultTree, ConflictingLambdaRejected) {
+    FaultTree ft;
+    ft.add_basic_event("e", 1e-6);
+    EXPECT_THROW(ft.add_basic_event("e", 2e-6), AnalysisError);
+}
+
+TEST(FaultTree, GateConstruction) {
+    FaultTree ft;
+    const FtRef e1 = ft.add_basic_event("e1", 1e-6);
+    const FtRef e2 = ft.add_basic_event("e2", 1e-6);
+    const FtRef g = ft.add_gate("g", GateKind::Or, {e1});
+    ft.add_child(g, e2);
+    EXPECT_EQ(ft.gate(g).children.size(), 2u);
+    EXPECT_EQ(ft.gate(g).kind, GateKind::Or);
+    EXPECT_EQ(ft.gate(g).name, "g");
+}
+
+TEST(FaultTree, AddChildRequiresGate) {
+    FaultTree ft;
+    const FtRef e = ft.add_basic_event("e", 1e-6);
+    EXPECT_THROW(ft.add_child(e, e), AnalysisError);
+}
+
+TEST(FaultTree, TopEventRequired) {
+    FaultTree ft;
+    EXPECT_FALSE(ft.has_top());
+    EXPECT_THROW(ft.top(), AnalysisError);
+    const FtRef e = ft.add_basic_event("e", 1e-6);
+    ft.set_top(e);
+    EXPECT_TRUE(ft.has_top());
+    EXPECT_EQ(ft.top(), e);
+}
+
+TEST(FaultTree, AccessorsValidate) {
+    FaultTree ft;
+    EXPECT_THROW(ft.basic_event(0), AnalysisError);
+    EXPECT_THROW(ft.gate(0), AnalysisError);
+    const FtRef e = ft.add_basic_event("e", 1e-6);
+    EXPECT_THROW(ft.gate(e), AnalysisError);  // wrong-kind FtRef
+    const FtRef g = ft.add_gate("g", GateKind::And, {e});
+    EXPECT_THROW(ft.basic_event(g), AnalysisError);
+}
+
+TEST(FaultTree, FindBasicEvent) {
+    FaultTree ft;
+    const FtRef e = ft.add_basic_event("needle", 1e-6);
+    EXPECT_EQ(ft.find_basic_event("needle"), e);
+    EXPECT_TRUE(ft.has_basic_event("needle"));
+    EXPECT_FALSE(ft.has_basic_event("hay"));
+    EXPECT_THROW(ft.find_basic_event("hay"), AnalysisError);
+}
+
+TEST(FaultTree, StatsOnSimpleTree) {
+    FaultTree ft;
+    const FtRef e1 = ft.add_basic_event("e1", 1e-6);
+    const FtRef e2 = ft.add_basic_event("e2", 1e-6);
+    const FtRef g = ft.add_gate("g", GateKind::Or, {e1, e2});
+    ft.set_top(g);
+    const FaultTreeStats s = ft.stats();
+    EXPECT_EQ(s.basic_events, 2u);
+    EXPECT_EQ(s.gates, 1u);
+    EXPECT_EQ(s.dag_nodes, 3u);
+    EXPECT_EQ(s.expanded_nodes, 3u);
+    EXPECT_EQ(s.paths, 2u);
+    EXPECT_EQ(s.depth, 2u);
+}
+
+TEST(FaultTree, StatsCountSharedSubtreeOncePerDag) {
+    FaultTree ft;
+    const FtRef e = ft.add_basic_event("shared", 1e-6);
+    const FtRef g1 = ft.add_gate("g1", GateKind::Or, {e});
+    const FtRef g2 = ft.add_gate("g2", GateKind::Or, {e});
+    const FtRef top = ft.add_gate("top", GateKind::And, {g1, g2});
+    ft.set_top(top);
+    const FaultTreeStats s = ft.stats();
+    EXPECT_EQ(s.dag_nodes, 4u);       // shared event counted once
+    EXPECT_EQ(s.expanded_nodes, 5u);  // but appears twice in the tree view
+    EXPECT_EQ(s.paths, 2u);
+}
+
+TEST(FaultTree, StatsEmptyWithoutTop) {
+    const FaultTree ft;
+    EXPECT_EQ(ft.stats().dag_nodes, 0u);
+}
+
+TEST(FaultTree, StatsIgnoreUnreachableNodes) {
+    FaultTree ft;
+    const FtRef e = ft.add_basic_event("e", 1e-6);
+    ft.add_basic_event("unreachable", 1e-6);
+    const FtRef g = ft.add_gate("g", GateKind::Or, {e});
+    ft.add_gate("dead", GateKind::And, {e});
+    ft.set_top(g);
+    EXPECT_EQ(ft.stats().basic_events, 1u);
+    EXPECT_EQ(ft.stats().gates, 1u);
+}
+
+TEST(FaultTree, PathsGrowExponentiallyWithAndChains) {
+    // Chain of k 2-way gates: paths double per level (Section V blow-up).
+    FaultTree ft;
+    FtRef current = ft.add_basic_event("seed", 1e-6);
+    for (int k = 0; k < 10; ++k) {
+        const FtRef left = ft.add_gate("l" + std::to_string(k), GateKind::Or, {current});
+        const FtRef right = ft.add_gate("r" + std::to_string(k), GateKind::Or, {current});
+        current = ft.add_gate("j" + std::to_string(k), GateKind::And, {left, right});
+    }
+    ft.set_top(current);
+    EXPECT_EQ(ft.stats().paths, 1024u);
+}
+
+TEST(FaultTree, ReachableBasicEvents) {
+    FaultTree ft;
+    const FtRef e1 = ft.add_basic_event("e1", 1e-6);
+    const FtRef e2 = ft.add_basic_event("e2", 1e-6);
+    ft.add_basic_event("e3", 1e-6);
+    const FtRef g = ft.add_gate("g", GateKind::Or, {e1, e2, e1});
+    const auto reachable = ft.reachable_basic_events(g);
+    EXPECT_EQ(reachable, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(FaultTree, GateKindNames) {
+    EXPECT_EQ(to_string(GateKind::Or), "OR");
+    EXPECT_EQ(to_string(GateKind::And), "AND");
+}
+
+}  // namespace
+}  // namespace asilkit::ftree

@@ -1,0 +1,305 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "graph/algorithms.h"
+
+namespace asilkit::graph {
+namespace {
+
+struct NodePayload {
+    std::string name;
+};
+struct EdgePayload {
+    int weight = 0;
+};
+
+struct TestNodeTag {};
+struct TestEdgeTag {};
+using TestGraph = Digraph<NodePayload, EdgePayload, StrongId<TestNodeTag>, StrongId<TestEdgeTag>>;
+using NId = StrongId<TestNodeTag>;
+
+TEST(Digraph, StartsEmpty) {
+    TestGraph g;
+    EXPECT_EQ(g.node_count(), 0u);
+    EXPECT_EQ(g.edge_count(), 0u);
+    EXPECT_TRUE(g.node_ids().empty());
+}
+
+TEST(Digraph, AddAndReadNodes) {
+    TestGraph g;
+    const auto a = g.add_node({"a"});
+    const auto b = g.add_node({"b"});
+    EXPECT_EQ(g.node_count(), 2u);
+    EXPECT_EQ(g.node(a).name, "a");
+    EXPECT_EQ(g.node(b).name, "b");
+    EXPECT_TRUE(g.contains(a));
+    EXPECT_NE(a, b);
+}
+
+TEST(Digraph, AddEdgesAndAdjacency) {
+    TestGraph g;
+    const auto a = g.add_node({"a"});
+    const auto b = g.add_node({"b"});
+    const auto c = g.add_node({"c"});
+    g.add_edge(a, b, {1});
+    g.add_edge(a, c, {2});
+    g.add_edge(b, c, {3});
+    EXPECT_EQ(g.edge_count(), 3u);
+    EXPECT_EQ(g.out_degree(a), 2u);
+    EXPECT_EQ(g.in_degree(c), 2u);
+    EXPECT_EQ(g.successors(a), (std::vector<NId>{b, c}));
+    EXPECT_EQ(g.predecessors(c), (std::vector<NId>{a, b}));
+}
+
+TEST(Digraph, FindEdge) {
+    TestGraph g;
+    const auto a = g.add_node({"a"});
+    const auto b = g.add_node({"b"});
+    const auto e = g.add_edge(a, b);
+    EXPECT_EQ(g.find_edge(a, b), e);
+    EXPECT_FALSE(g.find_edge(b, a).valid());
+}
+
+TEST(Digraph, EraseEdge) {
+    TestGraph g;
+    const auto a = g.add_node({"a"});
+    const auto b = g.add_node({"b"});
+    const auto e = g.add_edge(a, b);
+    g.erase_edge(e);
+    EXPECT_EQ(g.edge_count(), 0u);
+    EXPECT_EQ(g.out_degree(a), 0u);
+    EXPECT_EQ(g.in_degree(b), 0u);
+    EXPECT_FALSE(g.contains(e));
+}
+
+TEST(Digraph, EraseNodeRemovesIncidentEdges) {
+    TestGraph g;
+    const auto a = g.add_node({"a"});
+    const auto b = g.add_node({"b"});
+    const auto c = g.add_node({"c"});
+    g.add_edge(a, b);
+    g.add_edge(b, c);
+    g.add_edge(c, b);
+    g.erase_node(b);
+    EXPECT_EQ(g.node_count(), 2u);
+    EXPECT_EQ(g.edge_count(), 0u);
+    EXPECT_FALSE(g.contains(b));
+    EXPECT_TRUE(g.contains(a));
+}
+
+TEST(Digraph, SlotReuseAfterErase) {
+    TestGraph g;
+    const auto a = g.add_node({"a"});
+    g.add_node({"b"});
+    g.erase_node(a);
+    const auto c = g.add_node({"c"});
+    EXPECT_EQ(c.value(), a.value());  // slot recycled
+    EXPECT_EQ(g.node(c).name, "c");
+    EXPECT_EQ(g.node_count(), 2u);
+}
+
+TEST(Digraph, SelfLoopAllowed) {
+    TestGraph g;
+    const auto a = g.add_node({"a"});
+    g.add_edge(a, a);
+    EXPECT_EQ(g.successors(a), (std::vector<NId>{a}));
+    g.erase_node(a);
+    EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Digraph, ParallelEdgesAllowed) {
+    TestGraph g;
+    const auto a = g.add_node({"a"});
+    const auto b = g.add_node({"b"});
+    g.add_edge(a, b, {1});
+    g.add_edge(a, b, {2});
+    EXPECT_EQ(g.edge_count(), 2u);
+    EXPECT_EQ(g.out_degree(a), 2u);
+}
+
+TEST(Digraph, AccessInvalidNodeThrows) {
+    TestGraph g;
+    EXPECT_THROW(g.node(NId{0}), ModelError);
+    EXPECT_THROW(g.node(NId{}), ModelError);
+    const auto a = g.add_node({"a"});
+    g.erase_node(a);
+    EXPECT_THROW(g.node(a), ModelError);
+    EXPECT_THROW(g.successors(a), ModelError);
+}
+
+TEST(Digraph, EdgeToInvalidNodeThrows) {
+    TestGraph g;
+    const auto a = g.add_node({"a"});
+    EXPECT_THROW(g.add_edge(a, NId{5}), ModelError);
+}
+
+TEST(Digraph, NodeIdsAscending) {
+    TestGraph g;
+    g.add_node({"a"});
+    const auto b = g.add_node({"b"});
+    g.add_node({"c"});
+    g.erase_node(b);
+    const auto ids = g.node_ids();
+    EXPECT_EQ(ids.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+TEST(Digraph, Clear) {
+    TestGraph g;
+    const auto a = g.add_node({"a"});
+    const auto b = g.add_node({"b"});
+    g.add_edge(a, b);
+    g.clear();
+    EXPECT_EQ(g.node_count(), 0u);
+    EXPECT_EQ(g.edge_count(), 0u);
+}
+
+// ---- algorithms -----------------------------------------------------------
+
+TestGraph diamond() {
+    TestGraph g;
+    const auto a = g.add_node({"a"});
+    const auto b = g.add_node({"b"});
+    const auto c = g.add_node({"c"});
+    const auto d = g.add_node({"d"});
+    g.add_edge(a, b);
+    g.add_edge(a, c);
+    g.add_edge(b, d);
+    g.add_edge(c, d);
+    return g;
+}
+
+TEST(Algorithms, AcyclicGraphHasNoCycle) {
+    const TestGraph g = diamond();
+    EXPECT_FALSE(has_cycle(g));
+}
+
+TEST(Algorithms, DetectsCycle) {
+    TestGraph g;
+    const auto a = g.add_node({"a"});
+    const auto b = g.add_node({"b"});
+    const auto c = g.add_node({"c"});
+    g.add_edge(a, b);
+    g.add_edge(b, c);
+    g.add_edge(c, a);
+    EXPECT_TRUE(has_cycle(g));
+}
+
+TEST(Algorithms, DetectsSelfLoopCycle) {
+    TestGraph g;
+    const auto a = g.add_node({"a"});
+    g.add_edge(a, a);
+    EXPECT_TRUE(has_cycle(g));
+}
+
+TEST(Algorithms, TopologicalOrderRespectsEdges) {
+    const TestGraph g = diamond();
+    const auto order = topological_order(g);
+    ASSERT_EQ(order.size(), 4u);
+    auto position = [&](NId n) {
+        return std::find(order.begin(), order.end(), n) - order.begin();
+    };
+    for (auto e : g.edge_ids()) {
+        EXPECT_LT(position(g.edge(e).source), position(g.edge(e).sink));
+    }
+}
+
+TEST(Algorithms, TopologicalOrderThrowsOnCycle) {
+    TestGraph g;
+    const auto a = g.add_node({"a"});
+    const auto b = g.add_node({"b"});
+    g.add_edge(a, b);
+    g.add_edge(b, a);
+    EXPECT_THROW(topological_order(g), ModelError);
+}
+
+TEST(Algorithms, Reachability) {
+    TestGraph g = diamond();
+    const auto ids = g.node_ids();
+    const auto from_a = reachable_from(g, ids[0]);
+    EXPECT_EQ(from_a.size(), 4u);
+    const auto from_b = reachable_from(g, ids[1]);
+    EXPECT_EQ(from_b.size(), 2u);  // b, d
+    const auto to_d = reaching(g, ids[3]);
+    EXPECT_EQ(to_d.size(), 4u);
+    const auto to_b = reaching(g, ids[1]);
+    EXPECT_EQ(to_b.size(), 2u);  // a, b
+}
+
+TEST(Algorithms, CountPathsDiamond) {
+    const TestGraph g = diamond();
+    const auto ids = g.node_ids();
+    EXPECT_EQ(count_paths(g, ids[0], ids[3]), 2u);
+    EXPECT_EQ(count_paths(g, ids[1], ids[3]), 1u);
+    EXPECT_EQ(count_paths(g, ids[3], ids[0]), 0u);
+}
+
+TEST(Algorithms, CountPathsGrowsExponentiallyWithDiamondChain) {
+    // k chained diamonds have 2^k source->sink paths: the effect that
+    // motivates the paper's Section V approximation.
+    TestGraph g;
+    auto head = g.add_node({"head"});
+    const auto source = head;
+    for (int k = 0; k < 10; ++k) {
+        const auto left = g.add_node({"l"});
+        const auto right = g.add_node({"r"});
+        const auto join = g.add_node({"j"});
+        g.add_edge(head, left);
+        g.add_edge(head, right);
+        g.add_edge(left, join);
+        g.add_edge(right, join);
+        head = join;
+    }
+    EXPECT_EQ(count_paths(g, source, head), 1024u);
+}
+
+TEST(Algorithms, CountPathsIgnoresBackEdges) {
+    TestGraph g;
+    const auto a = g.add_node({"a"});
+    const auto b = g.add_node({"b"});
+    const auto c = g.add_node({"c"});
+    g.add_edge(a, b);
+    g.add_edge(b, c);
+    g.add_edge(c, b);  // cycle b->c->b
+    EXPECT_EQ(count_paths(g, a, c), 1u);
+}
+
+TEST(Algorithms, RandomEditSequenceKeepsInvariants) {
+    std::mt19937 rng(7);
+    TestGraph g;
+    std::vector<NId> live;
+    for (int step = 0; step < 500; ++step) {
+        const auto action = rng() % 4;
+        if (action == 0 || live.size() < 2) {
+            live.push_back(g.add_node({"n"}));
+        } else if (action == 1) {
+            g.add_edge(live[rng() % live.size()], live[rng() % live.size()]);
+        } else if (action == 2 && !live.empty()) {
+            const std::size_t i = rng() % live.size();
+            g.erase_node(live[i]);
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+            const auto edges = g.edge_ids();
+            if (!edges.empty()) g.erase_edge(edges[rng() % edges.size()]);
+        }
+        // Invariants: counts agree with id enumerations, adjacency is
+        // symmetric between in/out views.
+        EXPECT_EQ(g.node_ids().size(), g.node_count());
+        EXPECT_EQ(g.edge_ids().size(), g.edge_count());
+        std::size_t out_total = 0;
+        std::size_t in_total = 0;
+        for (auto n : g.node_ids()) {
+            out_total += g.out_degree(n);
+            in_total += g.in_degree(n);
+        }
+        EXPECT_EQ(out_total, g.edge_count());
+        EXPECT_EQ(in_total, g.edge_count());
+    }
+}
+
+}  // namespace
+}  // namespace asilkit::graph

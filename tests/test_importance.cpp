@@ -1,0 +1,104 @@
+#include "analysis/importance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ftree/builder.h"
+#include "scenarios/fig3.h"
+
+namespace asilkit::analysis {
+namespace {
+
+using ftree::FaultTree;
+using ftree::GateKind;
+
+TEST(Importance, SingleEventIsFullyImportant) {
+    FaultTree ft;
+    ft.set_top(ft.add_basic_event("e", 0.1));
+    const auto entries = importance_measures(ft);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_NEAR(entries[0].birnbaum, 1.0, 1e-12);
+    EXPECT_NEAR(entries[0].fussell_vesely, 1.0, 1e-12);
+    EXPECT_NEAR(entries[0].criticality, 1.0, 1e-12);
+}
+
+TEST(Importance, SeriesEventsHaveBirnbaumNearOne) {
+    FaultTree ft;
+    const auto a = ft.add_basic_event("a", 0.01);
+    const auto b = ft.add_basic_event("b", 0.02);
+    ft.set_top(ft.add_gate("top", GateKind::Or, {a, b}));
+    const auto entries = importance_measures(ft);
+    ASSERT_EQ(entries.size(), 2u);
+    // Birnbaum of a in a|b: 1 - p(b).
+    const double pa = 1.0 - std::exp(-0.01);
+    const double pb = 1.0 - std::exp(-0.02);
+    for (const auto& e : entries) {
+        if (e.event == "a") EXPECT_NEAR(e.birnbaum, 1.0 - pb, 1e-12);
+        if (e.event == "b") EXPECT_NEAR(e.birnbaum, 1.0 - pa, 1e-12);
+    }
+}
+
+TEST(Importance, AndGateBirnbaumIsPartnerProbability) {
+    FaultTree ft;
+    const auto a = ft.add_basic_event("a", 0.1);
+    const auto b = ft.add_basic_event("b", 0.4);
+    ft.set_top(ft.add_gate("top", GateKind::And, {a, b}));
+    const auto entries = importance_measures(ft);
+    const double pa = 1.0 - std::exp(-0.1);
+    const double pb = 1.0 - std::exp(-0.4);
+    for (const auto& e : entries) {
+        if (e.event == "a") EXPECT_NEAR(e.birnbaum, pb, 1e-12);
+        if (e.event == "b") EXPECT_NEAR(e.birnbaum, pa, 1e-12);
+    }
+    // The more likely partner makes the other event more important.
+    EXPECT_EQ(entries.front().event, "a");
+}
+
+TEST(Importance, SortedDescendingByBirnbaum) {
+    const auto m = scenarios::fig3_camera_gps_fusion();
+    const auto ft = ftree::build_fault_tree(m);
+    const auto entries = importance_measures(ft.tree);
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+        EXPECT_GE(entries[i - 1].birnbaum, entries[i].birnbaum);
+    }
+}
+
+TEST(Importance, SeriesSensorsDominateFig3) {
+    // The two B-rated sensors carry nearly all of the system failure
+    // probability; branch hardware is nearly irrelevant.
+    const auto m = scenarios::fig3_camera_gps_fusion();
+    const auto ft = ftree::build_fault_tree(m);
+    const auto entries = importance_measures(ft.tree);
+    double camera_fv = 0.0;
+    double ecu1_fv = 1.0;
+    for (const auto& e : entries) {
+        if (e.event == "res:camera_hw") camera_fv = e.fussell_vesely;
+        if (e.event == "res:ecu1") ecu1_fv = e.fussell_vesely;
+    }
+    EXPECT_GT(camera_fv, 0.4);
+    EXPECT_LT(ecu1_fv, 1e-3);
+}
+
+TEST(Importance, FussellVeselyWithinUnitInterval) {
+    const auto m = scenarios::fig3_camera_gps_fusion();
+    const auto ft = ftree::build_fault_tree(m);
+    for (const auto& e : importance_measures(ft.tree)) {
+        EXPECT_GE(e.fussell_vesely, 0.0) << e.event;
+        EXPECT_LE(e.fussell_vesely, 1.0 + 1e-12) << e.event;
+        EXPECT_GE(e.birnbaum, -1e-12) << e.event;
+        EXPECT_LE(e.birnbaum, 1.0 + 1e-12) << e.event;
+    }
+}
+
+TEST(Importance, ZeroProbabilityTopYieldsZeroes) {
+    FaultTree ft;
+    const auto a = ft.add_basic_event("a", 0.0);
+    ft.set_top(ft.add_gate("top", GateKind::And, {a, a}));
+    const auto entries = importance_measures(ft);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_DOUBLE_EQ(entries[0].criticality, 0.0);
+}
+
+}  // namespace
+}  // namespace asilkit::analysis

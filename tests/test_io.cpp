@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "ftree/builder.h"
+#include "io/csv.h"
+#include "io/dot.h"
+#include "scenarios/fig3.h"
+#include "scenarios/micro.h"
+
+namespace asilkit::io {
+namespace {
+
+TEST(Dot, AppGraphContainsNodesAndEdges) {
+    const ArchitectureModel m = scenarios::chain_1in_1out();
+    const std::string dot = app_graph_to_dot(m);
+    EXPECT_NE(dot.find("digraph application"), std::string::npos);
+    EXPECT_NE(dot.find("sens"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    EXPECT_NE(dot.find("shape=house"), std::string::npos);      // sensor
+    EXPECT_NE(dot.find("shape=invhouse"), std::string::npos);   // actuator
+    EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(Dot, AppGraphShowsAsilTags) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    m.app().node(m.find_app_node("n")).asil = AsilTag{Asil::B, Asil::D};
+    const std::string dot = app_graph_to_dot(m);
+    EXPECT_NE(dot.find("B(D)"), std::string::npos);
+}
+
+TEST(Dot, SplitterMergerShapes) {
+    const ArchitectureModel m = scenarios::fig3_camera_gps_fusion();
+    const std::string dot = app_graph_to_dot(m);
+    EXPECT_NE(dot.find("shape=triangle"), std::string::npos);
+    EXPECT_NE(dot.find("shape=invtriangle"), std::string::npos);
+}
+
+TEST(Dot, ResourceAndPhysicalGraphs) {
+    const ArchitectureModel m = scenarios::fig3_camera_gps_fusion();
+    const std::string res = resource_graph_to_dot(m);
+    EXPECT_NE(res.find("digraph resources"), std::string::npos);
+    EXPECT_NE(res.find("ecu1"), std::string::npos);
+    const std::string phy = physical_graph_to_dot(m);
+    EXPECT_NE(phy.find("graph physical"), std::string::npos);
+    EXPECT_NE(phy.find("c4_duct_front_rear"), std::string::npos);
+}
+
+TEST(Dot, FaultTreeExport) {
+    const ArchitectureModel m = scenarios::fig3_camera_gps_fusion();
+    const auto ft = ftree::build_fault_tree(m);
+    const std::string dot = fault_tree_to_dot(ft.tree);
+    EXPECT_NE(dot.find("digraph fault_tree"), std::string::npos);
+    EXPECT_NE(dot.find("res:camera_hw"), std::string::npos);
+    EXPECT_NE(dot.find("AND"), std::string::npos);
+    EXPECT_NE(dot.find("OR"), std::string::npos);
+    EXPECT_NE(dot.find("shape=circle"), std::string::npos);
+}
+
+TEST(Dot, EscapesQuotes) {
+    ArchitectureModel m("quote");
+    const LocationId loc = m.add_location({"zone", kDefaultLocationLambda, {}});
+    m.add_node_with_dedicated_resource({"evil\"name", NodeKind::Sensor, AsilTag{Asil::B}}, loc);
+    const std::string dot = app_graph_to_dot(m);
+    EXPECT_NE(dot.find("evil\\\"name"), std::string::npos);
+}
+
+TEST(Dot, SaveTextFile) {
+    const std::string path = ::testing::TempDir() + "/asilkit_dot_test.dot";
+    save_text_file("digraph g {}\n", path);
+    EXPECT_NO_THROW(save_text_file("x", path));
+    EXPECT_THROW(save_text_file("x", "/nonexistent/dir/file.dot"), IoError);
+}
+
+TEST(Csv, HeaderAndRows) {
+    CsvWriter csv({"a", "b"});
+    csv.add_row({"1", "2"});
+    csv.add_row({"3", "4"});
+    EXPECT_EQ(csv.to_string(), "a,b\n1,2\n3,4\n");
+    EXPECT_EQ(csv.row_count(), 2u);
+}
+
+TEST(Csv, WidthMismatchThrows) {
+    CsvWriter csv({"a", "b"});
+    EXPECT_THROW(csv.add_row({"1"}), IoError);
+    EXPECT_THROW(csv.add_row({"1", "2", "3"}), IoError);
+    EXPECT_THROW(CsvWriter({}), IoError);
+}
+
+TEST(Csv, QuotingRfc4180) {
+    CsvWriter csv({"x"});
+    csv.add_row({"plain"});
+    csv.add_row({"with,comma"});
+    csv.add_row({"with\"quote"});
+    csv.add_row({"with\nnewline"});
+    EXPECT_EQ(csv.to_string(), "x\nplain\n\"with,comma\"\n\"with\"\"quote\"\n\"with\nnewline\"\n");
+}
+
+TEST(Csv, NumberFormatting) {
+    EXPECT_EQ(CsvWriter::number(1.0), "1");
+    EXPECT_EQ(CsvWriter::number(1e-9), "1e-09");
+    EXPECT_EQ(CsvWriter::number(998800), "998800");
+}
+
+TEST(Csv, SaveFile) {
+    const std::string path = ::testing::TempDir() + "/asilkit_csv_test.csv";
+    CsvWriter csv({"label", "value"});
+    csv.add_row({"cost", CsvWriter::number(998800)});
+    csv.save(path);
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "label,value");
+    EXPECT_THROW(csv.save("/nonexistent/dir/file.csv"), IoError);
+}
+
+}  // namespace
+}  // namespace asilkit::io

@@ -1,0 +1,116 @@
+#include "explore/mapping_search.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/ccf.h"
+#include "model/validation.h"
+#include "scenarios/micro.h"
+#include "transform/expand.h"
+
+namespace asilkit::explore {
+namespace {
+
+TEST(MappingSearch, ImprovesSeriesChain) {
+    ArchitectureModel m = scenarios::chain_n_stages(4);
+    const MappingSearchResult r = search_mapping(m);
+    EXPECT_GT(r.merges, 0u);
+    EXPECT_LT(r.probability_after, r.probability_before);
+    EXPECT_LT(r.cost_after, r.cost_before);
+    EXPECT_TRUE(r.reached_local_optimum);
+    EXPECT_EQ(validate(m).error_count(), 0u);
+}
+
+TEST(MappingSearch, NeverExceedsCapacity) {
+    ArchitectureModel m = scenarios::chain_n_stages(6);
+    MappingSearchOptions options;
+    options.max_nodes_per_resource = 2;
+    search_mapping(m, options);
+    for (ResourceId r : m.resources().node_ids()) {
+        EXPECT_LE(m.nodes_on_resource(r).size(), 2u)
+            << m.resources().node(r).name;
+    }
+}
+
+TEST(MappingSearch, LooserCapacityFindsBetterOptimum) {
+    ArchitectureModel tight_model = scenarios::chain_n_stages(6);
+    MappingSearchOptions tight;
+    tight.max_nodes_per_resource = 2;
+    const auto r_tight = search_mapping(tight_model, tight);
+
+    ArchitectureModel loose_model = scenarios::chain_n_stages(6);
+    MappingSearchOptions loose;
+    loose.max_nodes_per_resource = 8;
+    const auto r_loose = search_mapping(loose_model, loose);
+
+    EXPECT_LE(r_loose.probability_after, r_tight.probability_after);
+    EXPECT_LT(r_loose.probability_after, r_loose.probability_before);
+}
+
+TEST(MappingSearch, NeverMergesAcrossBranches) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    transform::expand(m, m.find_app_node("n"));
+    search_mapping(m);
+    EXPECT_TRUE(analysis::analyze_ccf(m).independent());
+    // Replicas stay on distinct hardware.
+    const auto r1 = m.mapped_resources(m.find_app_node("n_1"));
+    const auto r2 = m.mapped_resources(m.find_app_node("n_2"));
+    ASSERT_EQ(r1.size(), 1u);
+    ASSERT_EQ(r2.size(), 1u);
+    EXPECT_NE(r1.front(), r2.front());
+}
+
+TEST(MappingSearch, SensorsActuatorsManagementUntouched) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    transform::expand(m, m.find_app_node("n"));
+    search_mapping(m);
+    EXPECT_TRUE(m.find_resource("sens_hw").valid());
+    EXPECT_TRUE(m.find_resource("act_hw").valid());
+    EXPECT_TRUE(m.find_resource("split_n_hw").valid());
+    EXPECT_TRUE(m.find_resource("merge_n_hw").valid());
+}
+
+TEST(MappingSearch, SharedResourceGetsRequiredReadiness) {
+    // Merging a D-node's resource with a B-node's resource must raise the
+    // shared hardware to D so Eq. 3 does not degrade.
+    ArchitectureModel m("mixed");
+    const LocationId loc = m.add_location({"zone", kDefaultLocationLambda, {}});
+    const NodeId s = m.add_node_with_dedicated_resource(
+        {"sens", NodeKind::Sensor, AsilTag{Asil::D}}, loc);
+    const NodeId f1 = m.add_node_with_dedicated_resource(
+        {"f1", NodeKind::Functional, AsilTag{Asil::B}}, loc);
+    const NodeId f2 = m.add_node_with_dedicated_resource(
+        {"f2", NodeKind::Functional, AsilTag{Asil::D}}, loc);
+    const NodeId a = m.add_node_with_dedicated_resource(
+        {"act", NodeKind::Actuator, AsilTag{Asil::D}}, loc);
+    m.connect_app(s, f1);
+    m.connect_app(f1, f2);
+    m.connect_app(f2, a);
+    const Asil f1_before = m.effective_asil(f1);
+    const Asil f2_before = m.effective_asil(f2);
+    search_mapping(m);
+    EXPECT_EQ(m.effective_asil(f1), f1_before);
+    EXPECT_EQ(m.effective_asil(f2), f2_before);
+    EXPECT_EQ(validate(m).error_count(), 0u);
+}
+
+TEST(MappingSearch, IterationLimitRespected) {
+    ArchitectureModel m = scenarios::chain_n_stages(6);
+    MappingSearchOptions options;
+    options.max_iterations = 1;
+    const auto r = search_mapping(m, options);
+    EXPECT_LE(r.merges, 1u);
+    EXPECT_LE(r.iterations, 1u);
+}
+
+TEST(MappingSearch, NoopWhenNothingMergeable) {
+    ArchitectureModel m = scenarios::chain_1in_1out();  // 1 functional, 2 comm
+    MappingSearchOptions options;
+    options.include_non_branch_nodes = false;
+    const auto r = search_mapping(m, options);
+    EXPECT_EQ(r.merges, 0u);
+    EXPECT_TRUE(r.reached_local_optimum);
+    EXPECT_DOUBLE_EQ(r.probability_after, r.probability_before);
+}
+
+}  // namespace
+}  // namespace asilkit::explore

@@ -1,0 +1,138 @@
+#include "io/model_diff.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/graphml.h"
+#include "scenarios/ecotwin.h"
+#include "scenarios/micro.h"
+#include "transform/expand.h"
+#include "transform/reduce.h"
+
+namespace asilkit::io {
+namespace {
+
+TEST(ModelDiff, IdenticalModelsAreEmpty) {
+    const ArchitectureModel m = scenarios::chain_1in_1out();
+    const ModelDiff diff = diff_models(m, m);
+    EXPECT_TRUE(diff.empty());
+    EXPECT_EQ(diff.total_changes(), 0u);
+    std::ostringstream os;
+    os << diff;
+    EXPECT_NE(os.str().find("no differences"), std::string::npos);
+}
+
+TEST(ModelDiff, ExpandFootprintIsExact) {
+    const ArchitectureModel before = scenarios::chain_1in_1out();
+    ArchitectureModel after = before;
+    transform::expand(after, after.find_app_node("n"));
+    const ModelDiff diff = diff_models(before, after);
+    // Removed: n.  Added: splitter, merger, 2 replicas, 4 branch comms.
+    EXPECT_EQ(diff.removed_nodes, (std::vector<std::string>{"n"}));
+    EXPECT_EQ(diff.added_nodes.size(), 8u);
+    EXPECT_EQ(diff.removed_resources, (std::vector<std::string>{"n_hw"}));
+    EXPECT_EQ(diff.added_resources.size(), 8u);
+    EXPECT_EQ(diff.added_locations.size(), 2u);  // fresh branch locations
+    // Neighbours keep their identity; no changed nodes.
+    EXPECT_TRUE(diff.changed_nodes.empty());
+    // n's two incident channels went away; 10 new ones arrived.
+    EXPECT_EQ(diff.removed_channels.size(), 2u);
+    EXPECT_EQ(diff.added_channels.size(), 10u);
+}
+
+TEST(ModelDiff, AsilChangeIsReported) {
+    const ArchitectureModel before = scenarios::chain_1in_1out();
+    ArchitectureModel after = before;
+    after.app().node(after.find_app_node("n")).asil = AsilTag{Asil::B, Asil::D};
+    const ModelDiff diff = diff_models(before, after);
+    ASSERT_EQ(diff.changed_nodes.size(), 1u);
+    EXPECT_NE(diff.changed_nodes.front().find("ASIL D -> B(D)"), std::string::npos)
+        << diff.changed_nodes.front();
+}
+
+TEST(ModelDiff, MappingChangeIsReported) {
+    const ArchitectureModel before = scenarios::chain_1in_1out();
+    ArchitectureModel after = before;
+    const ResourceId bus = after.add_resource({"bus", ResourceKind::Communication, Asil::D, {}, {}});
+    after.remap_node(after.find_app_node("c_in"), {bus});
+    const ModelDiff diff = diff_models(before, after);
+    ASSERT_EQ(diff.changed_nodes.size(), 1u);
+    EXPECT_NE(diff.changed_nodes.front().find("mapping"), std::string::npos);
+    EXPECT_EQ(diff.added_resources, (std::vector<std::string>{"bus"}));
+}
+
+TEST(ModelDiff, ResourceChangesReported) {
+    const ArchitectureModel before = scenarios::chain_1in_1out();
+    ArchitectureModel after = before;
+    Resource& hw = after.resources().node(after.find_resource("n_hw"));
+    hw.asil = Asil::B;
+    hw.lambda_override = 1e-7;
+    const ModelDiff diff = diff_models(before, after);
+    ASSERT_EQ(diff.changed_resources.size(), 1u);
+    EXPECT_NE(diff.changed_resources.front().find("ASIL D -> B"), std::string::npos);
+    EXPECT_NE(diff.changed_resources.front().find("lambda"), std::string::npos);
+}
+
+TEST(ModelDiff, FsrChangeReported) {
+    const ArchitectureModel before = scenarios::chain_1in_1out();
+    ArchitectureModel after = before;
+    after.app().node(after.find_app_node("n")).fsr = "FSR-9";
+    const ModelDiff diff = diff_models(before, after);
+    ASSERT_EQ(diff.changed_nodes.size(), 1u);
+    EXPECT_NE(diff.changed_nodes.front().find("FSR-9"), std::string::npos);
+}
+
+TEST(ModelDiff, ReduceFootprint) {
+    ArchitectureModel before = scenarios::chain_1in_1out();
+    // Make a reducible pair first.
+    ArchitectureModel after = before;
+    transform::expand(after, after.find_app_node("c_out"));
+    const ArchitectureModel mid = after;
+    transform::reduce_all(after);
+    const ModelDiff diff = diff_models(mid, after);
+    EXPECT_TRUE(diff.added_nodes.empty());
+    EXPECT_EQ(diff.total_changes(), diff.removed_nodes.size() + diff.removed_resources.size() +
+                                        diff.removed_channels.size() + diff.added_channels.size() +
+                                        diff.changed_nodes.size());
+}
+
+// ---- graphml ---------------------------------------------------------------
+
+TEST(GraphMl, AppGraphIsWellFormedXml) {
+    const ArchitectureModel m = scenarios::ecotwin_lateral_control();
+    const std::string xml = app_graph_to_graphml(m);
+    EXPECT_NE(xml.find("<?xml version=\"1.0\""), std::string::npos);
+    EXPECT_NE(xml.find("<graphml"), std::string::npos);
+    EXPECT_NE(xml.find("edgedefault=\"directed\""), std::string::npos);
+    EXPECT_NE(xml.find("world_model"), std::string::npos);
+    EXPECT_NE(xml.find("FSR-LAT-01"), std::string::npos);
+    // Every <node has a matching </node>.
+    std::size_t opens = 0;
+    std::size_t closes = 0;
+    for (std::size_t pos = 0; (pos = xml.find("<node ", pos)) != std::string::npos; ++pos) ++opens;
+    for (std::size_t pos = 0; (pos = xml.find("</node>", pos)) != std::string::npos; ++pos) {
+        ++closes;
+    }
+    EXPECT_EQ(opens, closes);
+    EXPECT_EQ(opens, m.app().node_count());
+}
+
+TEST(GraphMl, ResourceGraphCarriesLambda) {
+    const ArchitectureModel m = scenarios::chain_1in_1out();
+    const std::string xml = resource_graph_to_graphml(m);
+    EXPECT_NE(xml.find("d_lambda"), std::string::npos);
+    EXPECT_NE(xml.find("1e-09"), std::string::npos);
+}
+
+TEST(GraphMl, EscapesSpecialCharacters) {
+    ArchitectureModel m("xml");
+    const LocationId loc = m.add_location({"zone", kDefaultLocationLambda, {}});
+    m.add_node_with_dedicated_resource({"a<b>&\"c'", NodeKind::Sensor, AsilTag{Asil::B}}, loc);
+    const std::string xml = app_graph_to_graphml(m);
+    EXPECT_NE(xml.find("a&lt;b&gt;&amp;&quot;c&apos;"), std::string::npos);
+    EXPECT_EQ(xml.find("<b>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asilkit::io

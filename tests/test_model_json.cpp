@@ -1,0 +1,159 @@
+#include "io/model_json.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/probability.h"
+#include "cost/cost_analysis.h"
+#include "model/validation.h"
+#include "scenarios/ecotwin.h"
+#include "scenarios/fig3.h"
+#include "scenarios/micro.h"
+#include "transform/expand.h"
+
+namespace asilkit::io {
+namespace {
+
+/// Semantic equality: same names/kinds/levels/edges/mappings (ids may be
+/// renumbered by the round trip).
+void expect_equivalent(const ArchitectureModel& a, const ArchitectureModel& b) {
+    EXPECT_EQ(a.name(), b.name());
+    ASSERT_EQ(a.app().node_count(), b.app().node_count());
+    ASSERT_EQ(a.app().edge_count(), b.app().edge_count());
+    ASSERT_EQ(a.resources().node_count(), b.resources().node_count());
+    ASSERT_EQ(a.physical().node_count(), b.physical().node_count());
+
+    for (NodeId na : a.app().node_ids()) {
+        const AppNode& node_a = a.app().node(na);
+        const NodeId nb = b.find_app_node(node_a.name);
+        ASSERT_TRUE(nb.valid()) << node_a.name;
+        const AppNode& node_b = b.app().node(nb);
+        EXPECT_EQ(node_a.kind, node_b.kind) << node_a.name;
+        EXPECT_EQ(node_a.asil, node_b.asil) << node_a.name;
+        // Mapped resource names match.
+        std::vector<std::string> res_a;
+        for (ResourceId r : a.mapped_resources(na)) res_a.push_back(a.resources().node(r).name);
+        std::vector<std::string> res_b;
+        for (ResourceId r : b.mapped_resources(nb)) res_b.push_back(b.resources().node(r).name);
+        std::sort(res_a.begin(), res_a.end());
+        std::sort(res_b.begin(), res_b.end());
+        EXPECT_EQ(res_a, res_b) << node_a.name;
+        // Successor names match.
+        std::vector<std::string> succ_a;
+        for (NodeId s : a.app().successors(na)) succ_a.push_back(a.app().node(s).name);
+        std::vector<std::string> succ_b;
+        for (NodeId s : b.app().successors(nb)) succ_b.push_back(b.app().node(s).name);
+        std::sort(succ_a.begin(), succ_a.end());
+        std::sort(succ_b.begin(), succ_b.end());
+        EXPECT_EQ(succ_a, succ_b) << node_a.name;
+    }
+    for (ResourceId ra : a.resources().node_ids()) {
+        const Resource& res_a = a.resources().node(ra);
+        const ResourceId rb = b.find_resource(res_a.name);
+        ASSERT_TRUE(rb.valid()) << res_a.name;
+        const Resource& res_b = b.resources().node(rb);
+        EXPECT_EQ(res_a.kind, res_b.kind);
+        EXPECT_EQ(res_a.asil, res_b.asil);
+        EXPECT_EQ(res_a.lambda_override, res_b.lambda_override);
+        EXPECT_EQ(res_a.cost_override, res_b.cost_override);
+        std::vector<std::string> loc_a;
+        for (LocationId p : a.resource_locations(ra)) loc_a.push_back(a.physical().node(p).name);
+        std::vector<std::string> loc_b;
+        for (LocationId p : b.resource_locations(rb)) loc_b.push_back(b.physical().node(p).name);
+        std::sort(loc_a.begin(), loc_a.end());
+        std::sort(loc_b.begin(), loc_b.end());
+        EXPECT_EQ(loc_a, loc_b) << res_a.name;
+    }
+}
+
+TEST(ModelJson, RoundTripChain) {
+    const ArchitectureModel m = scenarios::chain_1in_1out();
+    expect_equivalent(m, model_from_json(to_json(m)));
+}
+
+TEST(ModelJson, RoundTripFig3) {
+    const ArchitectureModel m = scenarios::fig3_camera_gps_fusion();
+    expect_equivalent(m, model_from_json(to_json(m)));
+}
+
+TEST(ModelJson, RoundTripEcotwinWithOverrides) {
+    // EcoTwin uses lambda/cost overrides (virtual elements) and
+    // environments; all must survive.
+    const ArchitectureModel m = scenarios::ecotwin_lateral_control();
+    expect_equivalent(m, model_from_json(to_json(m)));
+}
+
+TEST(ModelJson, RoundTripAfterTransformations) {
+    // Erasures leave id holes; the export must renumber densely.
+    ArchitectureModel m = scenarios::chain_two_stages();
+    transform::expand(m, m.find_app_node("n1"));
+    transform::expand(m, m.find_app_node("n2"));
+    expect_equivalent(m, model_from_json(to_json(m)));
+}
+
+TEST(ModelJson, AnalysesAgreeAfterRoundTrip) {
+    const ArchitectureModel m = scenarios::fig3_camera_gps_fusion();
+    const ArchitectureModel reloaded = model_from_json(to_json(m));
+    EXPECT_DOUBLE_EQ(analysis::analyze_failure_probability(m).failure_probability,
+                     analysis::analyze_failure_probability(reloaded).failure_probability);
+    const auto metric = cost::CostMetric::exponential_metric1();
+    EXPECT_DOUBLE_EQ(cost::total_cost(m, metric), cost::total_cost(reloaded, metric));
+    EXPECT_EQ(validate(reloaded).error_count(), 0u);
+}
+
+TEST(ModelJson, EnvironmentSurvives) {
+    ArchitectureModel m("env");
+    Environment env;
+    env.vibration_zone = 3;
+    env.emi_zone = 1;
+    m.add_location({"engine_bay", 2e-11, env});
+    const ArchitectureModel reloaded = model_from_json(to_json(m));
+    const Location& loc = reloaded.physical().node(reloaded.find_location("engine_bay"));
+    EXPECT_EQ(loc.env, env);
+    EXPECT_DOUBLE_EQ(loc.lambda, 2e-11);
+}
+
+TEST(ModelJson, DecomposedTagsSurvive) {
+    ArchitectureModel m("tags");
+    const LocationId loc = m.add_location({"zone", kDefaultLocationLambda, {}});
+    m.add_node_with_dedicated_resource({"f", NodeKind::Functional, AsilTag{Asil::B, Asil::D}}, loc);
+    const ArchitectureModel reloaded = model_from_json(to_json(m));
+    const AsilTag tag = reloaded.app().node(reloaded.find_app_node("f")).asil;
+    EXPECT_EQ(tag, (AsilTag{Asil::B, Asil::D}));
+}
+
+TEST(ModelJson, GraphEdgesInAllLayersSurvive) {
+    ArchitectureModel m("layers");
+    const LocationId l1 = m.add_location({"l1", kDefaultLocationLambda, {}});
+    const LocationId l2 = m.add_location({"l2", kDefaultLocationLambda, {}});
+    m.physical().add_edge(l1, l2, {"duct"});
+    const ResourceId r1 = m.add_resource({"r1", ResourceKind::Functional, Asil::B, {}, {}});
+    const ResourceId r2 = m.add_resource({"r2", ResourceKind::Communication, Asil::B, {}, {}});
+    m.resources().add_edge(r1, r2, {"link"});
+    const ArchitectureModel reloaded = model_from_json(to_json(m));
+    EXPECT_EQ(reloaded.physical().edge_count(), 1u);
+    EXPECT_EQ(reloaded.resources().edge_count(), 1u);
+    const auto& edge = reloaded.physical().edge(reloaded.physical().edge_ids().front());
+    EXPECT_EQ(edge.data.label, "duct");
+}
+
+TEST(ModelJson, MalformedDocumentsRejected) {
+    EXPECT_THROW(model_from_json(Json::parse(R"({"name":"x"})")), IoError);
+    EXPECT_THROW(
+        model_from_json(Json::parse(
+            R"({"name":"x","locations":[],"resources":[{"name":"r","kind":"warp","asil":"B","locations":[]}],"nodes":[],"channels":[]})")),
+        IoError);
+    EXPECT_THROW(
+        model_from_json(Json::parse(
+            R"({"name":"x","locations":[],"resources":[],"nodes":[{"name":"n","kind":"functional","asil":"Z","resources":[]}],"channels":[]})")),
+        IoError);
+}
+
+TEST(ModelJson, FileRoundTrip) {
+    const std::string path = ::testing::TempDir() + "/asilkit_model_test.json";
+    const ArchitectureModel m = scenarios::fig3_camera_gps_fusion();
+    save_model(m, path);
+    expect_equivalent(m, load_model(path));
+}
+
+}  // namespace
+}  // namespace asilkit::io

@@ -1,0 +1,104 @@
+#include "analysis/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include "scenarios/fig3.h"
+#include "scenarios/micro.h"
+#include "transform/expand.h"
+
+namespace asilkit::analysis {
+namespace {
+
+TEST(Sensitivity, RateSweepIsMonotone) {
+    const ArchitectureModel m = scenarios::chain_1in_1out();
+    RateSweepOptions options;
+    options.kind = ResourceKind::Functional;
+    options.asil = Asil::D;
+    const auto points = sweep_failure_rate(m, options);
+    ASSERT_EQ(points.size(), options.multipliers.size());
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_GT(points[i].failure_probability, points[i - 1].failure_probability);
+        EXPECT_GT(points[i].parameter, points[i - 1].parameter);
+    }
+}
+
+TEST(Sensitivity, RateSweepAtUnityMatchesBaseline) {
+    const ArchitectureModel m = scenarios::chain_1in_1out();
+    RateSweepOptions options;
+    options.multipliers = {1.0};
+    const auto points = sweep_failure_rate(m, options);
+    const double baseline = analyze_failure_probability(m).failure_probability;
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_DOUBLE_EQ(points[0].failure_probability, baseline);
+}
+
+TEST(Sensitivity, SweepOfAbsentClassIsFlat) {
+    const ArchitectureModel m = scenarios::chain_1in_1out();  // all ASIL D
+    RateSweepOptions options;
+    options.kind = ResourceKind::Functional;
+    options.asil = Asil::QM;  // no QM hardware in the model
+    options.multipliers = {0.1, 10.0};
+    const auto points = sweep_failure_rate(m, options);
+    EXPECT_DOUBLE_EQ(points[0].failure_probability, points[1].failure_probability);
+}
+
+TEST(Sensitivity, MissionSweepIsMonotoneAndLinearAtSmallRates) {
+    const ArchitectureModel m = scenarios::chain_1in_1out();
+    MissionSweepOptions options;
+    const auto points = sweep_mission_time(m, options);
+    ASSERT_EQ(points.size(), options.hours.size());
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_GT(points[i].failure_probability, points[i - 1].failure_probability);
+    }
+    // lambda*t << 1: P ~ t, so P(10h)/P(1h) ~ 10.
+    EXPECT_NEAR(points[1].failure_probability / points[0].failure_probability, 10.0, 0.01);
+}
+
+TEST(Sensitivity, TornadoRanksSeriesDominatorsFirst) {
+    // Fig. 3: the ASIL B sensors dominate the system failure probability;
+    // the tornado must rank (Sensor, B) above everything else.
+    const ArchitectureModel m = scenarios::fig3_camera_gps_fusion();
+    const auto entries = tornado(m);
+    ASSERT_FALSE(entries.empty());
+    EXPECT_EQ(entries.front().kind, ResourceKind::Sensor);
+    EXPECT_EQ(entries.front().asil, Asil::B);
+    for (const auto& e : entries) {
+        EXPECT_LE(e.low, e.high) << to_string(e.kind);
+        EXPECT_GE(e.swing(), 0.0);
+    }
+    // Sorted by descending swing.
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+        EXPECT_GE(entries[i - 1].swing(), entries[i].swing());
+    }
+}
+
+TEST(Sensitivity, TornadoCoversOnlyPresentClasses) {
+    const ArchitectureModel m = scenarios::chain_1in_1out();  // all ASIL D
+    const auto entries = tornado(m);
+    for (const auto& e : entries) {
+        EXPECT_EQ(e.asil, Asil::D);
+    }
+    // Functional, Communication, Sensor, Actuator at D: 4 classes.
+    EXPECT_EQ(entries.size(), 4u);
+}
+
+TEST(Sensitivity, BranchRatesBarelyMatterAfterDecomposition) {
+    // After expansion, the branch-class rate (Functional, B) sits under
+    // the AND: scaling it x10 must move P far less than scaling the
+    // series (Communication, D) class.
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    transform::expand(m, m.find_app_node("n"));
+    const auto entries = tornado(m);
+    double branch_swing = -1.0;
+    double series_swing = -1.0;
+    for (const auto& e : entries) {
+        if (e.kind == ResourceKind::Functional && e.asil == Asil::B) branch_swing = e.swing();
+        if (e.kind == ResourceKind::Communication && e.asil == Asil::D) series_swing = e.swing();
+    }
+    ASSERT_GE(branch_swing, 0.0);
+    ASSERT_GE(series_swing, 0.0);
+    EXPECT_LT(branch_swing, 0.01 * series_swing);
+}
+
+}  // namespace
+}  // namespace asilkit::analysis

@@ -1,0 +1,121 @@
+#include "analysis/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/probability.h"
+#include "ftree/builder.h"
+#include "helpers.h"
+#include "scenarios/fig3.h"
+#include "scenarios/micro.h"
+#include "transform/expand.h"
+
+namespace asilkit::analysis {
+namespace {
+
+TEST(Simulation, SingleEventMatchesAnalyticValue) {
+    ftree::FaultTree ft;
+    ft.set_top(ft.add_basic_event("e", 0.105360516));  // p(1h) ~= 0.1
+    SimulationOptions options;
+    options.trials = 200000;
+    const SimulationResult r = simulate_fault_tree(ft, options);
+    EXPECT_TRUE(r.consistent_with(0.1)) << r.estimate;
+    EXPECT_NEAR(r.estimate, 0.1, 0.005);
+    EXPECT_EQ(r.trials, 200000u);
+}
+
+TEST(Simulation, AndGateMatchesProduct) {
+    ftree::FaultTree ft;
+    const auto a = ft.add_basic_event("a", 0.5);
+    const auto b = ft.add_basic_event("b", 0.5);
+    ft.set_top(ft.add_gate("top", ftree::GateKind::And, {a, b}));
+    SimulationOptions options;
+    options.trials = 200000;
+    const SimulationResult r = simulate_fault_tree(ft, options);
+    const double p = 1.0 - std::exp(-0.5);
+    EXPECT_TRUE(r.consistent_with(p * p)) << r.estimate;
+}
+
+TEST(Simulation, AgreesWithBddOnRandomTrees) {
+    // The cross-validation this module exists for: two independent
+    // implementations must agree within the confidence interval.
+    for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+        const ftree::FaultTree ft = testing::random_fault_tree(seed, 8, 5);
+        const double exact = fault_tree_probability(ft);
+        SimulationOptions options;
+        options.trials = 100000;
+        options.seed = seed;
+        const SimulationResult r = simulate_fault_tree(ft, options);
+        EXPECT_TRUE(r.consistent_with(exact))
+            << "seed " << seed << ": exact " << exact << " vs [" << r.ci95_low << ", "
+            << r.ci95_high << "]";
+    }
+}
+
+TEST(Simulation, AgreesWithBddOnFig3AtScaledRates) {
+    // Automotive rates are too small for naive sampling; scale them up so
+    // the top probability is ~1e-2 and compare against the (also scaled)
+    // exact analysis.
+    const ArchitectureModel m = scenarios::fig3_camera_gps_fusion();
+    const double scale = 1e5;
+    SimulationOptions sim_options;
+    sim_options.trials = 200000;
+    sim_options.rate_scale = scale;
+    const SimulationResult r = simulate_failure_probability(m, sim_options);
+
+    ProbabilityOptions exact_options;
+    exact_options.mission_hours = scale;  // same scaling, analytically
+    const double exact = analyze_failure_probability(m, exact_options).failure_probability;
+    EXPECT_TRUE(r.consistent_with(exact))
+        << "exact " << exact << " vs [" << r.ci95_low << ", " << r.ci95_high << "]";
+}
+
+TEST(Simulation, SeedReproducible) {
+    const ftree::FaultTree ft = testing::random_fault_tree(3, 6, 4);
+    SimulationOptions options;
+    options.trials = 10000;
+    options.seed = 42;
+    const SimulationResult a = simulate_fault_tree(ft, options);
+    const SimulationResult b = simulate_fault_tree(ft, options);
+    EXPECT_EQ(a.failures, b.failures);
+    options.seed = 43;
+    const SimulationResult c = simulate_fault_tree(ft, options);
+    EXPECT_NE(a.failures, c.failures);  // overwhelmingly likely
+}
+
+TEST(Simulation, RedundancyShowsUpInSampling) {
+    // At inflated rates, an expanded (redundant) chain must fail less
+    // often than the original in simulation too.  Rate inflation is not
+    // scale-invariant: the B-grade branch hardware (100x the D rate)
+    // would saturate to p ~ 1 and invert the comparison, so the test
+    // pins every class used by the expanded model to the D rate — the
+    // comparison then isolates the *structural* effect of redundancy.
+    ArchitectureModel original = scenarios::chain_1in_1out();
+    ArchitectureModel expanded = scenarios::chain_1in_1out();
+    transform::expand(expanded, expanded.find_app_node("n"));
+    SimulationOptions options;
+    options.trials = 100000;
+    options.rate_scale = 5e7;  // D resources: p ~ 0.05
+    options.rates.set_rate(ResourceKind::Functional, Asil::B, 1e-9);
+    options.rates.set_rate(ResourceKind::Communication, Asil::B, 1e-9);
+    const SimulationResult r_orig = simulate_failure_probability(original, options);
+    const SimulationResult r_exp = simulate_failure_probability(expanded, options);
+    EXPECT_LT(r_exp.estimate, r_orig.estimate);
+}
+
+TEST(Simulation, ZeroFailureRunBracketsZero) {
+    ftree::FaultTree ft;
+    ft.set_top(ft.add_basic_event("never", 0.0));
+    SimulationOptions options;
+    options.trials = 1000;
+    const SimulationResult r = simulate_fault_tree(ft, options);
+    EXPECT_EQ(r.failures, 0u);
+    EXPECT_TRUE(r.consistent_with(0.0));
+}
+
+TEST(Simulation, MissingTopThrows) {
+    const ftree::FaultTree ft;
+    EXPECT_THROW(simulate_fault_tree(ft), AnalysisError);
+}
+
+}  // namespace
+}  // namespace asilkit::analysis

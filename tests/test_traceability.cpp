@@ -1,0 +1,140 @@
+#include "analysis/traceability.h"
+
+#include <gtest/gtest.h>
+
+#include "explore/driver.h"
+#include "io/model_json.h"
+#include "scenarios/ecotwin.h"
+#include "scenarios/micro.h"
+#include "transform/connect.h"
+#include "transform/expand.h"
+#include "transform/reduce.h"
+
+namespace asilkit::analysis {
+namespace {
+
+ArchitectureModel tagged_chain() {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    for (NodeId n : m.app().node_ids()) m.app().node(n).fsr = "FSR-X";
+    return m;
+}
+
+TEST(Traceability, UntaggedNodesAreReported) {
+    const ArchitectureModel m = scenarios::chain_1in_1out();
+    const TraceabilityReport report = trace_requirements(m);
+    EXPECT_TRUE(report.requirements.empty());
+    EXPECT_EQ(report.untraced_nodes.size(), m.app().node_count());
+}
+
+TEST(Traceability, SatisfiedRequirement) {
+    const ArchitectureModel m = tagged_chain();  // all D on D hardware
+    const TraceabilityReport report = trace_requirements(m);
+    ASSERT_EQ(report.requirements.size(), 1u);
+    const FsrStatus& status = report.requirements.front();
+    EXPECT_EQ(status.fsr, "FSR-X");
+    EXPECT_EQ(status.required, Asil::D);
+    EXPECT_EQ(status.achieved, Asil::D);
+    EXPECT_TRUE(status.satisfied);
+    EXPECT_EQ(status.nodes.size(), 5u);
+    EXPECT_TRUE(report.all_satisfied());
+    EXPECT_NE(report.find("FSR-X"), nullptr);
+    EXPECT_EQ(report.find("FSR-Y"), nullptr);
+}
+
+TEST(Traceability, WeakHardwareViolatesRequirement) {
+    ArchitectureModel m = tagged_chain();
+    const NodeId n = m.find_app_node("n");
+    m.resources().node(m.mapped_resources(n).front()).asil = Asil::B;
+    const TraceabilityReport report = trace_requirements(m);
+    ASSERT_EQ(report.requirements.size(), 1u);
+    const FsrStatus& status = report.requirements.front();
+    EXPECT_EQ(status.achieved, Asil::B);
+    EXPECT_FALSE(status.satisfied);
+    EXPECT_EQ(status.under_implemented, (std::vector<std::string>{"n"}));
+    EXPECT_FALSE(report.all_satisfied());
+}
+
+TEST(Traceability, DecompositionKeepsRequirementSatisfied) {
+    // After Expand(), the replicas are only ASIL B(D) — but the block
+    // achieves D via Eq. 4, so FSR-X must still be satisfied.
+    ArchitectureModel m = tagged_chain();
+    transform::expand(m, m.find_app_node("n"));
+    const TraceabilityReport report = trace_requirements(m);
+    ASSERT_EQ(report.requirements.size(), 1u);
+    EXPECT_TRUE(report.requirements.front().satisfied)
+        << "block-level credit must cover the decomposed branches";
+    EXPECT_TRUE(report.untraced_nodes.empty()) << "expansion must propagate the FSR";
+    // All 12 nodes trace to the FSR now.
+    EXPECT_EQ(report.requirements.front().nodes.size(), 12u);
+}
+
+TEST(Traceability, BrokenBlockIsDetected) {
+    // Downgrade one branch after expansion: block ASIL drops to C < D.
+    ArchitectureModel m = tagged_chain();
+    const auto r = transform::expand(m, m.find_app_node("n"));
+    m.resources().node(m.mapped_resources(r.replicas[0]).front()).asil = Asil::A;
+    m.app().node(r.replicas[0]).asil.level = Asil::A;
+    const TraceabilityReport report = trace_requirements(m);
+    ASSERT_EQ(report.requirements.size(), 1u);
+    EXPECT_FALSE(report.requirements.front().satisfied);
+}
+
+TEST(Traceability, SurvivesFullTransformationFlow) {
+    ArchitectureModel m = scenarios::chain_two_stages();
+    for (NodeId n : m.app().node_ids()) m.app().node(n).fsr = "FSR-CHAIN";
+    transform::expand(m, m.find_app_node("n1"));
+    transform::expand(m, m.find_app_node("n2"));
+    transform::reduce_all(m);
+    transform::connect_all(m);
+    const TraceabilityReport report = trace_requirements(m);
+    EXPECT_TRUE(report.untraced_nodes.empty());
+    ASSERT_EQ(report.requirements.size(), 1u);
+    EXPECT_TRUE(report.requirements.front().satisfied);
+}
+
+TEST(Traceability, EcotwinRequirementsAllSatisfiedBeforeAndAfter) {
+    const ArchitectureModel before = scenarios::ecotwin_lateral_control();
+    const TraceabilityReport r_before = trace_requirements(before);
+    EXPECT_TRUE(r_before.untraced_nodes.empty());
+    EXPECT_GE(r_before.requirements.size(), 4u);
+    EXPECT_TRUE(r_before.all_satisfied());
+    ASSERT_NE(r_before.find("FSR-LAT-01"), nullptr);
+    EXPECT_EQ(r_before.find("FSR-LAT-01")->required, Asil::D);
+
+    explore::ExplorationOptions options;
+    options.probability.approximate = true;
+    const auto result =
+        explore::run_exploration(before, scenarios::ecotwin_decision_nodes(), options);
+    const TraceabilityReport r_after = trace_requirements(result.final_model);
+    EXPECT_TRUE(r_after.all_satisfied());
+    const FsrStatus* lat01 = r_after.find("FSR-LAT-01");
+    ASSERT_NE(lat01, nullptr);
+    EXPECT_EQ(lat01->required, Asil::D);
+    EXPECT_EQ(lat01->achieved, Asil::D);
+    // Decomposition multiplied the implementing nodes.
+    EXPECT_GT(lat01->nodes.size(), r_before.find("FSR-LAT-01")->nodes.size());
+}
+
+TEST(Traceability, FsrSurvivesJsonRoundTrip) {
+    const ArchitectureModel m = scenarios::ecotwin_lateral_control();
+    const ArchitectureModel reloaded = io::model_from_json(io::to_json(m));
+    const NodeId n = reloaded.find_app_node("world_model");
+    ASSERT_TRUE(n.valid());
+    EXPECT_EQ(reloaded.app().node(n).fsr, "FSR-LAT-01");
+}
+
+TEST(Traceability, RequiredIsMaxInheritedAcrossNodes) {
+    ArchitectureModel m("mixed");
+    const LocationId loc = m.add_location({"zone", kDefaultLocationLambda, {}});
+    AppNode a{"a", NodeKind::Functional, AsilTag{Asil::B, Asil::B}, "FSR-M"};
+    AppNode b{"b", NodeKind::Functional, AsilTag{Asil::B, Asil::D}, "FSR-M"};  // decomposed
+    m.add_node_with_dedicated_resource(std::move(a), loc);
+    m.add_node_with_dedicated_resource(std::move(b), loc);
+    const TraceabilityReport report = trace_requirements(m);
+    ASSERT_EQ(report.requirements.size(), 1u);
+    EXPECT_EQ(report.requirements.front().required, Asil::D);
+    EXPECT_FALSE(report.requirements.front().satisfied);  // lone B(D) without a block
+}
+
+}  // namespace
+}  // namespace asilkit::analysis

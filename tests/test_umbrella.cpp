@@ -1,0 +1,53 @@
+// Compile-level test: the umbrella header exposes the whole public API
+// coherently (no missing includes, no ODR surprises), plus a few
+// end-to-end snippets written purely against it.
+#include "asilkit.h"
+
+#include <gtest/gtest.h>
+
+namespace asilkit {
+namespace {
+
+TEST(Umbrella, VersionIsExposed) {
+    EXPECT_EQ(kVersionMajor, 1);
+    EXPECT_STREQ(kVersionString, "1.0.0");
+}
+
+TEST(Umbrella, ReadmeQuickstartSnippetWorks) {
+    ArchitectureModel m = scenarios::chain_1in_1out();
+    const auto p0 = analysis::analyze_failure_probability(m);
+    const double c0 = cost::total_cost(m, cost::CostMetric::exponential_metric1());
+    transform::expand(m, m.find_app_node("n"));
+    const auto p1 = analysis::analyze_failure_probability(m);
+    const bool ok = analysis::analyze_ccf(m).independent();
+    EXPECT_LT(p1.failure_probability, p0.failure_probability);
+    EXPECT_GT(c0, 0.0);
+    EXPECT_TRUE(ok);
+}
+
+TEST(Umbrella, EveryAnalysisRunsOnEveryScenario) {
+    const ArchitectureModel models[] = {
+        scenarios::chain_1in_1out(),
+        scenarios::fig3_camera_gps_fusion(),
+        scenarios::ecotwin_lateral_control(),
+        scenarios::ecotwin_longitudinal_control(),
+    };
+    for (const ArchitectureModel& m : models) {
+        EXPECT_NO_THROW({
+            (void)analysis::analyze_failure_probability(m);
+            (void)analysis::analyze_ccf(m);
+            (void)analysis::analyze_fault_tolerance(m);
+            (void)analysis::trace_requirements(m);
+            (void)analysis::fmea_report(m);
+            (void)analysis::tornado(m, 10.0);
+            (void)cost::cost_report(m, cost::CostMetric::exponential_metric1());
+            (void)io::to_json(m);
+            (void)io::app_graph_to_dot(m);
+            (void)io::app_graph_to_graphml(m);
+            (void)validate(m);
+        }) << m.name();
+    }
+}
+
+}  // namespace
+}  // namespace asilkit

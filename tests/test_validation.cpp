@@ -1,0 +1,146 @@
+#include "model/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "scenarios/fig3.h"
+#include "scenarios/micro.h"
+
+namespace asilkit {
+namespace {
+
+ArchitectureModel valid_chain() { return scenarios::chain_1in_1out(); }
+
+TEST(Validation, CleanModelPasses) {
+    const ValidationReport report = validate(valid_chain());
+    EXPECT_TRUE(report.ok()) << report.issues.size() << " issues";
+    EXPECT_NO_THROW(validate_or_throw(valid_chain()));
+}
+
+TEST(Validation, Fig3Passes) {
+    const ValidationReport report = validate(scenarios::fig3_camera_gps_fusion());
+    EXPECT_EQ(report.error_count(), 0u);
+}
+
+TEST(Validation, UnmappedNodeIsError) {
+    ArchitectureModel m = valid_chain();
+    const NodeId orphan = m.add_app_node({"orphan", NodeKind::Functional, AsilTag{Asil::B}});
+    const NodeId n = m.find_app_node("n");
+    m.connect_app(n, orphan);
+    m.connect_app(orphan, n);
+    const ValidationReport report = validate(m);
+    EXPECT_TRUE(report.has(IssueCode::UnmappedNode));
+    EXPECT_GE(report.error_count(), 1u);
+    EXPECT_THROW(validate_or_throw(m), ModelError);
+}
+
+TEST(Validation, UnderImplementedAsilIsWarning) {
+    ArchitectureModel m = valid_chain();
+    const NodeId n = m.find_app_node("n");
+    // Downgrade the implementing resource below the requirement.
+    m.resources().node(m.mapped_resources(n).front()).asil = Asil::A;
+    const ValidationReport report = validate(m);
+    EXPECT_TRUE(report.has(IssueCode::UnderImplementedAsil));
+    EXPECT_EQ(report.error_count(), 0u);  // warning only
+}
+
+TEST(Validation, UnplacedResourceIsWarning) {
+    ArchitectureModel m = valid_chain();
+    m.add_resource({"spare", ResourceKind::Functional, Asil::B, {}, {}});
+    const ValidationReport report = validate(m);
+    EXPECT_TRUE(report.has(IssueCode::UnplacedResource));
+}
+
+TEST(Validation, SplitterDegreeChecked) {
+    ArchitectureModel m = valid_chain();
+    const LocationId loc = m.find_location("front");
+    const NodeId s = m.add_node_with_dedicated_resource(
+        {"bad_split", NodeKind::Splitter, AsilTag{Asil::D}}, loc);
+    m.connect_app(m.find_app_node("c_in"), s);  // 1 input, 0 outputs
+    const ValidationReport report = validate(m);
+    EXPECT_TRUE(report.has(IssueCode::BadSplitterDegree));
+}
+
+TEST(Validation, MergerDegreeChecked) {
+    ArchitectureModel m = valid_chain();
+    const LocationId loc = m.find_location("front");
+    const NodeId g = m.add_node_with_dedicated_resource(
+        {"bad_merge", NodeKind::Merger, AsilTag{Asil::D}}, loc);
+    m.connect_app(m.find_app_node("c_in"), g);
+    m.connect_app(g, m.find_app_node("c_out"));  // only 1 input
+    const ValidationReport report = validate(m);
+    EXPECT_TRUE(report.has(IssueCode::BadMergerDegree));
+}
+
+TEST(Validation, MergerWithoutSplitterIsIllFormedBlock) {
+    ArchitectureModel m("bad-block");
+    const LocationId loc = m.add_location({"zone", kDefaultLocationLambda, {}});
+    const NodeId s1 = m.add_node_with_dedicated_resource(
+        {"s1", NodeKind::Sensor, AsilTag{Asil::B}}, loc);
+    const NodeId s2 = m.add_node_with_dedicated_resource(
+        {"s2", NodeKind::Sensor, AsilTag{Asil::B}}, loc);
+    const NodeId merge = m.add_node_with_dedicated_resource(
+        {"merge", NodeKind::Merger, AsilTag{Asil::D}}, loc);
+    const NodeId act = m.add_node_with_dedicated_resource(
+        {"act", NodeKind::Actuator, AsilTag{Asil::D}}, loc);
+    m.connect_app(s1, merge);
+    m.connect_app(s2, merge);
+    m.connect_app(merge, act);
+    const ValidationReport report = validate(m);
+    EXPECT_TRUE(report.has(IssueCode::IllFormedBlock));
+}
+
+TEST(Validation, UnreachableActuatorWarned) {
+    ArchitectureModel m = valid_chain();
+    const LocationId loc = m.find_location("front");
+    const NodeId lonely = m.add_node_with_dedicated_resource(
+        {"lonely_act", NodeKind::Actuator, AsilTag{Asil::B}}, loc);
+    (void)lonely;
+    const ValidationReport report = validate(m);
+    EXPECT_TRUE(report.has(IssueCode::UnreachableActuator));
+}
+
+TEST(Validation, DanglingSensorWarned) {
+    ArchitectureModel m = valid_chain();
+    const LocationId loc = m.find_location("front");
+    m.add_node_with_dedicated_resource({"lonely_sensor", NodeKind::Sensor, AsilTag{Asil::B}}, loc);
+    const ValidationReport report = validate(m);
+    EXPECT_TRUE(report.has(IssueCode::DanglingSensor));
+}
+
+TEST(Validation, InvalidDecompositionWarned) {
+    // Branches at A + A only reach B < inherited D.
+    ArchitectureModel m("weak-block");
+    const LocationId loc = m.add_location({"zone", kDefaultLocationLambda, {}});
+    auto add = [&](const char* name, NodeKind kind, AsilTag tag) {
+        return m.add_node_with_dedicated_resource({name, kind, tag}, loc);
+    };
+    const NodeId sens = add("sens", NodeKind::Sensor, AsilTag{Asil::D});
+    const NodeId split = add("split", NodeKind::Splitter, AsilTag{Asil::D});
+    const NodeId b1 = add("b1", NodeKind::Functional, AsilTag{Asil::A, Asil::D});
+    const NodeId b2 = add("b2", NodeKind::Functional, AsilTag{Asil::A, Asil::D});
+    const NodeId merge = add("merge", NodeKind::Merger, AsilTag{Asil::D});
+    const NodeId act = add("act", NodeKind::Actuator, AsilTag{Asil::D});
+    m.connect_app(sens, split);
+    m.connect_app(split, b1);
+    m.connect_app(split, b2);
+    m.connect_app(b1, merge);
+    m.connect_app(b2, merge);
+    m.connect_app(merge, act);
+    const ValidationReport report = validate(m);
+    EXPECT_TRUE(report.has(IssueCode::InvalidDecomposition));
+}
+
+TEST(Validation, ReportCountsAndToString) {
+    ArchitectureModel m = valid_chain();
+    m.add_resource({"spare", ResourceKind::Functional, Asil::B, {}, {}});
+    const ValidationReport report = validate(m);
+    EXPECT_EQ(report.error_count() + report.warning_count(), report.issues.size());
+    for (const auto& issue : report.issues) {
+        EXPECT_FALSE(std::string(to_string(issue.code)).empty());
+        EXPECT_FALSE(issue.message.empty());
+    }
+}
+
+}  // namespace
+}  // namespace asilkit

@@ -1,0 +1,13 @@
+// asilkit_cli — command-line front end for the asilkit library.
+// All logic lives in cli::run_cli (src/cli/cli.cpp), kept separate so the
+// test suite drives the same code paths.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return asilkit::cli::run_cli(args, std::cout, std::cerr);
+}

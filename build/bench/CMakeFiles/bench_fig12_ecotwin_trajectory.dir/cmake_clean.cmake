@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_ecotwin_trajectory.dir/bench_fig12_ecotwin_trajectory.cpp.o"
+  "CMakeFiles/bench_fig12_ecotwin_trajectory.dir/bench_fig12_ecotwin_trajectory.cpp.o.d"
+  "bench_fig12_ecotwin_trajectory"
+  "bench_fig12_ecotwin_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_ecotwin_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_patterns.dir/bench_fig2_patterns.cpp.o"
+  "CMakeFiles/bench_fig2_patterns.dir/bench_fig2_patterns.cpp.o.d"
+  "bench_fig2_patterns"
+  "bench_fig2_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

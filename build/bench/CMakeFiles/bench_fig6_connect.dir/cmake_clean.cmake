@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_connect.dir/bench_fig6_connect.cpp.o"
+  "CMakeFiles/bench_fig6_connect.dir/bench_fig6_connect.cpp.o.d"
+  "bench_fig6_connect"
+  "bench_fig6_connect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_connect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_expand_1in2out.dir/bench_fig7_expand_1in2out.cpp.o"
+  "CMakeFiles/bench_fig7_expand_1in2out.dir/bench_fig7_expand_1in2out.cpp.o.d"
+  "bench_fig7_expand_1in2out"
+  "bench_fig7_expand_1in2out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_expand_1in2out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_expand_1in2out.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_expand_3in3out.dir/bench_fig8_expand_3in3out.cpp.o"
+  "CMakeFiles/bench_fig8_expand_3in3out.dir/bench_fig8_expand_3in3out.cpp.o.d"
+  "bench_fig8_expand_3in3out"
+  "bench_fig8_expand_3in3out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_expand_3in3out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

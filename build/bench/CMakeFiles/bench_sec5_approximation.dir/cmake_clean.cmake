@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_approximation.dir/bench_sec5_approximation.cpp.o"
+  "CMakeFiles/bench_sec5_approximation.dir/bench_sec5_approximation.cpp.o.d"
+  "bench_sec5_approximation"
+  "bench_sec5_approximation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

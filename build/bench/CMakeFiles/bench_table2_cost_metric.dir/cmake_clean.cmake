@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cost_metric.dir/bench_table2_cost_metric.cpp.o"
+  "CMakeFiles/bench_table2_cost_metric.dir/bench_table2_cost_metric.cpp.o.d"
+  "bench_table2_cost_metric"
+  "bench_table2_cost_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cost_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_audit.dir/ccf_audit.cpp.o"
+  "CMakeFiles/ccf_audit.dir/ccf_audit.cpp.o.d"
+  "ccf_audit"
+  "ccf_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

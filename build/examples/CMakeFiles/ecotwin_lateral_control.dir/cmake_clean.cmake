@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecotwin_lateral_control.dir/ecotwin_lateral_control.cpp.o"
+  "CMakeFiles/ecotwin_lateral_control.dir/ecotwin_lateral_control.cpp.o.d"
+  "ecotwin_lateral_control"
+  "ecotwin_lateral_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecotwin_lateral_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tree_export.dir/fault_tree_export.cpp.o"
+  "CMakeFiles/fault_tree_export.dir/fault_tree_export.cpp.o.d"
+  "fault_tree_export"
+  "fault_tree_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tree_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

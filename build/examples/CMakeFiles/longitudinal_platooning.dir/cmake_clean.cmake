@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longitudinal_platooning.dir/longitudinal_platooning.cpp.o"
+  "CMakeFiles/longitudinal_platooning.dir/longitudinal_platooning.cpp.o.d"
+  "longitudinal_platooning"
+  "longitudinal_platooning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longitudinal_platooning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

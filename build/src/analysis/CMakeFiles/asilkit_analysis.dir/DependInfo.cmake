@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ccf.cpp" "src/analysis/CMakeFiles/asilkit_analysis.dir/ccf.cpp.o" "gcc" "src/analysis/CMakeFiles/asilkit_analysis.dir/ccf.cpp.o.d"
+  "/root/repo/src/analysis/cutsets.cpp" "src/analysis/CMakeFiles/asilkit_analysis.dir/cutsets.cpp.o" "gcc" "src/analysis/CMakeFiles/asilkit_analysis.dir/cutsets.cpp.o.d"
+  "/root/repo/src/analysis/fmea.cpp" "src/analysis/CMakeFiles/asilkit_analysis.dir/fmea.cpp.o" "gcc" "src/analysis/CMakeFiles/asilkit_analysis.dir/fmea.cpp.o.d"
+  "/root/repo/src/analysis/importance.cpp" "src/analysis/CMakeFiles/asilkit_analysis.dir/importance.cpp.o" "gcc" "src/analysis/CMakeFiles/asilkit_analysis.dir/importance.cpp.o.d"
+  "/root/repo/src/analysis/probability.cpp" "src/analysis/CMakeFiles/asilkit_analysis.dir/probability.cpp.o" "gcc" "src/analysis/CMakeFiles/asilkit_analysis.dir/probability.cpp.o.d"
+  "/root/repo/src/analysis/sensitivity.cpp" "src/analysis/CMakeFiles/asilkit_analysis.dir/sensitivity.cpp.o" "gcc" "src/analysis/CMakeFiles/asilkit_analysis.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/analysis/simulation.cpp" "src/analysis/CMakeFiles/asilkit_analysis.dir/simulation.cpp.o" "gcc" "src/analysis/CMakeFiles/asilkit_analysis.dir/simulation.cpp.o.d"
+  "/root/repo/src/analysis/tolerance.cpp" "src/analysis/CMakeFiles/asilkit_analysis.dir/tolerance.cpp.o" "gcc" "src/analysis/CMakeFiles/asilkit_analysis.dir/tolerance.cpp.o.d"
+  "/root/repo/src/analysis/traceability.cpp" "src/analysis/CMakeFiles/asilkit_analysis.dir/traceability.cpp.o" "gcc" "src/analysis/CMakeFiles/asilkit_analysis.dir/traceability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/asilkit_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftree/CMakeFiles/asilkit_ftree.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/asilkit_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/asilkit_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

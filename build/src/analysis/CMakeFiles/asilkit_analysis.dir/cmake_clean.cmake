@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asilkit_analysis.dir/ccf.cpp.o"
+  "CMakeFiles/asilkit_analysis.dir/ccf.cpp.o.d"
+  "CMakeFiles/asilkit_analysis.dir/cutsets.cpp.o"
+  "CMakeFiles/asilkit_analysis.dir/cutsets.cpp.o.d"
+  "CMakeFiles/asilkit_analysis.dir/fmea.cpp.o"
+  "CMakeFiles/asilkit_analysis.dir/fmea.cpp.o.d"
+  "CMakeFiles/asilkit_analysis.dir/importance.cpp.o"
+  "CMakeFiles/asilkit_analysis.dir/importance.cpp.o.d"
+  "CMakeFiles/asilkit_analysis.dir/probability.cpp.o"
+  "CMakeFiles/asilkit_analysis.dir/probability.cpp.o.d"
+  "CMakeFiles/asilkit_analysis.dir/sensitivity.cpp.o"
+  "CMakeFiles/asilkit_analysis.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/asilkit_analysis.dir/simulation.cpp.o"
+  "CMakeFiles/asilkit_analysis.dir/simulation.cpp.o.d"
+  "CMakeFiles/asilkit_analysis.dir/tolerance.cpp.o"
+  "CMakeFiles/asilkit_analysis.dir/tolerance.cpp.o.d"
+  "CMakeFiles/asilkit_analysis.dir/traceability.cpp.o"
+  "CMakeFiles/asilkit_analysis.dir/traceability.cpp.o.d"
+  "libasilkit_analysis.a"
+  "libasilkit_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asilkit_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

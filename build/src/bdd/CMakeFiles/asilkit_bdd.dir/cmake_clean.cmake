@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asilkit_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/asilkit_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/asilkit_bdd.dir/from_fault_tree.cpp.o"
+  "CMakeFiles/asilkit_bdd.dir/from_fault_tree.cpp.o.d"
+  "libasilkit_bdd.a"
+  "libasilkit_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asilkit_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

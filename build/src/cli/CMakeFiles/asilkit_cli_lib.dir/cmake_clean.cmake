@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asilkit_cli_lib.dir/cli.cpp.o"
+  "CMakeFiles/asilkit_cli_lib.dir/cli.cpp.o.d"
+  "libasilkit_cli_lib.a"
+  "libasilkit_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asilkit_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asilkit_core.dir/asil.cpp.o"
+  "CMakeFiles/asilkit_core.dir/asil.cpp.o.d"
+  "CMakeFiles/asilkit_core.dir/decomposition.cpp.o"
+  "CMakeFiles/asilkit_core.dir/decomposition.cpp.o.d"
+  "libasilkit_core.a"
+  "libasilkit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asilkit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/cost_analysis.cpp" "src/cost/CMakeFiles/asilkit_cost.dir/cost_analysis.cpp.o" "gcc" "src/cost/CMakeFiles/asilkit_cost.dir/cost_analysis.cpp.o.d"
+  "/root/repo/src/cost/cost_metric.cpp" "src/cost/CMakeFiles/asilkit_cost.dir/cost_metric.cpp.o" "gcc" "src/cost/CMakeFiles/asilkit_cost.dir/cost_metric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/asilkit_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/asilkit_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

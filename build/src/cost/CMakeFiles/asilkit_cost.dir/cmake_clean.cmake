@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asilkit_cost.dir/cost_analysis.cpp.o"
+  "CMakeFiles/asilkit_cost.dir/cost_analysis.cpp.o.d"
+  "CMakeFiles/asilkit_cost.dir/cost_metric.cpp.o"
+  "CMakeFiles/asilkit_cost.dir/cost_metric.cpp.o.d"
+  "libasilkit_cost.a"
+  "libasilkit_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asilkit_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

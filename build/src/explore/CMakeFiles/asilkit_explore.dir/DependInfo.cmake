@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explore/advisor.cpp" "src/explore/CMakeFiles/asilkit_explore.dir/advisor.cpp.o" "gcc" "src/explore/CMakeFiles/asilkit_explore.dir/advisor.cpp.o.d"
+  "/root/repo/src/explore/driver.cpp" "src/explore/CMakeFiles/asilkit_explore.dir/driver.cpp.o" "gcc" "src/explore/CMakeFiles/asilkit_explore.dir/driver.cpp.o.d"
+  "/root/repo/src/explore/mapping_opt.cpp" "src/explore/CMakeFiles/asilkit_explore.dir/mapping_opt.cpp.o" "gcc" "src/explore/CMakeFiles/asilkit_explore.dir/mapping_opt.cpp.o.d"
+  "/root/repo/src/explore/mapping_search.cpp" "src/explore/CMakeFiles/asilkit_explore.dir/mapping_search.cpp.o" "gcc" "src/explore/CMakeFiles/asilkit_explore.dir/mapping_search.cpp.o.d"
+  "/root/repo/src/explore/pareto.cpp" "src/explore/CMakeFiles/asilkit_explore.dir/pareto.cpp.o" "gcc" "src/explore/CMakeFiles/asilkit_explore.dir/pareto.cpp.o.d"
+  "/root/repo/src/explore/tradeoff.cpp" "src/explore/CMakeFiles/asilkit_explore.dir/tradeoff.cpp.o" "gcc" "src/explore/CMakeFiles/asilkit_explore.dir/tradeoff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/asilkit_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/asilkit_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/asilkit_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/asilkit_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/asilkit_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftree/CMakeFiles/asilkit_ftree.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/asilkit_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

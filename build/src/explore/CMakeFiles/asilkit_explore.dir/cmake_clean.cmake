@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asilkit_explore.dir/advisor.cpp.o"
+  "CMakeFiles/asilkit_explore.dir/advisor.cpp.o.d"
+  "CMakeFiles/asilkit_explore.dir/driver.cpp.o"
+  "CMakeFiles/asilkit_explore.dir/driver.cpp.o.d"
+  "CMakeFiles/asilkit_explore.dir/mapping_opt.cpp.o"
+  "CMakeFiles/asilkit_explore.dir/mapping_opt.cpp.o.d"
+  "CMakeFiles/asilkit_explore.dir/mapping_search.cpp.o"
+  "CMakeFiles/asilkit_explore.dir/mapping_search.cpp.o.d"
+  "CMakeFiles/asilkit_explore.dir/pareto.cpp.o"
+  "CMakeFiles/asilkit_explore.dir/pareto.cpp.o.d"
+  "CMakeFiles/asilkit_explore.dir/tradeoff.cpp.o"
+  "CMakeFiles/asilkit_explore.dir/tradeoff.cpp.o.d"
+  "libasilkit_explore.a"
+  "libasilkit_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asilkit_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

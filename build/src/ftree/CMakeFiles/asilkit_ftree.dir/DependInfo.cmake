@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftree/builder.cpp" "src/ftree/CMakeFiles/asilkit_ftree.dir/builder.cpp.o" "gcc" "src/ftree/CMakeFiles/asilkit_ftree.dir/builder.cpp.o.d"
+  "/root/repo/src/ftree/fault_tree.cpp" "src/ftree/CMakeFiles/asilkit_ftree.dir/fault_tree.cpp.o" "gcc" "src/ftree/CMakeFiles/asilkit_ftree.dir/fault_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/asilkit_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/asilkit_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asilkit_ftree.dir/builder.cpp.o"
+  "CMakeFiles/asilkit_ftree.dir/builder.cpp.o.d"
+  "CMakeFiles/asilkit_ftree.dir/fault_tree.cpp.o"
+  "CMakeFiles/asilkit_ftree.dir/fault_tree.cpp.o.d"
+  "libasilkit_ftree.a"
+  "libasilkit_ftree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asilkit_ftree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

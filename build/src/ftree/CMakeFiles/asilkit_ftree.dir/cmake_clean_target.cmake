@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasilkit_ftree.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cpp" "src/io/CMakeFiles/asilkit_io.dir/csv.cpp.o" "gcc" "src/io/CMakeFiles/asilkit_io.dir/csv.cpp.o.d"
+  "/root/repo/src/io/dot.cpp" "src/io/CMakeFiles/asilkit_io.dir/dot.cpp.o" "gcc" "src/io/CMakeFiles/asilkit_io.dir/dot.cpp.o.d"
+  "/root/repo/src/io/graphml.cpp" "src/io/CMakeFiles/asilkit_io.dir/graphml.cpp.o" "gcc" "src/io/CMakeFiles/asilkit_io.dir/graphml.cpp.o.d"
+  "/root/repo/src/io/json.cpp" "src/io/CMakeFiles/asilkit_io.dir/json.cpp.o" "gcc" "src/io/CMakeFiles/asilkit_io.dir/json.cpp.o.d"
+  "/root/repo/src/io/model_diff.cpp" "src/io/CMakeFiles/asilkit_io.dir/model_diff.cpp.o" "gcc" "src/io/CMakeFiles/asilkit_io.dir/model_diff.cpp.o.d"
+  "/root/repo/src/io/model_json.cpp" "src/io/CMakeFiles/asilkit_io.dir/model_json.cpp.o" "gcc" "src/io/CMakeFiles/asilkit_io.dir/model_json.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/asilkit_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftree/CMakeFiles/asilkit_ftree.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/asilkit_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asilkit_io.dir/csv.cpp.o"
+  "CMakeFiles/asilkit_io.dir/csv.cpp.o.d"
+  "CMakeFiles/asilkit_io.dir/dot.cpp.o"
+  "CMakeFiles/asilkit_io.dir/dot.cpp.o.d"
+  "CMakeFiles/asilkit_io.dir/graphml.cpp.o"
+  "CMakeFiles/asilkit_io.dir/graphml.cpp.o.d"
+  "CMakeFiles/asilkit_io.dir/json.cpp.o"
+  "CMakeFiles/asilkit_io.dir/json.cpp.o.d"
+  "CMakeFiles/asilkit_io.dir/model_diff.cpp.o"
+  "CMakeFiles/asilkit_io.dir/model_diff.cpp.o.d"
+  "CMakeFiles/asilkit_io.dir/model_json.cpp.o"
+  "CMakeFiles/asilkit_io.dir/model_json.cpp.o.d"
+  "libasilkit_io.a"
+  "libasilkit_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asilkit_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/architecture.cpp" "src/model/CMakeFiles/asilkit_model.dir/architecture.cpp.o" "gcc" "src/model/CMakeFiles/asilkit_model.dir/architecture.cpp.o.d"
+  "/root/repo/src/model/blocks.cpp" "src/model/CMakeFiles/asilkit_model.dir/blocks.cpp.o" "gcc" "src/model/CMakeFiles/asilkit_model.dir/blocks.cpp.o.d"
+  "/root/repo/src/model/failure_rates.cpp" "src/model/CMakeFiles/asilkit_model.dir/failure_rates.cpp.o" "gcc" "src/model/CMakeFiles/asilkit_model.dir/failure_rates.cpp.o.d"
+  "/root/repo/src/model/node.cpp" "src/model/CMakeFiles/asilkit_model.dir/node.cpp.o" "gcc" "src/model/CMakeFiles/asilkit_model.dir/node.cpp.o.d"
+  "/root/repo/src/model/resource.cpp" "src/model/CMakeFiles/asilkit_model.dir/resource.cpp.o" "gcc" "src/model/CMakeFiles/asilkit_model.dir/resource.cpp.o.d"
+  "/root/repo/src/model/validation.cpp" "src/model/CMakeFiles/asilkit_model.dir/validation.cpp.o" "gcc" "src/model/CMakeFiles/asilkit_model.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/asilkit_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

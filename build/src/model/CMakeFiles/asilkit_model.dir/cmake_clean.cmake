@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asilkit_model.dir/architecture.cpp.o"
+  "CMakeFiles/asilkit_model.dir/architecture.cpp.o.d"
+  "CMakeFiles/asilkit_model.dir/blocks.cpp.o"
+  "CMakeFiles/asilkit_model.dir/blocks.cpp.o.d"
+  "CMakeFiles/asilkit_model.dir/failure_rates.cpp.o"
+  "CMakeFiles/asilkit_model.dir/failure_rates.cpp.o.d"
+  "CMakeFiles/asilkit_model.dir/node.cpp.o"
+  "CMakeFiles/asilkit_model.dir/node.cpp.o.d"
+  "CMakeFiles/asilkit_model.dir/resource.cpp.o"
+  "CMakeFiles/asilkit_model.dir/resource.cpp.o.d"
+  "CMakeFiles/asilkit_model.dir/validation.cpp.o"
+  "CMakeFiles/asilkit_model.dir/validation.cpp.o.d"
+  "libasilkit_model.a"
+  "libasilkit_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asilkit_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scenarios/builder.cpp" "src/scenarios/CMakeFiles/asilkit_scenarios.dir/builder.cpp.o" "gcc" "src/scenarios/CMakeFiles/asilkit_scenarios.dir/builder.cpp.o.d"
+  "/root/repo/src/scenarios/ecotwin.cpp" "src/scenarios/CMakeFiles/asilkit_scenarios.dir/ecotwin.cpp.o" "gcc" "src/scenarios/CMakeFiles/asilkit_scenarios.dir/ecotwin.cpp.o.d"
+  "/root/repo/src/scenarios/fig3.cpp" "src/scenarios/CMakeFiles/asilkit_scenarios.dir/fig3.cpp.o" "gcc" "src/scenarios/CMakeFiles/asilkit_scenarios.dir/fig3.cpp.o.d"
+  "/root/repo/src/scenarios/longitudinal.cpp" "src/scenarios/CMakeFiles/asilkit_scenarios.dir/longitudinal.cpp.o" "gcc" "src/scenarios/CMakeFiles/asilkit_scenarios.dir/longitudinal.cpp.o.d"
+  "/root/repo/src/scenarios/micro.cpp" "src/scenarios/CMakeFiles/asilkit_scenarios.dir/micro.cpp.o" "gcc" "src/scenarios/CMakeFiles/asilkit_scenarios.dir/micro.cpp.o.d"
+  "/root/repo/src/scenarios/synthetic.cpp" "src/scenarios/CMakeFiles/asilkit_scenarios.dir/synthetic.cpp.o" "gcc" "src/scenarios/CMakeFiles/asilkit_scenarios.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/asilkit_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/asilkit_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

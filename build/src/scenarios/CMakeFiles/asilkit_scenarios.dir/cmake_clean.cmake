@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asilkit_scenarios.dir/builder.cpp.o"
+  "CMakeFiles/asilkit_scenarios.dir/builder.cpp.o.d"
+  "CMakeFiles/asilkit_scenarios.dir/ecotwin.cpp.o"
+  "CMakeFiles/asilkit_scenarios.dir/ecotwin.cpp.o.d"
+  "CMakeFiles/asilkit_scenarios.dir/fig3.cpp.o"
+  "CMakeFiles/asilkit_scenarios.dir/fig3.cpp.o.d"
+  "CMakeFiles/asilkit_scenarios.dir/longitudinal.cpp.o"
+  "CMakeFiles/asilkit_scenarios.dir/longitudinal.cpp.o.d"
+  "CMakeFiles/asilkit_scenarios.dir/micro.cpp.o"
+  "CMakeFiles/asilkit_scenarios.dir/micro.cpp.o.d"
+  "CMakeFiles/asilkit_scenarios.dir/synthetic.cpp.o"
+  "CMakeFiles/asilkit_scenarios.dir/synthetic.cpp.o.d"
+  "libasilkit_scenarios.a"
+  "libasilkit_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asilkit_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

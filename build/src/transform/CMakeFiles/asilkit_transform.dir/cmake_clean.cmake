@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asilkit_transform.dir/connect.cpp.o"
+  "CMakeFiles/asilkit_transform.dir/connect.cpp.o.d"
+  "CMakeFiles/asilkit_transform.dir/expand.cpp.o"
+  "CMakeFiles/asilkit_transform.dir/expand.cpp.o.d"
+  "CMakeFiles/asilkit_transform.dir/reduce.cpp.o"
+  "CMakeFiles/asilkit_transform.dir/reduce.cpp.o.d"
+  "libasilkit_transform.a"
+  "libasilkit_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asilkit_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

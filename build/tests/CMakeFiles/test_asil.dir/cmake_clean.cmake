@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asil.dir/test_asil.cpp.o"
+  "CMakeFiles/test_asil.dir/test_asil.cpp.o.d"
+  "test_asil"
+  "test_asil.pdb"
+  "test_asil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

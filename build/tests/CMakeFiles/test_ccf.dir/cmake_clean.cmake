@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ccf.dir/test_ccf.cpp.o"
+  "CMakeFiles/test_ccf.dir/test_ccf.cpp.o.d"
+  "test_ccf"
+  "test_ccf.pdb"
+  "test_ccf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ccf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_connect.dir/test_connect.cpp.o"
+  "CMakeFiles/test_connect.dir/test_connect.cpp.o.d"
+  "test_connect"
+  "test_connect.pdb"
+  "test_connect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_connect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cutsets.dir/test_cutsets.cpp.o"
+  "CMakeFiles/test_cutsets.dir/test_cutsets.cpp.o.d"
+  "test_cutsets"
+  "test_cutsets.pdb"
+  "test_cutsets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cutsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

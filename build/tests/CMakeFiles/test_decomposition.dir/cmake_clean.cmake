@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decomposition.dir/test_decomposition.cpp.o"
+  "CMakeFiles/test_decomposition.dir/test_decomposition.cpp.o.d"
+  "test_decomposition"
+  "test_decomposition.pdb"
+  "test_decomposition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

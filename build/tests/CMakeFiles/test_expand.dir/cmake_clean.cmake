@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expand.dir/test_expand.cpp.o"
+  "CMakeFiles/test_expand.dir/test_expand.cpp.o.d"
+  "test_expand"
+  "test_expand.pdb"
+  "test_expand[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

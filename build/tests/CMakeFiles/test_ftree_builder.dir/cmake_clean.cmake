@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ftree_builder.dir/test_ftree_builder.cpp.o"
+  "CMakeFiles/test_ftree_builder.dir/test_ftree_builder.cpp.o.d"
+  "test_ftree_builder"
+  "test_ftree_builder.pdb"
+  "test_ftree_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ftree_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_importance.cpp" "tests/CMakeFiles/test_importance.dir/test_importance.cpp.o" "gcc" "tests/CMakeFiles/test_importance.dir/test_importance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/asilkit_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/asilkit_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/asilkit_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/asilkit_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/asilkit_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/asilkit_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/asilkit_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftree/CMakeFiles/asilkit_ftree.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenarios/CMakeFiles/asilkit_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/asilkit_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/asilkit_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapping_search.dir/test_mapping_search.cpp.o"
+  "CMakeFiles/test_mapping_search.dir/test_mapping_search.cpp.o.d"
+  "test_mapping_search"
+  "test_mapping_search.pdb"
+  "test_mapping_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapping_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_diff.dir/test_model_diff.cpp.o"
+  "CMakeFiles/test_model_diff.dir/test_model_diff.cpp.o.d"
+  "test_model_diff"
+  "test_model_diff.pdb"
+  "test_model_diff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_json.dir/test_model_json.cpp.o"
+  "CMakeFiles/test_model_json.dir/test_model_json.cpp.o.d"
+  "test_model_json"
+  "test_model_json.pdb"
+  "test_model_json[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

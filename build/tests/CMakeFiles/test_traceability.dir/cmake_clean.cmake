@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traceability.dir/test_traceability.cpp.o"
+  "CMakeFiles/test_traceability.dir/test_traceability.cpp.o.d"
+  "test_traceability"
+  "test_traceability.pdb"
+  "test_traceability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traceability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

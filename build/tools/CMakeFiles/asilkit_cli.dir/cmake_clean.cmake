@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asilkit_cli.dir/asilkit_cli.cpp.o"
+  "CMakeFiles/asilkit_cli.dir/asilkit_cli.cpp.o.d"
+  "asilkit_cli"
+  "asilkit_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asilkit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,144 @@
+// Mapping-search DSE benchmark: the parallel candidate-evaluation engine
+// against the serial baseline, plus the eval-cache hit rates the engine
+// earns on a symmetry-rich workload.
+//
+// Workload: chain_n_stages(3) with every stage expanded (three redundant
+// blocks).  Steepest-descent mapping search scores every candidate merge
+// per iteration; mirror merges in redundant branches collapse onto one
+// canonical fault tree, so the cold sweep already replays a third of its
+// evaluations from cache, and a persistent engine (the iterative-DSE
+// steady state, where consecutive searches revisit the same candidate
+// trees) replays almost everything.
+//
+// Counters exported per timing (consumed by tools/bench_to_json):
+//   cache_hit_rate   aggregate eval-cache hit rate during the timing
+//   evals            engine evaluations per search
+//
+// Thread counts honour ASILKIT_THREADS; on a single-core host the
+// parallel timing degenerates to the serial one (the ISSUE's >=4x at 8
+// threads needs >=8 cores — this harness reports whatever the host has).
+#include "bench_util.h"
+
+#include "explore/mapping_search.h"
+#include "scenarios/micro.h"
+#include "transform/expand.h"
+
+using namespace asilkit;
+
+namespace {
+
+ArchitectureModel workload() {
+    ArchitectureModel m = scenarios::chain_n_stages(3);
+    for (const char* n : {"f1", "f2", "f3"}) transform::expand(m, m.find_app_node(n));
+    return m;
+}
+
+explore::MappingSearchResult run_search(const engine::EngineOptions& eng) {
+    ArchitectureModel m = workload();
+    explore::MappingSearchOptions options;
+    options.engine = eng;
+    return explore::search_mapping(m, options);
+}
+
+void print_report() {
+    bench::heading("Mapping-search DSE engine (chain x3, all stages expanded)");
+    const auto serial = run_search({.threads = 1, .cache_capacity = 0});
+    bench::row("evaluations per search", static_cast<double>(serial.evaluations));
+    bench::row("merges applied", static_cast<double>(serial.merges));
+    bench::row("P(fail) after search", serial.probability_after);
+
+    const auto cold = run_search({.threads = 1, .cache_capacity = 1 << 14});
+    std::printf("  %-46s %.1f%%  (%llu/%llu)\n", "cold-sweep cache hit rate",
+                100.0 * cold.eval_cache_hit_rate(),
+                static_cast<unsigned long long>(cold.eval_cache_hits),
+                static_cast<unsigned long long>(cold.evaluations));
+
+    // Iterative DSE steady state: one engine serving repeated searches of
+    // a workload family, as run_exploration does across its phases.
+    engine::EvalEngine shared({.threads = 1, .cache_capacity = 1 << 14});
+    explore::MappingSearchOptions options;
+    std::uint64_t evals = 0;
+    std::uint64_t hits = 0;
+    for (int round = 0; round < 4; ++round) {
+        ArchitectureModel m = workload();
+        const auto r = explore::search_mapping(m, options, shared);
+        evals += r.evaluations;
+        hits += r.eval_cache_hits;
+    }
+    std::printf("  %-46s %.1f%%  (%llu/%llu)\n", "steady-state cache hit rate (4 searches)",
+                100.0 * static_cast<double>(hits) / static_cast<double>(evals),
+                static_cast<unsigned long long>(hits), static_cast<unsigned long long>(evals));
+    bench::note("determinism: identical curves and models at every thread count/cache size");
+    bench::note("(asserted by tests/test_engine.cpp).");
+}
+
+// Serial baseline: one thread, no cache — every candidate pays a full
+// fault-tree build + BDD compile + Shannon evaluation.
+void BM_MappingSearch_Serial(benchmark::State& state) {
+    std::uint64_t evals = 0;
+    for (auto _ : state) {
+        const auto r = run_search({.threads = 1, .cache_capacity = 0});
+        evals = r.evaluations;
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["cache_hit_rate"] = 0.0;
+    state.counters["evals"] = static_cast<double>(evals);
+}
+BENCHMARK(BM_MappingSearch_Serial)->Unit(benchmark::kMillisecond);
+
+// Parallel batch scoring, cache off: isolates the thread-pool speed-up.
+// Thread count from ASILKIT_THREADS (default: hardware concurrency).
+void BM_MappingSearch_Parallel(benchmark::State& state) {
+    std::uint64_t evals = 0;
+    for (auto _ : state) {
+        const auto r = run_search({.threads = 0, .cache_capacity = 0});
+        evals = r.evaluations;
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["engine_threads"] = static_cast<double>(engine::resolve_thread_count(0));
+    state.counters["cache_hit_rate"] = 0.0;
+    state.counters["evals"] = static_cast<double>(evals);
+}
+BENCHMARK(BM_MappingSearch_Parallel)->Unit(benchmark::kMillisecond);
+
+// Cold cache, fresh engine per search: hits come only from within-sweep
+// canonical-tree symmetry (mirror merges, current-state replays).
+void BM_MappingSearch_ColdCache(benchmark::State& state) {
+    std::uint64_t evals = 0;
+    std::uint64_t hits = 0;
+    for (auto _ : state) {
+        const auto r = run_search({.threads = 1, .cache_capacity = 1 << 14});
+        evals += r.evaluations;
+        hits += r.eval_cache_hits;
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["cache_hit_rate"] =
+        evals == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(evals);
+    state.counters["evals"] = static_cast<double>(evals);
+}
+BENCHMARK(BM_MappingSearch_ColdCache)->Unit(benchmark::kMillisecond);
+
+// Steady state: the engine outlives the searches, as in an iterative DSE
+// loop re-exploring a workload family.  After the first search the cache
+// replays every evaluation, so the aggregate hit rate approaches 100%.
+void BM_MappingSearch_SteadyStateCache(benchmark::State& state) {
+    engine::EvalEngine shared({.threads = 1, .cache_capacity = 1 << 14});
+    explore::MappingSearchOptions options;
+    std::uint64_t evals = 0;
+    std::uint64_t hits = 0;
+    for (auto _ : state) {
+        ArchitectureModel m = workload();
+        const auto r = explore::search_mapping(m, options, shared);
+        evals += r.evaluations;
+        hits += r.eval_cache_hits;
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["cache_hit_rate"] =
+        evals == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(evals);
+    state.counters["evals"] = static_cast<double>(evals);
+}
+BENCHMARK(BM_MappingSearch_SteadyStateCache)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+ASILKIT_BENCH_MAIN(print_report)

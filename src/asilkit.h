@@ -37,6 +37,10 @@
 #include "cost/cost_analysis.h"    // Table II metrics
 #include "cost/cost_metric.h"
 
+#include "engine/engine.h"         // parallel memoised candidate scoring
+#include "engine/eval_cache.h"
+#include "engine/thread_pool.h"
+
 #include "transform/connect.h"     // Connect()
 #include "transform/expand.h"      // Expand()
 #include "transform/reduce.h"      // Reduce()

@@ -1,14 +1,34 @@
 #include "bdd/bdd.h"
 
 #include <algorithm>
+#include <cstring>
 #include <functional>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace asilkit::bdd {
+namespace {
+
+constexpr std::size_t kInitialTableCapacity = 1 << 10;  // power of two
+
+/// Grow when a table passes ~70 % occupancy.
+[[nodiscard]] constexpr bool over_load(std::size_t entries, std::size_t capacity) noexcept {
+    return entries * 10 >= capacity * 7;
+}
+
+[[nodiscard]] constexpr std::uint64_t pack_pair(BddRef f, BddRef g) noexcept {
+    return (static_cast<std::uint64_t>(f) << 32) | g;
+}
+
+}  // namespace
 
 BddManager::BddManager(std::uint32_t variable_count) : variable_count_(variable_count) {
     nodes_.push_back(Node{variable_count_, kFalse, kFalse});  // terminal 0
     nodes_.push_back(Node{variable_count_, kTrue, kTrue});    // terminal 1
+    unique_.slots.assign(kInitialTableCapacity, kFalse);
+    for (ApplyCache& cache : apply_cache_) {
+        cache.slots.assign(kInitialTableCapacity, ApplyCache::Slot{});
+    }
 }
 
 BddRef BddManager::variable(std::uint32_t var) {
@@ -18,12 +38,61 @@ BddRef BddManager::variable(std::uint32_t var) {
 
 BddRef BddManager::make(std::uint32_t var, BddRef high, BddRef low) {
     if (high == low) return high;  // reduction rule
-    const NodeKey key{var, high, low};
-    if (auto it = unique_.find(key); it != unique_.end()) return it->second;
+    return unique_lookup_or_insert(var, high, low);
+}
+
+BddRef BddManager::unique_lookup_or_insert(std::uint32_t var, BddRef high, BddRef low) {
+    if (over_load(unique_.entries, unique_.slots.size())) unique_grow();
+    const std::size_t mask = unique_.slots.size() - 1;
+    std::size_t i = static_cast<std::size_t>(detail::mix_node_key(var, high, low)) & mask;
+    for (;; i = (i + 1) & mask) {
+        const BddRef ref = unique_.slots[i];
+        if (ref == kFalse) break;  // empty slot: not present
+        const Node& n = nodes_[ref];
+        if (n.var == var && n.high == high && n.low == low) return ref;
+    }
     const auto ref = static_cast<BddRef>(nodes_.size());
     nodes_.push_back(Node{var, high, low});
-    unique_.emplace(key, ref);
+    unique_.slots[i] = ref;
+    ++unique_.entries;
     return ref;
+}
+
+void BddManager::unique_grow() {
+    std::vector<BddRef> old = std::move(unique_.slots);
+    unique_.slots.assign(old.size() * 2, kFalse);
+    const std::size_t mask = unique_.slots.size() - 1;
+    for (const BddRef ref : old) {
+        if (ref == kFalse) continue;
+        const Node& n = nodes_[ref];
+        std::size_t i = static_cast<std::size_t>(detail::mix_node_key(n.var, n.high, n.low)) & mask;
+        while (unique_.slots[i] != kFalse) i = (i + 1) & mask;
+        unique_.slots[i] = ref;
+    }
+}
+
+BddRef* BddManager::apply_slot(ApplyCache& cache, std::uint64_t key) {
+    if (over_load(cache.entries, cache.slots.size())) apply_grow(cache);
+    const std::size_t mask = cache.slots.size() - 1;
+    std::size_t i = static_cast<std::size_t>(detail::mix64(key)) & mask;
+    while (cache.slots[i].key != 0 && cache.slots[i].key != key) i = (i + 1) & mask;
+    if (cache.slots[i].key == 0) {
+        cache.slots[i].key = key;
+        ++cache.entries;
+    }
+    return &cache.slots[i].result;
+}
+
+void BddManager::apply_grow(ApplyCache& cache) {
+    std::vector<ApplyCache::Slot> old = std::move(cache.slots);
+    cache.slots.assign(old.size() * 2, ApplyCache::Slot{});
+    const std::size_t mask = cache.slots.size() - 1;
+    for (const ApplyCache::Slot& s : old) {
+        if (s.key == 0) continue;
+        std::size_t i = static_cast<std::size_t>(detail::mix64(s.key)) & mask;
+        while (cache.slots[i].key != 0) i = (i + 1) & mask;
+        cache.slots[i] = s;
+    }
 }
 
 BddRef BddManager::apply(BddOp op, BddRef f, BddRef g) {
@@ -39,9 +108,18 @@ BddRef BddManager::apply(BddOp op, BddRef f, BddRef g) {
         if (g == kTrue) return f;
         if (f == g) return f;
     }
-    // Both operations are commutative: canonicalise the cache key.
-    const ApplyKey key{static_cast<std::uint8_t>(op), std::min(f, g), std::max(f, g)};
-    if (auto it = apply_cache_.find(key); it != apply_cache_.end()) return it->second;
+    // Both operations are commutative: canonicalise the cache key.  Both
+    // operands are interior nodes here (>= 2), so the packed key is
+    // nonzero and can use 0 as the empty-slot marker.
+    const std::uint64_t key = pack_pair(std::min(f, g), std::max(f, g));
+    ApplyCache& cache = apply_cache_[static_cast<std::size_t>(op)];
+    {
+        const std::size_t mask = cache.slots.size() - 1;
+        std::size_t i = static_cast<std::size_t>(detail::mix64(key)) & mask;
+        for (; cache.slots[i].key != 0; i = (i + 1) & mask) {
+            if (cache.slots[i].key == key) return cache.slots[i].result;
+        }
+    }
 
     const std::uint32_t vf = var_of(f);
     const std::uint32_t vg = var_of(g);
@@ -56,7 +134,9 @@ BddRef BddManager::apply(BddOp op, BddRef f, BddRef g) {
     const BddRef high = apply(op, f_high, g_high);
     const BddRef low = apply(op, f_low, g_low);
     const BddRef result = make(v, high, low);
-    apply_cache_.emplace(key, result);
+    // Insert after the recursion: the recursive calls may have grown the
+    // cache, so the slot is located now (pointers would be stale).
+    *apply_slot(cache, key) = result;
     return result;
 }
 
@@ -83,18 +163,32 @@ double BddManager::probability(BddRef f, std::span<const double> var_probability
     if (var_probability.size() != variable_count_) {
         throw AnalysisError("bdd: probability vector size != variable count");
     }
-    std::unordered_map<BddRef, double> memo;
-    std::function<double(BddRef)> rec = [&](BddRef x) -> double {
-        if (x == kFalse) return 0.0;
-        if (x == kTrue) return 1.0;
-        if (auto it = memo.find(x); it != memo.end()) return it->second;
-        const Node& n = nodes_[x];
-        const double p = var_probability[n.var];
-        const double result = p * rec(n.high) + (1.0 - p) * rec(n.low);
-        memo.emplace(x, result);
-        return result;
-    };
-    return rec(f);
+    // Fingerprint the probability vector; a change invalidates the memo.
+    std::uint64_t key = detail::mix64(variable_count_);
+    for (const double p : var_probability) {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(p));
+        std::memcpy(&bits, &p, sizeof(bits));
+        key = detail::mix64(key ^ bits);
+    }
+    if (key != prob_key_ || prob_memo_.size() < 2) {
+        prob_key_ = key;
+        prob_memo_.assign(2, 0.0);
+        prob_memo_[kTrue] = 1.0;
+        prob_valid_ = 2;
+    }
+    // Children precede parents in the arena, so one bottom-up sweep over
+    // the not-yet-evaluated suffix covers every node (including f).
+    if (prob_valid_ < nodes_.size()) {
+        prob_memo_.resize(nodes_.size());
+        for (std::size_t i = prob_valid_; i < nodes_.size(); ++i) {
+            const Node& n = nodes_[i];
+            const double p = var_probability[n.var];
+            prob_memo_[i] = p * prob_memo_[n.high] + (1.0 - p) * prob_memo_[n.low];
+        }
+        prob_valid_ = nodes_.size();
+    }
+    return prob_memo_[f];
 }
 
 std::size_t BddManager::node_count(BddRef f) const {

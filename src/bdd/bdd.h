@@ -14,17 +14,30 @@
 //     describes (Section V reports that cost growing exponentially with
 //     the number of redundant blocks).
 //
+// Both tables are open-addressing flat tables with power-of-two capacity
+// (linear probing, grow-by-rehash, no tombstones — entries are never
+// individually erased), and nodes live in a contiguous arena indexed by
+// BddRef.  Probing uses a full 64-bit splitmix64-style finalizer so that
+// the near-identical (var, high, low) / (f, g) keys produced by
+// incremental construction do not cluster in power-of-two tables.
+//
 // The exact top-event probability is evaluated on the BDD by the
 // Shannon expansion P(f) = p_v * P(f_high) + (1 - p_v) * P(f_low), which
 // — unlike summing rates on the fault tree — is exact for repeated events.
+// probability() is memoised across calls: the arena is append-only and
+// children always precede parents, so per-node probabilities are computed
+// in one bottom-up sweep and cached until the probability vector changes.
+//
+// A manager is NOT thread-safe; concurrent evaluation uses one manager
+// per worker (see engine/), which keeps the apply hot path lock-free.
 #pragma once
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/error.h"
+#include "core/hash.h"
 
 namespace asilkit::bdd {
 
@@ -35,6 +48,23 @@ inline constexpr BddRef kFalse = 0;
 inline constexpr BddRef kTrue = 1;
 
 enum class BddOp : std::uint8_t { Or, And };
+
+namespace detail {
+
+/// splitmix64 finalizer (see core/hash.h).  Used for every table probe
+/// so that keys differing in a few low bits land far apart in
+/// power-of-two tables (the old multiply-then-add scheme let small
+/// (f, g) deltas collide after the mask).
+using asilkit::hash::mix64;
+
+/// Mix of a (var, high, low) node triple.
+[[nodiscard]] constexpr std::uint64_t mix_node_key(std::uint32_t var, std::uint32_t high,
+                                                   std::uint32_t low) noexcept {
+    const std::uint64_t hl = (static_cast<std::uint64_t>(high) << 32) | low;
+    return mix64(mix64(hl) ^ var);
+}
+
+}  // namespace detail
 
 class BddManager {
 public:
@@ -59,6 +89,8 @@ public:
 
     /// Exact probability that the function is true, given independent
     /// per-variable probabilities (size must equal variable_count()).
+    /// Memoised: repeated calls with the same probability vector reuse
+    /// the bottom-up sweep (only nodes created since are evaluated).
     [[nodiscard]] double probability(BddRef f, std::span<const double> var_probability) const;
 
     /// Number of interior nodes reachable from `f` (terminals excluded).
@@ -80,40 +112,40 @@ public:
     [[nodiscard]] static bool is_terminal(BddRef f) noexcept { return f <= kTrue; }
 
 private:
+    /// Arena slot.  Nodes are append-only and children are created before
+    /// their parents, so `high < ref` and `low < ref` for every interior
+    /// node — the invariant the memoised probability sweep relies on.
     struct Node {
         std::uint32_t var;
         BddRef high;
         BddRef low;
     };
 
-    struct NodeKey {
-        std::uint32_t var;
-        BddRef high;
-        BddRef low;
-        friend bool operator==(const NodeKey&, const NodeKey&) = default;
+    /// Open-addressing unique table.  Stores only node refs: the key
+    /// (var, high, low) is read back from the arena, keeping a slot at
+    /// 4 bytes.  kFalse (never hash-consed) marks an empty slot.
+    struct UniqueTable {
+        std::vector<BddRef> slots;
+        std::size_t entries = 0;
     };
-    struct NodeKeyHash {
-        std::size_t operator()(const NodeKey& k) const noexcept {
-            std::uint64_t h = k.var;
-            h = h * 0x9E3779B97F4A7C15ull + k.high;
-            h = h * 0x9E3779B97F4A7C15ull + k.low;
-            return static_cast<std::size_t>(h ^ (h >> 32));
-        }
+
+    /// Open-addressing apply cache, one per operation so the packed
+    /// (f, g) pair is the whole key.  key == 0 marks an empty slot
+    /// (terminal operands never reach the cache, so f >= 2 and the
+    /// packed key is always >= 2^33).
+    struct ApplyCache {
+        struct Slot {
+            std::uint64_t key = 0;
+            BddRef result = kFalse;
+        };
+        std::vector<Slot> slots;
+        std::size_t entries = 0;
     };
-    struct ApplyKey {
-        std::uint8_t op;
-        BddRef f;
-        BddRef g;
-        friend bool operator==(const ApplyKey&, const ApplyKey&) = default;
-    };
-    struct ApplyKeyHash {
-        std::size_t operator()(const ApplyKey& k) const noexcept {
-            std::uint64_t h = k.op;
-            h = h * 0x9E3779B97F4A7C15ull + k.f;
-            h = h * 0x9E3779B97F4A7C15ull + k.g;
-            return static_cast<std::size_t>(h ^ (h >> 32));
-        }
-    };
+
+    [[nodiscard]] BddRef unique_lookup_or_insert(std::uint32_t var, BddRef high, BddRef low);
+    void unique_grow();
+    [[nodiscard]] static BddRef* apply_slot(ApplyCache& cache, std::uint64_t key);
+    static void apply_grow(ApplyCache& cache);
 
     [[nodiscard]] std::uint32_t var_of(BddRef f) const noexcept {
         // Terminals sort after every variable.
@@ -121,9 +153,17 @@ private:
     }
 
     std::uint32_t variable_count_;
-    std::vector<Node> nodes_;  // [0]=false, [1]=true (var fields unused)
-    std::unordered_map<NodeKey, BddRef, NodeKeyHash> unique_;
-    std::unordered_map<ApplyKey, BddRef, ApplyKeyHash> apply_cache_;
+    std::vector<Node> nodes_;  // contiguous arena; [0]=false, [1]=true
+    UniqueTable unique_;
+    ApplyCache apply_cache_[2];  // indexed by BddOp
+
+    // probability() memo: per-node probabilities under prob_epoch_'s
+    // probability vector, valid for refs < prob_valid_.  Mutable because
+    // memoisation does not change observable state; the manager is
+    // single-threaded by contract.
+    mutable std::vector<double> prob_memo_;
+    mutable std::size_t prob_valid_ = 0;
+    mutable std::uint64_t prob_key_ = 0;
 };
 
 }  // namespace asilkit::bdd

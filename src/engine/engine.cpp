@@ -1,0 +1,98 @@
+#include "engine/engine.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "bdd/from_fault_tree.h"
+#include "core/hash.h"
+#include "ftree/builder.h"
+
+namespace asilkit::engine {
+namespace {
+
+[[nodiscard]] std::uint64_t double_bits(double d) noexcept {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+}  // namespace
+
+unsigned resolve_thread_count(unsigned requested) noexcept {
+    unsigned threads = requested;
+    if (threads == 0) {
+        if (const char* env = std::getenv("ASILKIT_THREADS"); env != nullptr && *env != '\0') {
+            threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+        }
+    }
+    if (threads == 0) threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+    return threads > 256 ? 256 : threads;
+}
+
+EvalEngine::EvalEngine(const EngineOptions& options)
+    : pool_(resolve_thread_count(options.threads)), cache_(options.cache_capacity) {}
+
+analysis::ProbabilityResult EvalEngine::analyze(const ArchitectureModel& m,
+                                                const analysis::ProbabilityOptions& options) {
+    ftree::FtBuildOptions build_options;
+    build_options.approximate = options.approximate;
+    build_options.include_location_events = options.include_location_events;
+    build_options.rates = options.rates;
+    ftree::FtBuildResult built = ftree::build_fault_tree(m, build_options);
+
+    analysis::ProbabilityResult result;
+    result.ft_stats = built.tree.stats();
+    result.approximated_blocks = built.approximated_blocks;
+    result.cycles_cut = built.cycles_cut;
+    result.warnings = std::move(built.warnings);
+
+    // The engine evaluates the canonical form of the tree: gate children
+    // sorted by a structural subtree hash.  AND/OR commute, so the
+    // probability is unchanged — but candidate architectures that differ
+    // only by a symmetry (mirror merges in redundant branches, sibling
+    // chains of a sensor fan) collapse onto the SAME canonical tree and
+    // therefore the same cache key, the same BDD variable order, and
+    // bit-identical arithmetic.  That is what makes a cache hit safe to
+    // substitute for a fresh evaluation at any thread count.
+    const ftree::FaultTree canonical = ftree::canonical_form(built.tree);
+    const std::uint64_t key =
+        hash::combine(canonical.structural_hash(), double_bits(options.mission_hours));
+    if (const auto cached = cache_.lookup(key)) {
+        result.failure_probability = cached->failure_probability;
+        result.bdd_nodes = cached->bdd_nodes;
+        result.bdd_total_nodes = cached->bdd_total_nodes;
+        result.variables = cached->variables;
+        return result;
+    }
+
+    const bdd::CompiledFaultTree compiled = bdd::compile_fault_tree(canonical);
+    EvalValue value;
+    value.variables = compiled.event_of_var.size();
+    value.bdd_nodes = compiled.manager.node_count(compiled.root);
+    value.bdd_total_nodes = compiled.manager.size();
+    const std::vector<double> probs =
+        compiled.variable_probabilities(canonical, options.mission_hours);
+    value.failure_probability = compiled.manager.probability(compiled.root, probs);
+    cache_.insert(key, value);
+
+    result.failure_probability = value.failure_probability;
+    result.bdd_nodes = value.bdd_nodes;
+    result.bdd_total_nodes = value.bdd_total_nodes;
+    result.variables = value.variables;
+    return result;
+}
+
+std::vector<analysis::ProbabilityResult> EvalEngine::analyze_batch(
+    std::span<const ArchitectureModel* const> models,
+    const analysis::ProbabilityOptions& options) {
+    std::vector<analysis::ProbabilityResult> results(models.size());
+    pool_.parallel_for(models.size(), [&](std::size_t i) {
+        if (models[i] != nullptr) results[i] = analyze(*models[i], options);
+    });
+    return results;
+}
+
+}  // namespace asilkit::engine

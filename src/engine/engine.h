@@ -1,0 +1,77 @@
+// The evaluation engine: candidate scoring as a batched, parallel,
+// memoised service.
+//
+// Design-space exploration (paper Section IX) and the mapping search
+// evaluate thousands of candidate architectures, each requiring a
+// model -> fault tree -> BDD -> exact probability pipeline.  The engine
+// makes that pipeline scale:
+//   * a fixed thread pool evaluates independent candidates
+//     concurrently — every evaluation owns its BddManager, so no locks
+//     sit on the apply path (see thread_pool.h);
+//   * an evaluation cache keyed by the fault tree's structural hash
+//     returns previously computed probabilities for isomorphic trees
+//     without touching the BDD layer (see eval_cache.h).
+//
+// Determinism contract: for a fixed model and options, results are
+// bitwise identical regardless of thread count and cache capacity.  A
+// cache hit returns exactly the double a fresh evaluation would
+// produce (isomorphic trees compile to isomorphic BDDs), and callers
+// that batch through the pool reduce their results in input order.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "analysis/probability.h"
+#include "engine/eval_cache.h"
+#include "engine/thread_pool.h"
+#include "model/architecture.h"
+
+namespace asilkit::engine {
+
+struct EngineOptions {
+    /// Evaluation lanes (including the calling thread).  0 = take the
+    /// ASILKIT_THREADS environment variable, falling back to
+    /// std::thread::hardware_concurrency().
+    unsigned threads = 0;
+    /// Maximum number of cached evaluations; 0 disables the cache.
+    std::size_t cache_capacity = std::size_t{1} << 16;
+};
+
+/// Resolves `requested` (0 = ASILKIT_THREADS env var, else hardware
+/// concurrency) and clamps the result to [1, 256].
+[[nodiscard]] unsigned resolve_thread_count(unsigned requested) noexcept;
+
+class EvalEngine {
+public:
+    explicit EvalEngine(const EngineOptions& options = {});
+
+    /// Evaluation lanes actually available, env var applied.
+    [[nodiscard]] unsigned threads() const noexcept { return pool_.thread_count(); }
+
+    /// Drop-in replacement for analysis::analyze_failure_probability,
+    /// memoised by the structural hash of the generated fault tree.
+    /// Thread-safe: may be called concurrently from pool tasks.
+    [[nodiscard]] analysis::ProbabilityResult analyze(const ArchitectureModel& m,
+                                                      const analysis::ProbabilityOptions& options);
+
+    /// Scores every model of a batch concurrently; results in input
+    /// order.  Null entries are skipped (default-constructed result).
+    [[nodiscard]] std::vector<analysis::ProbabilityResult> analyze_batch(
+        std::span<const ArchitectureModel* const> models,
+        const analysis::ProbabilityOptions& options);
+
+    /// The pool, for callers that parallelise more than the analysis
+    /// itself (e.g. building the trial model inside the task).
+    [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+
+    [[nodiscard]] EvalCache::Stats cache_stats() const { return cache_.stats(); }
+    void clear_cache() { cache_.clear(); }
+
+private:
+    ThreadPool pool_;
+    EvalCache cache_;
+};
+
+}  // namespace asilkit::engine

@@ -1,0 +1,52 @@
+#include "engine/eval_cache.h"
+
+namespace asilkit::engine {
+
+EvalCache::EvalCache(std::size_t capacity) : capacity_(capacity) {
+    map_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+std::optional<EvalValue> EvalCache::lookup(std::uint64_t key) {
+    std::lock_guard lock(mutex_);
+    if (const auto it = map_.find(key); it != map_.end()) {
+        ++hits_;
+        return it->second;
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+void EvalCache::insert(std::uint64_t key, const EvalValue& value) {
+    if (capacity_ == 0) return;
+    std::lock_guard lock(mutex_);
+    const auto [it, inserted] = map_.insert_or_assign(key, value);
+    if (!inserted) return;  // racing re-insert of the same tree
+    fifo_.push_back(key);
+    while (map_.size() > capacity_) {
+        map_.erase(fifo_.front());
+        fifo_.pop_front();
+        ++evictions_;
+    }
+}
+
+EvalCache::Stats EvalCache::stats() const {
+    std::lock_guard lock(mutex_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.size = map_.size();
+    s.capacity = capacity_;
+    return s;
+}
+
+void EvalCache::clear() {
+    std::lock_guard lock(mutex_);
+    map_.clear();
+    fifo_.clear();
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+}
+
+}  // namespace asilkit::engine

@@ -1,0 +1,76 @@
+// Evaluation cache: structural-hash -> failure-probability memo.
+//
+// Candidate moves in steepest-descent mapping search overwhelmingly
+// generate fault trees isomorphic to ones already scored (only one
+// merge differs per candidate, and symmetric replicas produce
+// identical trees), so the DSE loop re-derives the same exact BDD
+// probability thousands of times.  This cache keys the full evaluation
+// result on ftree::FaultTree::structural_hash() (mixed with the mission
+// time), returning a bitwise-identical probability without touching the
+// BDD layer.
+//
+// Bounded FIFO eviction keeps memory flat on long explorations; a
+// cached value is always exactly what a fresh evaluation would compute,
+// so eviction affects speed, never results.  Thread-safe: lookups and
+// inserts take a mutex, which is negligible next to a fault-tree->BDD
+// compilation and keeps worker-owned BDD managers lock-free where it
+// matters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace asilkit::engine {
+
+/// The BDD-derived quantities of one evaluation (everything
+/// analysis::ProbabilityResult cannot recompute cheaply from the tree).
+struct EvalValue {
+    double failure_probability = 0.0;
+    std::size_t bdd_nodes = 0;
+    std::size_t bdd_total_nodes = 0;
+    std::size_t variables = 0;
+};
+
+class EvalCache {
+public:
+    /// `capacity` bounds the number of cached evaluations; 0 disables
+    /// the cache entirely (every lookup misses, inserts are dropped).
+    explicit EvalCache(std::size_t capacity);
+
+    [[nodiscard]] std::optional<EvalValue> lookup(std::uint64_t key);
+
+    /// Inserting an existing key overwrites (the value is identical by
+    /// construction — concurrent workers may race on the same miss).
+    void insert(std::uint64_t key, const EvalValue& value);
+
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t size = 0;
+        std::size_t capacity = 0;
+
+        [[nodiscard]] double hit_rate() const noexcept {
+            const std::uint64_t total = hits + misses;
+            return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+        }
+    };
+    [[nodiscard]] Stats stats() const;
+
+    void clear();
+
+private:
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, EvalValue> map_;
+    std::deque<std::uint64_t> fifo_;  // insertion order, oldest first
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+}  // namespace asilkit::engine

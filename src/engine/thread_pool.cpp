@@ -1,0 +1,92 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+
+namespace asilkit::engine {
+
+ThreadPool::ThreadPool(unsigned threads) : threads_(std::max(threads, 1u)) {
+    workers_.reserve(threads_ - 1);
+    for (unsigned i = 0; i + 1 < threads_; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    wake_workers_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+        Batch* batch = nullptr;
+        {
+            std::unique_lock lock(mutex_);
+            wake_workers_.wait(lock, [&] { return stopping_ || epoch_ != seen_epoch; });
+            if (stopping_) return;
+            seen_epoch = epoch_;
+            batch = batch_;
+            if (batch != nullptr) ++active_;  // keeps the caller's Batch alive
+        }
+        if (batch != nullptr) {
+            run_batch(*batch);
+            std::lock_guard lock(mutex_);
+            if (--active_ == 0) batch_done_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::run_batch(Batch& batch) {
+    for (;;) {
+        const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch.count) return;
+        try {
+            (*batch.fn)(i);
+        } catch (...) {
+            std::lock_guard lock(batch.error_mutex);
+            if (!batch.error) batch.error = std::current_exception();
+        }
+        if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch.count) {
+            // Take the pool mutex so the notification cannot slip into
+            // the caller's predicate-check window.
+            std::lock_guard lock(mutex_);
+            batch_done_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+    if (workers_.empty() || count == 1) {
+        for (std::size_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+    Batch batch;
+    batch.fn = &fn;
+    batch.count = count;
+    {
+        std::lock_guard lock(mutex_);
+        batch_ = &batch;
+        ++epoch_;
+    }
+    wake_workers_.notify_all();
+    run_batch(batch);  // the caller is a full participant
+    {
+        // Wait for every task to finish AND every worker to step out of
+        // the batch: `batch` lives on this stack frame, so an in-flight
+        // worker that claimed no task must still be drained before it
+        // is destroyed.
+        std::unique_lock lock(mutex_);
+        batch_done_.wait(lock, [&] {
+            return batch.done.load(std::memory_order_acquire) == count && active_ == 0;
+        });
+        batch_ = nullptr;
+    }
+    if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace asilkit::engine

@@ -1,0 +1,72 @@
+// Fixed-size thread pool for batched candidate evaluation.
+//
+// Deliberately work-stealing-free: the DSE loop submits one flat batch
+// of independent candidate evaluations per search iteration, so a
+// single shared atomic index is all the scheduling needed — workers
+// claim the next index until the batch is exhausted.  The calling
+// thread participates in the batch, so `threads == 1` spawns no worker
+// threads at all and runs the batch inline (the serial reference path
+// the determinism tests compare against).
+//
+// The pool performs no synchronisation between tasks of a batch beyond
+// the claim counter: tasks must be independent.  Evaluation tasks keep
+// their BddManager (and every other piece of scratch state) local, so
+// no locks sit on the BDD apply path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace asilkit::engine {
+
+class ThreadPool {
+public:
+    /// Spawns `threads - 1` workers (the caller is the remaining one).
+    /// `threads` is clamped to at least 1.
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Total evaluation lanes, including the calling thread.
+    [[nodiscard]] unsigned thread_count() const noexcept { return threads_; }
+
+    /// Runs fn(i) for every i in [0, count), distributing indices over
+    /// the workers and the calling thread; blocks until the batch is
+    /// complete.  The first exception thrown by any task is rethrown on
+    /// the caller once the batch has drained.  Not reentrant.
+    void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+private:
+    struct Batch {
+        const std::function<void(std::size_t)>* fn = nullptr;
+        std::size_t count = 0;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::exception_ptr error;
+        std::mutex error_mutex;
+    };
+
+    void worker_loop();
+    void run_batch(Batch& batch);
+
+    unsigned threads_;
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable wake_workers_;
+    std::condition_variable batch_done_;
+    Batch* batch_ = nullptr;    // guarded by mutex_
+    std::uint64_t epoch_ = 0;   // guarded by mutex_; bumped per batch
+    std::size_t active_ = 0;    // guarded by mutex_; workers inside the batch
+    bool stopping_ = false;     // guarded by mutex_
+};
+
+}  // namespace asilkit::engine

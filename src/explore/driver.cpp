@@ -21,9 +21,10 @@ ExplorationResult run_exploration(const ArchitectureModel& model,
     std::mt19937 rng(options.rng_seed);
     std::uniform_real_distribution<double> uniform(0.0, 1.0);
 
+    engine::EvalEngine engine(options.engine);
     auto record = [&](std::string label) {
         result.curve.points.push_back(
-            measure_point(m, std::move(label), options.metric, options.probability));
+            measure_point(m, std::move(label), options.metric, options.probability, engine));
     };
 
     record("initial");
@@ -73,6 +74,7 @@ ExplorationResult run_exploration(const ArchitectureModel& model,
         record("mapping-optimized");
     }
 
+    result.engine_cache = engine.cache_stats();
     return result;
 }
 

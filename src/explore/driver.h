@@ -18,6 +18,7 @@
 #include "analysis/probability.h"
 #include "core/decomposition.h"
 #include "cost/cost_metric.h"
+#include "engine/engine.h"
 #include "explore/tradeoff.h"
 #include "model/architecture.h"
 
@@ -39,6 +40,11 @@ struct ExplorationOptions {
     /// Record a point after every individual connect (otherwise only
     /// after the whole phase).
     bool record_each_connect = true;
+    /// Evaluation engine used for every curve point (thread count and
+    /// eval-cache capacity).  The flow itself is sequential; the engine
+    /// memoises repeated measurements of isomorphic states, and results
+    /// are bitwise identical for any thread/cache setting.
+    engine::EngineOptions engine{};
 };
 
 struct ExplorationResult {
@@ -48,6 +54,8 @@ struct ExplorationResult {
     std::size_t connects = 0;
     std::size_t reductions = 0;
     std::size_t mapping_groups_merged = 0;
+    /// Eval-cache counters over the whole run (hits/misses/evictions).
+    engine::EvalCache::Stats engine_cache{};
 };
 
 /// Runs the flow on a copy of `model`, expanding the nodes named in

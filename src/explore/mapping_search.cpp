@@ -3,6 +3,7 @@
 #include <map>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cost/cost_analysis.h"
@@ -51,8 +52,9 @@ struct Objective {
     }
 };
 
-Objective evaluate(const ArchitectureModel& m, const MappingSearchOptions& options) {
-    return {analysis::analyze_failure_probability(m, options.probability).failure_probability,
+Objective evaluate(const ArchitectureModel& m, const MappingSearchOptions& options,
+                   engine::EvalEngine& engine) {
+    return {engine.analyze(m, options.probability).failure_probability,
             cost::total_cost(m, options.metric)};
 }
 
@@ -71,9 +73,16 @@ void apply_merge(ArchitectureModel& m, ResourceId into, ResourceId from) {
 }  // namespace
 
 MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOptions& options) {
+    engine::EvalEngine engine(options.engine);
+    return search_mapping(m, options, engine);
+}
+
+MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOptions& options,
+                                   engine::EvalEngine& engine) {
     MappingSearchResult result;
+    const engine::EvalCache::Stats stats_before = engine.cache_stats();
     {
-        const Objective initial = evaluate(m, options);
+        const Objective initial = evaluate(m, options, engine);
         result.probability_before = initial.probability;
         result.cost_before = initial.cost;
     }
@@ -95,23 +104,41 @@ MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOpti
             }
         }
 
-        const Objective current = evaluate(m, options);
-        Objective best = current;
-        std::optional<std::pair<ResourceId, ResourceId>> best_move;
+        // Flatten the capacity-feasible moves in deterministic bucket
+        // order; the scan below walks the same order, so the selected
+        // move is independent of how the batch is scheduled.
+        std::vector<std::pair<ResourceId, ResourceId>> moves;
         for (const auto& [key, resources] : buckets) {
             for (std::size_t i = 0; i < resources.size(); ++i) {
                 for (std::size_t j = i + 1; j < resources.size(); ++j) {
                     const std::size_t combined = m.nodes_on_resource(resources[i]).size() +
                                                  m.nodes_on_resource(resources[j]).size();
                     if (combined > options.max_nodes_per_resource) continue;
-                    ArchitectureModel trial = m;
-                    apply_merge(trial, resources[i], resources[j]);
-                    const Objective candidate = evaluate(trial, options);
-                    if (candidate < best) {
-                        best = candidate;
-                        best_move = {resources[i], resources[j]};
-                    }
+                    moves.emplace_back(resources[i], resources[j]);
                 }
+            }
+        }
+
+        const Objective current = evaluate(m, options, engine);
+
+        // Score all candidates of this iteration as one parallel batch.
+        // Each task copies the model and evaluates with its own fault
+        // tree and BDD manager; only the eval cache is shared (and a hit
+        // returns the bitwise-identical probability a miss would
+        // compute).
+        std::vector<Objective> scores(moves.size());
+        engine.pool().parallel_for(moves.size(), [&](std::size_t i) {
+            ArchitectureModel trial = m;
+            apply_merge(trial, moves[i].first, moves[i].second);
+            scores[i] = evaluate(trial, options, engine);
+        });
+
+        Objective best = current;
+        std::optional<std::pair<ResourceId, ResourceId>> best_move;
+        for (std::size_t i = 0; i < moves.size(); ++i) {
+            if (scores[i] < best) {
+                best = scores[i];
+                best_move = moves[i];
             }
         }
         if (!best_move) {
@@ -122,9 +149,14 @@ MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOpti
         ++result.merges;
     }
 
-    const Objective final_objective = evaluate(m, options);
+    const Objective final_objective = evaluate(m, options, engine);
     result.probability_after = final_objective.probability;
     result.cost_after = final_objective.cost;
+
+    const engine::EvalCache::Stats stats_after = engine.cache_stats();
+    result.eval_cache_hits = stats_after.hits - stats_before.hits;
+    result.eval_cache_misses = stats_after.misses - stats_before.misses;
+    result.evaluations = result.eval_cache_hits + result.eval_cache_misses;
     return result;
 }
 

@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "analysis/probability.h"
 #include "cost/cost_metric.h"
+#include "engine/engine.h"
 #include "model/architecture.h"
 
 namespace asilkit::explore {
@@ -30,6 +32,11 @@ struct MappingSearchOptions {
     std::size_t max_iterations = 200;
     /// Also consider merging resources of trunk (non-branch) nodes.
     bool include_non_branch_nodes = true;
+    /// Candidate evaluation: thread count and eval-cache capacity.  All
+    /// candidate merges of an iteration are scored as one parallel
+    /// batch; the best improving move is still selected and applied
+    /// serially, so the search is deterministic in the thread count.
+    engine::EngineOptions engine{};
 };
 
 struct MappingSearchResult {
@@ -40,10 +47,26 @@ struct MappingSearchResult {
     double cost_before = 0.0;
     double cost_after = 0.0;
     bool reached_local_optimum = false;
+    /// Candidate evaluations performed (cache hits + misses).
+    std::uint64_t evaluations = 0;
+    std::uint64_t eval_cache_hits = 0;
+    std::uint64_t eval_cache_misses = 0;
+
+    [[nodiscard]] double eval_cache_hit_rate() const noexcept {
+        return evaluations == 0
+                   ? 0.0
+                   : static_cast<double>(eval_cache_hits) / static_cast<double>(evaluations);
+    }
 };
 
 /// Runs the search in place; the model's mapping (and resource set) is
 /// modified, the application graph is not.
 MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOptions& options = {});
+
+/// Same, but on a caller-owned engine: repeated searches (e.g. across a
+/// tradeoff sweep) share the pool and the evaluation cache.  The
+/// result's eval counters cover only this call.
+MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOptions& options,
+                                   engine::EvalEngine& engine);
 
 }  // namespace asilkit::explore

@@ -13,13 +13,13 @@ std::ostream& operator<<(std::ostream& os, const TradeoffPoint& p) {
               << ", bdd_nodes=" << p.bdd_nodes;
 }
 
-TradeoffPoint measure_point(const ArchitectureModel& m, std::string label,
-                            const cost::CostMetric& metric,
-                            const analysis::ProbabilityOptions& prob_options) {
+namespace {
+
+TradeoffPoint fill_point(const ArchitectureModel& m, std::string label,
+                         const cost::CostMetric& metric, const analysis::ProbabilityResult& prob) {
     TradeoffPoint point;
     point.label = std::move(label);
     point.cost = cost::total_cost(m, metric);
-    const analysis::ProbabilityResult prob = analysis::analyze_failure_probability(m, prob_options);
     point.failure_probability = prob.failure_probability;
     point.app_nodes = m.app().node_count();
     point.resources = m.resources().node_count();
@@ -27,6 +27,22 @@ TradeoffPoint measure_point(const ArchitectureModel& m, std::string label,
     point.ft_paths = prob.ft_stats.paths;
     point.bdd_nodes = prob.bdd_nodes;
     return point;
+}
+
+}  // namespace
+
+TradeoffPoint measure_point(const ArchitectureModel& m, std::string label,
+                            const cost::CostMetric& metric,
+                            const analysis::ProbabilityOptions& prob_options) {
+    return fill_point(m, std::move(label), metric,
+                      analysis::analyze_failure_probability(m, prob_options));
+}
+
+TradeoffPoint measure_point(const ArchitectureModel& m, std::string label,
+                            const cost::CostMetric& metric,
+                            const analysis::ProbabilityOptions& prob_options,
+                            engine::EvalEngine& engine) {
+    return fill_point(m, std::move(label), metric, engine.analyze(m, prob_options));
 }
 
 }  // namespace asilkit::explore

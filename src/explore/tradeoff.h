@@ -13,6 +13,7 @@
 
 #include "analysis/probability.h"
 #include "cost/cost_metric.h"
+#include "engine/engine.h"
 #include "model/architecture.h"
 
 namespace asilkit::explore {
@@ -42,5 +43,12 @@ struct TradeoffCurve {
 [[nodiscard]] TradeoffPoint measure_point(const ArchitectureModel& m, std::string label,
                                           const cost::CostMetric& metric,
                                           const analysis::ProbabilityOptions& prob_options);
+
+/// Same, but evaluated through a caller-owned engine so repeated
+/// measurements of structurally identical states hit the eval cache.
+[[nodiscard]] TradeoffPoint measure_point(const ArchitectureModel& m, std::string label,
+                                          const cost::CostMetric& metric,
+                                          const analysis::ProbabilityOptions& prob_options,
+                                          engine::EvalEngine& engine);
 
 }  // namespace asilkit::explore

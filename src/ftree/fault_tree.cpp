@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <functional>
 #include <ostream>
 #include <unordered_set>
+
+#include "core/hash.h"
 
 namespace asilkit::ftree {
 
@@ -139,6 +142,130 @@ FaultTreeStats FaultTree::stats() const {
     s.paths = top_memo.paths;
     s.depth = top_memo.depth;
     return s;
+}
+
+std::uint64_t FaultTree::structural_hash() const {
+    const FtRef root = top();  // throws when the tree has no top event
+    // Basic events are numbered by first occurrence in this depth-first
+    // traversal, which abstracts names away while preserving the sharing
+    // pattern (one event referenced from two gates hashes differently
+    // from two equal-rate events referenced once each).
+    std::unordered_map<std::uint32_t, std::uint64_t> basic_id;
+    std::unordered_map<std::uint32_t, std::uint64_t> gate_memo;
+    std::function<std::uint64_t(FtRef)> visit = [&](FtRef r) -> std::uint64_t {
+        if (r.kind == FtRef::Kind::Basic) {
+            const auto [it, inserted] = basic_id.try_emplace(r.index, basic_id.size());
+            const double lambda = basics_[r.index].lambda;
+            std::uint64_t lambda_bits;
+            static_assert(sizeof(lambda_bits) == sizeof(lambda));
+            std::memcpy(&lambda_bits, &lambda, sizeof(lambda_bits));
+            return hash::combine(hash::combine(0x6261736963ull /* "basic" */, it->second),
+                                 lambda_bits);
+        }
+        if (auto it = gate_memo.find(r.index); it != gate_memo.end()) return it->second;
+        const Gate& g = gates_[r.index];
+        std::uint64_t h = hash::combine(0x67617465ull /* "gate" */,
+                                        static_cast<std::uint64_t>(g.kind));
+        for (FtRef c : g.children) h = hash::combine(h, visit(c));
+        gate_memo.emplace(r.index, h);
+        return h;
+    };
+    return visit(root);
+}
+
+FaultTree canonical_form(const FaultTree& ft) {
+    const FtRef root = ft.top();
+
+    // Phase 0: reference counts (how many parent slots point at each
+    // node, duplicates included).  They feed the ordering hash so that a
+    // branch containing a *shared* event — e.g. the single resource
+    // event a candidate merge creates — orders differently from a
+    // pristine branch whose events carry the same rates.  Without this,
+    // mirror merges in redundant branches tie under a sharing-blind hash
+    // and stable sort keeps them apart.
+    std::unordered_map<std::uint32_t, std::uint32_t> basic_refs;
+    std::unordered_map<std::uint32_t, std::uint32_t> gate_refs;
+    {
+        std::vector<FtRef> stack{root};
+        std::unordered_set<std::uint32_t> visited;
+        ++gate_refs[root.index];  // root counts as referenced once
+        while (!stack.empty()) {
+            const FtRef r = stack.back();
+            stack.pop_back();
+            if (r.kind == FtRef::Kind::Basic) continue;
+            if (!visited.insert(r.index).second) continue;
+            for (FtRef c : ft.gate(r.index).children) {
+                if (c.kind == FtRef::Kind::Basic) {
+                    ++basic_refs[c.index];
+                } else {
+                    ++gate_refs[c.index];
+                    stack.push_back(c);
+                }
+            }
+        }
+    }
+
+    // Phase 1: bottom-up ordering hashes.  Child hashes are sorted
+    // before combining, so the hash is invariant under child permutation
+    // — it only *orders* children; the final structural_hash() of the
+    // rebuilt tree is what captures sharing exactly.
+    std::unordered_map<std::uint32_t, std::uint64_t> gate_prelim;
+    std::function<std::uint64_t(FtRef)> prelim = [&](FtRef r) -> std::uint64_t {
+        if (r.kind == FtRef::Kind::Basic) {
+            const double lambda = ft.basic_event(r.index).lambda;
+            std::uint64_t lambda_bits;
+            std::memcpy(&lambda_bits, &lambda, sizeof(lambda_bits));
+            return hash::combine(hash::combine(0x6576656E74ull /* "event" */, lambda_bits),
+                                 basic_refs[r.index]);
+        }
+        if (auto it = gate_prelim.find(r.index); it != gate_prelim.end()) return it->second;
+        const Gate& g = ft.gate(r.index);
+        std::vector<std::uint64_t> child_hashes;
+        child_hashes.reserve(g.children.size());
+        for (FtRef c : g.children) child_hashes.push_back(prelim(c));
+        std::sort(child_hashes.begin(), child_hashes.end());
+        std::uint64_t h =
+            hash::combine(0x67617465ull /* "gate" */, static_cast<std::uint64_t>(g.kind));
+        h = hash::combine(h, gate_refs[r.index]);
+        for (const std::uint64_t ch : child_hashes) h = hash::combine(h, ch);
+        gate_prelim.emplace(r.index, h);
+        return h;
+    };
+
+    // Phase 2: rebuild with children stably sorted by their phase-1
+    // hash.  Stability keeps ties (identical subtree shapes whose
+    // sharing differs) in original order — those never produce a false
+    // cache hit because the final order-dependent hash still separates
+    // them.
+    FaultTree out;
+    std::unordered_map<std::uint32_t, FtRef> basic_map;
+    std::unordered_map<std::uint32_t, FtRef> gate_map;
+    std::function<FtRef(FtRef)> rebuild = [&](FtRef r) -> FtRef {
+        if (r.kind == FtRef::Kind::Basic) {
+            if (auto it = basic_map.find(r.index); it != basic_map.end()) return it->second;
+            const BasicEvent& e = ft.basic_event(r.index);
+            const FtRef added = out.add_basic_event(e.name, e.lambda);
+            basic_map.emplace(r.index, added);
+            return added;
+        }
+        if (auto it = gate_map.find(r.index); it != gate_map.end()) return it->second;
+        const Gate& g = ft.gate(r.index);
+        std::vector<std::pair<std::uint64_t, std::size_t>> order;
+        order.reserve(g.children.size());
+        for (std::size_t i = 0; i < g.children.size(); ++i) {
+            order.emplace_back(prelim(g.children[i]), i);
+        }
+        std::stable_sort(order.begin(), order.end(),
+                         [](const auto& a, const auto& b) { return a.first < b.first; });
+        std::vector<FtRef> children;
+        children.reserve(order.size());
+        for (const auto& [h, i] : order) children.push_back(rebuild(g.children[i]));
+        const FtRef added = out.add_gate(g.name, g.kind, std::move(children));
+        gate_map.emplace(r.index, added);
+        return added;
+    };
+    out.set_top(rebuild(root));
+    return out;
 }
 
 std::vector<std::uint32_t> FaultTree::reachable_basic_events(FtRef root) const {

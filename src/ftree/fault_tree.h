@@ -91,6 +91,21 @@ public:
     /// Statistics over the subtree reachable from top().
     [[nodiscard]] FaultTreeStats stats() const;
 
+    /// 64-bit structural hash of the DAG reachable from top().
+    ///
+    /// Two fault trees hash equal when they are isomorphic as shared
+    /// DAGs with identical gate kinds, child order, event sharing and
+    /// failure rates — event *names* are deliberately ignored, since the
+    /// top-event probability is a function of structure and rates only.
+    /// Sharing matters: OR(a, a) and OR(a, b) hash differently even when
+    /// a and b carry the same rate, because basic events are numbered by
+    /// first occurrence in a depth-first traversal from the top.  This
+    /// is the key of the engine's evaluation cache: candidate moves that
+    /// generate isomorphic trees (ubiquitous in steepest-descent mapping
+    /// search) reuse a previously computed probability.  Throws when the
+    /// tree has no top event.
+    [[nodiscard]] std::uint64_t structural_hash() const;
+
     /// The basic events reachable from `root` (deduplicated, by index).
     [[nodiscard]] std::vector<std::uint32_t> reachable_basic_events(FtRef root) const;
 
@@ -101,5 +116,20 @@ private:
     FtRef top_{};
     bool has_top_ = false;
 };
+
+/// Canonical form under gate commutativity: rebuilds the DAG reachable
+/// from top() with every gate's children stably sorted by a
+/// sharing-blind bottom-up subtree hash.  AND/OR are commutative, so
+/// the canonical tree represents the same boolean function and the same
+/// top-event probability — but candidate architectures that differ only
+/// by a symmetry (a merge in branch 1 vs the mirror merge in branch 2,
+/// a merge of sibling chains in a sensor fan) collapse onto ONE
+/// canonical tree.  Evaluating the canonical form therefore makes
+/// structural_hash() a sound memoisation key for exact probabilities:
+/// equal hashes mean the same canonical tree, hence bit-identical BDD
+/// construction and Shannon evaluation.  This is how the engine's eval
+/// cache turns the steepest-descent candidate sweep — where symmetric
+/// moves are ubiquitous — into cache hits.
+[[nodiscard]] FaultTree canonical_form(const FaultTree& ft);
 
 }  // namespace asilkit::ftree

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <random>
 
 #include "bdd/from_fault_tree.h"
 #include "helpers.h"
@@ -227,6 +230,77 @@ TEST_P(BddProperty, EvaluateAgreesWithTreeSemantics) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, BddProperty, ::testing::Range(0u, 40u));
+
+// ---- hash mixing regression ------------------------------------------------
+//
+// The unique/apply tables are power-of-two open-addressing tables, so
+// only the low bits of the mixed key select a bucket.  The previous
+// multiply-then-add scheme let (f, g) pairs with small deltas collide
+// after masking; the splitmix64 finalizer must avalanche every input
+// bit into the low bits.
+
+TEST(BddHashMixing, SingleBitFlipAvalanches) {
+    std::mt19937_64 rng(7);
+    for (int sample = 0; sample < 64; ++sample) {
+        const std::uint64_t x = rng();
+        for (int bit = 0; bit < 64; ++bit) {
+            const std::uint64_t diff = detail::mix64(x) ^ detail::mix64(x ^ (1ull << bit));
+            const int flipped = std::popcount(diff);
+            // Full avalanche flips ~32 bits; the old additive scheme
+            // flipped a handful for low-bit deltas.
+            EXPECT_GE(flipped, 12) << "x=" << x << " bit=" << bit;
+            EXPECT_LE(flipped, 52) << "x=" << x << " bit=" << bit;
+        }
+    }
+}
+
+TEST(BddHashMixing, DenseApplyKeysSpreadAcrossPowerOfTwoBuckets) {
+    // Incremental BDD construction produces (f, g) pairs from a dense
+    // low range — exactly the keys that clustered under the old mix.
+    constexpr std::size_t kBuckets = 4096;  // power of two, as in the tables
+    std::vector<int> load(kBuckets, 0);
+    for (std::uint64_t f = 2; f < 130; ++f) {
+        for (std::uint64_t g = f; g < f + 32; ++g) {
+            const std::uint64_t key = (f << 32) | g;
+            ++load[static_cast<std::size_t>(detail::mix64(key)) & (kBuckets - 1)];
+        }
+    }
+    const std::size_t keys = 128 * 32;
+    std::size_t occupied = 0;
+    int max_load = 0;
+    for (const int l : load) {
+        if (l > 0) ++occupied;
+        max_load = std::max(max_load, l);
+    }
+    // With 4096 uniform keys in 4096 buckets: ~2589 occupied expected,
+    // max load ~6.  A clustered mix collapses occupancy and spikes the
+    // longest probe chain.
+    EXPECT_GE(occupied, keys / 2);
+    EXPECT_LE(max_load, 12);
+}
+
+TEST(BddHashMixing, DenseNodeKeysSpreadAcrossPowerOfTwoBuckets) {
+    constexpr std::size_t kBuckets = 4096;
+    std::vector<int> load(kBuckets, 0);
+    std::size_t keys = 0;
+    for (std::uint32_t var = 0; var < 16; ++var) {
+        for (std::uint32_t high = 2; high < 18; ++high) {
+            for (std::uint32_t low = 2; low < 18; ++low) {
+                ++load[static_cast<std::size_t>(detail::mix_node_key(var, high, low)) &
+                       (kBuckets - 1)];
+                ++keys;
+            }
+        }
+    }
+    std::size_t occupied = 0;
+    int max_load = 0;
+    for (const int l : load) {
+        if (l > 0) ++occupied;
+        max_load = std::max(max_load, l);
+    }
+    EXPECT_GE(occupied, keys / 2);
+    EXPECT_LE(max_load, 12);
+}
 
 }  // namespace
 }  // namespace asilkit::bdd

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <fstream>
 #include <sstream>
 
@@ -23,7 +25,15 @@ CliRun run(std::vector<std::string> args) {
     return {code, out.str(), err.str()};
 }
 
-std::string temp_path(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+// Unique per test case: ctest runs each gtest case as its own process,
+// and concurrent processes must not collide on scratch files.  Outside a
+// test body (suite set-up) the pid disambiguates instead.
+std::string temp_path(const std::string& name) {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    const std::string prefix = info != nullptr ? std::string(info->name())
+                                               : "pid" + std::to_string(::getpid());
+    return ::testing::TempDir() + "/" + prefix + "_" + name;
+}
 
 /// Writes the fig3 demo model once for the read-only commands.
 class CliTest : public ::testing::Test {

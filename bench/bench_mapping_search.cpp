@@ -54,20 +54,26 @@ void print_report() {
                 static_cast<unsigned long long>(cold.evaluations));
 
     // Iterative DSE steady state: one engine serving repeated searches of
-    // a workload family, as run_exploration does across its phases.
+    // a workload family, as run_exploration does across its phases.  All
+    // counters come from the engine's single stats() snapshot.
     engine::EvalEngine shared({.threads = 1, .cache_capacity = 1 << 14});
     explore::MappingSearchOptions options;
-    std::uint64_t evals = 0;
-    std::uint64_t hits = 0;
     for (int round = 0; round < 4; ++round) {
         ArchitectureModel m = workload();
-        const auto r = explore::search_mapping(m, options, shared);
-        evals += r.evaluations;
-        hits += r.eval_cache_hits;
+        (void)explore::search_mapping(m, options, shared);
     }
-    std::printf("  %-46s %.1f%%  (%llu/%llu)\n", "steady-state cache hit rate (4 searches)",
-                100.0 * static_cast<double>(hits) / static_cast<double>(evals),
-                static_cast<unsigned long long>(hits), static_cast<unsigned long long>(evals));
+    const engine::EvalEngine::Stats s = shared.stats();
+    std::printf("  %-46s %.1f%%  (%llu/%llu)\n", "steady-state tree hit rate (4 searches)",
+                s.analyze_calls == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(s.tree_hits) / static_cast<double>(s.analyze_calls),
+                static_cast<unsigned long long>(s.tree_hits),
+                static_cast<unsigned long long>(s.analyze_calls));
+    std::printf("  %-46s hits=%llu misses=%llu\n", "steady-state module cache",
+                static_cast<unsigned long long>(s.module_hits),
+                static_cast<unsigned long long>(s.module_misses));
+    bench::row("eval-cache entries live / evictions",
+               std::to_string(s.cache.size) + " / " + std::to_string(s.cache.evictions));
     bench::note("determinism: identical curves and models at every thread count/cache size");
     bench::note("(asserted by tests/test_engine.cpp).");
 }

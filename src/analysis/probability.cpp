@@ -3,6 +3,8 @@
 #include <functional>
 #include <unordered_map>
 
+#include "ftree/modules.h"
+
 namespace asilkit::analysis {
 
 ProbabilityResult analyze_failure_probability(const ArchitectureModel& m,
@@ -56,6 +58,20 @@ double rare_event_probability(const ftree::FaultTree& ft, double mission_hours) 
         return p;
     };
     return visit(ft.top());
+}
+
+double modular_probability(const ftree::FaultTree& ft, double mission_hours) {
+    const ftree::ModuleDecomposition dec = ftree::find_modules(ft);
+    std::vector<double> module_prob(dec.size());
+    std::vector<double> child_probs;
+    for (std::size_t i = 0; i < dec.size(); ++i) {
+        child_probs.clear();
+        for (const std::uint32_t child : dec.modules[i].child_modules) {
+            child_probs.push_back(module_prob[child]);
+        }
+        module_prob[i] = bdd::evaluate_module(ft, dec, i, child_probs, mission_hours).probability;
+    }
+    return module_prob.back();
 }
 
 }  // namespace asilkit::analysis

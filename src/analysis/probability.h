@@ -35,6 +35,7 @@ struct ProbabilityResult {
     std::size_t bdd_nodes = 0;        ///< interior nodes reachable from the root
     std::size_t bdd_total_nodes = 0;  ///< all nodes the manager allocated
     std::size_t variables = 0;        ///< distinct basic events in the BDD
+    std::size_t modules = 0;          ///< independent modules (engine/modular path; 0 = monolithic)
     std::size_t approximated_blocks = 0;
     std::size_t cycles_cut = 0;
     std::vector<std::string> warnings;
@@ -52,5 +53,15 @@ struct ProbabilityResult {
 /// probabilities.  Exact only when no basic event is shared between
 /// gates; provided as a cross-check and a baseline for the benches.
 [[nodiscard]] double rare_event_probability(const ftree::FaultTree& ft, double mission_hours = 1.0);
+
+/// Exact top-event probability via modular decomposition: detects the
+/// independent modules of the tree (ftree::find_modules), compiles each
+/// module's local region to its own BDD (nested modules appear as
+/// pseudo-variables) and combines the results bottom-up.  Mathematically
+/// equal to fault_tree_probability for every tree — including trees with
+/// shared events, which stay inside one module — differing only by
+/// floating-point rounding (different BDD shapes, same exact quantity).
+/// This is the evaluation order the engine's per-module cache replays.
+[[nodiscard]] double modular_probability(const ftree::FaultTree& ft, double mission_hours = 1.0);
 
 }  // namespace asilkit::analysis

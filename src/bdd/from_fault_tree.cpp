@@ -89,4 +89,97 @@ std::vector<double> CompiledFaultTree::variable_probabilities(const FaultTree& f
     return probs;
 }
 
+ModuleEvalResult evaluate_module(const FaultTree& ft, const ftree::ModuleDecomposition& dec,
+                                 std::size_t module_index,
+                                 std::span<const double> child_probabilities,
+                                 double mission_hours) {
+    const ftree::Module& mod = dec.modules.at(module_index);
+    if (child_probabilities.size() != mod.child_modules.size()) {
+        throw AnalysisError("evaluate_module: child probability count mismatch");
+    }
+    ModuleEvalResult out;
+    if (mod.root.kind == FtRef::Kind::Basic) {
+        // Leaf module: the whole tree is one basic event.
+        out.probability = basic_event_probability(ft.basic_event(mod.root.index).lambda,
+                                                  mission_hours);
+        out.variables = 1;
+        out.bdd_nodes = 1;
+        out.bdd_total_nodes = 1;
+        return out;
+    }
+
+    std::unordered_map<std::uint32_t, double> pseudo_prob;  // child-module gate -> probability
+    for (std::size_t i = 0; i < mod.child_modules.size(); ++i) {
+        pseudo_prob.emplace(dec.modules[mod.child_modules[i]].root.index,
+                            child_probabilities[i]);
+    }
+
+    // Local variable order: BFS from the module root, leaves (basic
+    // events and pseudo-variables) numbered in first-seen order —
+    // the paper's ordering restricted to the module.
+    std::vector<double> probs;
+    std::unordered_map<std::uint32_t, std::uint32_t> var_of_event;
+    std::unordered_map<std::uint32_t, std::uint32_t> var_of_pseudo;
+    std::size_t real_events = 0;
+    {
+        std::unordered_set<std::uint32_t> seen_gates{mod.root.index};
+        std::deque<FtRef> queue{mod.root};
+        while (!queue.empty()) {
+            const FtRef r = queue.front();
+            queue.pop_front();
+            for (FtRef c : ft.gate(r.index).children) {
+                if (c.kind == FtRef::Kind::Basic) {
+                    if (var_of_event.try_emplace(c.index,
+                                                 static_cast<std::uint32_t>(probs.size()))
+                            .second) {
+                        probs.push_back(basic_event_probability(ft.basic_event(c.index).lambda,
+                                                                mission_hours));
+                        ++real_events;
+                    }
+                    continue;
+                }
+                if (const auto it = pseudo_prob.find(c.index); it != pseudo_prob.end()) {
+                    if (var_of_pseudo.try_emplace(c.index,
+                                                  static_cast<std::uint32_t>(probs.size()))
+                            .second) {
+                        probs.push_back(it->second);
+                    }
+                    continue;
+                }
+                if (seen_gates.insert(c.index).second) queue.push_back(c);
+            }
+        }
+    }
+
+    BddManager manager(static_cast<std::uint32_t>(probs.size()));
+    std::unordered_map<std::uint32_t, BddRef> gate_memo;
+    std::function<BddRef(FtRef)> compile = [&](FtRef r) -> BddRef {
+        if (r.kind == FtRef::Kind::Basic) return manager.variable(var_of_event.at(r.index));
+        if (const auto it = var_of_pseudo.find(r.index); it != var_of_pseudo.end()) {
+            return manager.variable(it->second);
+        }
+        if (const auto it = gate_memo.find(r.index); it != gate_memo.end()) return it->second;
+        const ftree::Gate& g = ft.gate(r.index);
+        BddRef acc = kFalse;
+        bool first = true;
+        for (FtRef c : g.children) {
+            const BddRef cb = compile(c);
+            if (first) {
+                acc = cb;
+                first = false;
+            } else {
+                acc = manager.apply(g.kind == GateKind::Or ? BddOp::Or : BddOp::And, acc, cb);
+            }
+        }
+        gate_memo.emplace(r.index, acc);
+        return acc;
+    };
+    const BddRef root = compile(mod.root);
+    out.probability = manager.probability(root, probs);
+    out.bdd_nodes = manager.node_count(root);
+    out.bdd_total_nodes = manager.size();
+    out.variables = real_events;
+    return out;
+}
+
 }  // namespace asilkit::bdd

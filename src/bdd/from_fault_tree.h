@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "bdd/bdd.h"
 #include "ftree/fault_tree.h"
+#include "ftree/modules.h"
 
 namespace asilkit::bdd {
 
@@ -45,5 +47,34 @@ struct CompiledFaultTree {
 /// which is why the paper quotes probabilities numerically equal to rates
 /// at t = 1 h.
 [[nodiscard]] double basic_event_probability(double lambda, double hours) noexcept;
+
+/// Result of evaluating one module of a ftree::ModuleDecomposition: the
+/// module's local region compiled to its own (small) BDD with nested
+/// modules as pseudo-variables, Shannon-evaluated with the child
+/// modules' probabilities.  Exact: a module's basic events are disjoint
+/// from the rest of the tree, so a nested module is an independent
+/// boolean variable of the local region — even when it is referenced
+/// several times, because the BDD keeps the repeated-variable
+/// dependence that a naive sum/product combination would lose.
+struct ModuleEvalResult {
+    double probability = 0.0;
+    std::size_t bdd_nodes = 0;        ///< interior nodes reachable from the local root
+    std::size_t bdd_total_nodes = 0;  ///< all nodes the local manager allocated
+    std::size_t variables = 0;        ///< real basic events in the local region
+};
+
+/// Evaluates module `module_index` of `dec` on `ft` (the tree `dec` was
+/// detected on).  `child_probabilities` must align with
+/// dec.modules[module_index].child_modules — the values previously
+/// computed for the nested modules, children before parents.  The local
+/// variable order follows the paper within the module: breadth-first,
+/// left-to-right from the module root over basic events and
+/// pseudo-variables in first-seen order, so the evaluation is a pure
+/// function of the module's subtree (the cache-replay guarantee).
+[[nodiscard]] ModuleEvalResult evaluate_module(const ftree::FaultTree& ft,
+                                               const ftree::ModuleDecomposition& dec,
+                                               std::size_t module_index,
+                                               std::span<const double> child_probabilities,
+                                               double mission_hours);
 
 }  // namespace asilkit::bdd

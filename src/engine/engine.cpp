@@ -7,9 +7,14 @@
 #include "bdd/from_fault_tree.h"
 #include "core/hash.h"
 #include "ftree/builder.h"
+#include "ftree/modules.h"
 
 namespace asilkit::engine {
 namespace {
+
+// Keeps module keys disjoint from whole-tree keys even when a tree is a
+// single module (identical structural content, different granularity).
+constexpr std::uint64_t kModuleKeySalt = 0x6D6F646B6579;  // "modkey"
 
 [[nodiscard]] std::uint64_t double_bits(double d) noexcept {
     std::uint64_t bits;
@@ -33,10 +38,25 @@ unsigned resolve_thread_count(unsigned requested) noexcept {
 }
 
 EvalEngine::EvalEngine(const EngineOptions& options)
-    : pool_(resolve_thread_count(options.threads)), cache_(options.cache_capacity) {}
+    : pool_(resolve_thread_count(options.threads)),
+      cache_(options.cache_capacity),
+      modularize_(options.modularize) {}
+
+EvalEngine::Stats EvalEngine::stats() const {
+    Stats s;
+    s.cache = cache_.stats();
+    s.analyze_calls = analyze_calls_.load(std::memory_order_relaxed);
+    s.tree_hits = tree_hits_.load(std::memory_order_relaxed);
+    s.tree_misses = tree_misses_.load(std::memory_order_relaxed);
+    s.module_hits = module_hits_.load(std::memory_order_relaxed);
+    s.module_misses = module_misses_.load(std::memory_order_relaxed);
+    return s;
+}
 
 analysis::ProbabilityResult EvalEngine::analyze(const ArchitectureModel& m,
                                                 const analysis::ProbabilityOptions& options) {
+    analyze_calls_.fetch_add(1, std::memory_order_relaxed);
+
     ftree::FtBuildOptions build_options;
     build_options.approximate = options.approximate;
     build_options.include_location_events = options.include_location_events;
@@ -54,34 +74,84 @@ analysis::ProbabilityResult EvalEngine::analyze(const ArchitectureModel& m,
     // probability is unchanged — but candidate architectures that differ
     // only by a symmetry (mirror merges in redundant branches, sibling
     // chains of a sensor fan) collapse onto the SAME canonical tree and
-    // therefore the same cache key, the same BDD variable order, and
-    // bit-identical arithmetic.  That is what makes a cache hit safe to
-    // substitute for a fresh evaluation at any thread count.
+    // therefore the same cache key, the same module decomposition, the
+    // same BDD variable orders, and bit-identical arithmetic.  That is
+    // what makes a cache hit safe to substitute for a fresh evaluation
+    // at any thread count.
     const ftree::FaultTree canonical = ftree::canonical_form(built.tree);
-    const std::uint64_t key =
+    const std::uint64_t tree_key =
         hash::combine(canonical.structural_hash(), double_bits(options.mission_hours));
-    if (const auto cached = cache_.lookup(key)) {
+    if (const auto cached = cache_.lookup(tree_key)) {
+        tree_hits_.fetch_add(1, std::memory_order_relaxed);
         result.failure_probability = cached->failure_probability;
         result.bdd_nodes = cached->bdd_nodes;
         result.bdd_total_nodes = cached->bdd_total_nodes;
         result.variables = cached->variables;
+        result.modules = cached->modules;
         return result;
     }
+    tree_misses_.fetch_add(1, std::memory_order_relaxed);
 
-    const bdd::CompiledFaultTree compiled = bdd::compile_fault_tree(canonical);
-    EvalValue value;
-    value.variables = compiled.event_of_var.size();
-    value.bdd_nodes = compiled.manager.node_count(compiled.root);
-    value.bdd_total_nodes = compiled.manager.size();
-    const std::vector<double> probs =
-        compiled.variable_probabilities(canonical, options.mission_hours);
-    value.failure_probability = compiled.manager.probability(compiled.root, probs);
-    cache_.insert(key, value);
+    // Whole-tree miss: evaluate module by module, bottom-up.  A
+    // candidate move only perturbs the modules its basic events sit in;
+    // with modularize on, every other module's key is unchanged from
+    // previously scored candidates and replays from cache — module
+    // subtree hashes are context-free, so the same region under a
+    // different tree yields the same key and the same bitwise value.
+    const ftree::ModuleDecomposition dec = ftree::find_modules(canonical);
+    std::vector<double> module_prob(dec.size());
+    std::vector<double> child_probs;
+    EvalValue total;
+    total.modules = dec.size();
+    std::uint64_t local_hits = 0;
+    std::uint64_t local_misses = 0;
+    for (std::size_t i = 0; i < dec.size(); ++i) {
+        const ftree::Module& mod = dec.modules[i];
+        const std::uint64_t module_key = hash::combine(
+            hash::combine(kModuleKeySalt, mod.subtree_hash), double_bits(options.mission_hours));
+        if (modularize_) {
+            if (const auto cached = cache_.lookup(module_key)) {
+                ++local_hits;
+                module_prob[i] = cached->failure_probability;
+                total.bdd_nodes += cached->bdd_nodes;
+                total.bdd_total_nodes += cached->bdd_total_nodes;
+                total.variables += cached->variables;
+                continue;
+            }
+        }
+        ++local_misses;
+        child_probs.clear();
+        for (const std::uint32_t child : mod.child_modules) {
+            child_probs.push_back(module_prob[child]);
+        }
+        const bdd::ModuleEvalResult eval =
+            bdd::evaluate_module(canonical, dec, i, child_probs, options.mission_hours);
+        module_prob[i] = eval.probability;
+        total.bdd_nodes += eval.bdd_nodes;
+        total.bdd_total_nodes += eval.bdd_total_nodes;
+        total.variables += eval.variables;
+        if (modularize_) {
+            EvalValue module_value;
+            module_value.failure_probability = eval.probability;
+            module_value.bdd_nodes = eval.bdd_nodes;
+            module_value.bdd_total_nodes = eval.bdd_total_nodes;
+            module_value.variables = eval.variables;
+            cache_.insert(module_key, module_value);
+        }
+    }
+    if (modularize_) {
+        module_hits_.fetch_add(local_hits, std::memory_order_relaxed);
+        module_misses_.fetch_add(local_misses, std::memory_order_relaxed);
+    }
 
-    result.failure_probability = value.failure_probability;
-    result.bdd_nodes = value.bdd_nodes;
-    result.bdd_total_nodes = value.bdd_total_nodes;
-    result.variables = value.variables;
+    total.failure_probability = module_prob.back();
+    cache_.insert(tree_key, total);
+
+    result.failure_probability = total.failure_probability;
+    result.bdd_nodes = total.bdd_nodes;
+    result.bdd_total_nodes = total.bdd_total_nodes;
+    result.variables = total.variables;
+    result.modules = total.modules;
     return result;
 }
 

@@ -1,25 +1,36 @@
 // The evaluation engine: candidate scoring as a batched, parallel,
-// memoised service.
+// memoised, *incremental* service.
 //
 // Design-space exploration (paper Section IX) and the mapping search
 // evaluate thousands of candidate architectures, each requiring a
 // model -> fault tree -> BDD -> exact probability pipeline.  The engine
 // makes that pipeline scale:
 //   * a fixed thread pool evaluates independent candidates
-//     concurrently — every evaluation owns its BddManager, so no locks
+//     concurrently — every evaluation owns its BddManagers, so no locks
 //     sit on the apply path (see thread_pool.h);
-//   * an evaluation cache keyed by the fault tree's structural hash
-//     returns previously computed probabilities for isomorphic trees
-//     without touching the BDD layer (see eval_cache.h).
+//   * every canonical tree is split into independent modules
+//     (ftree/modules.h) and evaluated module-by-module: each module's
+//     local region compiles to its own small BDD, nested modules enter
+//     as pseudo-variables — exact, since modules share no basic events
+//     with the rest of the tree;
+//   * an evaluation cache memoises at two granularities: whole
+//     canonical trees (a hit skips everything) and, with `modularize`
+//     on, individual modules — so a candidate move that perturbs one
+//     region of the tree replays every untouched module from cache and
+//     recompiles only the modules its basic events intersect
+//     (see eval_cache.h).
 //
 // Determinism contract: for a fixed model and options, results are
-// bitwise identical regardless of thread count and cache capacity.  A
-// cache hit returns exactly the double a fresh evaluation would
-// produce (isomorphic trees compile to isomorphic BDDs), and callers
-// that batch through the pool reduce their results in input order.
+// bitwise identical regardless of thread count, cache capacity AND the
+// modularize flag.  The modular evaluation order is always used, so a
+// whole-tree hit, a per-module replay and a fresh evaluation all
+// produce the same doubles; callers that batch through the pool reduce
+// their results in input order.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -37,6 +48,12 @@ struct EngineOptions {
     unsigned threads = 0;
     /// Maximum number of cached evaluations; 0 disables the cache.
     std::size_t cache_capacity = std::size_t{1} << 16;
+    /// Memoise per fault-tree module in addition to per whole tree: on
+    /// a whole-tree miss, untouched modules replay from cache and only
+    /// the modules whose basic events the candidate move touched are
+    /// recompiled.  Off = whole-tree keying only (the PR-1 behaviour).
+    /// Never changes results — evaluation is modular either way.
+    bool modularize = true;
 };
 
 /// Resolves `requested` (0 = ASILKIT_THREADS env var, else hardware
@@ -66,12 +83,36 @@ public:
     /// itself (e.g. building the trial model inside the task).
     [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
 
+    /// Everything the engine counts, in one snapshot.  `cache` is the
+    /// raw lookup ledger (tree + module lookups combined); the engine
+    /// counters split it by granularity: a tree hit ends the evaluation,
+    /// a tree miss decomposes into modules, each of which hits (replayed
+    /// from a previous evaluation) or misses (recompiled).  With
+    /// modularize off the module counters stay zero.
+    struct Stats {
+        EvalCache::Stats cache;
+        std::uint64_t analyze_calls = 0;
+        std::uint64_t tree_hits = 0;
+        std::uint64_t tree_misses = 0;
+        std::uint64_t module_hits = 0;
+        std::uint64_t module_misses = 0;
+    };
+    [[nodiscard]] Stats stats() const;
+
     [[nodiscard]] EvalCache::Stats cache_stats() const { return cache_.stats(); }
     void clear_cache() { cache_.clear(); }
 
 private:
     ThreadPool pool_;
     EvalCache cache_;
+    bool modularize_;
+    // Relaxed: analyze() runs concurrently from pool tasks; stats() is a
+    // monitoring snapshot, not a synchronisation point.
+    std::atomic<std::uint64_t> analyze_calls_{0};
+    std::atomic<std::uint64_t> tree_hits_{0};
+    std::atomic<std::uint64_t> tree_misses_{0};
+    std::atomic<std::uint64_t> module_hits_{0};
+    std::atomic<std::uint64_t> module_misses_{0};
 };
 
 }  // namespace asilkit::engine

@@ -62,7 +62,19 @@ void ThreadPool::run_batch(Batch& batch) {
 void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
     if (count == 0) return;
     if (workers_.empty() || count == 1) {
-        for (std::size_t i = 0; i < count; ++i) fn(i);
+        // Same drain-then-rethrow semantics as the parallel path below: a
+        // throwing task never skips the rest of the batch, and only the
+        // first exception surfaces.  Callers therefore see one behaviour
+        // at every thread count.
+        std::exception_ptr error;
+        for (std::size_t i = 0; i < count; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (!error) error = std::current_exception();
+            }
+        }
+        if (error) std::rethrow_exception(error);
         return;
     }
     Batch batch;

@@ -42,7 +42,9 @@ public:
     /// Runs fn(i) for every i in [0, count), distributing indices over
     /// the workers and the calling thread; blocks until the batch is
     /// complete.  The first exception thrown by any task is rethrown on
-    /// the caller once the batch has drained.  Not reentrant.
+    /// the caller once the batch has drained — at every thread count,
+    /// including the inline single-thread path, so a throwing task never
+    /// leaves later indices unevaluated.  Not reentrant.
     void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
 private:

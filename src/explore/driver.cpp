@@ -74,7 +74,8 @@ ExplorationResult run_exploration(const ArchitectureModel& model,
         record("mapping-optimized");
     }
 
-    result.engine_cache = engine.cache_stats();
+    result.engine_stats = engine.stats();
+    result.engine_cache = result.engine_stats.cache;
     return result;
 }
 

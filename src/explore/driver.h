@@ -56,6 +56,10 @@ struct ExplorationResult {
     std::size_t mapping_groups_merged = 0;
     /// Eval-cache counters over the whole run (hits/misses/evictions).
     engine::EvalCache::Stats engine_cache{};
+    /// Full engine counters: analyze calls plus the tree/module hit-miss
+    /// split (module counters are zero when options.engine.modularize is
+    /// off).
+    engine::EvalEngine::Stats engine_stats{};
 };
 
 /// Runs the flow on a copy of `model`, expanding the nodes named in

@@ -80,7 +80,7 @@ MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOpti
 MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOptions& options,
                                    engine::EvalEngine& engine) {
     MappingSearchResult result;
-    const engine::EvalCache::Stats stats_before = engine.cache_stats();
+    const engine::EvalEngine::Stats stats_before = engine.stats();
     {
         const Objective initial = evaluate(m, options, engine);
         result.probability_before = initial.probability;
@@ -153,10 +153,12 @@ MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOpti
     result.probability_after = final_objective.probability;
     result.cost_after = final_objective.cost;
 
-    const engine::EvalCache::Stats stats_after = engine.cache_stats();
-    result.eval_cache_hits = stats_after.hits - stats_before.hits;
-    result.eval_cache_misses = stats_after.misses - stats_before.misses;
-    result.evaluations = result.eval_cache_hits + result.eval_cache_misses;
+    const engine::EvalEngine::Stats stats_after = engine.stats();
+    result.evaluations = stats_after.analyze_calls - stats_before.analyze_calls;
+    result.eval_cache_hits = stats_after.tree_hits - stats_before.tree_hits;
+    result.eval_cache_misses = stats_after.tree_misses - stats_before.tree_misses;
+    result.module_cache_hits = stats_after.module_hits - stats_before.module_hits;
+    result.module_cache_misses = stats_after.module_misses - stats_before.module_misses;
     return result;
 }
 

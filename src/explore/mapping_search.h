@@ -47,15 +47,31 @@ struct MappingSearchResult {
     double cost_before = 0.0;
     double cost_after = 0.0;
     bool reached_local_optimum = false;
-    /// Candidate evaluations performed (cache hits + misses).
+    /// Candidate evaluations performed (engine analyze calls; equals
+    /// whole-tree cache hits + misses, since every call keys the tree).
     std::uint64_t evaluations = 0;
+    /// Whole-tree cache counters: a hit replays a previously scored
+    /// candidate without recompiling anything.
     std::uint64_t eval_cache_hits = 0;
     std::uint64_t eval_cache_misses = 0;
+    /// Per-module cache counters (zero when options.engine.modularize is
+    /// off): within the eval_cache_misses above, module hits are regions
+    /// replayed from earlier candidates, module misses are the regions
+    /// actually recompiled.
+    std::uint64_t module_cache_hits = 0;
+    std::uint64_t module_cache_misses = 0;
 
     [[nodiscard]] double eval_cache_hit_rate() const noexcept {
         return evaluations == 0
                    ? 0.0
                    : static_cast<double>(eval_cache_hits) / static_cast<double>(evaluations);
+    }
+    /// Fraction of all cached lookups (tree + module) that hit: the
+    /// share of work the caches absorbed at whichever granularity.
+    [[nodiscard]] double combined_cache_hit_rate() const noexcept {
+        const std::uint64_t hits = eval_cache_hits + module_cache_hits;
+        const std::uint64_t total = hits + eval_cache_misses + module_cache_misses;
+        return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
     }
 };
 

@@ -1,0 +1,172 @@
+#include "ftree/modules.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <utility>
+
+#include "core/hash.h"
+
+namespace asilkit::ftree {
+namespace {
+
+constexpr std::uint64_t kLeafEventSalt = 0x6261736963ull;   // "basic"
+constexpr std::uint64_t kPseudoSalt = 0x6D6F64756C65ull;    // "module"
+constexpr std::uint64_t kGateSalt = 0x67617465ull;          // "gate"
+constexpr std::uint64_t kModuleTreeSalt = 0x6D74726565ull;  // "mtree"
+
+[[nodiscard]] std::uint64_t lambda_bits(double lambda) noexcept {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(lambda));
+    std::memcpy(&bits, &lambda, sizeof(bits));
+    return bits;
+}
+
+}  // namespace
+
+ModuleDecomposition find_modules(const FaultTree& ft) {
+    ModuleDecomposition dec;
+    const FtRef top = ft.top();
+
+    if (top.kind == FtRef::Kind::Basic) {
+        Module m;
+        m.root = top;
+        m.basic_events = 1;
+        m.subtree_hash = hash::combine(
+            kModuleTreeSalt, hash::combine(hash::combine(kLeafEventSalt, 0),
+                                           lambda_bits(ft.basic_event(top.index).lambda)));
+        dec.modules.push_back(std::move(m));
+        return dec;
+    }
+
+    const std::size_t gate_count = ft.gates().size();
+    const std::size_t basic_count = ft.basic_events().size();
+
+    // Phase 1: DFS visit dates.  Every edge is traversed exactly once
+    // (an already-expanded gate is dated again but not re-expanded), so
+    // a node referenced from outside a subtree carries a visit date
+    // outside that subtree root's [first-arrival, completion] window.
+    constexpr std::uint64_t kUnvisited = 0;
+    std::vector<std::uint64_t> basic_lo(basic_count, kUnvisited);
+    std::vector<std::uint64_t> basic_hi(basic_count, 0);
+    std::vector<std::uint64_t> gate_lo(gate_count, kUnvisited);
+    std::vector<std::uint64_t> gate_hi(gate_count, 0);
+    std::vector<std::uint64_t> gate_fin(gate_count, 0);
+    std::uint64_t t = 0;
+    std::function<void(FtRef)> visit = [&](FtRef r) {
+        ++t;
+        if (r.kind == FtRef::Kind::Basic) {
+            if (basic_lo[r.index] == kUnvisited) basic_lo[r.index] = t;
+            basic_hi[r.index] = t;
+            return;
+        }
+        if (gate_lo[r.index] != kUnvisited) {
+            gate_hi[r.index] = t;  // dates are monotone: later revisits win
+            return;
+        }
+        gate_lo[r.index] = t;
+        for (FtRef c : ft.gate(r.index).children) visit(c);
+        ++t;
+        gate_fin[r.index] = t;
+        gate_hi[r.index] = t;
+    };
+    visit(top);
+
+    // Phase 2: per-node min/max visit date over the node and all its
+    // descendants, memoised over the DAG.
+    std::vector<std::uint64_t> gate_min(gate_count, 0);
+    std::vector<std::uint64_t> gate_max(gate_count, 0);
+    std::vector<char> agg_done(gate_count, 0);
+    std::function<std::pair<std::uint64_t, std::uint64_t>(FtRef)> agg =
+        [&](FtRef r) -> std::pair<std::uint64_t, std::uint64_t> {
+        if (r.kind == FtRef::Kind::Basic) return {basic_lo[r.index], basic_hi[r.index]};
+        if (agg_done[r.index]) return {gate_min[r.index], gate_max[r.index]};
+        std::uint64_t mn = gate_lo[r.index];
+        std::uint64_t mx = gate_hi[r.index];
+        for (FtRef c : ft.gate(r.index).children) {
+            const auto [cmn, cmx] = agg(c);
+            mn = std::min(mn, cmn);
+            mx = std::max(mx, cmx);
+        }
+        agg_done[r.index] = 1;
+        gate_min[r.index] = mn;
+        gate_max[r.index] = mx;
+        return {mn, mx};
+    };
+    agg(top);
+
+    // Phase 3: the module test.  A gate is a module iff every strict
+    // descendant's dates stay inside its own expansion window — i.e. no
+    // descendant is also referenced from outside the subtree.  The
+    // gate's own revisit dates are deliberately excluded: a shared
+    // module is still a module (its pseudo-variable simply occurs
+    // several times in the enclosing region).
+    std::vector<char> is_module(gate_count, 0);
+    for (std::uint32_t g = 0; g < gate_count; ++g) {
+        if (gate_lo[g] == kUnvisited) continue;  // unreachable from top
+        bool mod = true;
+        for (FtRef c : ft.gate(g).children) {
+            const auto [cmn, cmx] = agg(c);
+            if (cmn < gate_lo[g] || cmx > gate_fin[g]) {
+                mod = false;
+                break;
+            }
+        }
+        is_module[g] = mod ? 1 : 0;
+    }
+    is_module[top.index] = 1;  // the whole tree is always a module
+
+    // Phase 4: build the decomposition bottom-up.  Each module's local
+    // region is walked depth-first; nested module roots become pseudo
+    // leaves whose hash composes the child module's subtree hash, so
+    // the resulting hash is a context-free fingerprint of the module's
+    // full subtree.  Local leaf ids (events and pseudo leaves share one
+    // first-occurrence counter) capture the sharing pattern exactly as
+    // FaultTree::structural_hash() does.
+    std::function<std::uint32_t(FtRef)> build = [&](FtRef mroot) -> std::uint32_t {
+        if (auto it = dec.module_of_gate.find(mroot.index); it != dec.module_of_gate.end()) {
+            return it->second;
+        }
+        Module m;
+        m.root = mroot;
+        std::uint64_t next_leaf = 0;
+        std::unordered_map<std::uint32_t, std::uint64_t> event_leaf;
+        std::unordered_map<std::uint32_t, std::uint64_t> pseudo_leaf;
+        std::unordered_map<std::uint32_t, std::uint64_t> gate_memo;
+        std::function<std::uint64_t(FtRef, bool)> walk = [&](FtRef r,
+                                                             bool at_root) -> std::uint64_t {
+            if (r.kind == FtRef::Kind::Basic) {
+                const auto [it, inserted] = event_leaf.try_emplace(r.index, next_leaf);
+                if (inserted) ++next_leaf;
+                return hash::combine(hash::combine(kLeafEventSalt, it->second),
+                                     lambda_bits(ft.basic_event(r.index).lambda));
+            }
+            if (!at_root && is_module[r.index]) {
+                const std::uint32_t child = build(r);
+                const auto [it, inserted] = pseudo_leaf.try_emplace(r.index, next_leaf);
+                if (inserted) {
+                    ++next_leaf;
+                    m.child_modules.push_back(child);
+                }
+                return hash::combine(hash::combine(kPseudoSalt, it->second),
+                                     dec.modules[child].subtree_hash);
+            }
+            if (auto it = gate_memo.find(r.index); it != gate_memo.end()) return it->second;
+            const Gate& g = ft.gate(r.index);
+            std::uint64_t h = hash::combine(kGateSalt, static_cast<std::uint64_t>(g.kind));
+            for (FtRef c : g.children) h = hash::combine(h, walk(c, false));
+            gate_memo.emplace(r.index, h);
+            return h;
+        };
+        m.subtree_hash = hash::combine(kModuleTreeSalt, walk(mroot, true));
+        m.basic_events = event_leaf.size();
+        const auto index = static_cast<std::uint32_t>(dec.modules.size());
+        dec.module_of_gate.emplace(mroot.index, index);
+        dec.modules.push_back(std::move(m));
+        return index;
+    };
+    build(top);
+    return dec;
+}
+
+}  // namespace asilkit::ftree

@@ -65,6 +65,32 @@ TEST(ThreadPool, PropagatesTaskExceptions) {
     EXPECT_EQ(count.load(), 10u);
 }
 
+TEST(ThreadPool, SerialPathDrainsBatchBeforeRethrow) {
+    // The inline single-thread path must match the parallel path: a
+    // throwing task never skips the remaining indices.
+    engine::ThreadPool pool(1);
+    std::vector<int> ran(5, 0);
+    EXPECT_THROW(pool.parallel_for(5,
+                                   [&](std::size_t i) {
+                                       ran[i] = 1;
+                                       if (i == 1) throw AnalysisError("early");
+                                   }),
+                 AnalysisError);
+    EXPECT_EQ(ran, (std::vector<int>{1, 1, 1, 1, 1}));
+}
+
+TEST(ThreadPool, SerialPathRethrowsFirstOfSeveralExceptions) {
+    engine::ThreadPool pool(1);
+    try {
+        pool.parallel_for(5, [&](std::size_t i) {
+            if (i == 1 || i == 3) throw AnalysisError("task " + std::to_string(i));
+        });
+        FAIL() << "expected AnalysisError";
+    } catch (const AnalysisError& e) {
+        EXPECT_STREQ(e.what(), "analysis error: task 1");  // serial runs in index order
+    }
+}
+
 // ---- eval cache ------------------------------------------------------------
 
 TEST(EvalCache, HitMissCounters) {
@@ -204,12 +230,19 @@ TEST(EvalEngine, MatchesSerialAnalysis) {
                 1e-12 * serial.failure_probability);
     EXPECT_EQ(first.failure_probability, cached.failure_probability);  // bitwise
     EXPECT_EQ(first.bdd_nodes, cached.bdd_nodes);
-    EXPECT_EQ(serial.variables, cached.variables);
+    EXPECT_EQ(serial.variables, cached.variables);  // regions partition the events
     EXPECT_EQ(serial.ft_stats.dag_nodes, cached.ft_stats.dag_nodes);
+    EXPECT_GT(first.modules, 0u);
+    EXPECT_EQ(first.modules, cached.modules);
 
-    const auto stats = engine.cache_stats();
-    EXPECT_EQ(stats.hits, 1u);
-    EXPECT_EQ(stats.misses, 1u);
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.analyze_calls, 2u);
+    EXPECT_EQ(stats.tree_hits, 1u);
+    EXPECT_EQ(stats.tree_misses, 1u);
+    // The first (cold) evaluation recompiled every module; the tree-level
+    // hit on the replay never touched the module cache.
+    EXPECT_EQ(stats.module_hits, 0u);
+    EXPECT_EQ(stats.module_misses, first.modules);
 }
 
 TEST(EvalEngine, MissionTimeIsPartOfTheKey) {
@@ -340,6 +373,75 @@ TEST(MappingSearch, ReportsCacheCounters) {
     EXPECT_EQ(r.evaluations, r.eval_cache_hits + r.eval_cache_misses);
     EXPECT_GT(r.evaluations, 0u);
     EXPECT_GT(r.eval_cache_hit_rate(), 1.0 / 3.0);
+}
+
+// ---- modularization --------------------------------------------------------
+
+TEST(Modularize, ToggleNeverChangesSearchResults) {
+    // The flag only changes caching granularity; evaluation is modular
+    // either way, so the whole search must be bitwise identical — model
+    // included — with modularize on and off, at any thread count.
+    ArchitectureModel base = scenarios::chain_n_stages(3);
+    for (const char* n : {"f1", "f2", "f3"}) transform::expand(base, base.find_app_node(n));
+
+    ArchitectureModel off_model = base;
+    explore::MappingSearchOptions off;
+    off.engine = {.threads = 1, .cache_capacity = 1 << 12, .modularize = false};
+    const auto r_off = explore::search_mapping(off_model, off);
+
+    ArchitectureModel on_model = base;
+    explore::MappingSearchOptions on;
+    on.engine = {.threads = 4, .cache_capacity = 1 << 12, .modularize = true};
+    const auto r_on = explore::search_mapping(on_model, on);
+
+    EXPECT_EQ(r_off.probability_after, r_on.probability_after);  // bitwise
+    EXPECT_EQ(r_off.probability_before, r_on.probability_before);
+    EXPECT_EQ(r_off.cost_after, r_on.cost_after);
+    EXPECT_EQ(r_off.merges, r_on.merges);
+    EXPECT_EQ(io::to_json(off_model).dump(), io::to_json(on_model).dump());
+
+    // Counter contract: off keeps the module counters at zero, on splits
+    // every tree miss into module hits + misses.
+    EXPECT_EQ(r_off.module_cache_hits + r_off.module_cache_misses, 0u);
+    EXPECT_GT(r_on.module_cache_misses, 0u);
+}
+
+TEST(Modularize, UntouchedModulesReplayAcrossVariants) {
+    // Two variants of the same architecture differing in one resource's
+    // data-sheet failure rate: whole-tree keys differ (every evaluation
+    // of the second variant misses at tree level), but the modules not
+    // containing that resource's event replay from the first variant's
+    // cache.  The chain tree nests downstream-outward, so perturbing the
+    // actuator dirties only the outermost module(s).  Location events
+    // are global shared events that glue the tree into one region, so
+    // they are excluded (see docs/engine.md).
+    const ArchitectureModel base_model = scenarios::chain_n_stages(4);
+    ArchitectureModel variant = base_model;
+    const ResourceId act_res = variant.mapped_resources(variant.find_app_node("act")).front();
+    variant.resources().node(act_res).lambda_override = 2e-9;
+
+    engine::EvalEngine engine({.threads = 1, .cache_capacity = 1 << 12, .modularize = true});
+    analysis::ProbabilityOptions options;
+    options.include_location_events = false;
+
+    const auto first = engine.analyze(base_model, options);
+    ASSERT_GT(first.modules, 1u) << "need a decomposable tree for this test";
+    const auto second = engine.analyze(variant, options);
+    EXPECT_NE(first.failure_probability, second.failure_probability);
+
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.tree_hits, 0u);
+    EXPECT_EQ(stats.tree_misses, 2u);
+    EXPECT_GT(stats.module_hits, 0u) << "unperturbed modules should replay";
+    EXPECT_EQ(stats.module_hits + stats.module_misses, first.modules + second.modules);
+
+    // A bitwise-identical replay of the first model hits at tree level
+    // without touching the module counters again.
+    const auto third = engine.analyze(base_model, options);
+    EXPECT_EQ(third.failure_probability, first.failure_probability);
+    const auto after = engine.stats();
+    EXPECT_EQ(after.tree_hits, 1u);
+    EXPECT_EQ(after.module_hits, stats.module_hits);
 }
 
 TEST(SharedEngine, AccumulatesAcrossSearches) {

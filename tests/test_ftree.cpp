@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "ftree/modules.h"
+
 namespace asilkit::ftree {
 namespace {
 
@@ -135,6 +137,220 @@ TEST(FaultTree, ReachableBasicEvents) {
 TEST(FaultTree, GateKindNames) {
     EXPECT_EQ(to_string(GateKind::Or), "OR");
     EXPECT_EQ(to_string(GateKind::And), "AND");
+}
+
+// ---- structural hash & canonical form: degenerate shapes -------------------
+
+TEST(StructuralHashDegenerate, SingleBasicEventTop) {
+    // A tree that is one basic event: the hash must abstract the name
+    // away but keep the rate.
+    FaultTree a;
+    a.set_top(a.add_basic_event("only", 3e-7));
+    FaultTree b;
+    b.set_top(b.add_basic_event("renamed", 3e-7));
+    EXPECT_EQ(a.structural_hash(), b.structural_hash());
+
+    FaultTree c;
+    c.set_top(c.add_basic_event("only", 4e-7));
+    EXPECT_NE(a.structural_hash(), c.structural_hash());
+}
+
+TEST(StructuralHashDegenerate, GateWithOneChild) {
+    // OR(e) and AND(e) denote the same boolean function but are distinct
+    // structures — and both differ from the bare event.
+    FaultTree plain;
+    plain.set_top(plain.add_basic_event("e", 1e-7));
+
+    FaultTree unary_or;
+    unary_or.set_top(
+        unary_or.add_gate("g", GateKind::Or, {unary_or.add_basic_event("e", 1e-7)}));
+    FaultTree unary_and;
+    unary_and.set_top(
+        unary_and.add_gate("g", GateKind::And, {unary_and.add_basic_event("e", 1e-7)}));
+
+    EXPECT_NE(unary_or.structural_hash(), unary_and.structural_hash());
+    EXPECT_NE(plain.structural_hash(), unary_or.structural_hash());
+    // Canonicalising a unary gate is a no-op structurally.
+    EXPECT_EQ(canonical_form(unary_or).structural_hash(), unary_or.structural_hash());
+}
+
+TEST(StructuralHashDegenerate, SharedEventUnderAndVsOr) {
+    auto shared_pair = [](GateKind kind) {
+        FaultTree t;
+        const FtRef e = t.add_basic_event("e", 1e-7);
+        t.set_top(t.add_gate("top", kind, {e, e}));
+        return t;
+    };
+    const FaultTree under_and = shared_pair(GateKind::And);
+    const FaultTree under_or = shared_pair(GateKind::Or);
+    EXPECT_NE(under_and.structural_hash(), under_or.structural_hash());
+
+    // The sharing itself is visible under both kinds: AND(e, e) != AND(e, f).
+    FaultTree distinct;
+    const FtRef d1 = distinct.add_basic_event("e", 1e-7);
+    const FtRef d2 = distinct.add_basic_event("f", 1e-7);
+    distinct.set_top(distinct.add_gate("top", GateKind::And, {d1, d2}));
+    EXPECT_NE(under_and.structural_hash(), distinct.structural_hash());
+    EXPECT_NE(canonical_form(under_and).structural_hash(),
+              canonical_form(distinct).structural_hash());
+}
+
+TEST(StructuralHashDegenerate, StableAcrossNodeIdRenumbering) {
+    // The same logical tree built in two different insertion orders gets
+    // different node indices; first-occurrence numbering must erase that.
+    FaultTree forward;
+    {
+        const FtRef a = forward.add_basic_event("a", 1e-7);
+        const FtRef b = forward.add_basic_event("b", 2e-7);
+        const FtRef c = forward.add_basic_event("c", 3e-7);
+        const FtRef left = forward.add_gate("left", GateKind::Or, {a, b});
+        forward.set_top(forward.add_gate("top", GateKind::And, {left, c}));
+    }
+    FaultTree backward;
+    {
+        const FtRef c = backward.add_basic_event("c", 3e-7);
+        const FtRef b = backward.add_basic_event("b", 2e-7);
+        const FtRef a = backward.add_basic_event("a", 1e-7);
+        backward.add_gate("decoy", GateKind::Or, {c});  // shifts gate indices
+        const FtRef left = backward.add_gate("left", GateKind::Or, {a, b});
+        backward.set_top(backward.add_gate("top", GateKind::And, {left, c}));
+    }
+    EXPECT_EQ(forward.structural_hash(), backward.structural_hash());
+    EXPECT_EQ(canonical_form(forward).structural_hash(),
+              canonical_form(backward).structural_hash());
+}
+
+// ---- modularization --------------------------------------------------------
+
+TEST(Modules, IndependentBranchesAreModules) {
+    // AND(OR(a, b), OR(c, d)): both ORs share nothing, so the
+    // decomposition is {OR(a,b), OR(c,d), top}.
+    FaultTree ft;
+    const FtRef a = ft.add_basic_event("a", 1e-7);
+    const FtRef b = ft.add_basic_event("b", 2e-7);
+    const FtRef c = ft.add_basic_event("c", 3e-7);
+    const FtRef d = ft.add_basic_event("d", 4e-7);
+    const FtRef left = ft.add_gate("left", GateKind::Or, {a, b});
+    const FtRef right = ft.add_gate("right", GateKind::Or, {c, d});
+    const FtRef top = ft.add_gate("top", GateKind::And, {left, right});
+    ft.set_top(top);
+
+    const ModuleDecomposition dec = find_modules(ft);
+    ASSERT_EQ(dec.size(), 3u);
+    EXPECT_EQ(dec.top().root, top);
+    EXPECT_EQ(dec.top().child_modules.size(), 2u);
+    EXPECT_EQ(dec.top().basic_events, 0u);  // both children are pseudo leaves
+    ASSERT_TRUE(dec.module_of_gate.contains(left.index));
+    ASSERT_TRUE(dec.module_of_gate.contains(right.index));
+    EXPECT_EQ(dec.modules[dec.module_of_gate.at(left.index)].basic_events, 2u);
+}
+
+TEST(Modules, SharedEventKeepsRegionTogether) {
+    // AND(OR(a, s), OR(b, s)): the shared event s glues both branches to
+    // the top region — the top is the only module.
+    FaultTree ft;
+    const FtRef a = ft.add_basic_event("a", 1e-7);
+    const FtRef b = ft.add_basic_event("b", 2e-7);
+    const FtRef s = ft.add_basic_event("s", 3e-7);
+    const FtRef left = ft.add_gate("left", GateKind::Or, {a, s});
+    const FtRef right = ft.add_gate("right", GateKind::Or, {b, s});
+    ft.set_top(ft.add_gate("top", GateKind::And, {left, right}));
+
+    const ModuleDecomposition dec = find_modules(ft);
+    ASSERT_EQ(dec.size(), 1u);
+    EXPECT_EQ(dec.top().basic_events, 3u);
+    EXPECT_TRUE(dec.top().child_modules.empty());
+}
+
+TEST(Modules, NestedModulesComposeBottomUp) {
+    // OR(AND(OR(a, b), c), d): three nested modules, children listed
+    // before parents.
+    FaultTree ft;
+    const FtRef a = ft.add_basic_event("a", 1e-7);
+    const FtRef b = ft.add_basic_event("b", 2e-7);
+    const FtRef c = ft.add_basic_event("c", 3e-7);
+    const FtRef d = ft.add_basic_event("d", 4e-7);
+    const FtRef inner = ft.add_gate("inner", GateKind::Or, {a, b});
+    const FtRef mid = ft.add_gate("mid", GateKind::And, {inner, c});
+    const FtRef top = ft.add_gate("top", GateKind::Or, {mid, d});
+    ft.set_top(top);
+
+    const ModuleDecomposition dec = find_modules(ft);
+    ASSERT_EQ(dec.size(), 3u);
+    const Module& inner_m = dec.modules[dec.module_of_gate.at(inner.index)];
+    const Module& mid_m = dec.modules[dec.module_of_gate.at(mid.index)];
+    EXPECT_TRUE(inner_m.child_modules.empty());
+    ASSERT_EQ(mid_m.child_modules.size(), 1u);
+    EXPECT_EQ(mid_m.child_modules.front(), dec.module_of_gate.at(inner.index));
+    ASSERT_EQ(dec.top().child_modules.size(), 1u);
+    EXPECT_EQ(dec.top().child_modules.front(), dec.module_of_gate.at(mid.index));
+    // Children-before-parents order.
+    EXPECT_LT(dec.module_of_gate.at(inner.index), dec.module_of_gate.at(mid.index));
+}
+
+TEST(Modules, SharedGateIsStillAModule) {
+    // g = OR(a, b) referenced twice by the top: g's subtree is reachable
+    // only through g, so g is a module whose pseudo-variable occurs
+    // twice in the top region.
+    FaultTree ft;
+    const FtRef a = ft.add_basic_event("a", 1e-7);
+    const FtRef b = ft.add_basic_event("b", 2e-7);
+    const FtRef g = ft.add_gate("g", GateKind::Or, {a, b});
+    ft.set_top(ft.add_gate("top", GateKind::And, {g, g}));
+
+    const ModuleDecomposition dec = find_modules(ft);
+    ASSERT_EQ(dec.size(), 2u);
+    ASSERT_EQ(dec.top().child_modules.size(), 1u);  // one pseudo leaf, used twice
+    EXPECT_EQ(dec.top().child_modules.front(), dec.module_of_gate.at(g.index));
+}
+
+TEST(Modules, SingleBasicEventTop) {
+    FaultTree ft;
+    ft.set_top(ft.add_basic_event("only", 5e-7));
+    const ModuleDecomposition dec = find_modules(ft);
+    ASSERT_EQ(dec.size(), 1u);
+    EXPECT_EQ(dec.top().basic_events, 1u);
+    EXPECT_TRUE(dec.top().child_modules.empty());
+}
+
+TEST(Modules, SubtreeHashIsContextFree) {
+    // The same module subtree embedded in two different trees must carry
+    // the same subtree_hash — that is what lets the engine replay it
+    // across candidate architectures.
+    auto sub = [](FaultTree& t) {
+        const FtRef a = t.add_basic_event("sub_a", 1e-7);
+        const FtRef b = t.add_basic_event("sub_b", 2e-7);
+        return t.add_gate("sub", GateKind::Or, {a, b});
+    };
+    FaultTree host1;
+    {
+        const FtRef s = sub(host1);
+        const FtRef c = host1.add_basic_event("c", 3e-7);
+        host1.set_top(host1.add_gate("top", GateKind::And, {s, c}));
+    }
+    FaultTree host2;
+    {
+        const FtRef x = host2.add_basic_event("x", 9e-7);
+        const FtRef y = host2.add_basic_event("y", 8e-7);
+        const FtRef other = host2.add_gate("other", GateKind::And, {x, y});
+        const FtRef s = sub(host2);
+        host2.set_top(host2.add_gate("top", GateKind::Or, {other, s}));
+    }
+    const ModuleDecomposition d1 = find_modules(host1);
+    const ModuleDecomposition d2 = find_modules(host2);
+    std::uint64_t h1 = 0;
+    std::uint64_t h2 = 0;
+    for (const auto& [gate, idx] : d1.module_of_gate) {
+        if (host1.gate(gate).name == "sub") h1 = d1.modules[idx].subtree_hash;
+    }
+    for (const auto& [gate, idx] : d2.module_of_gate) {
+        if (host2.gate(gate).name == "sub") h2 = d2.modules[idx].subtree_hash;
+    }
+    ASSERT_NE(h1, 0u);
+    EXPECT_EQ(h1, h2);
+    // And the hash sees the content: the top modules of the two hosts
+    // are different trees.
+    EXPECT_NE(d1.top().subtree_hash, d2.top().subtree_hash);
 }
 
 }  // namespace

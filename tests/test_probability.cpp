@@ -188,6 +188,40 @@ TEST(Probability, BddIsBruteForceExactOnRandomTrees) {
     }
 }
 
+TEST(Probability, ModularMatchesMonolithicOnRandomTrees) {
+    // modular_probability computes the same exact quantity through a
+    // different BDD factorisation; on random trees (which contain shared
+    // events, so single-module regions too) the two must agree to
+    // rounding, and both must match brute force.
+    for (std::uint32_t seed = 100; seed < 110; ++seed) {
+        const ftree::FaultTree ft = testing::random_fault_tree(seed, 8, 5);
+        const double mono = fault_tree_probability(ft);
+        const double modular = modular_probability(ft);
+        EXPECT_NEAR(modular, mono, 1e-12 * std::max(mono, 1e-30)) << "seed " << seed;
+        EXPECT_NEAR(modular, testing::brute_force_probability(ft), 1e-10) << "seed " << seed;
+    }
+}
+
+TEST(Probability, ModularMatchesMonolithicOnSharedEventTree) {
+    // Fig. 3 has genuinely shared events (camera/GPS reach the top
+    // through both merger branches) — those stay inside one module and
+    // the decomposition must still be exact.
+    const ArchitectureModel m = scenarios::fig3_camera_gps_fusion();
+    const ftree::FtBuildResult ft = ftree::build_fault_tree(m);
+    const double exact = fault_tree_probability(ft.tree);
+    EXPECT_NEAR(modular_probability(ft.tree), exact, 1e-12 * exact);
+}
+
+TEST(Probability, ModularHandlesDegenerateTops) {
+    ftree::FaultTree leaf;
+    leaf.set_top(leaf.add_basic_event("only", 0.5));
+    EXPECT_NEAR(modular_probability(leaf), 1.0 - std::exp(-0.5), 1e-15);
+
+    ftree::FaultTree unary;
+    unary.set_top(unary.add_gate("g", ftree::GateKind::Or, {unary.add_basic_event("e", 0.5)}));
+    EXPECT_NEAR(modular_probability(unary), 1.0 - std::exp(-0.5), 1e-15);
+}
+
 TEST(Probability, ResultCarriesStructuralDiagnostics) {
     const ArchitectureModel m = scenarios::fig3_camera_gps_fusion();
     const ProbabilityResult r = analyze_failure_probability(m);

@@ -1,12 +1,16 @@
 // Converts google-benchmark --benchmark_out JSON into the compact
-// BENCH_dse.json the repository tracks for the DSE engine:
+// BENCH_dse.json the repository tracks for the DSE engine.  Accepts any
+// number of raw inputs (last argument is the output), merging their
+// benchmark lists so one tracked file can cover several bench binaries:
 //
-//   bench_mapping_search --benchmark_out=raw.json --benchmark_out_format=json
-//   bench_to_json raw.json BENCH_dse.json
+//   bench_mapping_search --benchmark_out=raw1.json --benchmark_out_format=json
+//   bench_modularization --benchmark_out=raw2.json --benchmark_out_format=json
+//   bench_to_json raw1.json raw2.json BENCH_dse.json
 //
 // Output: {"benchmarks": [{"name", "ns_per_op", "cache_hit_rate",
 // "evals"?, "threads"?}, ...], "context": {...}} — one entry per timing,
-// aggregate rows ("_mean" etc.) skipped so re-runs diff cleanly.
+// aggregate rows ("_mean" etc.) skipped so re-runs diff cleanly.  The
+// context is taken from the first input.
 #include <cstdio>
 #include <string>
 
@@ -26,45 +30,51 @@ double to_nanoseconds(double value, const std::string& unit) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc != 3) {
-        std::fprintf(stderr, "usage: %s <google-benchmark.json> <out.json>\n", argv[0]);
+    if (argc < 3) {
+        std::fprintf(stderr, "usage: %s <google-benchmark.json> [more.json...] <out.json>\n",
+                     argv[0]);
         return 2;
     }
     try {
-        const asilkit::io::Json raw = asilkit::io::load_json_file(argv[1]);
-
         asilkit::io::Json out = asilkit::io::Json::object();
         asilkit::io::Json context = asilkit::io::Json::object();
-        if (raw.contains("context")) {
-            const asilkit::io::Json& ctx = raw.at("context");
-            for (const char* key : {"date", "host_name", "num_cpus", "mhz_per_cpu",
-                                    "library_build_type"}) {
-                if (ctx.contains(key)) context[key] = ctx.at(key);
-            }
-        }
-        out["context"] = std::move(context);
-
         asilkit::io::Json benchmarks = asilkit::io::Json::array();
-        for (const asilkit::io::Json& b : raw.at("benchmarks").as_array()) {
-            // Skip repetition aggregates; keep plain timings only.
-            if (b.contains("run_type") && b.at("run_type").as_string() != "iteration") continue;
-            const std::string& name = b.at("name").as_string();
-            asilkit::io::Json entry = asilkit::io::Json::object();
-            entry["name"] = name;
-            entry["ns_per_op"] = to_nanoseconds(b.at("real_time").as_number(),
-                                                b.at("time_unit").as_string());
-            entry["cache_hit_rate"] =
-                b.contains("cache_hit_rate") ? b.at("cache_hit_rate").as_number() : 0.0;
-            if (b.contains("evals")) entry["evals"] = b.at("evals").as_number();
-            if (b.contains("engine_threads")) {
-                entry["engine_threads"] = b.at("engine_threads").as_number();
+
+        for (int input = 1; input + 1 < argc; ++input) {
+            const asilkit::io::Json raw = asilkit::io::load_json_file(argv[input]);
+            if (input == 1 && raw.contains("context")) {
+                const asilkit::io::Json& ctx = raw.at("context");
+                for (const char* key : {"date", "host_name", "num_cpus", "mhz_per_cpu",
+                                        "library_build_type"}) {
+                    if (ctx.contains(key)) context[key] = ctx.at(key);
+                }
             }
-            benchmarks.push_back(std::move(entry));
+            for (const asilkit::io::Json& b : raw.at("benchmarks").as_array()) {
+                // Skip repetition aggregates; keep plain timings only.
+                if (b.contains("run_type") && b.at("run_type").as_string() != "iteration") {
+                    continue;
+                }
+                const std::string& name = b.at("name").as_string();
+                asilkit::io::Json entry = asilkit::io::Json::object();
+                entry["name"] = name;
+                entry["ns_per_op"] = to_nanoseconds(b.at("real_time").as_number(),
+                                                    b.at("time_unit").as_string());
+                entry["cache_hit_rate"] =
+                    b.contains("cache_hit_rate") ? b.at("cache_hit_rate").as_number() : 0.0;
+                if (b.contains("evals")) entry["evals"] = b.at("evals").as_number();
+                if (b.contains("engine_threads")) {
+                    entry["engine_threads"] = b.at("engine_threads").as_number();
+                }
+                benchmarks.push_back(std::move(entry));
+            }
         }
+
+        out["context"] = std::move(context);
         out["benchmarks"] = std::move(benchmarks);
 
-        asilkit::io::save_json_file(out, argv[2]);
-        std::printf("wrote %s (%zu benchmarks)\n", argv[2], out.at("benchmarks").size());
+        asilkit::io::save_json_file(out, argv[argc - 1]);
+        std::printf("wrote %s (%zu benchmarks)\n", argv[argc - 1],
+                    out.at("benchmarks").size());
         return 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "bench_to_json: %s\n", e.what());

@@ -57,6 +57,10 @@
 #include "io/json.h"
 #include "io/model_diff.h"
 #include "io/model_json.h"
+#include "io/sarif.h"
+
+#include "lint/emit.h"             // text / JSON / SARIF lint output
+#include "lint/lint.h"             // cross-layer safety linter
 
 #include "scenarios/builder.h"
 #include "scenarios/ecotwin.h"

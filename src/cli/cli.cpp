@@ -18,6 +18,8 @@
 #include "io/graphml.h"
 #include "io/model_diff.h"
 #include "io/model_json.h"
+#include "lint/emit.h"
+#include "lint/lint.h"
 #include "model/validation.h"
 #include "scenarios/ecotwin.h"
 #include "scenarios/fig3.h"
@@ -43,7 +45,7 @@ struct Args {
 
 /// Options that are flags (no value follows).
 bool is_flag(const std::string& key) {
-    return key == "approximate" || key == "all" || key == "help";
+    return key == "approximate" || key == "all" || key == "help" || key == "strict";
 }
 
 Args parse_args(const std::vector<std::string>& argv) {
@@ -120,7 +122,40 @@ int cmd_validate(const Args& args, std::ostream& out) {
     out << m.name() << ": " << report.error_count() << " errors, " << report.warning_count()
         << " warnings\n";
     for (const ValidationIssue& issue : report.issues) out << "  " << issue << "\n";
+    // --strict promotes warnings: a report that is not fully clean fails.
+    if (args.has("strict")) return report.ok() ? 0 : 1;
     return report.error_count() == 0 ? 0 : 1;
+}
+
+/// Exit codes mirror severities so CI can distinguish outcomes: 0 =
+/// clean (notes allowed), 3 = warnings present, 4 = errors present
+/// (1/2 stay reserved for input/usage errors).
+int cmd_lint(const Args& args, std::ostream& out) {
+    const ArchitectureModel m = load_positional_model(args);
+    lint::LintOptions options;
+    if (args.has("rules")) options.config = lint::load_lint_config(args.get("rules"));
+    const lint::LintReport report = lint::run_lint(m, options);
+
+    const std::string format = args.get("format", "text");
+    std::string text;
+    if (format == "text") {
+        text = lint::to_text(report, m.name());
+    } else if (format == "json") {
+        text = lint::to_json(report, m.name()).dump(2) + "\n";
+    } else if (format == "sarif") {
+        text = lint::to_sarif(report).dump(2) + "\n";
+    } else {
+        throw IoError("unknown format '" + format + "' (expected text, json or sarif)");
+    }
+    if (args.has("out")) {
+        io::save_text_file(text, args.get("out"));
+        out << "wrote " << format << " lint report to " << args.get("out") << "\n";
+    } else {
+        out << text;
+    }
+    if (report.error_count() > 0) return 4;
+    if (report.warning_count() > 0) return 3;
+    return 0;
 }
 
 int cmd_analyze(const Args& args, std::ostream& out) {
@@ -338,7 +373,9 @@ std::string usage() {
            "\n"
            "commands:\n"
            "  demo <fig3|fig3-ccf|ecotwin|longitudinal> -o model.json\n"
-           "  validate  model.json\n"
+           "  validate  model.json [--strict]\n"
+           "  lint      model.json [--format text|json|sarif] [--rules config.json]\n"
+           "            [-o report]   (exit: 0 clean, 3 warnings, 4 errors)\n"
            "  analyze   model.json [--approximate] [--hours H] [--metric 1|2|3]\n"
            "  ccf       model.json\n"
            "  tolerance model.json [--max-order K]\n"
@@ -365,6 +402,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
         const std::string& command = parsed.positionals.front();
         if (command == "demo") return cmd_demo(parsed, out);
         if (command == "validate") return cmd_validate(parsed, out);
+        if (command == "lint") return cmd_lint(parsed, out);
         if (command == "analyze") return cmd_analyze(parsed, out);
         if (command == "ccf") return cmd_ccf(parsed, out);
         if (command == "tolerance") return cmd_tolerance(parsed, out);

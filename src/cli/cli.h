@@ -5,7 +5,8 @@
 // operation, and either prints a report or writes a transformed model.
 //
 //   asilkit_cli demo <fig3|fig3-ccf|ecotwin|longitudinal> -o model.json
-//   asilkit_cli validate  model.json
+//   asilkit_cli validate  model.json [--strict]
+//   asilkit_cli lint      model.json [--format text|json|sarif] [--rules cfg.json] [-o report]
 //   asilkit_cli analyze   model.json [--approximate] [--hours H] [--metric 1|2|3]
 //   asilkit_cli ccf       model.json
 //   asilkit_cli tolerance model.json [--max-order K]

@@ -50,6 +50,7 @@ EvalEngine::Stats EvalEngine::stats() const {
     s.tree_misses = tree_misses_.load(std::memory_order_relaxed);
     s.module_hits = module_hits_.load(std::memory_order_relaxed);
     s.module_misses = module_misses_.load(std::memory_order_relaxed);
+    s.lint_rejections = lint_rejections_.load(std::memory_order_relaxed);
     return s;
 }
 

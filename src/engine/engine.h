@@ -96,8 +96,18 @@ public:
         std::uint64_t tree_misses = 0;
         std::uint64_t module_hits = 0;
         std::uint64_t module_misses = 0;
+        /// Candidates the lint pre-filter rejected before fault-tree
+        /// generation (explore::search_mapping reports them here so DSE
+        /// accounting stays in one snapshot).
+        std::uint64_t lint_rejections = 0;
     };
     [[nodiscard]] Stats stats() const;
+
+    /// Adds to the lint-rejection counter; called by search layers that
+    /// discard candidates before they reach analyze().
+    void note_lint_rejections(std::uint64_t n) noexcept {
+        lint_rejections_.fetch_add(n, std::memory_order_relaxed);
+    }
 
     [[nodiscard]] EvalCache::Stats cache_stats() const { return cache_.stats(); }
     void clear_cache() { cache_.clear(); }
@@ -113,6 +123,7 @@ private:
     std::atomic<std::uint64_t> tree_misses_{0};
     std::atomic<std::uint64_t> module_hits_{0};
     std::atomic<std::uint64_t> module_misses_{0};
+    std::atomic<std::uint64_t> lint_rejections_{0};
 };
 
 }  // namespace asilkit::engine

@@ -1,5 +1,7 @@
 #include "explore/mapping_search.h"
 
+#include <atomic>
+#include <limits>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -7,6 +9,7 @@
 #include <vector>
 
 #include "cost/cost_analysis.h"
+#include "lint/lint.h"
 #include "model/blocks.h"
 
 namespace asilkit::explore {
@@ -121,17 +124,34 @@ MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOpti
 
         const Objective current = evaluate(m, options, engine);
 
+        // Baseline for the lint pre-filter: candidates may not introduce
+        // a new structural error over what the current model already has
+        // (a pre-existing error would otherwise reject every candidate).
+        const std::size_t baseline_errors =
+            options.lint_prefilter ? lint::structural_error_count(m) : 0;
+        constexpr double kRejected = std::numeric_limits<double>::infinity();
+        std::atomic<std::uint64_t> rejected{0};
+
         // Score all candidates of this iteration as one parallel batch.
         // Each task copies the model and evaluates with its own fault
         // tree and BDD manager; only the eval cache is shared (and a hit
         // returns the bitwise-identical probability a miss would
-        // compute).
+        // compute).  Provably-invalid candidates are rejected by the
+        // linter before fault-tree generation; their +infinity score is
+        // never selected, keeping results independent of the filter.
         std::vector<Objective> scores(moves.size());
         engine.pool().parallel_for(moves.size(), [&](std::size_t i) {
             ArchitectureModel trial = m;
             apply_merge(trial, moves[i].first, moves[i].second);
+            if (options.lint_prefilter &&
+                lint::structural_error_count(trial) > baseline_errors) {
+                scores[i] = {kRejected, kRejected};
+                rejected.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
             scores[i] = evaluate(trial, options, engine);
         });
+        engine.note_lint_rejections(rejected.load(std::memory_order_relaxed));
 
         Objective best = current;
         std::optional<std::pair<ResourceId, ResourceId>> best_move;
@@ -159,6 +179,7 @@ MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOpti
     result.eval_cache_misses = stats_after.tree_misses - stats_before.tree_misses;
     result.module_cache_hits = stats_after.module_hits - stats_before.module_hits;
     result.module_cache_misses = stats_after.module_misses - stats_before.module_misses;
+    result.lint_rejections = stats_after.lint_rejections - stats_before.lint_rejections;
     return result;
 }
 

@@ -37,6 +37,14 @@ struct MappingSearchOptions {
     /// batch; the best improving move is still selected and applied
     /// serially, so the search is deterministic in the thread count.
     engine::EngineOptions engine{};
+    /// Run the structural linter (lint::structural_error_count) on every
+    /// candidate before fault-tree generation and reject candidates that
+    /// introduce a *new* error-severity finding over the iteration's
+    /// baseline.  A rejected candidate scores +infinity, which the
+    /// serial selection scan can never pick — so results are bitwise
+    /// identical with the pre-filter on or off, at any thread count; the
+    /// filter only skips evaluations that could not have won.
+    bool lint_prefilter = true;
 };
 
 struct MappingSearchResult {
@@ -60,6 +68,9 @@ struct MappingSearchResult {
     /// actually recompiled.
     std::uint64_t module_cache_hits = 0;
     std::uint64_t module_cache_misses = 0;
+    /// Candidates the lint pre-filter rejected before fault-tree
+    /// generation (0 when options.lint_prefilter is off).
+    std::uint64_t lint_rejections = 0;
 
     [[nodiscard]] double eval_cache_hit_rate() const noexcept {
         return evaluations == 0

@@ -1,0 +1,77 @@
+#include "io/sarif.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace asilkit::io {
+
+SarifLog::SarifLog(std::string tool_name, std::string tool_version, std::string information_uri)
+    : tool_name_(std::move(tool_name)),
+      tool_version_(std::move(tool_version)),
+      information_uri_(std::move(information_uri)) {}
+
+void SarifLog::add_rule(const std::string& id, const std::string& short_description,
+                        const std::string& default_level) {
+    Json rule = Json::object();
+    rule["id"] = id;
+    Json text = Json::object();
+    text["text"] = short_description;
+    rule["shortDescription"] = std::move(text);
+    Json config = Json::object();
+    config["level"] = default_level;
+    rule["defaultConfiguration"] = std::move(config);
+    rules_.push_back(std::move(rule));
+    rule_ids_.push_back(id);
+}
+
+void SarifLog::add_result(const std::string& rule_id, const std::string& level,
+                          const std::string& message, const std::string& logical_name,
+                          const std::string& logical_kind, const std::string& fixit) {
+    Json result = Json::object();
+    result["ruleId"] = rule_id;
+    const auto it = std::find(rule_ids_.begin(), rule_ids_.end(), rule_id);
+    if (it != rule_ids_.end()) {
+        result["ruleIndex"] = static_cast<std::int64_t>(it - rule_ids_.begin());
+    }
+    result["level"] = level;
+    Json text = Json::object();
+    text["text"] = message;
+    result["message"] = std::move(text);
+    if (!logical_name.empty()) {
+        Json logical = Json::object();
+        logical["fullyQualifiedName"] = logical_name;
+        logical["kind"] = logical_kind;
+        Json location = Json::object();
+        location["logicalLocations"] = JsonArray{std::move(logical)};
+        result["locations"] = JsonArray{std::move(location)};
+    }
+    if (!fixit.empty()) {
+        Json properties = Json::object();
+        properties["fixit"] = fixit;
+        result["properties"] = std::move(properties);
+    }
+    results_.push_back(std::move(result));
+}
+
+Json SarifLog::to_json() const {
+    Json driver = Json::object();
+    driver["name"] = tool_name_;
+    if (!tool_version_.empty()) driver["version"] = tool_version_;
+    if (!information_uri_.empty()) driver["informationUri"] = information_uri_;
+    driver["rules"] = JsonArray(rules_.begin(), rules_.end());
+
+    Json tool = Json::object();
+    tool["driver"] = std::move(driver);
+
+    Json run = Json::object();
+    run["tool"] = std::move(tool);
+    run["results"] = JsonArray(results_.begin(), results_.end());
+
+    Json doc = Json::object();
+    doc["$schema"] = kSarifSchemaUri;
+    doc["version"] = "2.1.0";
+    doc["runs"] = JsonArray{std::move(run)};
+    return doc;
+}
+
+}  // namespace asilkit::io

@@ -1,0 +1,57 @@
+// Minimal SARIF 2.1.0 (Static Analysis Results Interchange Format)
+// document builder.
+//
+// SARIF is the OASIS standard CI systems and editors (GitHub code
+// scanning, VS Code, ...) consume for static-analysis findings.  This
+// builder emits the required-properties subset of the 2.1.0 schema: one
+// run, one tool driver with rule metadata, and one result per finding.
+// asilkit findings locate model elements rather than source lines, so
+// results carry SARIF *logical* locations (fullyQualifiedName + kind)
+// instead of physical artifact locations; tool-specific extras (fix-it
+// hints) ride in the standard property bag.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/json.h"
+
+namespace asilkit::io {
+
+/// Canonical URI of the SARIF 2.1.0 schema, emitted as "$schema".
+inline constexpr const char* kSarifSchemaUri =
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/sarif-schema-2.1.0.json";
+
+class SarifLog {
+public:
+    /// `tool_name` is required by the schema; version/uri may be empty.
+    SarifLog(std::string tool_name, std::string tool_version = {},
+             std::string information_uri = {});
+
+    /// Declares one reportingDescriptor in the driver's rule table.
+    /// `default_level` is a SARIF level: "none", "note", "warning", "error".
+    void add_rule(const std::string& id, const std::string& short_description,
+                  const std::string& default_level);
+
+    /// Appends one result.  `rule_id` should match a declared rule (the
+    /// ruleIndex is resolved automatically; unknown ids emit no index).
+    /// `logical_name`/`logical_kind` describe the model element the
+    /// finding is anchored to; `fixit` (optional) lands in the result's
+    /// property bag as "fixit".
+    void add_result(const std::string& rule_id, const std::string& level,
+                    const std::string& message, const std::string& logical_name,
+                    const std::string& logical_kind, const std::string& fixit = {});
+
+    /// The complete SARIF document: {"$schema", "version", "runs": [...]}.
+    [[nodiscard]] Json to_json() const;
+
+private:
+    std::string tool_name_;
+    std::string tool_version_;
+    std::string information_uri_;
+    std::vector<Json> rules_;
+    std::vector<std::string> rule_ids_;  ///< parallel to rules_, for ruleIndex
+    std::vector<Json> results_;
+};
+
+}  // namespace asilkit::io

@@ -1,0 +1,27 @@
+// Lint report emitters: human text, compact JSON, and SARIF 2.1.0.
+//
+// The SARIF emitter declares every built-in rule in the tool driver's
+// rule table (so consumers can render the catalogue even for a clean
+// run) and anchors each result to the model element via a SARIF logical
+// location; fix-it hints travel in the result property bag.
+#pragma once
+
+#include <string>
+
+#include "io/json.h"
+#include "lint/lint.h"
+
+namespace asilkit::lint {
+
+/// One line per diagnostic (plus fix-it lines) and a trailing
+/// "N errors, M warnings, K notes" summary.  `model_name` heads the
+/// report when non-empty.
+[[nodiscard]] std::string to_text(const LintReport& report, const std::string& model_name = {});
+
+/// {"model", "summary": {errors, warnings, notes}, "diagnostics": [...]}.
+[[nodiscard]] io::Json to_json(const LintReport& report, const std::string& model_name = {});
+
+/// A complete SARIF 2.1.0 document for the run.
+[[nodiscard]] io::Json to_sarif(const LintReport& report);
+
+}  // namespace asilkit::lint

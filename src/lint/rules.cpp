@@ -1,0 +1,443 @@
+// The built-in rule catalogue (see docs/lint.md for the table).
+//
+// Ten rules port the model/validation.h checks 1:1 (same trigger
+// conditions, now with stable ids, locations and fix-its); the remaining
+// rules cover cross-layer soundness the validator cannot express.  Every
+// rule is purely structural — no fault tree, no BDD — so the whole
+// catalogue runs in (near-)linear time over the model.
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "core/decomposition.h"
+#include "graph/algorithms.h"
+#include "lint/lint.h"
+#include "transform/reduce.h"
+
+namespace asilkit::lint {
+namespace {
+
+/// A rule defined by static metadata plus a stateless check function.
+class CheckRule final : public Rule {
+public:
+    using CheckFn = void (*)(const LintContext&, std::vector<Finding>&);
+
+    CheckRule(const RuleInfo& info, CheckFn check) : info_(info), check_(check) {}
+
+    [[nodiscard]] const RuleInfo& info() const noexcept override { return info_; }
+    void run(const LintContext& ctx, std::vector<Finding>& out) const override {
+        check_(ctx, out);
+    }
+
+private:
+    RuleInfo info_;
+    CheckFn check_;
+};
+
+// ---- ported validator rules ------------------------------------------------
+
+void check_unmapped_node(const LintContext& ctx, std::vector<Finding>& out) {
+    const ArchitectureModel& m = ctx.model();
+    for (NodeId n : m.app().node_ids()) {
+        if (!m.mapped_resources(n).empty()) continue;
+        const AppNode& node = m.app().node(n);
+        out.push_back({"application node '" + node.name + "' is not mapped to any resource",
+                       ModelLocation::app_node(m, n),
+                       "map_node('" + node.name + "') onto an " +
+                           to_long_string(node.asil.level) + "-ready " +
+                           std::string(to_string(default_resource_kind(node.kind))) +
+                           " resource"});
+    }
+}
+
+void check_incompatible_mapping(const LintContext& ctx, std::vector<Finding>& out) {
+    const ArchitectureModel& m = ctx.model();
+    for (NodeId n : m.app().node_ids()) {
+        const AppNode& node = m.app().node(n);
+        for (ResourceId r : m.mapped_resources(n)) {
+            const Resource& res = m.resources().node(r);
+            if (mapping_compatible(node.kind, res.kind)) continue;
+            out.push_back({"node '" + node.name + "' (" + std::string(to_string(node.kind)) +
+                               ") mapped on incompatible resource '" + res.name + "' (" +
+                               std::string(to_string(res.kind)) + ")",
+                           ModelLocation::app_node(m, n),
+                           "remap '" + node.name + "' onto a " +
+                               std::string(to_string(default_resource_kind(node.kind))) +
+                               " resource"});
+        }
+    }
+}
+
+void check_under_implemented_asil(const LintContext& ctx, std::vector<Finding>& out) {
+    const ArchitectureModel& m = ctx.model();
+    for (NodeId n : m.app().node_ids()) {
+        const AppNode& node = m.app().node(n);
+        if (m.mapped_resources(n).empty()) continue;  // map.unmapped-node covers it
+        const Asil eff = m.effective_asil(n);
+        if (asil_value(eff) >= asil_value(node.asil.level)) continue;
+        out.push_back({"node '" + node.name + "' requires " + to_long_string(node.asil.level) +
+                           " but its mapping only provides " + to_long_string(eff),
+                       ModelLocation::app_node(m, n),
+                       "remap '" + node.name + "' onto " + to_long_string(node.asil.level) +
+                           "-ready resources, or raise the readiness of its current ones"});
+    }
+}
+
+void check_unplaced_resource(const LintContext& ctx, std::vector<Finding>& out) {
+    const ArchitectureModel& m = ctx.model();
+    for (ResourceId r : m.resources().node_ids()) {
+        if (!m.resource_locations(r).empty()) continue;
+        const std::string& name = m.resources().node(r).name;
+        out.push_back({"resource '" + name + "' has no physical location",
+                       ModelLocation::resource(m, r),
+                       "place_resource('" + name + "') at a physical-layer location"});
+    }
+}
+
+void check_splitter_degree(const LintContext& ctx, std::vector<Finding>& out) {
+    const AppGraph& g = ctx.model().app();
+    for (NodeId n : g.node_ids()) {
+        const AppNode& node = g.node(n);
+        if (node.kind != NodeKind::Splitter) continue;
+        if (g.in_degree(n) >= 1 && g.out_degree(n) >= 2) continue;
+        out.push_back({"splitter '" + node.name + "' must have >=1 input and >=2 outputs",
+                       ModelLocation::app_node(ctx.model(), n),
+                       "rewire '" + node.name + "' into a redundant block, or erase the leftover"});
+    }
+}
+
+void check_merger_degree(const LintContext& ctx, std::vector<Finding>& out) {
+    const AppGraph& g = ctx.model().app();
+    for (NodeId n : g.node_ids()) {
+        const AppNode& node = g.node(n);
+        if (node.kind != NodeKind::Merger) continue;
+        if (g.in_degree(n) >= 2 && g.out_degree(n) >= 1) continue;
+        out.push_back({"merger '" + node.name + "' must have >=2 inputs and >=1 output",
+                       ModelLocation::app_node(ctx.model(), n),
+                       "rewire '" + node.name + "' into a redundant block, or erase the leftover"});
+    }
+}
+
+void check_ill_formed_block(const LintContext& ctx, std::vector<Finding>& out) {
+    const ArchitectureModel& m = ctx.model();
+    for (const RedundantBlock& block : ctx.blocks()) {
+        if (block.well_formed) continue;
+        const std::string& merger_name = m.app().node(block.merger).name;
+        for (const std::string& why : block.issues) {
+            out.push_back({"block at merger '" + merger_name + "': " + why,
+                           ModelLocation::app_node(m, block.merger),
+                           "restore the splitter/branches/merger structure (re-run "
+                           "transform::Expand, or erase the stray edges)"});
+        }
+    }
+}
+
+/// Strongest inherited level among a block's redundancy-management nodes:
+/// the level Y the original FSR was written at (shared by the ported
+/// under-achieved rule and the new pattern / Eq. 3 rules).
+Asil block_inherited(const ArchitectureModel& m, const RedundantBlock& block) {
+    Asil inherited = m.app().node(block.merger).asil.inherited;
+    for (NodeId s : block.splitters) {
+        inherited = asil_max(inherited, m.app().node(s).asil.inherited);
+    }
+    return inherited;
+}
+
+void check_under_achieved_decomposition(const LintContext& ctx, std::vector<Finding>& out) {
+    const ArchitectureModel& m = ctx.model();
+    for (const RedundantBlock& block : ctx.blocks()) {
+        if (!block.well_formed) continue;
+        const Asil inherited = block_inherited(m, block);
+        const Asil achieved = block_asil(m, block);
+        if (asil_value(achieved) >= asil_value(inherited)) continue;
+        const std::string& merger_name = m.app().node(block.merger).name;
+        out.push_back({"block at merger '" + merger_name + "' achieves " +
+                           to_long_string(achieved) + " but inherits a " +
+                           to_long_string(inherited) + " requirement",
+                       ModelLocation::app_node(m, block.merger),
+                       "raise the branch implementations (remap onto stronger hardware) or "
+                       "re-Expand with pattern " +
+                           to_string(decompositions_of(inherited).front())});
+    }
+}
+
+void check_unreachable_actuator(const LintContext& ctx, std::vector<Finding>& out) {
+    const ArchitectureModel& m = ctx.model();
+    const AppGraph& g = m.app();
+    std::unordered_set<NodeId> fed;  // nodes reachable from any sensor
+    for (NodeId n : g.node_ids()) {
+        if (g.node(n).kind != NodeKind::Sensor) continue;
+        for (NodeId reached : graph::reachable_from(g, n)) fed.insert(reached);
+    }
+    for (NodeId a : g.node_ids()) {
+        if (g.node(a).kind != NodeKind::Actuator || fed.contains(a)) continue;
+        out.push_back({"actuator '" + g.node(a).name + "' is not fed by any sensor",
+                       ModelLocation::app_node(m, a),
+                       "connect_app a sensing path into '" + g.node(a).name + "'"});
+    }
+}
+
+void check_dangling_sensor(const LintContext& ctx, std::vector<Finding>& out) {
+    const ArchitectureModel& m = ctx.model();
+    const AppGraph& g = m.app();
+    std::unordered_set<NodeId> feeding;  // nodes reaching any actuator
+    for (NodeId n : g.node_ids()) {
+        if (g.node(n).kind != NodeKind::Actuator) continue;
+        for (NodeId reaching : graph::reaching(g, n)) feeding.insert(reaching);
+    }
+    for (NodeId s : g.node_ids()) {
+        if (g.node(s).kind != NodeKind::Sensor || feeding.contains(s)) continue;
+        out.push_back({"sensor '" + g.node(s).name + "' does not reach any actuator",
+                       ModelLocation::app_node(m, s),
+                       "connect_app '" + g.node(s).name +
+                           "' toward an actuator, or erase_app_node it"});
+    }
+}
+
+// ---- new cross-layer rules -------------------------------------------------
+
+void check_invalid_pattern(const LintContext& ctx, std::vector<Finding>& out) {
+    const ArchitectureModel& m = ctx.model();
+    // Tag sanity: the assigned level X of an "ASIL X(Y)" tag can never
+    // exceed the origin level Y.
+    for (NodeId n : m.app().node_ids()) {
+        const AppNode& node = m.app().node(n);
+        if (asil_value(node.asil.level) <= asil_value(node.asil.inherited)) continue;
+        out.push_back({"node '" + node.name + "' carries ASIL " + to_string(node.asil) +
+                           ": the assigned level cannot exceed the original requirement",
+                       ModelLocation::app_node(m, n),
+                       "retag '" + node.name + "' as " +
+                           to_string(AsilTag{node.asil.inherited})});
+    }
+    // Catalogue validity per block: the branch requirement levels must be
+    // derivable from the Fig. 2 patterns for the inherited parent level.
+    for (const RedundantBlock& block : ctx.blocks()) {
+        if (!block.well_formed || block.branches.size() < 2) continue;
+        const Asil parent = block_inherited(m, block);
+        std::vector<Asil> branch_levels;
+        branch_levels.reserve(block.branches.size());
+        for (const Branch& b : block.branches) {
+            // An empty branch (splitter wired straight to the merger) is
+            // neutral, matching branch_asil(): bounded by the splitter.
+            Asil level = Asil::D;
+            for (NodeId n : b.nodes) level = asil_min(level, m.app().node(n).asil.level);
+            branch_levels.push_back(level);
+        }
+        if (is_valid_decomposition(parent, branch_levels)) continue;
+        const std::string& merger_name = m.app().node(block.merger).name;
+        std::string levels_text;
+        for (Asil level : branch_levels) {
+            if (!levels_text.empty()) levels_text += "+";
+            levels_text += to_string(level);
+        }
+        out.push_back({"block at merger '" + merger_name + "' decomposes an inherited " +
+                           to_long_string(parent) + " requirement into " + levels_text +
+                           ", which no sequence of Fig. 2 catalogue patterns produces",
+                       ModelLocation::app_node(m, block.merger),
+                       "re-Expand with pattern " +
+                           to_string(decompositions_of(parent).front())});
+    }
+}
+
+void emit_ccf_findings(const LintContext& ctx, analysis::CcfKind kind, const char* fixit_verb,
+                       std::vector<Finding>& out) {
+    const ArchitectureModel& m = ctx.model();
+    for (const analysis::CcfFinding& f : ctx.ccf().findings) {
+        if (f.kind != kind) continue;
+        std::string branches;
+        for (std::size_t i : f.branch_indices) {
+            if (!branches.empty()) branches += ", ";
+            branches += std::to_string(i);
+        }
+        out.push_back({f.message, ModelLocation::app_node(m, f.merger),
+                       std::string(fixit_verb) + " (branches {" + branches + "} currently share '" +
+                           f.subject + "')"});
+    }
+}
+
+void check_shared_resource_branch(const LintContext& ctx, std::vector<Finding>& out) {
+    emit_ccf_findings(ctx, analysis::CcfKind::SharedResource,
+                      "remap one branch onto a disjoint resource set", out);
+}
+
+void check_shared_location_branch(const LintContext& ctx, std::vector<Finding>& out) {
+    emit_ccf_findings(ctx, analysis::CcfKind::SharedLocation,
+                      "place_resource the branch hardware at distinct locations", out);
+}
+
+void check_shared_environment_branch(const LintContext& ctx, std::vector<Finding>& out) {
+    emit_ccf_findings(ctx, analysis::CcfKind::SharedEnvironment,
+                      "move one branch out of the shared environmental zone", out);
+}
+
+void check_path_inconsistency(const LintContext& ctx, std::vector<Finding>& out) {
+    const ArchitectureModel& m = ctx.model();
+    const AppGraph& g = m.app();
+    for (NodeId u : g.node_ids()) {
+        const AppNode& from = g.node(u);
+        // A merger re-establishes the inherited level on its output, and
+        // edges entering redundancy management legitimately carry the
+        // decomposed (lower) branch levels.
+        if (from.kind == NodeKind::Merger) continue;
+        for (NodeId v : g.successors(u)) {
+            const AppNode& to = g.node(v);
+            if (to.kind == NodeKind::Merger || to.kind == NodeKind::Splitter) continue;
+            if (asil_value(from.asil.level) >= asil_value(to.asil.level)) continue;
+            out.push_back({"channel '" + from.name + "' -> '" + to.name + "': data required at " +
+                               to_long_string(to.asil.level) + " is produced at " +
+                               to_long_string(from.asil.level),
+                           ModelLocation::app_node(m, u),
+                           "raise '" + from.name + "' to " + to_long_string(to.asil.level) +
+                               ", or Expand('" + from.name + "') into redundant branches"});
+        }
+    }
+}
+
+void check_dead_splitter_merger(const LintContext& ctx, std::vector<Finding>& out) {
+    const ArchitectureModel& m = ctx.model();
+    for (const RedundantBlock& block : ctx.blocks()) {
+        if (!block.well_formed || block.branches.empty()) continue;
+        const bool all_empty = std::all_of(block.branches.begin(), block.branches.end(),
+                                           [](const Branch& b) { return b.nodes.empty(); });
+        if (!all_empty) continue;
+        const std::string& merger_name = m.app().node(block.merger).name;
+        out.push_back({"block at merger '" + merger_name +
+                           "' has only empty branches: the merger compares copies of a single "
+                           "data path, so the pair adds hardware without redundancy",
+                       ModelLocation::app_node(m, block.merger),
+                       "remove the dead pair (transform::Reduce after rewiring), or Expand the "
+                       "branches with real replicas"});
+    }
+}
+
+void check_reducible_pair(const LintContext& ctx, std::vector<Finding>& out) {
+    const ArchitectureModel& m = ctx.model();
+    const AppGraph& g = m.app();
+    for (NodeId u : g.node_ids()) {
+        for (NodeId v : g.successors(u)) {
+            if (!transform::can_reduce(m, u, v)) continue;
+            out.push_back({"communication pair '" + g.node(u).name + "' -> '" + g.node(v).name +
+                               "' carries the same information twice",
+                           ModelLocation::app_node(m, u),
+                           "transform::Reduce('" + g.node(u).name + "', '" + g.node(v).name +
+                               "')"});
+        }
+    }
+}
+
+void check_effective_asil_regression(const LintContext& ctx, std::vector<Finding>& out) {
+    const ArchitectureModel& m = ctx.model();
+    for (const RedundantBlock& block : ctx.blocks()) {
+        if (!block.well_formed) continue;
+        const Asil inherited = block_inherited(m, block);
+        std::vector<NodeId> management = block.splitters;
+        management.push_back(block.merger);
+        for (NodeId n : management) {
+            if (m.mapped_resources(n).empty()) continue;  // map.unmapped-node covers it
+            const Asil eff = m.effective_asil(n);
+            if (asil_value(eff) >= asil_value(inherited)) continue;
+            const AppNode& node = m.app().node(n);
+            out.push_back(
+                {"redundancy-management node '" + node.name + "' of the block at merger '" +
+                     m.app().node(block.merger).name + "' is implemented at effective " +
+                     to_long_string(eff) + " (Eq. 3), below the inherited " +
+                     to_long_string(inherited) +
+                     " requirement the decomposition must be assessed at",
+                 ModelLocation::app_node(m, n),
+                 "remap '" + node.name + "' onto " + to_long_string(inherited) +
+                     "-ready hardware"});
+        }
+    }
+}
+
+void register_rule(RuleRegistry& registry, const RuleInfo& info, CheckRule::CheckFn check) {
+    registry.add(std::make_unique<CheckRule>(info, check));
+}
+
+RuleRegistry make_builtin_registry() {
+    RuleRegistry r;
+    // Ported validator checks (model/validation.h IssueCode order).
+    register_rule(r,
+                  {"map.unmapped-node", Severity::Error, "mapping",
+                   "application node with no implementing resource"},
+                  check_unmapped_node);
+    register_rule(r,
+                  {"map.incompatible-mapping", Severity::Error, "mapping",
+                   "node kind cannot run on the mapped resource kind"},
+                  check_incompatible_mapping);
+    register_rule(r,
+                  {"map.under-implemented-asil", Severity::Warning, "mapping",
+                   "effective ASIL (Eq. 3) below the node's requirement"},
+                  check_under_implemented_asil);
+    register_rule(r,
+                  {"map.unplaced-resource", Severity::Warning, "resource+physical",
+                   "resource hosted at no physical location"},
+                  check_unplaced_resource);
+    register_rule(r,
+                  {"app.bad-splitter-degree", Severity::Error, "app",
+                   "splitter without >=1 input and >=2 outputs"},
+                  check_splitter_degree);
+    register_rule(r,
+                  {"app.bad-merger-degree", Severity::Error, "app",
+                   "merger without >=2 inputs and >=1 output"},
+                  check_merger_degree);
+    register_rule(r,
+                  {"app.ill-formed-block", Severity::Error, "app",
+                   "redundant block structure broken (overlap / missing splitter)"},
+                  check_ill_formed_block);
+    register_rule(r,
+                  {"asil.decomposition.under-achieved", Severity::Warning, "app+mapping",
+                   "block ASIL (Eq. 4) below the inherited requirement"},
+                  check_under_achieved_decomposition);
+    register_rule(r,
+                  {"app.unreachable-actuator", Severity::Warning, "app",
+                   "actuator not fed by any sensor"},
+                  check_unreachable_actuator);
+    register_rule(r,
+                  {"app.dangling-sensor", Severity::Warning, "app",
+                   "sensor with no path to any actuator"},
+                  check_dangling_sensor);
+    // Cross-layer rules beyond the validator.
+    register_rule(r,
+                  {"asil.decomposition.invalid-pattern", Severity::Error, "app",
+                   "decomposition tags outside the Fig. 2 catalogue"},
+                  check_invalid_pattern);
+    register_rule(r,
+                  {"ccf.shared-resource-branch", Severity::Error, "app+resource",
+                   "decomposed branches share a hardware resource"},
+                  check_shared_resource_branch);
+    register_rule(r,
+                  {"ccf.shared-location-branch", Severity::Warning, "app+resource+physical",
+                   "decomposed branches share a physical location"},
+                  check_shared_location_branch);
+    register_rule(r,
+                  {"ccf.shared-environment-branch", Severity::Warning, "app+resource+physical",
+                   "decomposed branches share an environmental stressor zone"},
+                  check_shared_environment_branch);
+    register_rule(r,
+                  {"asil.propagation.path-inconsistency", Severity::Warning, "app",
+                   "channel feeds a higher-ASIL consumer from a lower-ASIL producer"},
+                  check_path_inconsistency);
+    register_rule(r,
+                  {"transform.dead-splitter-merger", Severity::Warning, "app",
+                   "splitter/merger pair whose branches are all empty"},
+                  check_dead_splitter_merger);
+    register_rule(r,
+                  {"transform.reducible-pair", Severity::Note, "app+resource",
+                   "consecutive communication pair Reduce() would collapse"},
+                  check_reducible_pair);
+    register_rule(r,
+                  {"map.effective-asil-regression", Severity::Warning, "app+resource+mapping",
+                   "mapping drops redundancy management below the inherited level"},
+                  check_effective_asil_regression);
+    return r;
+}
+
+}  // namespace
+
+const RuleRegistry& RuleRegistry::builtin() {
+    static const RuleRegistry registry = make_builtin_registry();
+    return registry;
+}
+
+}  // namespace asilkit::lint

@@ -18,7 +18,7 @@ ArchitectureModel build(bool shared_ecu) {
 
     // Resources (hand-placed: this scenario does NOT use the 1:1 default).
     auto res = [&](const char* name, ResourceKind kind, Asil a, LocationId at) {
-        const ResourceId r = m.add_resource(Resource{name, kind, a, std::nullopt});
+        const ResourceId r = m.add_resource(Resource{name, kind, a, std::nullopt, {}});
         m.place_resource(r, at);
         return r;
     };
@@ -43,7 +43,7 @@ ArchitectureModel build(bool shared_ecu) {
     // redundancy management and the output path are full D.
     auto node = [&](const char* name, NodeKind kind, AsilTag tag,
                     std::initializer_list<ResourceId> mapped) {
-        const NodeId n = m.add_app_node(AppNode{name, kind, tag});
+        const NodeId n = m.add_app_node(AppNode{name, kind, tag, {}});
         for (ResourceId r : mapped) m.map_node(n, r);
         return n;
     };

@@ -127,17 +127,17 @@ ExpandResult expand(ArchitectureModel& m, NodeId node, const ExpandOptions& opti
         if (original.kind == NodeKind::Communication) {
             // New communication node between the producer and the splitter.
             const NodeId pre = add_node_at(
-                m, AppNode{"c_pre_" + original.name + suffix, NodeKind::Communication, management_tag},
+                m, AppNode{"c_pre_" + original.name + suffix, NodeKind::Communication, management_tag, {}},
                 management_loc, original.fsr);
             m.connect_app(inputs[i].node, pre, inputs[i].channel);
             const NodeId s = add_node_at(
-                m, AppNode{"split_" + original.name + suffix, NodeKind::Splitter, management_tag},
+                m, AppNode{"split_" + original.name + suffix, NodeKind::Splitter, management_tag, {}},
                 management_loc, original.fsr);
             m.connect_app(pre, s);
             result.splitters.push_back(s);
         } else {
             const NodeId s = add_node_at(
-                m, AppNode{"split_" + original.name + suffix, NodeKind::Splitter, management_tag},
+                m, AppNode{"split_" + original.name + suffix, NodeKind::Splitter, management_tag, {}},
                 management_loc, original.fsr);
             m.connect_app(inputs[i].node, s, inputs[i].channel);
             result.splitters.push_back(s);
@@ -148,12 +148,12 @@ ExpandResult expand(ArchitectureModel& m, NodeId node, const ExpandOptions& opti
     for (std::size_t j = 0; j < outputs.size(); ++j) {
         const std::string suffix = outputs.size() > 1 ? "_" + std::to_string(j + 1) : "";
         const NodeId mg = add_node_at(
-            m, AppNode{"merge_" + original.name + suffix, NodeKind::Merger, management_tag},
+            m, AppNode{"merge_" + original.name + suffix, NodeKind::Merger, management_tag, {}},
             management_loc, original.fsr);
         if (original.kind == NodeKind::Communication) {
             const NodeId post = add_node_at(
                 m,
-                AppNode{"c_post_" + original.name + suffix, NodeKind::Communication, management_tag},
+                AppNode{"c_post_" + original.name + suffix, NodeKind::Communication, management_tag, {}},
                 management_loc, original.fsr);
             m.connect_app(mg, post);
             m.connect_app(post, outputs[j].node, outputs[j].channel);
@@ -173,21 +173,21 @@ ExpandResult expand(ArchitectureModel& m, NodeId node, const ExpandOptions& opti
             // One communication node per branch, fed by every splitter and
             // feeding every merger.
             const NodeId cb = add_node_at(
-                m, AppNode{original.name + bsuf, NodeKind::Communication, branch_tag}, branch_loc[b], original.fsr);
+                m, AppNode{original.name + bsuf, NodeKind::Communication, branch_tag, {}}, branch_loc[b], original.fsr);
             branch_nodes.push_back(cb);
             result.replicas.push_back(cb);
             for (NodeId s : result.splitters) m.connect_app(s, cb);
             for (NodeId mg : result.mergers) m.connect_app(cb, mg);
         } else {
             const NodeId replica = add_node_at(
-                m, AppNode{original.name + bsuf, NodeKind::Functional, branch_tag}, branch_loc[b], original.fsr);
+                m, AppNode{original.name + bsuf, NodeKind::Functional, branch_tag, {}}, branch_loc[b], original.fsr);
             result.replicas.push_back(replica);
             for (std::size_t i = 0; i < result.splitters.size(); ++i) {
                 const NodeId cin = add_node_at(
                     m,
                     AppNode{"c_in_" + original.name + bsuf +
                                 (result.splitters.size() > 1 ? "_" + std::to_string(i + 1) : ""),
-                            NodeKind::Communication, branch_tag},
+                            NodeKind::Communication, branch_tag, {}},
                     branch_loc[b], original.fsr);
                 m.connect_app(result.splitters[i], cin);
                 m.connect_app(cin, replica);
@@ -199,7 +199,7 @@ ExpandResult expand(ArchitectureModel& m, NodeId node, const ExpandOptions& opti
                     m,
                     AppNode{"c_out_" + original.name + bsuf +
                                 (result.mergers.size() > 1 ? "_" + std::to_string(j + 1) : ""),
-                            NodeKind::Communication, branch_tag},
+                            NodeKind::Communication, branch_tag, {}},
                     branch_loc[b], original.fsr);
                 m.connect_app(replica, cout);
                 m.connect_app(cout, result.mergers[j]);

@@ -20,7 +20,7 @@ TEST(Bdd, TerminalsAndVariables) {
     const BddRef x = mgr.variable(0);
     EXPECT_FALSE(BddManager::is_terminal(x));
     EXPECT_EQ(mgr.variable(0), x);  // hash-consed
-    EXPECT_THROW(mgr.variable(3), AnalysisError);
+    EXPECT_THROW((void)mgr.variable(3), AnalysisError);
 }
 
 TEST(Bdd, ReductionRule) {
@@ -102,7 +102,7 @@ TEST(Bdd, ProbabilityHandlesRepeatedEventsExactly) {
 TEST(Bdd, ProbabilityVectorSizeChecked) {
     BddManager mgr(2);
     const std::vector<double> wrong{0.5};
-    EXPECT_THROW(mgr.probability(mgr.variable(0), wrong), AnalysisError);
+    EXPECT_THROW((void)mgr.probability(mgr.variable(0), wrong), AnalysisError);
 }
 
 TEST(Bdd, NodeCountOfSharedStructure) {
@@ -122,7 +122,7 @@ TEST(Bdd, NodeViewExposesStructure) {
     EXPECT_EQ(view.var, 0u);
     EXPECT_EQ(view.high, kTrue);
     EXPECT_EQ(view.low, kFalse);
-    EXPECT_THROW(mgr.node(kTrue), AnalysisError);
+    EXPECT_THROW((void)mgr.node(kTrue), AnalysisError);
 }
 
 // ---- fault tree compilation -------------------------------------------------

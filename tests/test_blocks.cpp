@@ -83,7 +83,7 @@ TEST(Blocks, SharedBranchNodeIsIllFormed) {
     ArchitectureModel m("overlap");
     const LocationId loc = m.add_location({"zone", kDefaultLocationLambda, {}});
     auto add = [&](const char* name, NodeKind kind) {
-        return m.add_node_with_dedicated_resource({name, kind, AsilTag{Asil::B}}, loc);
+        return m.add_node_with_dedicated_resource({name, kind, AsilTag{Asil::B}, {}}, loc);
     };
     const NodeId sens = add("sens", NodeKind::Sensor);
     const NodeId split = add("split", NodeKind::Splitter);

@@ -97,6 +97,108 @@ TEST_F(CliTest, ValidateCleanModel) {
     EXPECT_NE(r.out.find("0 errors"), std::string::npos);
 }
 
+/// `base` (the fig3 model) plus one unplaced resource: a warning, but no
+/// error.
+std::string write_warning_model(const std::string& base, const std::string& path) {
+    ArchitectureModel m = io::load_model(base);
+    m.add_resource({"spare", ResourceKind::Functional, Asil::B, {}, {}});
+    io::save_model(m, path);
+    return path;
+}
+
+/// `base` plus one unmapped application node: a structural error.
+std::string write_error_model(const std::string& base, const std::string& path) {
+    ArchitectureModel m = io::load_model(base);
+    m.add_app_node({"orphan", NodeKind::Functional, AsilTag{Asil::B}, {}});
+    io::save_model(m, path);
+    return path;
+}
+
+TEST_F(CliTest, ValidateWarningsPassWithoutStrict) {
+    const std::string path = write_warning_model(model(), temp_path("warn.json"));
+    const CliRun r = run({"validate", path});
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.out.find("1 warnings"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateStrictPromotesWarnings) {
+    const std::string path = write_warning_model(model(), temp_path("warn.json"));
+    const CliRun r = run({"validate", path, "--strict"});
+    EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST_F(CliTest, ValidateStrictCleanModelStillPasses) {
+    const CliRun r = run({"validate", model(), "--strict"});
+    EXPECT_EQ(r.exit_code, 0);
+}
+
+TEST_F(CliTest, ValidateErrorsFailWithoutStrict) {
+    const std::string path = write_error_model(model(), temp_path("err.json"));
+    const CliRun r = run({"validate", path});
+    EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST_F(CliTest, LintCleanModelExitsZero) {
+    const CliRun r = run({"lint", model()});
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.out.find("0 errors, 0 warnings, 0 notes"), std::string::npos);
+}
+
+TEST_F(CliTest, LintWarningsExitThree) {
+    const std::string path = write_warning_model(model(), temp_path("warn.json"));
+    const CliRun r = run({"lint", path});
+    EXPECT_EQ(r.exit_code, 3);
+    EXPECT_NE(r.out.find("map.unplaced-resource"), std::string::npos);
+}
+
+TEST_F(CliTest, LintErrorsExitFour) {
+    const std::string path = write_error_model(model(), temp_path("err.json"));
+    const CliRun r = run({"lint", path});
+    EXPECT_EQ(r.exit_code, 4);
+    EXPECT_NE(r.out.find("map.unmapped-node"), std::string::npos);
+}
+
+TEST_F(CliTest, LintJsonFormat) {
+    const std::string path = write_warning_model(model(), temp_path("warn.json"));
+    const CliRun r = run({"lint", path, "--format", "json"});
+    EXPECT_EQ(r.exit_code, 3);
+    EXPECT_NE(r.out.find("\"diagnostics\""), std::string::npos);
+    EXPECT_NE(r.out.find("\"map.unplaced-resource\""), std::string::npos);
+}
+
+TEST_F(CliTest, LintSarifToFile) {
+    const std::string report_path = temp_path("report.sarif");
+    const CliRun r = run({"lint", model(), "--format", "sarif", "-o", report_path});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    std::ifstream in(report_path);
+    std::stringstream content;
+    content << in.rdbuf();
+    EXPECT_NE(content.str().find("sarif-schema-2.1.0.json"), std::string::npos);
+    EXPECT_NE(content.str().find("\"version\": \"2.1.0\""), std::string::npos);
+}
+
+TEST_F(CliTest, LintRulesConfigSilencesWarning) {
+    const std::string path = write_warning_model(model(), temp_path("warn.json"));
+    const std::string config = temp_path("rules.json");
+    std::ofstream(config) << R"({"rules": {"map.unplaced-resource": "off"}})";
+    const CliRun r = run({"lint", path, "--rules", config});
+    EXPECT_EQ(r.exit_code, 0) << r.out;
+}
+
+TEST_F(CliTest, LintUnknownRuleInConfigFails) {
+    const std::string config = temp_path("bad_rules.json");
+    std::ofstream(config) << R"({"rules": {"map.tpyo": "off"}})";
+    const CliRun r = run({"lint", model(), "--rules", config});
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_NE(r.err.find("unknown rule"), std::string::npos);
+}
+
+TEST_F(CliTest, LintBadFormatFails) {
+    const CliRun r = run({"lint", model(), "--format", "xml"});
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_NE(r.err.find("format"), std::string::npos);
+}
+
 TEST_F(CliTest, AnalyzeReportsProbabilityAndCost) {
     const CliRun r = run({"analyze", model()});
     EXPECT_EQ(r.exit_code, 0);
@@ -181,7 +283,7 @@ TEST_F(CliTest, ReduceWritesModel) {
     const std::string out_path = temp_path("cli_fig3_reduced.json");
     const CliRun r = run({"reduce", model(), "-o", out_path});
     EXPECT_EQ(r.exit_code, 0);
-    EXPECT_NO_THROW(io::load_model(out_path));
+    EXPECT_NO_THROW((void)io::load_model(out_path));
 }
 
 TEST_F(CliTest, ExploreProducesCurveAndCsv) {
@@ -198,7 +300,7 @@ TEST_F(CliTest, ExploreProducesCurveAndCsv) {
     std::string header;
     std::getline(csv_in, header);
     EXPECT_EQ(header, "label,cost,failure_probability");
-    EXPECT_NO_THROW(io::load_model(final_model));
+    EXPECT_NO_THROW((void)io::load_model(final_model));
 }
 
 TEST_F(CliTest, ExportEveryLayer) {

@@ -89,7 +89,7 @@ TEST(Connect, LowersFailureProbability) {
 
 TEST(Connect, RefusesNonMerger) {
     ArchitectureModel m = two_blocks();
-    EXPECT_THROW(connect(m, m.find_app_node("sens")), TransformError);
+    EXPECT_THROW((void)connect(m, m.find_app_node("sens")), TransformError);
     EXPECT_FALSE(can_connect(m, m.find_app_node("sens")));
 }
 
@@ -97,12 +97,12 @@ TEST(Connect, RefusesWhenMiddleCommHasExternalReader) {
     ArchitectureModel m = two_blocks();
     // An external consumer of c_mid violates condition 3.
     const NodeId tap = m.add_node_with_dedicated_resource(
-        {"diag_tap", NodeKind::Actuator, AsilTag{Asil::QM}}, m.find_location("center"));
+        {"diag_tap", NodeKind::Actuator, AsilTag{Asil::QM}, {}}, m.find_location("center"));
     m.connect_app(m.find_app_node("c_mid"), tap);
     std::string why;
     EXPECT_FALSE(can_connect(m, merger_of_block1(m), &why));
     EXPECT_NE(why.find("external"), std::string::npos);
-    EXPECT_THROW(connect(m, merger_of_block1(m)), TransformError);
+    EXPECT_THROW((void)connect(m, merger_of_block1(m)), TransformError);
 }
 
 TEST(Connect, RefusesDifferentBlockAsil) {

@@ -152,7 +152,7 @@ TEST(CutSets, SetLimitThrows) {
     CutSetOptions options;
     options.max_order = 12;
     options.max_sets = 1000;
-    EXPECT_THROW(minimal_cut_sets(ft, options), AnalysisError);
+    EXPECT_THROW((void)minimal_cut_sets(ft, options), AnalysisError);
 }
 
 }  // namespace

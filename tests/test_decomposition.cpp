@@ -136,13 +136,13 @@ TEST(Strategy, RndOnlyPicksProperPatterns) {
 }
 
 TEST(Strategy, RndDrawOutOfRangeIsClamped) {
-    EXPECT_NO_THROW(select_pattern(Asil::D, DecompositionStrategy::RND, -1.0));
-    EXPECT_NO_THROW(select_pattern(Asil::D, DecompositionStrategy::RND, 2.0));
+    EXPECT_NO_THROW((void)select_pattern(Asil::D, DecompositionStrategy::RND, -1.0));
+    EXPECT_NO_THROW((void)select_pattern(Asil::D, DecompositionStrategy::RND, 2.0));
 }
 
 TEST(Strategy, QmCannotBeDecomposed) {
-    EXPECT_THROW(select_pattern(Asil::QM, DecompositionStrategy::BB), std::invalid_argument);
-    EXPECT_THROW(select_pattern(Asil::QM, DecompositionStrategy::RND), std::invalid_argument);
+    EXPECT_THROW((void)select_pattern(Asil::QM, DecompositionStrategy::BB), std::invalid_argument);
+    EXPECT_THROW((void)select_pattern(Asil::QM, DecompositionStrategy::RND), std::invalid_argument);
 }
 
 TEST(Strategy, EverySelectedPatternIsValid) {

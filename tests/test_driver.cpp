@@ -31,7 +31,7 @@ TEST(Driver, RecordsInitialPointFirst) {
 
 TEST(Driver, UnknownNodeNameThrows) {
     const ArchitectureModel m = scenarios::chain_two_stages();
-    EXPECT_THROW(run_exploration(m, {"does_not_exist"}, fast_options()), TransformError);
+    EXPECT_THROW((void)run_exploration(m, {"does_not_exist"}, fast_options()), TransformError);
 }
 
 TEST(Driver, InputModelIsNotMutated) {

@@ -178,32 +178,32 @@ TEST(Expand, BlockAsilPreservesOriginalRequirement) {
 
 TEST(Expand, RejectsSensorsActuatorsSplittersMergers) {
     ArchitectureModel m = scenarios::chain_1in_1out();
-    EXPECT_THROW(expand(m, m.find_app_node("sens")), TransformError);
-    EXPECT_THROW(expand(m, m.find_app_node("act")), TransformError);
+    EXPECT_THROW((void)expand(m, m.find_app_node("sens")), TransformError);
+    EXPECT_THROW((void)expand(m, m.find_app_node("act")), TransformError);
     const ExpandResult r = expand(m, m.find_app_node("n"));
-    EXPECT_THROW(expand(m, r.splitters[0]), TransformError);
-    EXPECT_THROW(expand(m, r.mergers[0]), TransformError);
+    EXPECT_THROW((void)expand(m, r.splitters[0]), TransformError);
+    EXPECT_THROW((void)expand(m, r.mergers[0]), TransformError);
 }
 
 TEST(Expand, RejectsQmNodes) {
     ArchitectureModel m = scenarios::chain_1in_1out();
     const NodeId n = m.find_app_node("n");
     m.app().node(n).asil = AsilTag{Asil::QM};
-    EXPECT_THROW(expand(m, n), TransformError);
+    EXPECT_THROW((void)expand(m, n), TransformError);
 }
 
 TEST(Expand, RejectsDanglingNodes) {
     ArchitectureModel m = scenarios::chain_1in_1out();
     const NodeId orphan = m.add_node_with_dedicated_resource(
-        {"orphan", NodeKind::Functional, AsilTag{Asil::B}}, m.find_location("front"));
-    EXPECT_THROW(expand(m, orphan), TransformError);
+        {"orphan", NodeKind::Functional, AsilTag{Asil::B}, {}}, m.find_location("front"));
+    EXPECT_THROW((void)expand(m, orphan), TransformError);
 }
 
 TEST(Expand, RejectsBadBranchLocationCount) {
     ArchitectureModel m = scenarios::chain_1in_1out();
     ExpandOptions options;
     options.branch_locations = {m.find_location("front")};
-    EXPECT_THROW(expand(m, m.find_app_node("n"), options), TransformError);
+    EXPECT_THROW((void)expand(m, m.find_app_node("n"), options), TransformError);
 }
 
 TEST(Expand, PreservesNeighbourEdgesAndLabels) {
@@ -245,7 +245,7 @@ TEST(Expand, BranchLevelsAlwaysCoverParent) {
 }
 
 TEST(Expand, BranchLevelsRejectsDegenerateCases) {
-    EXPECT_THROW(transform::branch_levels(Asil::D, DecompositionStrategy::BB, 1), TransformError);
+    EXPECT_THROW((void)transform::branch_levels(Asil::D, DecompositionStrategy::BB, 1), TransformError);
     // A -> A+QM; the QM branch cannot split again, but the A branch can,
     // so 3 branches work: {A, QM, QM}... A -> A+QM, A -> A+QM.
     EXPECT_EQ(transform::branch_levels(Asil::A, DecompositionStrategy::BB, 3),

@@ -18,7 +18,7 @@ TEST(FaultTree, BasicEventsDedupByName) {
 TEST(FaultTree, ConflictingLambdaRejected) {
     FaultTree ft;
     ft.add_basic_event("e", 1e-6);
-    EXPECT_THROW(ft.add_basic_event("e", 2e-6), AnalysisError);
+    EXPECT_THROW((void)ft.add_basic_event("e", 2e-6), AnalysisError);
 }
 
 TEST(FaultTree, GateConstruction) {
@@ -35,13 +35,13 @@ TEST(FaultTree, GateConstruction) {
 TEST(FaultTree, AddChildRequiresGate) {
     FaultTree ft;
     const FtRef e = ft.add_basic_event("e", 1e-6);
-    EXPECT_THROW(ft.add_child(e, e), AnalysisError);
+    EXPECT_THROW((void)ft.add_child(e, e), AnalysisError);
 }
 
 TEST(FaultTree, TopEventRequired) {
     FaultTree ft;
     EXPECT_FALSE(ft.has_top());
-    EXPECT_THROW(ft.top(), AnalysisError);
+    EXPECT_THROW((void)ft.top(), AnalysisError);
     const FtRef e = ft.add_basic_event("e", 1e-6);
     ft.set_top(e);
     EXPECT_TRUE(ft.has_top());
@@ -50,12 +50,12 @@ TEST(FaultTree, TopEventRequired) {
 
 TEST(FaultTree, AccessorsValidate) {
     FaultTree ft;
-    EXPECT_THROW(ft.basic_event(0), AnalysisError);
-    EXPECT_THROW(ft.gate(0), AnalysisError);
+    EXPECT_THROW((void)ft.basic_event(0), AnalysisError);
+    EXPECT_THROW((void)ft.gate(0), AnalysisError);
     const FtRef e = ft.add_basic_event("e", 1e-6);
-    EXPECT_THROW(ft.gate(e), AnalysisError);  // wrong-kind FtRef
+    EXPECT_THROW((void)ft.gate(e), AnalysisError);  // wrong-kind FtRef
     const FtRef g = ft.add_gate("g", GateKind::And, {e});
-    EXPECT_THROW(ft.basic_event(g), AnalysisError);
+    EXPECT_THROW((void)ft.basic_event(g), AnalysisError);
 }
 
 TEST(FaultTree, FindBasicEvent) {
@@ -64,7 +64,7 @@ TEST(FaultTree, FindBasicEvent) {
     EXPECT_EQ(ft.find_basic_event("needle"), e);
     EXPECT_TRUE(ft.has_basic_event("needle"));
     EXPECT_FALSE(ft.has_basic_event("hay"));
-    EXPECT_THROW(ft.find_basic_event("hay"), AnalysisError);
+    EXPECT_THROW((void)ft.find_basic_event("hay"), AnalysisError);
 }
 
 TEST(FaultTree, StatsOnSimpleTree) {

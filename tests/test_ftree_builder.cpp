@@ -12,7 +12,7 @@ namespace {
 
 TEST(Builder, RequiresActuator) {
     ArchitectureModel m("empty");
-    EXPECT_THROW(build_fault_tree(m), AnalysisError);
+    EXPECT_THROW((void)build_fault_tree(m), AnalysisError);
 }
 
 TEST(Builder, ChainProducesOneEventPerResourcePlusLocations) {
@@ -87,7 +87,7 @@ TEST(Builder, CyclesAreCut) {
     // Feedback loop: n -> c_fb -> n (automotive control loops are DCGs).
     const NodeId n = m.find_app_node("n");
     const NodeId fb = m.add_node_with_dedicated_resource(
-        {"c_fb", NodeKind::Communication, AsilTag{Asil::D}}, m.find_location("center"));
+        {"c_fb", NodeKind::Communication, AsilTag{Asil::D}, {}}, m.find_location("center"));
     m.connect_app(n, fb);
     m.connect_app(fb, n);
     const FtBuildResult r = build_fault_tree(m);

@@ -34,8 +34,8 @@ TEST(Importance, SeriesEventsHaveBirnbaumNearOne) {
     const double pa = 1.0 - std::exp(-0.01);
     const double pb = 1.0 - std::exp(-0.02);
     for (const auto& e : entries) {
-        if (e.event == "a") EXPECT_NEAR(e.birnbaum, 1.0 - pb, 1e-12);
-        if (e.event == "b") EXPECT_NEAR(e.birnbaum, 1.0 - pa, 1e-12);
+        if (e.event == "a") { EXPECT_NEAR(e.birnbaum, 1.0 - pb, 1e-12); }
+        if (e.event == "b") { EXPECT_NEAR(e.birnbaum, 1.0 - pa, 1e-12); }
     }
 }
 
@@ -48,8 +48,8 @@ TEST(Importance, AndGateBirnbaumIsPartnerProbability) {
     const double pa = 1.0 - std::exp(-0.1);
     const double pb = 1.0 - std::exp(-0.4);
     for (const auto& e : entries) {
-        if (e.event == "a") EXPECT_NEAR(e.birnbaum, pb, 1e-12);
-        if (e.event == "b") EXPECT_NEAR(e.birnbaum, pa, 1e-12);
+        if (e.event == "a") { EXPECT_NEAR(e.birnbaum, pb, 1e-12); }
+        if (e.event == "b") { EXPECT_NEAR(e.birnbaum, pa, 1e-12); }
     }
     // The more likely partner makes the other event more important.
     EXPECT_EQ(entries.front().event, "a");

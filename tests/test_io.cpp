@@ -60,7 +60,7 @@ TEST(Dot, FaultTreeExport) {
 TEST(Dot, EscapesQuotes) {
     ArchitectureModel m("quote");
     const LocationId loc = m.add_location({"zone", kDefaultLocationLambda, {}});
-    m.add_node_with_dedicated_resource({"evil\"name", NodeKind::Sensor, AsilTag{Asil::B}}, loc);
+    m.add_node_with_dedicated_resource({"evil\"name", NodeKind::Sensor, AsilTag{Asil::B}, {}}, loc);
     const std::string dot = app_graph_to_dot(m);
     EXPECT_NE(dot.find("evil\\\"name"), std::string::npos);
 }
@@ -68,8 +68,8 @@ TEST(Dot, EscapesQuotes) {
 TEST(Dot, SaveTextFile) {
     const std::string path = ::testing::TempDir() + "/asilkit_dot_test.dot";
     save_text_file("digraph g {}\n", path);
-    EXPECT_NO_THROW(save_text_file("x", path));
-    EXPECT_THROW(save_text_file("x", "/nonexistent/dir/file.dot"), IoError);
+    EXPECT_NO_THROW((void)save_text_file("x", path));
+    EXPECT_THROW((void)save_text_file("x", "/nonexistent/dir/file.dot"), IoError);
 }
 
 TEST(Csv, HeaderAndRows) {
@@ -82,9 +82,9 @@ TEST(Csv, HeaderAndRows) {
 
 TEST(Csv, WidthMismatchThrows) {
     CsvWriter csv({"a", "b"});
-    EXPECT_THROW(csv.add_row({"1"}), IoError);
-    EXPECT_THROW(csv.add_row({"1", "2", "3"}), IoError);
-    EXPECT_THROW(CsvWriter({}), IoError);
+    EXPECT_THROW((void)csv.add_row({"1"}), IoError);
+    EXPECT_THROW((void)csv.add_row({"1", "2", "3"}), IoError);
+    EXPECT_THROW((void)CsvWriter({}), IoError);
 }
 
 TEST(Csv, QuotingRfc4180) {
@@ -111,7 +111,7 @@ TEST(Csv, SaveFile) {
     std::string line;
     std::getline(in, line);
     EXPECT_EQ(line, "label,value");
-    EXPECT_THROW(csv.save("/nonexistent/dir/file.csv"), IoError);
+    EXPECT_THROW((void)csv.save("/nonexistent/dir/file.csv"), IoError);
 }
 
 }  // namespace

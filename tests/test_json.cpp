@@ -18,16 +18,16 @@ TEST(Json, TypesAndAccessors) {
 }
 
 TEST(Json, TypeMismatchThrows) {
-    EXPECT_THROW(Json(1.0).as_string(), IoError);
-    EXPECT_THROW(Json("x").as_number(), IoError);
-    EXPECT_THROW(Json{}.as_array(), IoError);
-    EXPECT_THROW(Json(true).as_object(), IoError);
+    EXPECT_THROW((void)Json(1.0).as_string(), IoError);
+    EXPECT_THROW((void)Json("x").as_number(), IoError);
+    EXPECT_THROW((void)Json{}.as_array(), IoError);
+    EXPECT_THROW((void)Json(true).as_object(), IoError);
 }
 
 TEST(Json, AsIntRequiresIntegral) {
     EXPECT_EQ(Json(42).as_int(), 42);
     EXPECT_EQ(Json(-3).as_int(), -3);
-    EXPECT_THROW(Json(1.5).as_int(), IoError);
+    EXPECT_THROW((void)Json(1.5).as_int(), IoError);
 }
 
 TEST(Json, ObjectAccess) {
@@ -36,7 +36,7 @@ TEST(Json, ObjectAccess) {
     EXPECT_TRUE(obj.contains("key"));
     EXPECT_FALSE(obj.contains("missing"));
     EXPECT_EQ(obj.at("key").as_int(), 7);
-    EXPECT_THROW(obj.at("missing"), IoError);
+    EXPECT_THROW((void)obj.at("missing"), IoError);
     EXPECT_TRUE(obj.get_or_null("missing").is_null());
     EXPECT_EQ(obj.size(), 1u);
 }
@@ -93,7 +93,7 @@ TEST(Json, ParseStringEscapes) {
 
 TEST(Json, ParseErrorsCarryPosition) {
     try {
-        Json::parse("{\n  \"a\": }");
+        (void)Json::parse("{\n  \"a\": }");
         FAIL() << "expected IoError";
     } catch (const IoError& e) {
         EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
@@ -101,18 +101,18 @@ TEST(Json, ParseErrorsCarryPosition) {
 }
 
 TEST(Json, ParseRejectsMalformedInput) {
-    EXPECT_THROW(Json::parse(""), IoError);
-    EXPECT_THROW(Json::parse("{"), IoError);
-    EXPECT_THROW(Json::parse("[1,]"), IoError);
-    EXPECT_THROW(Json::parse("{\"a\":1,}"), IoError);
-    EXPECT_THROW(Json::parse("tru"), IoError);
-    EXPECT_THROW(Json::parse("01"), IoError);
-    EXPECT_THROW(Json::parse("1.2.3"), IoError);
-    EXPECT_THROW(Json::parse("\"unterminated"), IoError);
-    EXPECT_THROW(Json::parse("\"bad\\q\""), IoError);
-    EXPECT_THROW(Json::parse("{} trailing"), IoError);
-    EXPECT_THROW(Json::parse("{1: 2}"), IoError);
-    EXPECT_THROW(Json::parse("\"\\ud800\""), IoError);  // unpaired surrogate
+    EXPECT_THROW((void)Json::parse(""), IoError);
+    EXPECT_THROW((void)Json::parse("{"), IoError);
+    EXPECT_THROW((void)Json::parse("[1,]"), IoError);
+    EXPECT_THROW((void)Json::parse("{\"a\":1,}"), IoError);
+    EXPECT_THROW((void)Json::parse("tru"), IoError);
+    EXPECT_THROW((void)Json::parse("01"), IoError);
+    EXPECT_THROW((void)Json::parse("1.2.3"), IoError);
+    EXPECT_THROW((void)Json::parse("\"unterminated"), IoError);
+    EXPECT_THROW((void)Json::parse("\"bad\\q\""), IoError);
+    EXPECT_THROW((void)Json::parse("{} trailing"), IoError);
+    EXPECT_THROW((void)Json::parse("{1: 2}"), IoError);
+    EXPECT_THROW((void)Json::parse("\"\\ud800\""), IoError);  // unpaired surrogate
 }
 
 TEST(Json, DumpCompact) {
@@ -170,12 +170,12 @@ TEST(Json, FileRoundTrip) {
     obj["name"] = Json("ecu");
     save_json_file(obj, path);
     EXPECT_EQ(load_json_file(path), obj);
-    EXPECT_THROW(load_json_file("/nonexistent/dir/file.json"), IoError);
+    EXPECT_THROW((void)load_json_file("/nonexistent/dir/file.json"), IoError);
 }
 
 TEST(Json, NonFiniteNumbersRejected) {
-    EXPECT_THROW(Json(std::numeric_limits<double>::infinity()).dump(), IoError);
-    EXPECT_THROW(Json(std::numeric_limits<double>::quiet_NaN()).dump(), IoError);
+    EXPECT_THROW((void)Json(std::numeric_limits<double>::infinity()).dump(), IoError);
+    EXPECT_THROW((void)Json(std::numeric_limits<double>::quiet_NaN()).dump(), IoError);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/ccf.h"
+#include "io/model_json.h"
 #include "model/validation.h"
 #include "scenarios/micro.h"
 #include "transform/expand.h"
@@ -75,13 +76,13 @@ TEST(MappingSearch, SharedResourceGetsRequiredReadiness) {
     ArchitectureModel m("mixed");
     const LocationId loc = m.add_location({"zone", kDefaultLocationLambda, {}});
     const NodeId s = m.add_node_with_dedicated_resource(
-        {"sens", NodeKind::Sensor, AsilTag{Asil::D}}, loc);
+        {"sens", NodeKind::Sensor, AsilTag{Asil::D}, {}}, loc);
     const NodeId f1 = m.add_node_with_dedicated_resource(
-        {"f1", NodeKind::Functional, AsilTag{Asil::B}}, loc);
+        {"f1", NodeKind::Functional, AsilTag{Asil::B}, {}}, loc);
     const NodeId f2 = m.add_node_with_dedicated_resource(
-        {"f2", NodeKind::Functional, AsilTag{Asil::D}}, loc);
+        {"f2", NodeKind::Functional, AsilTag{Asil::D}, {}}, loc);
     const NodeId a = m.add_node_with_dedicated_resource(
-        {"act", NodeKind::Actuator, AsilTag{Asil::D}}, loc);
+        {"act", NodeKind::Actuator, AsilTag{Asil::D}, {}}, loc);
     m.connect_app(s, f1);
     m.connect_app(f1, f2);
     m.connect_app(f2, a);
@@ -110,6 +111,41 @@ TEST(MappingSearch, NoopWhenNothingMergeable) {
     EXPECT_EQ(r.merges, 0u);
     EXPECT_TRUE(r.reached_local_optimum);
     EXPECT_DOUBLE_EQ(r.probability_after, r.probability_before);
+}
+
+TEST(MappingSearch, LintPrefilterNeverChangesResults) {
+    // The pre-filter may only reject candidates that could not have won;
+    // the searched model and every objective must be bitwise identical
+    // with the filter on or off, at any thread count.
+    for (const unsigned threads : {1u, 4u}) {
+        ArchitectureModel with = scenarios::chain_n_stages(6);
+        ArchitectureModel without = scenarios::chain_n_stages(6);
+        transform::expand(with, with.find_app_node("f3"));
+        transform::expand(without, without.find_app_node("f3"));
+
+        MappingSearchOptions options;
+        options.engine.threads = threads;
+        options.lint_prefilter = true;
+        const MappingSearchResult r_with = search_mapping(with, options);
+        options.lint_prefilter = false;
+        const MappingSearchResult r_without = search_mapping(without, options);
+
+        EXPECT_EQ(r_with.merges, r_without.merges) << threads;
+        EXPECT_EQ(r_with.iterations, r_without.iterations) << threads;
+        EXPECT_EQ(r_with.probability_after, r_without.probability_after) << threads;
+        EXPECT_EQ(r_with.cost_after, r_without.cost_after) << threads;
+        EXPECT_EQ(io::to_json(with).dump(), io::to_json(without).dump()) << threads;
+        EXPECT_EQ(r_without.lint_rejections, 0u);
+    }
+}
+
+TEST(MappingSearch, LintRejectionCounterReported) {
+    // The in-region move generator never proposes structurally invalid
+    // merges, so a healthy search reports zero rejections — the counter
+    // exists for external callers that inject broken candidates.
+    ArchitectureModel m = scenarios::chain_n_stages(4);
+    const MappingSearchResult r = search_mapping(m, {});
+    EXPECT_EQ(r.lint_rejections, 0u);
 }
 
 }  // namespace

@@ -22,26 +22,26 @@ TEST_F(ModelTest, NameRoundTrip) {
 }
 
 TEST_F(ModelTest, MapNodeRequiresCompatibleKinds) {
-    const NodeId sensor = m.add_app_node({"cam", NodeKind::Sensor, AsilTag{Asil::B}});
+    const NodeId sensor = m.add_app_node({"cam", NodeKind::Sensor, AsilTag{Asil::B}, {}});
     const ResourceId ecu = m.add_resource({"ecu", ResourceKind::Functional, Asil::B, {}, {}});
-    EXPECT_THROW(m.map_node(sensor, ecu), ModelError);
+    EXPECT_THROW((void)m.map_node(sensor, ecu), ModelError);
     const ResourceId cam_hw = m.add_resource({"cam_hw", ResourceKind::Sensor, Asil::B, {}, {}});
-    EXPECT_NO_THROW(m.map_node(sensor, cam_hw));
+    EXPECT_NO_THROW((void)m.map_node(sensor, cam_hw));
     EXPECT_EQ(m.mapped_resources(sensor).size(), 1u);
 }
 
 TEST_F(ModelTest, SplitterMayRunOnSwitchHardware) {
     // The Fig. 3 example implements splitters/mergers in Ethernet switches.
-    const NodeId split = m.add_app_node({"split", NodeKind::Splitter, AsilTag{Asil::D}});
+    const NodeId split = m.add_app_node({"split", NodeKind::Splitter, AsilTag{Asil::D}, {}});
     const ResourceId sw = m.add_resource({"switch", ResourceKind::Communication, Asil::D, {}, {}});
-    EXPECT_NO_THROW(m.map_node(split, sw));
-    const NodeId merge = m.add_app_node({"merge", NodeKind::Merger, AsilTag{Asil::D}});
+    EXPECT_NO_THROW((void)m.map_node(split, sw));
+    const NodeId merge = m.add_app_node({"merge", NodeKind::Merger, AsilTag{Asil::D}, {}});
     const ResourceId ecu = m.add_resource({"ecu", ResourceKind::Functional, Asil::D, {}, {}});
-    EXPECT_NO_THROW(m.map_node(merge, ecu));
+    EXPECT_NO_THROW((void)m.map_node(merge, ecu));
 }
 
 TEST_F(ModelTest, MapNodeIsIdempotent) {
-    const NodeId f = m.add_app_node({"f", NodeKind::Functional, AsilTag{Asil::B}});
+    const NodeId f = m.add_app_node({"f", NodeKind::Functional, AsilTag{Asil::B}, {}});
     const ResourceId ecu = m.add_resource({"ecu", ResourceKind::Functional, Asil::B, {}, {}});
     m.map_node(f, ecu);
     m.map_node(f, ecu);
@@ -49,7 +49,7 @@ TEST_F(ModelTest, MapNodeIsIdempotent) {
 }
 
 TEST_F(ModelTest, UnmapAndRemap) {
-    const NodeId f = m.add_app_node({"f", NodeKind::Functional, AsilTag{Asil::B}});
+    const NodeId f = m.add_app_node({"f", NodeKind::Functional, AsilTag{Asil::B}, {}});
     const ResourceId e1 = m.add_resource({"e1", ResourceKind::Functional, Asil::B, {}, {}});
     const ResourceId e2 = m.add_resource({"e2", ResourceKind::Functional, Asil::C, {}, {}});
     m.map_node(f, e1);
@@ -57,24 +57,24 @@ TEST_F(ModelTest, UnmapAndRemap) {
     EXPECT_EQ(m.mapped_resources(f), (std::vector<ResourceId>{e2}));
     m.unmap_node(f, e2);
     EXPECT_TRUE(m.mapped_resources(f).empty());
-    EXPECT_NO_THROW(m.unmap_node(f, e1));  // absent: no-op
+    EXPECT_NO_THROW((void)m.unmap_node(f, e1));  // absent: no-op
 }
 
 TEST_F(ModelTest, EffectiveAsilIsEq3) {
     // ASIL(node) = min(A(node), A(MapG(node))).
-    const NodeId f = m.add_app_node({"f", NodeKind::Functional, AsilTag{Asil::D}});
+    const NodeId f = m.add_app_node({"f", NodeKind::Functional, AsilTag{Asil::D}, {}});
     EXPECT_EQ(m.effective_asil(f), Asil::QM);  // unmapped: no implementation
     const ResourceId ecu_b = m.add_resource({"ecu_b", ResourceKind::Functional, Asil::B, {}, {}});
     m.map_node(f, ecu_b);
     EXPECT_EQ(m.effective_asil(f), Asil::B);  // hardware limits
-    const NodeId g = m.add_app_node({"g", NodeKind::Functional, AsilTag{Asil::A}});
+    const NodeId g = m.add_app_node({"g", NodeKind::Functional, AsilTag{Asil::A}, {}});
     const ResourceId ecu_d = m.add_resource({"ecu_d", ResourceKind::Functional, Asil::D, {}, {}});
     m.map_node(g, ecu_d);
     EXPECT_EQ(m.effective_asil(g), Asil::A);  // requirement limits
 }
 
 TEST_F(ModelTest, EffectiveAsilUsesWeakestResource) {
-    const NodeId f = m.add_app_node({"f", NodeKind::Communication, AsilTag{Asil::D}});
+    const NodeId f = m.add_app_node({"f", NodeKind::Communication, AsilTag{Asil::D}, {}});
     const ResourceId bus_d = m.add_resource({"bus_d", ResourceKind::Communication, Asil::D, {}, {}});
     const ResourceId bus_a = m.add_resource({"bus_a", ResourceKind::Communication, Asil::A, {}, {}});
     m.map_node(f, bus_d);
@@ -84,7 +84,7 @@ TEST_F(ModelTest, EffectiveAsilUsesWeakestResource) {
 
 TEST_F(ModelTest, DedicatedResourceHelper) {
     const NodeId n = m.add_node_with_dedicated_resource(
-        {"ctrl", NodeKind::Functional, AsilTag{Asil::C}}, front);
+        {"ctrl", NodeKind::Functional, AsilTag{Asil::C}, {}}, front);
     ASSERT_EQ(m.mapped_resources(n).size(), 1u);
     const Resource& res = m.resources().node(m.mapped_resources(n).front());
     EXPECT_EQ(res.name, "ctrl_hw");
@@ -108,8 +108,8 @@ TEST_F(ModelTest, ResourceLambdaHonoursOverride) {
 }
 
 TEST_F(ModelTest, NodesOnResourceAndUsedResources) {
-    const NodeId f = m.add_app_node({"f", NodeKind::Functional, AsilTag{Asil::B}});
-    const NodeId g = m.add_app_node({"g", NodeKind::Functional, AsilTag{Asil::B}});
+    const NodeId f = m.add_app_node({"f", NodeKind::Functional, AsilTag{Asil::B}, {}});
+    const NodeId g = m.add_app_node({"g", NodeKind::Functional, AsilTag{Asil::B}, {}});
     const ResourceId shared = m.add_resource({"ecu", ResourceKind::Functional, Asil::B, {}, {}});
     const ResourceId spare = m.add_resource({"spare", ResourceKind::Functional, Asil::B, {}, {}});
     m.map_node(f, shared);
@@ -121,7 +121,7 @@ TEST_F(ModelTest, NodesOnResourceAndUsedResources) {
 
 TEST_F(ModelTest, EraseAppNodeDropsDedicatedResources) {
     const NodeId n =
-        m.add_node_with_dedicated_resource({"f", NodeKind::Functional, AsilTag{Asil::B}}, front);
+        m.add_node_with_dedicated_resource({"f", NodeKind::Functional, AsilTag{Asil::B}, {}}, front);
     const ResourceId r = m.mapped_resources(n).front();
     m.erase_app_node(n, /*drop_dedicated_resources=*/true);
     EXPECT_FALSE(m.resources().contains(r));
@@ -129,8 +129,8 @@ TEST_F(ModelTest, EraseAppNodeDropsDedicatedResources) {
 }
 
 TEST_F(ModelTest, EraseAppNodeKeepsSharedResources) {
-    const NodeId f = m.add_app_node({"f", NodeKind::Functional, AsilTag{Asil::B}});
-    const NodeId g = m.add_app_node({"g", NodeKind::Functional, AsilTag{Asil::B}});
+    const NodeId f = m.add_app_node({"f", NodeKind::Functional, AsilTag{Asil::B}, {}});
+    const NodeId g = m.add_app_node({"g", NodeKind::Functional, AsilTag{Asil::B}, {}});
     const ResourceId shared = m.add_resource({"ecu", ResourceKind::Functional, Asil::B, {}, {}});
     m.map_node(f, shared);
     m.map_node(g, shared);
@@ -140,7 +140,7 @@ TEST_F(ModelTest, EraseAppNodeKeepsSharedResources) {
 }
 
 TEST_F(ModelTest, EraseResourceCleansMappings) {
-    const NodeId f = m.add_app_node({"f", NodeKind::Functional, AsilTag{Asil::B}});
+    const NodeId f = m.add_app_node({"f", NodeKind::Functional, AsilTag{Asil::B}, {}});
     const ResourceId r = m.add_resource({"ecu", ResourceKind::Functional, Asil::B, {}, {}});
     m.map_node(f, r);
     m.place_resource(r, front);
@@ -150,7 +150,7 @@ TEST_F(ModelTest, EraseResourceCleansMappings) {
 }
 
 TEST_F(ModelTest, PlacementAndNodeLocations) {
-    const NodeId f = m.add_app_node({"f", NodeKind::Functional, AsilTag{Asil::B}});
+    const NodeId f = m.add_app_node({"f", NodeKind::Functional, AsilTag{Asil::B}, {}});
     const ResourceId r = m.add_resource({"ecu", ResourceKind::Functional, Asil::B, {}, {}});
     m.map_node(f, r);
     m.place_resource(r, front);
@@ -161,7 +161,7 @@ TEST_F(ModelTest, PlacementAndNodeLocations) {
 }
 
 TEST_F(ModelTest, FindByName) {
-    const NodeId f = m.add_app_node({"f", NodeKind::Functional, AsilTag{Asil::B}});
+    const NodeId f = m.add_app_node({"f", NodeKind::Functional, AsilTag{Asil::B}, {}});
     const ResourceId r = m.add_resource({"ecu", ResourceKind::Functional, Asil::B, {}, {}});
     EXPECT_EQ(m.find_app_node("f"), f);
     EXPECT_FALSE(m.find_app_node("nope").valid());

@@ -128,7 +128,7 @@ TEST(GraphMl, ResourceGraphCarriesLambda) {
 TEST(GraphMl, EscapesSpecialCharacters) {
     ArchitectureModel m("xml");
     const LocationId loc = m.add_location({"zone", kDefaultLocationLambda, {}});
-    m.add_node_with_dedicated_resource({"a<b>&\"c'", NodeKind::Sensor, AsilTag{Asil::B}}, loc);
+    m.add_node_with_dedicated_resource({"a<b>&\"c'", NodeKind::Sensor, AsilTag{Asil::B}, {}}, loc);
     const std::string xml = app_graph_to_graphml(m);
     EXPECT_NE(xml.find("a&lt;b&gt;&amp;&quot;c&apos;"), std::string::npos);
     EXPECT_EQ(xml.find("<b>"), std::string::npos);

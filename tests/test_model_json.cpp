@@ -115,7 +115,7 @@ TEST(ModelJson, EnvironmentSurvives) {
 TEST(ModelJson, DecomposedTagsSurvive) {
     ArchitectureModel m("tags");
     const LocationId loc = m.add_location({"zone", kDefaultLocationLambda, {}});
-    m.add_node_with_dedicated_resource({"f", NodeKind::Functional, AsilTag{Asil::B, Asil::D}}, loc);
+    m.add_node_with_dedicated_resource({"f", NodeKind::Functional, AsilTag{Asil::B, Asil::D}, {}}, loc);
     const ArchitectureModel reloaded = model_from_json(to_json(m));
     const AsilTag tag = reloaded.app().node(reloaded.find_app_node("f")).asil;
     EXPECT_EQ(tag, (AsilTag{Asil::B, Asil::D}));
@@ -137,7 +137,7 @@ TEST(ModelJson, GraphEdgesInAllLayersSurvive) {
 }
 
 TEST(ModelJson, MalformedDocumentsRejected) {
-    EXPECT_THROW(model_from_json(Json::parse(R"({"name":"x"})")), IoError);
+    EXPECT_THROW((void)model_from_json(Json::parse(R"({"name":"x"})")), IoError);
     EXPECT_THROW(
         model_from_json(Json::parse(
             R"({"name":"x","locations":[],"resources":[{"name":"r","kind":"warp","asil":"B","locations":[]}],"nodes":[],"channels":[]})")),

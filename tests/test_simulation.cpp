@@ -114,7 +114,7 @@ TEST(Simulation, ZeroFailureRunBracketsZero) {
 
 TEST(Simulation, MissingTopThrows) {
     const ftree::FaultTree ft;
-    EXPECT_THROW(simulate_fault_tree(ft), AnalysisError);
+    EXPECT_THROW((void)simulate_fault_tree(ft), AnalysisError);
 }
 
 }  // namespace

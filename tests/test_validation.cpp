@@ -14,7 +14,7 @@ ArchitectureModel valid_chain() { return scenarios::chain_1in_1out(); }
 TEST(Validation, CleanModelPasses) {
     const ValidationReport report = validate(valid_chain());
     EXPECT_TRUE(report.ok()) << report.issues.size() << " issues";
-    EXPECT_NO_THROW(validate_or_throw(valid_chain()));
+    EXPECT_NO_THROW((void)validate_or_throw(valid_chain()));
 }
 
 TEST(Validation, Fig3Passes) {
@@ -24,14 +24,14 @@ TEST(Validation, Fig3Passes) {
 
 TEST(Validation, UnmappedNodeIsError) {
     ArchitectureModel m = valid_chain();
-    const NodeId orphan = m.add_app_node({"orphan", NodeKind::Functional, AsilTag{Asil::B}});
+    const NodeId orphan = m.add_app_node({"orphan", NodeKind::Functional, AsilTag{Asil::B}, {}});
     const NodeId n = m.find_app_node("n");
     m.connect_app(n, orphan);
     m.connect_app(orphan, n);
     const ValidationReport report = validate(m);
     EXPECT_TRUE(report.has(IssueCode::UnmappedNode));
     EXPECT_GE(report.error_count(), 1u);
-    EXPECT_THROW(validate_or_throw(m), ModelError);
+    EXPECT_THROW((void)validate_or_throw(m), ModelError);
 }
 
 TEST(Validation, UnderImplementedAsilIsWarning) {
@@ -55,7 +55,7 @@ TEST(Validation, SplitterDegreeChecked) {
     ArchitectureModel m = valid_chain();
     const LocationId loc = m.find_location("front");
     const NodeId s = m.add_node_with_dedicated_resource(
-        {"bad_split", NodeKind::Splitter, AsilTag{Asil::D}}, loc);
+        {"bad_split", NodeKind::Splitter, AsilTag{Asil::D}, {}}, loc);
     m.connect_app(m.find_app_node("c_in"), s);  // 1 input, 0 outputs
     const ValidationReport report = validate(m);
     EXPECT_TRUE(report.has(IssueCode::BadSplitterDegree));
@@ -65,7 +65,7 @@ TEST(Validation, MergerDegreeChecked) {
     ArchitectureModel m = valid_chain();
     const LocationId loc = m.find_location("front");
     const NodeId g = m.add_node_with_dedicated_resource(
-        {"bad_merge", NodeKind::Merger, AsilTag{Asil::D}}, loc);
+        {"bad_merge", NodeKind::Merger, AsilTag{Asil::D}, {}}, loc);
     m.connect_app(m.find_app_node("c_in"), g);
     m.connect_app(g, m.find_app_node("c_out"));  // only 1 input
     const ValidationReport report = validate(m);
@@ -76,13 +76,13 @@ TEST(Validation, MergerWithoutSplitterIsIllFormedBlock) {
     ArchitectureModel m("bad-block");
     const LocationId loc = m.add_location({"zone", kDefaultLocationLambda, {}});
     const NodeId s1 = m.add_node_with_dedicated_resource(
-        {"s1", NodeKind::Sensor, AsilTag{Asil::B}}, loc);
+        {"s1", NodeKind::Sensor, AsilTag{Asil::B}, {}}, loc);
     const NodeId s2 = m.add_node_with_dedicated_resource(
-        {"s2", NodeKind::Sensor, AsilTag{Asil::B}}, loc);
+        {"s2", NodeKind::Sensor, AsilTag{Asil::B}, {}}, loc);
     const NodeId merge = m.add_node_with_dedicated_resource(
-        {"merge", NodeKind::Merger, AsilTag{Asil::D}}, loc);
+        {"merge", NodeKind::Merger, AsilTag{Asil::D}, {}}, loc);
     const NodeId act = m.add_node_with_dedicated_resource(
-        {"act", NodeKind::Actuator, AsilTag{Asil::D}}, loc);
+        {"act", NodeKind::Actuator, AsilTag{Asil::D}, {}}, loc);
     m.connect_app(s1, merge);
     m.connect_app(s2, merge);
     m.connect_app(merge, act);
@@ -94,7 +94,7 @@ TEST(Validation, UnreachableActuatorWarned) {
     ArchitectureModel m = valid_chain();
     const LocationId loc = m.find_location("front");
     const NodeId lonely = m.add_node_with_dedicated_resource(
-        {"lonely_act", NodeKind::Actuator, AsilTag{Asil::B}}, loc);
+        {"lonely_act", NodeKind::Actuator, AsilTag{Asil::B}, {}}, loc);
     (void)lonely;
     const ValidationReport report = validate(m);
     EXPECT_TRUE(report.has(IssueCode::UnreachableActuator));
@@ -103,7 +103,7 @@ TEST(Validation, UnreachableActuatorWarned) {
 TEST(Validation, DanglingSensorWarned) {
     ArchitectureModel m = valid_chain();
     const LocationId loc = m.find_location("front");
-    m.add_node_with_dedicated_resource({"lonely_sensor", NodeKind::Sensor, AsilTag{Asil::B}}, loc);
+    m.add_node_with_dedicated_resource({"lonely_sensor", NodeKind::Sensor, AsilTag{Asil::B}, {}}, loc);
     const ValidationReport report = validate(m);
     EXPECT_TRUE(report.has(IssueCode::DanglingSensor));
 }
@@ -113,7 +113,7 @@ TEST(Validation, InvalidDecompositionWarned) {
     ArchitectureModel m("weak-block");
     const LocationId loc = m.add_location({"zone", kDefaultLocationLambda, {}});
     auto add = [&](const char* name, NodeKind kind, AsilTag tag) {
-        return m.add_node_with_dedicated_resource({name, kind, tag}, loc);
+        return m.add_node_with_dedicated_resource({name, kind, tag, {}}, loc);
     };
     const NodeId sens = add("sens", NodeKind::Sensor, AsilTag{Asil::D});
     const NodeId split = add("split", NodeKind::Splitter, AsilTag{Asil::D});
@@ -129,6 +129,56 @@ TEST(Validation, InvalidDecompositionWarned) {
     m.connect_app(merge, act);
     const ValidationReport report = validate(m);
     EXPECT_TRUE(report.has(IssueCode::InvalidDecomposition));
+}
+
+TEST(Validation, CleanModelsHaveNoReachabilityOrBlockIssues) {
+    // Negative coverage for the warning-level checks: a connected chain
+    // and the fig3 block structure must not trip any of them.
+    for (const ArchitectureModel& m : {valid_chain(), scenarios::fig3_camera_gps_fusion()}) {
+        const ValidationReport report = validate(m);
+        EXPECT_FALSE(report.has(IssueCode::DanglingSensor)) << m.name();
+        EXPECT_FALSE(report.has(IssueCode::UnreachableActuator)) << m.name();
+        EXPECT_FALSE(report.has(IssueCode::IllFormedBlock)) << m.name();
+    }
+}
+
+TEST(Validation, DanglingSensorIsWarningNotError) {
+    ArchitectureModel m = valid_chain();
+    const LocationId loc = m.find_location("front");
+    m.add_node_with_dedicated_resource({"lonely_sensor", NodeKind::Sensor, AsilTag{Asil::B}, {}}, loc);
+    const ValidationReport report = validate(m);
+    EXPECT_TRUE(report.has(IssueCode::DanglingSensor));
+    EXPECT_EQ(report.error_count(), 0u);
+    EXPECT_NO_THROW((void)validate_or_throw(m));  // warnings never throw
+}
+
+TEST(Validation, UnreachableActuatorIsWarningNotError) {
+    ArchitectureModel m = valid_chain();
+    const LocationId loc = m.find_location("front");
+    m.add_node_with_dedicated_resource({"lonely_act", NodeKind::Actuator, AsilTag{Asil::B}, {}}, loc);
+    const ValidationReport report = validate(m);
+    EXPECT_TRUE(report.has(IssueCode::UnreachableActuator));
+    EXPECT_EQ(report.error_count(), 0u);
+}
+
+TEST(Validation, IllFormedBlockIsError) {
+    ArchitectureModel m("bad-block");
+    const LocationId loc = m.add_location({"zone", kDefaultLocationLambda, {}});
+    const NodeId s1 =
+        m.add_node_with_dedicated_resource({"s1", NodeKind::Sensor, AsilTag{Asil::B}, {}}, loc);
+    const NodeId s2 =
+        m.add_node_with_dedicated_resource({"s2", NodeKind::Sensor, AsilTag{Asil::B}, {}}, loc);
+    const NodeId merge =
+        m.add_node_with_dedicated_resource({"merge", NodeKind::Merger, AsilTag{Asil::D}, {}}, loc);
+    const NodeId act =
+        m.add_node_with_dedicated_resource({"act", NodeKind::Actuator, AsilTag{Asil::D}, {}}, loc);
+    m.connect_app(s1, merge);
+    m.connect_app(s2, merge);
+    m.connect_app(merge, act);
+    const ValidationReport report = validate(m);
+    EXPECT_TRUE(report.has(IssueCode::IllFormedBlock));
+    EXPECT_GE(report.error_count(), 1u);
+    EXPECT_THROW((void)validate_or_throw(m), ModelError);
 }
 
 TEST(Validation, ReportCountsAndToString) {

@@ -82,47 +82,47 @@ void print_report() {
 // fault-tree build + BDD compile + Shannon evaluation.
 void BM_MappingSearch_Serial(benchmark::State& state) {
     std::uint64_t evals = 0;
-    for (auto _ : state) {
+    bench::time_batch(state, "bench.search_serial_ns", [&] {
         const auto r = run_search({.threads = 1, .cache_capacity = 0});
         evals = r.evaluations;
         benchmark::DoNotOptimize(r);
-    }
+    });
     state.counters["cache_hit_rate"] = 0.0;
     state.counters["evals"] = static_cast<double>(evals);
 }
-BENCHMARK(BM_MappingSearch_Serial)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MappingSearch_Serial)->Unit(benchmark::kMillisecond)->UseManualTime();
 
 // Parallel batch scoring, cache off: isolates the thread-pool speed-up.
 // Thread count from ASILKIT_THREADS (default: hardware concurrency).
 void BM_MappingSearch_Parallel(benchmark::State& state) {
     std::uint64_t evals = 0;
-    for (auto _ : state) {
+    bench::time_batch(state, "bench.search_parallel_ns", [&] {
         const auto r = run_search({.threads = 0, .cache_capacity = 0});
         evals = r.evaluations;
         benchmark::DoNotOptimize(r);
-    }
+    });
     state.counters["engine_threads"] = static_cast<double>(engine::resolve_thread_count(0));
     state.counters["cache_hit_rate"] = 0.0;
     state.counters["evals"] = static_cast<double>(evals);
 }
-BENCHMARK(BM_MappingSearch_Parallel)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MappingSearch_Parallel)->Unit(benchmark::kMillisecond)->UseManualTime();
 
 // Cold cache, fresh engine per search: hits come only from within-sweep
 // canonical-tree symmetry (mirror merges, current-state replays).
 void BM_MappingSearch_ColdCache(benchmark::State& state) {
     std::uint64_t evals = 0;
     std::uint64_t hits = 0;
-    for (auto _ : state) {
+    bench::time_batch(state, "bench.search_cold_cache_ns", [&] {
         const auto r = run_search({.threads = 1, .cache_capacity = 1 << 14});
         evals += r.evaluations;
         hits += r.eval_cache_hits;
         benchmark::DoNotOptimize(r);
-    }
+    });
     state.counters["cache_hit_rate"] =
         evals == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(evals);
     state.counters["evals"] = static_cast<double>(evals);
 }
-BENCHMARK(BM_MappingSearch_ColdCache)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MappingSearch_ColdCache)->Unit(benchmark::kMillisecond)->UseManualTime();
 
 // Steady state: the engine outlives the searches, as in an iterative DSE
 // loop re-exploring a workload family.  After the first search the cache
@@ -132,18 +132,18 @@ void BM_MappingSearch_SteadyStateCache(benchmark::State& state) {
     explore::MappingSearchOptions options;
     std::uint64_t evals = 0;
     std::uint64_t hits = 0;
-    for (auto _ : state) {
+    bench::time_batch(state, "bench.search_steady_state_ns", [&] {
         ArchitectureModel m = workload();
         const auto r = explore::search_mapping(m, options, shared);
         evals += r.evaluations;
         hits += r.eval_cache_hits;
         benchmark::DoNotOptimize(r);
-    }
+    });
     state.counters["cache_hit_rate"] =
         evals == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(evals);
     state.counters["evals"] = static_cast<double>(evals);
 }
-BENCHMARK(BM_MappingSearch_SteadyStateCache)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MappingSearch_SteadyStateCache)->Unit(benchmark::kMillisecond)->UseManualTime();
 
 }  // namespace
 

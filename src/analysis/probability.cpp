@@ -28,13 +28,16 @@ ProbabilityResult analyze_failure_probability(const ArchitectureModel& m,
     const std::vector<double> probs =
         compiled.variable_probabilities(built.tree, options.mission_hours);
     result.failure_probability = compiled.manager.probability(compiled.root, probs);
+    compiled.manager.flush_obs();
     return result;
 }
 
 double fault_tree_probability(const ftree::FaultTree& ft, double mission_hours) {
     const bdd::CompiledFaultTree compiled = bdd::compile_fault_tree(ft);
-    return compiled.manager.probability(compiled.root,
-                                        compiled.variable_probabilities(ft, mission_hours));
+    const double p = compiled.manager.probability(
+        compiled.root, compiled.variable_probabilities(ft, mission_hours));
+    compiled.manager.flush_obs();
+    return p;
 }
 
 double rare_event_probability(const ftree::FaultTree& ft, double mission_hours) {

@@ -6,6 +6,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace asilkit::bdd {
 namespace {
 
@@ -59,6 +62,9 @@ BddRef BddManager::unique_lookup_or_insert(std::uint32_t var, BddRef high, BddRe
 }
 
 void BddManager::unique_grow() {
+    ++obs_tally_.unique_resizes;
+    obs::trace_instant("unique_grow", "bdd", "capacity",
+                       static_cast<double>(unique_.slots.size() * 2));
     std::vector<BddRef> old = std::move(unique_.slots);
     unique_.slots.assign(old.size() * 2, kFalse);
     const std::size_t mask = unique_.slots.size() - 1;
@@ -84,6 +90,9 @@ BddRef* BddManager::apply_slot(ApplyCache& cache, std::uint64_t key) {
 }
 
 void BddManager::apply_grow(ApplyCache& cache) {
+    ++obs_tally_.apply_resizes;
+    obs::trace_instant("apply_grow", "bdd", "capacity",
+                       static_cast<double>(cache.slots.size() * 2));
     std::vector<ApplyCache::Slot> old = std::move(cache.slots);
     cache.slots.assign(old.size() * 2, ApplyCache::Slot{});
     const std::size_t mask = cache.slots.size() - 1;
@@ -113,11 +122,18 @@ BddRef BddManager::apply(BddOp op, BddRef f, BddRef g) {
     // nonzero and can use 0 as the empty-slot marker.
     const std::uint64_t key = pack_pair(std::min(f, g), std::max(f, g));
     ApplyCache& cache = apply_cache_[static_cast<std::size_t>(op)];
+    // Plain (non-atomic) tallies on the hot path: a manager is
+    // single-threaded, so these cost one register add each and are folded
+    // into the global registry by flush_obs() at evaluation boundaries.
+    ++obs_tally_.apply_lookups;
     {
         const std::size_t mask = cache.slots.size() - 1;
         std::size_t i = static_cast<std::size_t>(detail::mix64(key)) & mask;
         for (; cache.slots[i].key != 0; i = (i + 1) & mask) {
-            if (cache.slots[i].key == key) return cache.slots[i].result;
+            if (cache.slots[i].key == key) {
+                ++obs_tally_.apply_hits;
+                return cache.slots[i].result;
+            }
         }
     }
 
@@ -222,6 +238,35 @@ BddManager::NodeView BddManager::node(BddRef f) const {
     }
     const Node& n = nodes_[f];
     return NodeView{n.var, n.high, n.low};
+}
+
+void BddManager::flush_obs() const {
+    static obs::Counter& lookups = obs::Registry::global().counter("bdd.apply_lookups");
+    static obs::Counter& hits = obs::Registry::global().counter("bdd.apply_hits");
+    static obs::Counter& unique_resizes = obs::Registry::global().counter("bdd.unique_resizes");
+    static obs::Counter& apply_resizes = obs::Registry::global().counter("bdd.apply_resizes");
+    static obs::Counter& nodes_created = obs::Registry::global().counter("bdd.nodes_created");
+    static obs::Gauge& high_water = obs::Registry::global().gauge("bdd.node_high_water");
+    static obs::Gauge& load_factor = obs::Registry::global().gauge("bdd.unique_load_factor");
+
+    lookups.add(obs_tally_.apply_lookups);
+    hits.add(obs_tally_.apply_hits);
+    unique_resizes.add(obs_tally_.unique_resizes);
+    apply_resizes.add(obs_tally_.apply_resizes);
+    obs_tally_ = ObsTally{};
+
+    // Arena growth since the last flush (first flush baselines away the
+    // two terminals, which are storage, not created nodes).
+    if (obs_nodes_flushed_ < 2) obs_nodes_flushed_ = 2;
+    if (nodes_.size() > obs_nodes_flushed_) {
+        nodes_created.add(nodes_.size() - obs_nodes_flushed_);
+        obs_nodes_flushed_ = nodes_.size();
+    }
+    high_water.set_max(static_cast<double>(size()));
+    if (!unique_.slots.empty()) {
+        load_factor.set(static_cast<double>(unique_.entries) /
+                        static_cast<double>(unique_.slots.size()));
+    }
 }
 
 }  // namespace asilkit::bdd

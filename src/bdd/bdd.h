@@ -111,6 +111,18 @@ public:
     [[nodiscard]] NodeView node(BddRef f) const;
     [[nodiscard]] static bool is_terminal(BddRef f) noexcept { return f <= kTrue; }
 
+    /// Folds this manager's local instrumentation tallies (apply-cache
+    /// lookups/hits, table resizes, nodes created) into the process-
+    /// global obs registry ("bdd.*" ids) and zeroes them, and updates
+    /// the bdd.node_high_water / bdd.unique_load_factor gauges.  Called
+    /// at natural completion points (end of a module evaluation, end of
+    /// a whole-tree analysis); cheap enough to call per evaluation —
+    /// a handful of relaxed atomic adds.  Const because observability
+    /// never changes observable BDD state (same argument as the
+    /// probability memo); tallies are plain members written only by the
+    /// owning thread (a manager is single-threaded by contract).
+    void flush_obs() const;
+
 private:
     /// Arena slot.  Nodes are append-only and children are created before
     /// their parents, so `high < ref` and `low < ref` for every interior
@@ -144,8 +156,10 @@ private:
 
     [[nodiscard]] BddRef unique_lookup_or_insert(std::uint32_t var, BddRef high, BddRef low);
     void unique_grow();
-    [[nodiscard]] static BddRef* apply_slot(ApplyCache& cache, std::uint64_t key);
-    static void apply_grow(ApplyCache& cache);
+    // Members (not statics): growing a table is an observable event the
+    // tracer marks and the resize tallies count.
+    [[nodiscard]] BddRef* apply_slot(ApplyCache& cache, std::uint64_t key);
+    void apply_grow(ApplyCache& cache);
 
     [[nodiscard]] std::uint32_t var_of(BddRef f) const noexcept {
         // Terminals sort after every variable.
@@ -164,6 +178,19 @@ private:
     mutable std::vector<double> prob_memo_;
     mutable std::size_t prob_valid_ = 0;
     mutable std::uint64_t prob_key_ = 0;
+
+    // Local observability tallies: plain (non-atomic) increments on the
+    // apply hot path — a manager is single-threaded, so the only cost is
+    // one register add next to a hash probe.  flush_obs() folds them
+    // into the global registry and zeroes them.
+    struct ObsTally {
+        std::uint64_t apply_lookups = 0;
+        std::uint64_t apply_hits = 0;
+        std::uint64_t unique_resizes = 0;
+        std::uint64_t apply_resizes = 0;
+    };
+    mutable ObsTally obs_tally_;
+    mutable std::size_t obs_nodes_flushed_ = 0;  // arena size at last flush
 };
 
 }  // namespace asilkit::bdd

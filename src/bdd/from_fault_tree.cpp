@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/trace.h"
+
 namespace asilkit::bdd {
 
 using ftree::FaultTree;
@@ -93,6 +95,8 @@ ModuleEvalResult evaluate_module(const FaultTree& ft, const ftree::ModuleDecompo
                                  std::size_t module_index,
                                  std::span<const double> child_probabilities,
                                  double mission_hours) {
+    const obs::ObsSpan span("evaluate_module", "bdd", "module",
+                            static_cast<double>(module_index));
     const ftree::Module& mod = dec.modules.at(module_index);
     if (child_probabilities.size() != mod.child_modules.size()) {
         throw AnalysisError("evaluate_module: child probability count mismatch");
@@ -179,6 +183,7 @@ ModuleEvalResult evaluate_module(const FaultTree& ft, const ftree::ModuleDecompo
     out.bdd_nodes = manager.node_count(root);
     out.bdd_total_nodes = manager.size();
     out.variables = real_events;
+    manager.flush_obs();
     return out;
 }
 

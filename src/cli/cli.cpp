@@ -18,9 +18,12 @@
 #include "io/graphml.h"
 #include "io/model_diff.h"
 #include "io/model_json.h"
+#include "engine/engine.h"
 #include "lint/emit.h"
 #include "lint/lint.h"
 #include "model/validation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scenarios/ecotwin.h"
 #include "scenarios/fig3.h"
 #include "scenarios/longitudinal.h"
@@ -366,6 +369,97 @@ int cmd_diff(const Args& args, std::ostream& out) {
     return diff.empty() ? 0 : 1;
 }
 
+/// `stats [model.json]`: with a model, runs one engine-backed analysis
+/// so the registry reflects the full pipeline (fault tree -> modules ->
+/// BDD -> probability); without one, reports whatever this process has
+/// already recorded (useful after --metrics-producing commands in the
+/// same run).  Prints the metrics snapshot as text or JSON.
+int cmd_stats(const Args& args, std::ostream& out) {
+    obs::set_detail_enabled(true);  // stats exists to measure: populate histograms too
+    if (args.positionals.size() >= 2) {
+        const ArchitectureModel m = io::load_model(args.positionals[1]);
+        analysis::ProbabilityOptions options;
+        options.approximate = args.has("approximate");
+        if (args.has("hours")) options.mission_hours = std::stod(args.get("hours"));
+        engine::EngineOptions engine_options;
+        if (args.has("threads")) {
+            engine_options.threads = static_cast<unsigned>(std::stoul(args.get("threads")));
+        }
+        engine::EvalEngine engine(engine_options);
+        const analysis::ProbabilityResult result = engine.analyze(m, options);
+        out << "model             : " << m.name() << "\n"
+            << "P(system failure) : " << result.failure_probability << " over "
+            << options.mission_hours << " h\n\n";
+    }
+    const obs::MetricsSnapshot snapshot = obs::Registry::global().snapshot();
+    const std::string format = args.get("format", "text");
+    if (format == "json") {
+        out << snapshot.to_json() << "\n";
+    } else if (format == "text") {
+        out << snapshot.to_text();
+    } else {
+        throw IoError("unknown format '" + format + "' (expected text or json)");
+    }
+    return 0;
+}
+
+int dispatch(const std::string& command, const Args& parsed, std::ostream& out,
+             std::ostream& err) {
+    if (command == "demo") return cmd_demo(parsed, out);
+    if (command == "validate") return cmd_validate(parsed, out);
+    if (command == "lint") return cmd_lint(parsed, out);
+    if (command == "analyze") return cmd_analyze(parsed, out);
+    if (command == "ccf") return cmd_ccf(parsed, out);
+    if (command == "tolerance") return cmd_tolerance(parsed, out);
+    if (command == "trace") return cmd_trace(parsed, out);
+    if (command == "fmea") return cmd_fmea(parsed, out);
+    if (command == "advise") return cmd_advise(parsed, out);
+    if (command == "expand") return cmd_expand(parsed, out);
+    if (command == "connect") return cmd_connect(parsed, out);
+    if (command == "reduce") return cmd_reduce(parsed, out);
+    if (command == "explore") return cmd_explore(parsed, out);
+    if (command == "export") return cmd_export(parsed, out);
+    if (command == "diff") return cmd_diff(parsed, out);
+    if (command == "stats") return cmd_stats(parsed, out);
+    err << "unknown command '" << command << "'\n" << usage();
+    return 2;
+}
+
+/// RAII for the global `--trace out.json` / `--metrics out.json`
+/// options (available on every subcommand): starts tracing before the
+/// command runs and writes the requested files afterwards — including
+/// on the error path, so a failing run still leaves its trace behind.
+class ObsSession {
+public:
+    explicit ObsSession(const Args& args)
+        : trace_path_(args.get("trace")), metrics_path_(args.get("metrics")) {
+        if (!metrics_path_.empty()) obs::set_detail_enabled(true);
+        if (!trace_path_.empty()) obs::start_tracing();
+    }
+    ~ObsSession() {
+        if (!trace_path_.empty()) {
+            obs::stop_tracing();
+            try {
+                io::save_text_file(obs::trace_to_json(), trace_path_);
+            } catch (...) {  // a failed trace write never masks the command's outcome
+            }
+        }
+        if (!metrics_path_.empty()) {
+            try {
+                io::save_text_file(obs::Registry::global().snapshot().to_json() + "\n",
+                                   metrics_path_);
+            } catch (...) {
+            }
+        }
+    }
+    ObsSession(const ObsSession&) = delete;
+    ObsSession& operator=(const ObsSession&) = delete;
+
+private:
+    std::string trace_path_;
+    std::string metrics_path_;
+};
+
 }  // namespace
 
 std::string usage() {
@@ -389,7 +483,13 @@ std::string usage() {
            "            [--csv curve.csv] [-o final.json]\n"
            "  export    model.json --layer app|resources|physical|ftree\n"
            "            [--format dot|graphml] -o out.dot\n"
-           "  diff      before.json after.json\n";
+           "  diff      before.json after.json\n"
+           "  stats     [model.json] [--approximate] [--hours H] [--threads N]\n"
+           "            [--format text|json]\n"
+           "\n"
+           "observability (any command):\n"
+           "  --trace out.json    write a Chrome/Perfetto trace of the run\n"
+           "  --metrics out.json  write a metrics-registry snapshot\n";
 }
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
@@ -400,23 +500,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
             return parsed.positionals.empty() && !parsed.has("help") ? 2 : 0;
         }
         const std::string& command = parsed.positionals.front();
-        if (command == "demo") return cmd_demo(parsed, out);
-        if (command == "validate") return cmd_validate(parsed, out);
-        if (command == "lint") return cmd_lint(parsed, out);
-        if (command == "analyze") return cmd_analyze(parsed, out);
-        if (command == "ccf") return cmd_ccf(parsed, out);
-        if (command == "tolerance") return cmd_tolerance(parsed, out);
-        if (command == "trace") return cmd_trace(parsed, out);
-        if (command == "fmea") return cmd_fmea(parsed, out);
-        if (command == "advise") return cmd_advise(parsed, out);
-        if (command == "expand") return cmd_expand(parsed, out);
-        if (command == "connect") return cmd_connect(parsed, out);
-        if (command == "reduce") return cmd_reduce(parsed, out);
-        if (command == "explore") return cmd_explore(parsed, out);
-        if (command == "export") return cmd_export(parsed, out);
-        if (command == "diff") return cmd_diff(parsed, out);
-        err << "unknown command '" << command << "'\n" << usage();
-        return 2;
+        const ObsSession obs_session(parsed);
+        return dispatch(command, parsed, out, err);
     } catch (const Error& e) {
         err << "error: " << e.what() << "\n";
         return 1;

@@ -8,6 +8,7 @@
 #include "core/hash.h"
 #include "ftree/builder.h"
 #include "ftree/modules.h"
+#include "obs/trace.h"
 
 namespace asilkit::engine {
 namespace {
@@ -40,23 +41,40 @@ unsigned resolve_thread_count(unsigned requested) noexcept {
 EvalEngine::EvalEngine(const EngineOptions& options)
     : pool_(resolve_thread_count(options.threads)),
       cache_(options.cache_capacity),
-      modularize_(options.modularize) {}
+      modularize_(options.modularize),
+      analyze_calls_(obs::Registry::global().counter("engine.analyze_calls")),
+      tree_hits_(obs::Registry::global().counter("engine.tree_hits")),
+      tree_misses_(obs::Registry::global().counter("engine.tree_misses")),
+      module_hits_(obs::Registry::global().counter("engine.module_hits")),
+      module_misses_(obs::Registry::global().counter("engine.module_misses")),
+      lint_rejections_(obs::Registry::global().counter("engine.lint_rejections")) {
+    base_.analyze_calls = analyze_calls_.value();
+    base_.tree_hits = tree_hits_.value();
+    base_.tree_misses = tree_misses_.value();
+    base_.module_hits = module_hits_.value();
+    base_.module_misses = module_misses_.value();
+    base_.lint_rejections = lint_rejections_.value();
+}
 
 EvalEngine::Stats EvalEngine::stats() const {
     Stats s;
     s.cache = cache_.stats();
-    s.analyze_calls = analyze_calls_.load(std::memory_order_relaxed);
-    s.tree_hits = tree_hits_.load(std::memory_order_relaxed);
-    s.tree_misses = tree_misses_.load(std::memory_order_relaxed);
-    s.module_hits = module_hits_.load(std::memory_order_relaxed);
-    s.module_misses = module_misses_.load(std::memory_order_relaxed);
-    s.lint_rejections = lint_rejections_.load(std::memory_order_relaxed);
+    s.analyze_calls = analyze_calls_.value() - base_.analyze_calls;
+    s.tree_hits = tree_hits_.value() - base_.tree_hits;
+    s.tree_misses = tree_misses_.value() - base_.tree_misses;
+    s.module_hits = module_hits_.value() - base_.module_hits;
+    s.module_misses = module_misses_.value() - base_.module_misses;
+    s.lint_rejections = lint_rejections_.value() - base_.lint_rejections;
     return s;
 }
 
 analysis::ProbabilityResult EvalEngine::analyze(const ArchitectureModel& m,
                                                 const analysis::ProbabilityOptions& options) {
-    analyze_calls_.fetch_add(1, std::memory_order_relaxed);
+    const obs::ObsSpan span("analyze", "engine");
+    static obs::Histogram& latency =
+        obs::Registry::global().histogram("engine.analyze_ns", obs::latency_bounds_ns());
+    const obs::ScopedTimer timer(latency);
+    analyze_calls_.inc();
 
     ftree::FtBuildOptions build_options;
     build_options.approximate = options.approximate;
@@ -83,7 +101,7 @@ analysis::ProbabilityResult EvalEngine::analyze(const ArchitectureModel& m,
     const std::uint64_t tree_key =
         hash::combine(canonical.structural_hash(), double_bits(options.mission_hours));
     if (const auto cached = cache_.lookup(tree_key)) {
-        tree_hits_.fetch_add(1, std::memory_order_relaxed);
+        tree_hits_.inc();
         result.failure_probability = cached->failure_probability;
         result.bdd_nodes = cached->bdd_nodes;
         result.bdd_total_nodes = cached->bdd_total_nodes;
@@ -91,7 +109,7 @@ analysis::ProbabilityResult EvalEngine::analyze(const ArchitectureModel& m,
         result.modules = cached->modules;
         return result;
     }
-    tree_misses_.fetch_add(1, std::memory_order_relaxed);
+    tree_misses_.inc();
 
     // Whole-tree miss: evaluate module by module, bottom-up.  A
     // candidate move only perturbs the modules its basic events sit in;
@@ -141,8 +159,8 @@ analysis::ProbabilityResult EvalEngine::analyze(const ArchitectureModel& m,
         }
     }
     if (modularize_) {
-        module_hits_.fetch_add(local_hits, std::memory_order_relaxed);
-        module_misses_.fetch_add(local_misses, std::memory_order_relaxed);
+        module_hits_.add(local_hits);
+        module_misses_.add(local_misses);
     }
 
     total.failure_probability = module_prob.back();
@@ -159,6 +177,8 @@ analysis::ProbabilityResult EvalEngine::analyze(const ArchitectureModel& m,
 std::vector<analysis::ProbabilityResult> EvalEngine::analyze_batch(
     std::span<const ArchitectureModel* const> models,
     const analysis::ProbabilityOptions& options) {
+    const obs::ObsSpan span("analyze_batch", "engine", "batch_size",
+                            static_cast<double>(models.size()));
     std::vector<analysis::ProbabilityResult> results(models.size());
     pool_.parallel_for(models.size(), [&](std::size_t i) {
         if (models[i] != nullptr) results[i] = analyze(*models[i], options);

@@ -28,7 +28,6 @@
 // their results in input order.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -38,6 +37,7 @@
 #include "engine/eval_cache.h"
 #include "engine/thread_pool.h"
 #include "model/architecture.h"
+#include "obs/metrics.h"
 
 namespace asilkit::engine {
 
@@ -89,6 +89,11 @@ public:
     /// a tree miss decomposes into modules, each of which hits (replayed
     /// from a previous evaluation) or misses (recompiled).  With
     /// modularize off the module counters stay zero.
+    ///
+    /// The counters themselves live in the process-global obs registry
+    /// (ids "engine.analyze_calls", "engine.tree_hits", ... — see
+    /// docs/observability.md); this snapshot is the per-instance view,
+    /// computed against the registry values captured at construction.
     struct Stats {
         EvalCache::Stats cache;
         std::uint64_t analyze_calls = 0;
@@ -105,9 +110,7 @@ public:
 
     /// Adds to the lint-rejection counter; called by search layers that
     /// discard candidates before they reach analyze().
-    void note_lint_rejections(std::uint64_t n) noexcept {
-        lint_rejections_.fetch_add(n, std::memory_order_relaxed);
-    }
+    void note_lint_rejections(std::uint64_t n) noexcept { lint_rejections_.add(n); }
 
     [[nodiscard]] EvalCache::Stats cache_stats() const { return cache_.stats(); }
     void clear_cache() { cache_.clear(); }
@@ -116,14 +119,17 @@ private:
     ThreadPool pool_;
     EvalCache cache_;
     bool modularize_;
-    // Relaxed: analyze() runs concurrently from pool tasks; stats() is a
-    // monitoring snapshot, not a synchronisation point.
-    std::atomic<std::uint64_t> analyze_calls_{0};
-    std::atomic<std::uint64_t> tree_hits_{0};
-    std::atomic<std::uint64_t> tree_misses_{0};
-    std::atomic<std::uint64_t> module_hits_{0};
-    std::atomic<std::uint64_t> module_misses_{0};
-    std::atomic<std::uint64_t> lint_rejections_{0};
+    // Registry-backed counters (relaxed atomic adds: analyze() runs
+    // concurrently from pool tasks; stats() is a monitoring snapshot,
+    // not a synchronisation point).  `base_` anchors the per-instance
+    // stats() view against the process-global registry values.
+    obs::Counter& analyze_calls_;
+    obs::Counter& tree_hits_;
+    obs::Counter& tree_misses_;
+    obs::Counter& module_hits_;
+    obs::Counter& module_misses_;
+    obs::Counter& lint_rejections_;
+    Stats base_;
 };
 
 }  // namespace asilkit::engine

@@ -2,17 +2,24 @@
 
 namespace asilkit::engine {
 
-EvalCache::EvalCache(std::size_t capacity) : capacity_(capacity) {
+EvalCache::EvalCache(std::size_t capacity)
+    : capacity_(capacity),
+      hits_(obs::Registry::global().counter("engine.cache.hits")),
+      misses_(obs::Registry::global().counter("engine.cache.misses")),
+      evictions_(obs::Registry::global().counter("engine.cache.evictions")),
+      hits_base_(hits_.value()),
+      misses_base_(misses_.value()),
+      evictions_base_(evictions_.value()) {
     map_.reserve(capacity_ < 4096 ? capacity_ : 4096);
 }
 
 std::optional<EvalValue> EvalCache::lookup(std::uint64_t key) {
     std::lock_guard lock(mutex_);
     if (const auto it = map_.find(key); it != map_.end()) {
-        ++hits_;
+        hits_.inc();
         return it->second;
     }
-    ++misses_;
+    misses_.inc();
     return std::nullopt;
 }
 
@@ -25,16 +32,16 @@ void EvalCache::insert(std::uint64_t key, const EvalValue& value) {
     while (map_.size() > capacity_) {
         map_.erase(fifo_.front());
         fifo_.pop_front();
-        ++evictions_;
+        evictions_.inc();
     }
 }
 
 EvalCache::Stats EvalCache::stats() const {
     std::lock_guard lock(mutex_);
     Stats s;
-    s.hits = hits_;
-    s.misses = misses_;
-    s.evictions = evictions_;
+    s.hits = hits_.value() - hits_base_;
+    s.misses = misses_.value() - misses_base_;
+    s.evictions = evictions_.value() - evictions_base_;
     s.size = map_.size();
     s.capacity = capacity_;
     return s;
@@ -44,9 +51,11 @@ void EvalCache::clear() {
     std::lock_guard lock(mutex_);
     map_.clear();
     fifo_.clear();
-    hits_ = 0;
-    misses_ = 0;
-    evictions_ = 0;
+    // Registry counters are process-global and monotonic; clearing this
+    // cache re-anchors its per-instance view instead of zeroing them.
+    hits_base_ = hits_.value();
+    misses_base_ = misses_.value();
+    evictions_base_ = evictions_.value();
 }
 
 }  // namespace asilkit::engine

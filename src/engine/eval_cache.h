@@ -18,6 +18,14 @@
 // inserts take a mutex, which is negligible next to a fault-tree->BDD
 // compilation and keeps worker-owned BDD managers lock-free where it
 // matters.
+//
+// The hit/miss/eviction ledger lives in the process-global obs metrics
+// registry ("engine.cache.*"), so `asilkit stats` and --metrics
+// snapshots see cache behaviour without extra plumbing.  Stats() stays
+// a per-instance view: each cache remembers the registry values at
+// construction (and at clear()) and reports the delta — exact whenever
+// one cache is active at a time, which every search/exploration flow
+// guarantees (one engine per search).
 #pragma once
 
 #include <cstddef>
@@ -26,6 +34,8 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+
+#include "obs/metrics.h"
 
 namespace asilkit::engine {
 
@@ -74,9 +84,15 @@ private:
     mutable std::mutex mutex_;
     std::unordered_map<std::uint64_t, EvalValue> map_;
     std::deque<std::uint64_t> fifo_;  // insertion order, oldest first
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
-    std::uint64_t evictions_ = 0;
+    // Registry-backed counters ("engine.cache.hits" etc.) plus the
+    // registry values captured at construction/clear(); stats() reports
+    // the delta so per-instance accounting stays exact.
+    obs::Counter& hits_;
+    obs::Counter& misses_;
+    obs::Counter& evictions_;
+    std::uint64_t hits_base_ = 0;
+    std::uint64_t misses_base_ = 0;
+    std::uint64_t evictions_base_ = 0;
 };
 
 }  // namespace asilkit::engine

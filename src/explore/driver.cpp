@@ -4,6 +4,7 @@
 
 #include "core/error.h"
 #include "explore/mapping_opt.h"
+#include "obs/trace.h"
 #include "transform/connect.h"
 #include "transform/expand.h"
 #include "transform/reduce.h"
@@ -13,6 +14,7 @@ namespace asilkit::explore {
 ExplorationResult run_exploration(const ArchitectureModel& model,
                                   const std::vector<std::string>& nodes_to_expand,
                                   const ExplorationOptions& options) {
+    const obs::ObsSpan span("run_exploration", "explore");
     ExplorationResult result;
     result.final_model = model;  // work on a copy
     ArchitectureModel& m = result.final_model;
@@ -30,24 +32,30 @@ ExplorationResult run_exploration(const ArchitectureModel& model,
     record("initial");
 
     // Phase 1: Expand (A -> B).
-    for (const std::string& name : nodes_to_expand) {
-        const NodeId n = m.find_app_node(name);
-        if (!n.valid()) {
-            throw TransformError("run_exploration: no application node named '" + name + "'");
+    {
+        const obs::ObsSpan expand_span("expand", "explore", "nodes",
+                                       static_cast<double>(nodes_to_expand.size()));
+        for (const std::string& name : nodes_to_expand) {
+            const NodeId n = m.find_app_node(name);
+            if (!n.valid()) {
+                throw TransformError("run_exploration: no application node named '" + name +
+                                     "'");
+            }
+            transform::ExpandOptions expand_options;
+            expand_options.strategy = options.strategy;
+            expand_options.splitter_merger_asil = options.splitter_merger_asil;
+            expand_options.rng_draws = {uniform(rng), uniform(rng)};
+            transform::expand(m, n, expand_options);
+            ++result.expansions;
+            record("expand(" + name + ")");
         }
-        transform::ExpandOptions expand_options;
-        expand_options.strategy = options.strategy;
-        expand_options.splitter_merger_asil = options.splitter_merger_asil;
-        expand_options.rng_draws = {uniform(rng), uniform(rng)};
-        transform::expand(m, n, expand_options);
-        ++result.expansions;
-        record("expand(" + name + ")");
     }
 
     // Phase 2: Connect + Reduce (B -> C).  Reducing first matters: two
     // adjacent expanded blocks leave a c_post -> c_pre communication pair
     // between them, and Connect() requires a single middle node.
     if (options.run_connect_reduce) {
+        const obs::ObsSpan connect_span("connect_reduce", "explore");
         result.reductions += transform::reduce_all(m);
         for (;;) {
             const std::vector<NodeId> connectable = transform::find_connectable(m);
@@ -67,6 +75,7 @@ ExplorationResult run_exploration(const ArchitectureModel& model,
 
     // Phase 3: mapping optimisation (C -> D).
     if (options.run_mapping_optimization) {
+        const obs::ObsSpan mapping_span("mapping_optimize", "explore");
         MappingOptimizeOptions mapping_options;
         mapping_options.include_non_branch_nodes = options.trunk_consolidation;
         const MappingOptimizeResult opt = optimize_mapping(m, mapping_options);

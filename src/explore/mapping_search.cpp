@@ -11,6 +11,8 @@
 #include "cost/cost_analysis.h"
 #include "lint/lint.h"
 #include "model/blocks.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace asilkit::explore {
 namespace {
@@ -82,6 +84,14 @@ MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOpti
 
 MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOptions& options,
                                    engine::EvalEngine& engine) {
+    const obs::ObsSpan search_span("search_mapping", "explore");
+    static obs::Counter& obs_iterations = obs::Registry::global().counter("explore.iterations");
+    static obs::Counter& obs_candidates =
+        obs::Registry::global().counter("explore.candidates_generated");
+    static obs::Gauge& obs_queue_depth = obs::Registry::global().gauge("engine.queue_depth");
+    static obs::Gauge& obs_queue_depth_max =
+        obs::Registry::global().gauge("engine.queue_depth_max");
+
     MappingSearchResult result;
     const engine::EvalEngine::Stats stats_before = engine.stats();
     {
@@ -91,44 +101,57 @@ MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOpti
     }
 
     for (; result.iterations < options.max_iterations; ++result.iterations) {
-        const auto region = region_of_nodes(m);
+        const obs::ObsSpan iter_span("iteration", "explore", "iteration",
+                                     static_cast<double>(result.iterations));
+        obs_iterations.inc();
 
-        // Candidate buckets: (kind, region) -> mergeable resources.
-        std::map<std::pair<int, RegionId>, std::vector<ResourceId>> buckets;
-        for (ResourceId r : m.used_resources()) {
-            const Resource& res = m.resources().node(r);
-            if (res.kind == ResourceKind::Splitter || res.kind == ResourceKind::Merger ||
-                res.kind == ResourceKind::Sensor || res.kind == ResourceKind::Actuator) {
-                continue;  // physical devices & redundancy management stay dedicated
-            }
-            if (const auto reg = resource_region(m, r, region)) {
-                if (!options.include_non_branch_nodes && *reg == kTrunk) continue;
-                buckets[{static_cast<int>(res.kind), *reg}].push_back(r);
-            }
-        }
-
-        // Flatten the capacity-feasible moves in deterministic bucket
-        // order; the scan below walks the same order, so the selected
-        // move is independent of how the batch is scheduled.
         std::vector<std::pair<ResourceId, ResourceId>> moves;
-        for (const auto& [key, resources] : buckets) {
-            for (std::size_t i = 0; i < resources.size(); ++i) {
-                for (std::size_t j = i + 1; j < resources.size(); ++j) {
-                    const std::size_t combined = m.nodes_on_resource(resources[i]).size() +
-                                                 m.nodes_on_resource(resources[j]).size();
-                    if (combined > options.max_nodes_per_resource) continue;
-                    moves.emplace_back(resources[i], resources[j]);
+        {
+            const obs::ObsSpan generate_span("generate", "explore");
+            const auto region = region_of_nodes(m);
+
+            // Candidate buckets: (kind, region) -> mergeable resources.
+            std::map<std::pair<int, RegionId>, std::vector<ResourceId>> buckets;
+            for (ResourceId r : m.used_resources()) {
+                const Resource& res = m.resources().node(r);
+                if (res.kind == ResourceKind::Splitter || res.kind == ResourceKind::Merger ||
+                    res.kind == ResourceKind::Sensor || res.kind == ResourceKind::Actuator) {
+                    continue;  // physical devices & redundancy management stay dedicated
+                }
+                if (const auto reg = resource_region(m, r, region)) {
+                    if (!options.include_non_branch_nodes && *reg == kTrunk) continue;
+                    buckets[{static_cast<int>(res.kind), *reg}].push_back(r);
+                }
+            }
+
+            // Flatten the capacity-feasible moves in deterministic bucket
+            // order; the scan below walks the same order, so the selected
+            // move is independent of how the batch is scheduled.
+            for (const auto& [key, resources] : buckets) {
+                for (std::size_t i = 0; i < resources.size(); ++i) {
+                    for (std::size_t j = i + 1; j < resources.size(); ++j) {
+                        const std::size_t combined = m.nodes_on_resource(resources[i]).size() +
+                                                     m.nodes_on_resource(resources[j]).size();
+                        if (combined > options.max_nodes_per_resource) continue;
+                        moves.emplace_back(resources[i], resources[j]);
+                    }
                 }
             }
         }
+        obs_candidates.add(moves.size());
+        obs_queue_depth.set(static_cast<double>(moves.size()));
+        obs_queue_depth_max.set_max(static_cast<double>(moves.size()));
 
         const Objective current = evaluate(m, options, engine);
 
         // Baseline for the lint pre-filter: candidates may not introduce
         // a new structural error over what the current model already has
         // (a pre-existing error would otherwise reject every candidate).
-        const std::size_t baseline_errors =
-            options.lint_prefilter ? lint::structural_error_count(m) : 0;
+        std::size_t baseline_errors = 0;
+        if (options.lint_prefilter) {
+            const obs::ObsSpan lint_span("lint_prefilter", "explore");
+            baseline_errors = lint::structural_error_count(m);
+        }
         constexpr double kRejected = std::numeric_limits<double>::infinity();
         std::atomic<std::uint64_t> rejected{0};
 
@@ -140,19 +163,25 @@ MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOpti
         // linter before fault-tree generation; their +infinity score is
         // never selected, keeping results independent of the filter.
         std::vector<Objective> scores(moves.size());
-        engine.pool().parallel_for(moves.size(), [&](std::size_t i) {
-            ArchitectureModel trial = m;
-            apply_merge(trial, moves[i].first, moves[i].second);
-            if (options.lint_prefilter &&
-                lint::structural_error_count(trial) > baseline_errors) {
-                scores[i] = {kRejected, kRejected};
-                rejected.fetch_add(1, std::memory_order_relaxed);
-                return;
-            }
-            scores[i] = evaluate(trial, options, engine);
-        });
+        {
+            const obs::ObsSpan evaluate_span("evaluate", "explore", "candidates",
+                                             static_cast<double>(moves.size()));
+            engine.pool().parallel_for(moves.size(), [&](std::size_t i) {
+                ArchitectureModel trial = m;
+                apply_merge(trial, moves[i].first, moves[i].second);
+                if (options.lint_prefilter &&
+                    lint::structural_error_count(trial) > baseline_errors) {
+                    scores[i] = {kRejected, kRejected};
+                    rejected.fetch_add(1, std::memory_order_relaxed);
+                    return;
+                }
+                scores[i] = evaluate(trial, options, engine);
+            });
+        }
+        obs_queue_depth.set(0.0);
         engine.note_lint_rejections(rejected.load(std::memory_order_relaxed));
 
+        const obs::ObsSpan select_span("select", "explore");
         Objective best = current;
         std::optional<std::pair<ResourceId, ResourceId>> best_move;
         for (std::size_t i = 0; i < moves.size(); ++i) {

@@ -8,6 +8,8 @@
 #include <unordered_set>
 
 #include "model/blocks.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace asilkit::ftree {
 namespace {
@@ -231,7 +233,19 @@ private:
 }  // namespace
 
 FtBuildResult build_fault_tree(const ArchitectureModel& m, const FtBuildOptions& options) {
-    return Builder(m, options).run();
+    const obs::ObsSpan span("build_fault_tree", "ftree");
+    FtBuildResult result = Builder(m, options).run();
+
+    static obs::Counter& trees = obs::Registry::global().counter("ftree.trees_built");
+    static obs::Counter& cycles = obs::Registry::global().counter("ftree.cycles_cut");
+    static obs::Counter& approx = obs::Registry::global().counter("ftree.approx_blocks");
+    static obs::Gauge& tree_nodes = obs::Registry::global().gauge("ftree.tree_nodes");
+    trees.inc();
+    cycles.add(result.cycles_cut);
+    approx.add(result.approximated_blocks);
+    tree_nodes.set(static_cast<double>(result.tree.basic_events().size() +
+                                       result.tree.gates().size()));
+    return result;
 }
 
 }  // namespace asilkit::ftree

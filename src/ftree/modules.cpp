@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "core/hash.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace asilkit::ftree {
 namespace {
@@ -24,7 +26,21 @@ constexpr std::uint64_t kModuleTreeSalt = 0x6D74726565ull;  // "mtree"
 
 }  // namespace
 
+namespace {
+
+/// Counts a finished decomposition into the "ftree.*" registry ids.
+void count_decomposition(const ModuleDecomposition& dec) {
+    static obs::Counter& decompositions =
+        obs::Registry::global().counter("ftree.module_decompositions");
+    static obs::Gauge& module_count = obs::Registry::global().gauge("ftree.module_count");
+    decompositions.inc();
+    module_count.set(static_cast<double>(dec.size()));
+}
+
+}  // namespace
+
 ModuleDecomposition find_modules(const FaultTree& ft) {
+    const obs::ObsSpan span("find_modules", "ftree");
     ModuleDecomposition dec;
     const FtRef top = ft.top();
 
@@ -36,6 +52,7 @@ ModuleDecomposition find_modules(const FaultTree& ft) {
             kModuleTreeSalt, hash::combine(hash::combine(kLeafEventSalt, 0),
                                            lambda_bits(ft.basic_event(top.index).lambda)));
         dec.modules.push_back(std::move(m));
+        count_decomposition(dec);
         return dec;
     }
 
@@ -166,6 +183,7 @@ ModuleDecomposition find_modules(const FaultTree& ft) {
         return index;
     };
     build(top);
+    count_decomposition(dec);
     return dec;
 }
 

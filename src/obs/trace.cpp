@@ -1,0 +1,206 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace asilkit::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Hard per-thread cap: ~1M events * 48 B keeps a runaway trace under
+/// ~50 MB per thread; beyond it events are counted as dropped.
+constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 20;
+
+struct Event {
+    const char* name;
+    const char* cat;
+    const char* arg_key;  // nullptr = no argument
+    double arg_value;
+    std::uint64_t ts_ns;  // since session epoch
+    std::uint32_t tid;
+    char ph;  // 'B', 'E', 'I'
+};
+
+struct ThreadBuffer;
+
+/// Global tracer state.  Leaked (never destroyed) so thread-local
+/// buffer destructors may flush into it during shutdown regardless of
+/// static destruction order.
+struct TraceState {
+    std::atomic<std::uint64_t> dropped{0};
+    Clock::time_point epoch = Clock::now();
+    std::mutex mutex;  // guards buffers, orphans, next_tid
+    std::vector<ThreadBuffer*> buffers;
+    std::vector<Event> orphans;  // events of exited threads
+    std::uint32_t next_tid = 0;
+};
+
+TraceState& state() {
+    static TraceState* instance = new TraceState();
+    return *instance;
+}
+
+/// Per-thread event buffer.  Its mutex is uncontended on the record
+/// path (only the owning thread pushes); a drain locks it briefly to
+/// move the events out.
+struct ThreadBuffer {
+    std::mutex mutex;
+    std::vector<Event> events;
+    std::uint32_t tid = 0;
+    bool registered = false;
+
+    ~ThreadBuffer() {
+        TraceState& s = state();
+        std::lock_guard global(s.mutex);
+        if (registered) {
+            std::erase(s.buffers, this);
+            std::lock_guard local(mutex);
+            s.orphans.insert(s.orphans.end(), events.begin(), events.end());
+        }
+    }
+};
+
+thread_local ThreadBuffer t_buffer;
+
+std::string json_escape(const char* s) {
+    std::string out;
+    for (; *s != '\0'; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/// Collects (and consumes) every buffered event, sorted by timestamp.
+/// Stable sort: same-timestamp events of one thread keep record order,
+/// so a zero-duration span still exports B before E.
+std::vector<Event> drain_events() {
+    TraceState& s = state();
+    std::vector<Event> all;
+    {
+        std::lock_guard global(s.mutex);
+        all = std::move(s.orphans);
+        s.orphans.clear();
+        for (ThreadBuffer* b : s.buffers) {
+            std::lock_guard local(b->mutex);
+            all.insert(all.end(), b->events.begin(), b->events.end());
+            b->events.clear();
+        }
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Event& a, const Event& b) { return a.ts_ns < b.ts_ns; });
+    return all;
+}
+
+void clear_events() {
+    TraceState& s = state();
+    std::lock_guard global(s.mutex);
+    s.orphans.clear();
+    for (ThreadBuffer* b : s.buffers) {
+        std::lock_guard local(b->mutex);
+        b->events.clear();
+    }
+    s.dropped.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_tracing{false};
+
+void record(char ph, const char* name, const char* cat, const char* arg_key,
+            double arg_value) noexcept {
+    TraceState& s = state();
+    ThreadBuffer& b = t_buffer;
+    if (!b.registered) {
+        // Register before taking the local mutex: the drain path locks
+        // global-then-local, so the record path must never hold the
+        // local mutex while waiting on the global one.
+        std::lock_guard global(s.mutex);
+        b.tid = s.next_tid++;
+        s.buffers.push_back(&b);
+        b.registered = true;
+    }
+    const auto ts = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - s.epoch).count());
+    std::lock_guard local(b.mutex);
+    if (b.events.size() >= kMaxEventsPerThread) {
+        s.dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    if (b.events.capacity() == 0) b.events.reserve(4096);
+    b.events.push_back(Event{name, cat, arg_key, arg_value, ts, b.tid, ph});
+}
+
+}  // namespace detail
+
+void start_tracing() {
+    clear_events();
+    state().epoch = Clock::now();
+    detail::g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void stop_tracing() { detail::g_tracing.store(false, std::memory_order_relaxed); }
+
+std::uint64_t trace_event_count() {
+    TraceState& s = state();
+    std::lock_guard global(s.mutex);
+    std::uint64_t n = s.orphans.size();
+    for (ThreadBuffer* b : s.buffers) {
+        std::lock_guard local(b->mutex);
+        n += b->events.size();
+    }
+    return n;
+}
+
+std::uint64_t trace_dropped_count() {
+    return state().dropped.load(std::memory_order_relaxed);
+}
+
+void write_trace(std::ostream& os) {
+    const std::vector<Event> events = drain_events();
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    char buf[64];
+    for (const Event& e : events) {
+        if (!first) os << ",";
+        first = false;
+        os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\"" << json_escape(e.cat)
+           << "\",\"ph\":\"" << e.ph << "\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":";
+        // Trace-event timestamps are microseconds; keep ns resolution
+        // via the fractional part.
+        std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(e.ts_ns) / 1000.0);
+        os << buf;
+        if (e.arg_key != nullptr) {
+            std::snprintf(buf, sizeof(buf), "%.17g", e.arg_value);
+            os << ",\"args\":{\"" << json_escape(e.arg_key) << "\":" << buf << "}";
+        }
+        os << "}";
+    }
+    os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":"
+       << state().dropped.load(std::memory_order_relaxed) << "}}";
+}
+
+std::string trace_to_json() {
+    std::ostringstream os;
+    write_trace(os);
+    return os.str();
+}
+
+}  // namespace asilkit::obs

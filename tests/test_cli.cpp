@@ -374,6 +374,63 @@ TEST_F(CliTest, ExportGraphml) {
     EXPECT_EQ(bad.exit_code, 1);
 }
 
+TEST_F(CliTest, StatsPrintsMetricCatalogue) {
+    const CliRun r = run({"stats", model()});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    EXPECT_NE(r.out.find("P(system failure)"), std::string::npos);
+    // The analysis populated all pipeline layers of the registry.
+    for (const char* id : {"engine.analyze_calls", "ftree.trees_built", "bdd.apply_lookups",
+                           "bdd.node_high_water", "engine.analyze_ns"}) {
+        EXPECT_NE(r.out.find(id), std::string::npos) << id;
+    }
+}
+
+TEST_F(CliTest, StatsJsonFormat) {
+    const CliRun r = run({"stats", model(), "--format", "json"});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    EXPECT_NE(r.out.find("\"counters\""), std::string::npos);
+    EXPECT_NE(r.out.find("\"engine.analyze_calls\""), std::string::npos);
+}
+
+TEST_F(CliTest, TraceAndMetricsOptionsWriteFiles) {
+    const std::string trace = temp_path("cli_trace.json");
+    const std::string metrics = temp_path("cli_metrics.json");
+    const CliRun r = run({"analyze", model(), "--trace", trace, "--metrics", metrics});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+
+    std::ifstream trace_in(trace);
+    ASSERT_TRUE(trace_in.good());
+    std::stringstream trace_buf;
+    trace_buf << trace_in.rdbuf();
+    const std::string t = trace_buf.str();
+    EXPECT_NE(t.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(t.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(t.find("build_fault_tree"), std::string::npos);
+
+    std::ifstream metrics_in(metrics);
+    ASSERT_TRUE(metrics_in.good());
+    std::stringstream metrics_buf;
+    metrics_buf << metrics_in.rdbuf();
+    EXPECT_NE(metrics_buf.str().find("\"ftree.trees_built\""), std::string::npos);
+}
+
+TEST_F(CliTest, ExploreTraceCoversAllLayers) {
+    const std::string eco = temp_path("cli_eco_trace_model.json");
+    ASSERT_EQ(run({"demo", "ecotwin", "-o", eco}).exit_code, 0);
+    const std::string trace = temp_path("cli_explore_trace.json");
+    const CliRun r =
+        run({"explore", eco, "--nodes", "wm_eth,wm_can,lateral_control", "--trace", trace});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    std::ifstream in(trace);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string t = buf.str();
+    for (const char* cat : {"\"cat\":\"explore\"", "\"cat\":\"engine\"", "\"cat\":\"ftree\"",
+                            "\"cat\":\"bdd\""}) {
+        EXPECT_NE(t.find(cat), std::string::npos) << cat;
+    }
+}
+
 TEST_F(CliTest, OptionNeedingValueAtEndFails) {
     const CliRun r = run({"analyze", model(), "--hours"});
     EXPECT_EQ(r.exit_code, 1);

@@ -11,8 +11,16 @@
 // "evals"?, "threads"?}, ...], "context": {...}} — one entry per timing,
 // aggregate rows ("_mean" etc.) skipped so re-runs diff cleanly.  The
 // context is taken from the first input.
+//
+// An optional `--metrics snapshot.json` (an obs registry snapshot, as
+// written by a bench binary's own --metrics flag) adds a top-level
+// "metrics" object with the BDD gauges worth tracking alongside the
+// timings: bdd_node_high_water and bdd_apply_hit_rate (computed from
+// the apply_hits/apply_lookups counters).
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "io/json.h"
 
@@ -27,11 +35,53 @@ double to_nanoseconds(double value, const std::string& unit) {
     return value;
 }
 
+/// Selected gauges/counters of an obs metrics snapshot, folded into the
+/// tracked bench file.  Missing ids simply drop the derived field.
+asilkit::io::Json metrics_summary(const asilkit::io::Json& snapshot) {
+    asilkit::io::Json summary = asilkit::io::Json::object();
+    if (snapshot.contains("gauges")) {
+        const asilkit::io::Json& gauges = snapshot.at("gauges");
+        if (gauges.contains("bdd.node_high_water")) {
+            summary["bdd_node_high_water"] = gauges.at("bdd.node_high_water").as_number();
+        }
+    }
+    if (snapshot.contains("counters")) {
+        const asilkit::io::Json& counters = snapshot.at("counters");
+        if (counters.contains("bdd.apply_hits") && counters.contains("bdd.apply_lookups")) {
+            const double lookups = counters.at("bdd.apply_lookups").as_number();
+            if (lookups > 0) {
+                summary["bdd_apply_hit_rate"] =
+                    counters.at("bdd.apply_hits").as_number() / lookups;
+            }
+        }
+        if (counters.contains("engine.cache.hits") && counters.contains("engine.cache.misses")) {
+            const double total = counters.at("engine.cache.hits").as_number() +
+                                 counters.at("engine.cache.misses").as_number();
+            if (total > 0) {
+                summary["engine_cache_hit_rate"] =
+                    counters.at("engine.cache.hits").as_number() / total;
+            }
+        }
+    }
+    return summary;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc < 3) {
-        std::fprintf(stderr, "usage: %s <google-benchmark.json> [more.json...] <out.json>\n",
+    std::string metrics_path;
+    std::vector<char*> files;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+            metrics_path = argv[++i];
+        } else {
+            files.push_back(argv[i]);
+        }
+    }
+    if (files.size() < 2) {
+        std::fprintf(stderr,
+                     "usage: %s [--metrics snapshot.json] <google-benchmark.json> "
+                     "[more.json...] <out.json>\n",
                      argv[0]);
         return 2;
     }
@@ -40,9 +90,9 @@ int main(int argc, char** argv) {
         asilkit::io::Json context = asilkit::io::Json::object();
         asilkit::io::Json benchmarks = asilkit::io::Json::array();
 
-        for (int input = 1; input + 1 < argc; ++input) {
-            const asilkit::io::Json raw = asilkit::io::load_json_file(argv[input]);
-            if (input == 1 && raw.contains("context")) {
+        for (std::size_t input = 0; input + 1 < files.size(); ++input) {
+            const asilkit::io::Json raw = asilkit::io::load_json_file(files[input]);
+            if (input == 0 && raw.contains("context")) {
                 const asilkit::io::Json& ctx = raw.at("context");
                 for (const char* key : {"date", "host_name", "num_cpus", "mhz_per_cpu",
                                         "library_build_type"}) {
@@ -75,9 +125,12 @@ int main(int argc, char** argv) {
 
         out["context"] = std::move(context);
         out["benchmarks"] = std::move(benchmarks);
+        if (!metrics_path.empty()) {
+            out["metrics"] = metrics_summary(asilkit::io::load_json_file(metrics_path));
+        }
 
-        asilkit::io::save_json_file(out, argv[argc - 1]);
-        std::printf("wrote %s (%zu benchmarks)\n", argv[argc - 1],
+        asilkit::io::save_json_file(out, files.back());
+        std::printf("wrote %s (%zu benchmarks)\n", files.back(),
                     out.at("benchmarks").size());
         return 0;
     } catch (const std::exception& e) {

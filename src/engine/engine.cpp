@@ -2,9 +2,10 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <thread>
+#include <utility>
 
-#include "bdd/from_fault_tree.h"
 #include "core/hash.h"
 #include "ftree/builder.h"
 #include "ftree/modules.h"
@@ -22,6 +23,18 @@ constexpr std::uint64_t kModuleKeySalt = 0x6D6F646B6579;  // "modkey"
     static_assert(sizeof(bits) == sizeof(d));
     std::memcpy(&bits, &d, sizeof(bits));
     return bits;
+}
+
+[[nodiscard]] std::uint64_t module_cache_key(std::uint64_t subtree_hash, double hours) noexcept {
+    return hash::combine(hash::combine(kModuleKeySalt, subtree_hash), double_bits(hours));
+}
+
+void fill_from_value(analysis::ProbabilityResult& result, const EvalValue& value) {
+    result.failure_probability = value.failure_probability;
+    result.bdd_nodes = value.bdd_nodes;
+    result.bdd_total_nodes = value.bdd_total_nodes;
+    result.variables = value.variables;
+    result.modules = value.modules;
 }
 
 }  // namespace
@@ -42,18 +55,31 @@ EvalEngine::EvalEngine(const EngineOptions& options)
     : pool_(resolve_thread_count(options.threads)),
       cache_(options.cache_capacity),
       modularize_(options.modularize),
+      persistent_bdd_(options.persistent_bdd),
+      batch_rate_variants_(options.batch_rate_variants),
+      bdd_gc_node_threshold_(options.bdd_gc_node_threshold),
       analyze_calls_(obs::Registry::global().counter("engine.analyze_calls")),
       tree_hits_(obs::Registry::global().counter("engine.tree_hits")),
       tree_misses_(obs::Registry::global().counter("engine.tree_misses")),
       module_hits_(obs::Registry::global().counter("engine.module_hits")),
       module_misses_(obs::Registry::global().counter("engine.module_misses")),
-      lint_rejections_(obs::Registry::global().counter("engine.lint_rejections")) {
+      lint_rejections_(obs::Registry::global().counter("engine.lint_rejections")),
+      subtree_memo_hits_(obs::Registry::global().counter("bdd.subtree_memo_hits")),
+      subtree_memo_misses_(obs::Registry::global().counter("bdd.subtree_memo_misses")),
+      gc_collections_(obs::Registry::global().counter("bdd.gc.collections")),
+      batch_groups_(obs::Registry::global().counter("engine.batch_groups")),
+      batch_lanes_(obs::Registry::global().counter("engine.batch_lanes")) {
     base_.analyze_calls = analyze_calls_.value();
     base_.tree_hits = tree_hits_.value();
     base_.tree_misses = tree_misses_.value();
     base_.module_hits = module_hits_.value();
     base_.module_misses = module_misses_.value();
     base_.lint_rejections = lint_rejections_.value();
+    base_.subtree_memo_hits = subtree_memo_hits_.value();
+    base_.subtree_memo_misses = subtree_memo_misses_.value();
+    base_.gc_collections = gc_collections_.value();
+    base_.batch_groups = batch_groups_.value();
+    base_.batch_lanes = batch_lanes_.value();
 }
 
 EvalEngine::Stats EvalEngine::stats() const {
@@ -65,15 +91,30 @@ EvalEngine::Stats EvalEngine::stats() const {
     s.module_hits = module_hits_.value() - base_.module_hits;
     s.module_misses = module_misses_.value() - base_.module_misses;
     s.lint_rejections = lint_rejections_.value() - base_.lint_rejections;
+    s.subtree_memo_hits = subtree_memo_hits_.value() - base_.subtree_memo_hits;
+    s.subtree_memo_misses = subtree_memo_misses_.value() - base_.subtree_memo_misses;
+    s.gc_collections = gc_collections_.value() - base_.gc_collections;
+    s.batch_groups = batch_groups_.value() - base_.batch_groups;
+    s.batch_lanes = batch_lanes_.value() - base_.batch_lanes;
     return s;
 }
 
-analysis::ProbabilityResult EvalEngine::analyze(const ArchitectureModel& m,
-                                                const analysis::ProbabilityOptions& options) {
-    const obs::ObsSpan span("analyze", "engine");
-    static obs::Histogram& latency =
-        obs::Registry::global().histogram("engine.analyze_ns", obs::latency_bounds_ns());
-    const obs::ScopedTimer timer(latency);
+bdd::PersistentBddCompiler* EvalEngine::compiler_lane() {
+    if (!persistent_bdd_) return nullptr;
+    const std::thread::id id = std::this_thread::get_id();
+    const std::lock_guard<std::mutex> lock(compilers_mutex_);
+    std::unique_ptr<bdd::PersistentBddCompiler>& slot = compilers_[id];
+    if (slot == nullptr) {
+        bdd::PersistentBddCompiler::Options o;
+        o.gc_node_threshold = bdd_gc_node_threshold_;
+        slot = std::make_unique<bdd::PersistentBddCompiler>(o);
+    }
+    return slot.get();
+}
+
+EvalEngine::PreparedModel EvalEngine::prepare(const ArchitectureModel& m,
+                                              const analysis::ProbabilityOptions& options,
+                                              bool want_shape) {
     analyze_calls_.inc();
 
     ftree::FtBuildOptions build_options;
@@ -82,11 +123,11 @@ analysis::ProbabilityResult EvalEngine::analyze(const ArchitectureModel& m,
     build_options.rates = options.rates;
     ftree::FtBuildResult built = ftree::build_fault_tree(m, build_options);
 
-    analysis::ProbabilityResult result;
-    result.ft_stats = built.tree.stats();
-    result.approximated_blocks = built.approximated_blocks;
-    result.cycles_cut = built.cycles_cut;
-    result.warnings = std::move(built.warnings);
+    PreparedModel p;
+    p.result.ft_stats = built.tree.stats();
+    p.result.approximated_blocks = built.approximated_blocks;
+    p.result.cycles_cut = built.cycles_cut;
+    p.result.warnings = std::move(built.warnings);
 
     // The engine evaluates the canonical form of the tree: gate children
     // sorted by a structural subtree hash.  AND/OR commute, so the
@@ -97,17 +138,17 @@ analysis::ProbabilityResult EvalEngine::analyze(const ArchitectureModel& m,
     // same BDD variable orders, and bit-identical arithmetic.  That is
     // what makes a cache hit safe to substitute for a fresh evaluation
     // at any thread count.
-    const ftree::FaultTree canonical = ftree::canonical_form(built.tree);
-    const std::uint64_t tree_key =
-        hash::combine(canonical.structural_hash(), double_bits(options.mission_hours));
-    if (const auto cached = cache_.lookup(tree_key)) {
+    p.canonical = ftree::canonical_form(built.tree);
+    p.tree_key = hash::combine(p.canonical.structural_hash(), double_bits(options.mission_hours));
+    if (want_shape) p.shape_hash = p.canonical.shape_hash();
+    return p;
+}
+
+void EvalEngine::finish(PreparedModel& p, const analysis::ProbabilityOptions& options) {
+    if (const auto cached = cache_.lookup(p.tree_key)) {
         tree_hits_.inc();
-        result.failure_probability = cached->failure_probability;
-        result.bdd_nodes = cached->bdd_nodes;
-        result.bdd_total_nodes = cached->bdd_total_nodes;
-        result.variables = cached->variables;
-        result.modules = cached->modules;
-        return result;
+        fill_from_value(p.result, *cached);
+        return;
     }
     tree_misses_.inc();
 
@@ -117,7 +158,8 @@ analysis::ProbabilityResult EvalEngine::analyze(const ArchitectureModel& m,
     // previously scored candidates and replays from cache — module
     // subtree hashes are context-free, so the same region under a
     // different tree yields the same key and the same bitwise value.
-    const ftree::ModuleDecomposition dec = ftree::find_modules(canonical);
+    const ftree::ModuleDecomposition dec = ftree::find_modules(p.canonical);
+    bdd::PersistentBddCompiler* const compiler = compiler_lane();
     std::vector<double> module_prob(dec.size());
     std::vector<double> child_probs;
     EvalValue total;
@@ -126,8 +168,8 @@ analysis::ProbabilityResult EvalEngine::analyze(const ArchitectureModel& m,
     std::uint64_t local_misses = 0;
     for (std::size_t i = 0; i < dec.size(); ++i) {
         const ftree::Module& mod = dec.modules[i];
-        const std::uint64_t module_key = hash::combine(
-            hash::combine(kModuleKeySalt, mod.subtree_hash), double_bits(options.mission_hours));
+        const std::uint64_t module_key =
+            module_cache_key(mod.subtree_hash, options.mission_hours);
         if (modularize_) {
             if (const auto cached = cache_.lookup(module_key)) {
                 ++local_hits;
@@ -144,7 +186,10 @@ analysis::ProbabilityResult EvalEngine::analyze(const ArchitectureModel& m,
             child_probs.push_back(module_prob[child]);
         }
         const bdd::ModuleEvalResult eval =
-            bdd::evaluate_module(canonical, dec, i, child_probs, options.mission_hours);
+            compiler != nullptr
+                ? compiler->evaluate_module(p.canonical, dec, i, child_probs,
+                                            options.mission_hours)
+                : bdd::evaluate_module(p.canonical, dec, i, child_probs, options.mission_hours);
         module_prob[i] = eval.probability;
         total.bdd_nodes += eval.bdd_nodes;
         total.bdd_total_nodes += eval.bdd_total_nodes;
@@ -164,14 +209,149 @@ analysis::ProbabilityResult EvalEngine::analyze(const ArchitectureModel& m,
     }
 
     total.failure_probability = module_prob.back();
-    cache_.insert(tree_key, total);
+    cache_.insert(p.tree_key, total);
+    fill_from_value(p.result, total);
+}
 
-    result.failure_probability = total.failure_probability;
-    result.bdd_nodes = total.bdd_nodes;
-    result.bdd_total_nodes = total.bdd_total_nodes;
-    result.variables = total.variables;
-    result.modules = total.modules;
-    return result;
+void EvalEngine::finish_group(std::span<PreparedModel* const> lanes,
+                              const analysis::ProbabilityOptions& options) {
+    const obs::ObsSpan span("finish_group", "engine", "lanes",
+                            static_cast<double>(lanes.size()));
+    // Lanes share one canonical shape but carry distinct tree keys
+    // (rates differ); whole-tree hits from earlier batches drop out.
+    std::vector<PreparedModel*> live;
+    live.reserve(lanes.size());
+    for (PreparedModel* p : lanes) {
+        if (const auto cached = cache_.lookup(p->tree_key)) {
+            tree_hits_.inc();
+            fill_from_value(p->result, *cached);
+        } else {
+            tree_misses_.inc();
+            live.push_back(p);
+        }
+    }
+    if (live.empty()) return;
+    const std::size_t k = live.size();
+    bdd::PersistentBddCompiler* const compiler = compiler_lane();  // grouping implies persistence
+
+    // find_modules boundaries and order are purely structural, so every
+    // lane decomposes identically; the per-lane runs exist because
+    // module subtree hashes (the cache keys) include the lane's rates.
+    std::vector<ftree::ModuleDecomposition> decs;
+    decs.reserve(k);
+    for (const PreparedModel* p : live) decs.push_back(ftree::find_modules(p->canonical));
+    const std::size_t nmodules = decs.front().size();
+
+    std::vector<std::vector<double>> module_prob(k, std::vector<double>(nmodules));
+    std::vector<EvalValue> totals(k);
+    for (EvalValue& t : totals) t.modules = nmodules;
+    std::uint64_t local_hits = 0;
+    std::uint64_t local_misses = 0;
+
+    std::vector<std::uint64_t> keys(k);
+    std::vector<std::size_t> eval_lanes;
+    std::vector<std::pair<std::size_t, std::size_t>> dedup;  // (follower lane, leader lane)
+    std::unordered_map<std::uint64_t, std::size_t> first_with_key;
+    std::vector<const ftree::FaultTree*> trees;
+    std::vector<std::vector<double>> child_probs;
+    std::vector<std::span<const double>> child_spans;
+    for (std::size_t i = 0; i < nmodules; ++i) {
+        eval_lanes.clear();
+        dedup.clear();
+        first_with_key.clear();
+        for (std::size_t j = 0; j < k; ++j) {
+            keys[j] = module_cache_key(decs[j].modules[i].subtree_hash, options.mission_hours);
+            if (modularize_) {
+                if (const auto cached = cache_.lookup(keys[j])) {
+                    ++local_hits;
+                    module_prob[j][i] = cached->failure_probability;
+                    totals[j].bdd_nodes += cached->bdd_nodes;
+                    totals[j].bdd_total_nodes += cached->bdd_total_nodes;
+                    totals[j].variables += cached->variables;
+                    continue;
+                }
+                // In-group dedup: two lanes whose rates agree on this
+                // module share one evaluation (a hit in all but name).
+                if (const auto it = first_with_key.find(keys[j]); it != first_with_key.end()) {
+                    ++local_hits;
+                    dedup.emplace_back(j, it->second);
+                    continue;
+                }
+                first_with_key.emplace(keys[j], j);
+            }
+            ++local_misses;
+            eval_lanes.push_back(j);
+        }
+        std::vector<bdd::ModuleEvalResult> evals;
+        if (!eval_lanes.empty()) {
+            trees.clear();
+            child_probs.clear();
+            child_spans.clear();
+            child_probs.resize(eval_lanes.size());
+            for (std::size_t idx = 0; idx < eval_lanes.size(); ++idx) {
+                const std::size_t j = eval_lanes[idx];
+                trees.push_back(&live[j]->canonical);
+                for (const std::uint32_t child : decs[j].modules[i].child_modules) {
+                    child_probs[idx].push_back(module_prob[j][child]);
+                }
+                child_spans.emplace_back(child_probs[idx]);
+            }
+            // One compilation + one SoA sweep for every lane of the
+            // module; dec structure is lane-independent, so the first
+            // lane's decomposition addresses them all.
+            evals = compiler->evaluate_module_lanes(trees, decs.front(), i, child_spans,
+                                                    options.mission_hours);
+            for (std::size_t idx = 0; idx < eval_lanes.size(); ++idx) {
+                const std::size_t j = eval_lanes[idx];
+                const bdd::ModuleEvalResult& eval = evals[idx];
+                module_prob[j][i] = eval.probability;
+                totals[j].bdd_nodes += eval.bdd_nodes;
+                totals[j].bdd_total_nodes += eval.bdd_total_nodes;
+                totals[j].variables += eval.variables;
+                if (modularize_) {
+                    EvalValue module_value;
+                    module_value.failure_probability = eval.probability;
+                    module_value.bdd_nodes = eval.bdd_nodes;
+                    module_value.bdd_total_nodes = eval.bdd_total_nodes;
+                    module_value.variables = eval.variables;
+                    cache_.insert(keys[j], module_value);
+                }
+            }
+        }
+        for (const auto& [follower, leader] : dedup) {
+            // The leader is always an eval lane of this module (dedup
+            // only forms behind a cache miss), so its slot is final.
+            module_prob[follower][i] = module_prob[leader][i];
+            for (std::size_t idx = 0; idx < eval_lanes.size(); ++idx) {
+                if (eval_lanes[idx] == leader) {
+                    totals[follower].bdd_nodes += evals[idx].bdd_nodes;
+                    totals[follower].bdd_total_nodes += evals[idx].bdd_total_nodes;
+                    totals[follower].variables += evals[idx].variables;
+                    break;
+                }
+            }
+        }
+    }
+    if (modularize_) {
+        module_hits_.add(local_hits);
+        module_misses_.add(local_misses);
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+        totals[j].failure_probability = module_prob[j].back();
+        cache_.insert(live[j]->tree_key, totals[j]);
+        fill_from_value(live[j]->result, totals[j]);
+    }
+}
+
+analysis::ProbabilityResult EvalEngine::analyze(const ArchitectureModel& m,
+                                                const analysis::ProbabilityOptions& options) {
+    const obs::ObsSpan span("analyze", "engine");
+    static obs::Histogram& latency =
+        obs::Registry::global().histogram("engine.analyze_ns", obs::latency_bounds_ns());
+    const obs::ScopedTimer timer(latency);
+    PreparedModel p = prepare(m, options, false);
+    finish(p, options);
+    return std::move(p.result);
 }
 
 std::vector<analysis::ProbabilityResult> EvalEngine::analyze_batch(
@@ -179,10 +359,92 @@ std::vector<analysis::ProbabilityResult> EvalEngine::analyze_batch(
     const analysis::ProbabilityOptions& options) {
     const obs::ObsSpan span("analyze_batch", "engine", "batch_size",
                             static_cast<double>(models.size()));
-    std::vector<analysis::ProbabilityResult> results(models.size());
+    const bool group = batch_rate_variants_ && persistent_bdd_;
+
+    // Phase A (parallel): model -> canonical tree and keys.  All cache
+    // traffic waits for phase C, so the grouping below is a pure
+    // function of the batch — deterministic at any thread count.
+    std::vector<std::optional<PreparedModel>> prepared(models.size());
     pool_.parallel_for(models.size(), [&](std::size_t i) {
-        if (models[i] != nullptr) results[i] = analyze(*models[i], options);
+        if (models[i] != nullptr) prepared[i] = prepare(*models[i], options, group);
     });
+
+    // Phase B (serial, input order): dedup identical tree keys — the
+    // follower replays its leader, a tree hit in all but name — then
+    // group the remaining leaders by canonical shape, membership
+    // confirmed by exact structural comparison (hashes only shortlist).
+    std::unordered_map<std::uint64_t, std::size_t> leader_of_key;
+    std::vector<std::pair<std::size_t, std::size_t>> followers;  // (model, leader)
+    std::vector<std::size_t> leaders;
+    for (std::size_t i = 0; i < prepared.size(); ++i) {
+        if (!prepared[i].has_value()) continue;
+        if (const auto it = leader_of_key.find(prepared[i]->tree_key);
+            it != leader_of_key.end()) {
+            followers.emplace_back(i, it->second);
+        } else {
+            leader_of_key.emplace(prepared[i]->tree_key, i);
+            leaders.push_back(i);
+        }
+    }
+    std::vector<std::vector<std::size_t>> units;
+    if (group) {
+        std::unordered_map<std::uint64_t, std::vector<std::size_t>> units_of_shape;
+        for (const std::size_t i : leaders) {
+            std::vector<std::size_t>& candidates = units_of_shape[prepared[i]->shape_hash];
+            bool placed = false;
+            for (const std::size_t u : candidates) {
+                if (ftree::identical_shape(prepared[units[u].front()]->canonical,
+                                           prepared[i]->canonical)) {
+                    units[u].push_back(i);
+                    placed = true;
+                    break;
+                }
+            }
+            if (!placed) {
+                candidates.push_back(units.size());
+                units.push_back({i});
+            }
+        }
+    } else {
+        units.reserve(leaders.size());
+        for (const std::size_t i : leaders) units.push_back({i});
+    }
+    for (const std::vector<std::size_t>& unit : units) {
+        if (unit.size() > 1) {
+            batch_groups_.inc();
+            batch_lanes_.add(unit.size());
+        }
+    }
+
+    // Phase C (parallel over units): singles run the ordinary tail,
+    // multi-lane groups run the batched multi-lambda kernel.
+    pool_.parallel_for(units.size(), [&](std::size_t u) {
+        const std::vector<std::size_t>& unit = units[u];
+        if (unit.size() == 1) {
+            finish(*prepared[unit.front()], options);
+            return;
+        }
+        std::vector<PreparedModel*> ptrs;
+        ptrs.reserve(unit.size());
+        for (const std::size_t i : unit) ptrs.push_back(&*prepared[i]);
+        finish_group(ptrs, options);
+    });
+
+    for (const auto& [i, leader] : followers) {
+        tree_hits_.inc();
+        fill_from_value(prepared[i]->result, EvalValue{
+                                                 prepared[leader]->result.failure_probability,
+                                                 prepared[leader]->result.bdd_nodes,
+                                                 prepared[leader]->result.bdd_total_nodes,
+                                                 prepared[leader]->result.variables,
+                                                 prepared[leader]->result.modules,
+                                             });
+    }
+
+    std::vector<analysis::ProbabilityResult> results(models.size());
+    for (std::size_t i = 0; i < prepared.size(); ++i) {
+        if (prepared[i].has_value()) results[i] = std::move(prepared[i]->result);
+    }
     return results;
 }
 

@@ -18,7 +18,17 @@
 //     on, individual modules — so a candidate move that perturbs one
 //     region of the tree replays every untouched module from cache and
 //     recompiles only the modules its basic events intersect
-//     (see eval_cache.h).
+//     (see eval_cache.h);
+//   * with `persistent_bdd` on, every worker thread keeps ONE long-lived
+//     BDD compilation service (bdd::PersistentBddCompiler): compiled
+//     subtrees persist across candidates behind a structural compile
+//     memo, and a mark-and-compact collection bounds the arena
+//     (see docs/bdd.md);
+//   * analyze_batch additionally groups candidates whose canonical
+//     trees are shape-identical — rate-only variants, ubiquitous in
+//     sensitivity sweeps — and pushes each group's modules through the
+//     batched multi-lambda probability kernel: one compilation, one SoA
+//     sweep, k results.
 //
 // Determinism contract: for a fixed model and options, results are
 // bitwise identical regardless of thread count, cache capacity AND the
@@ -30,10 +40,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/probability.h"
+#include "bdd/from_fault_tree.h"
 #include "engine/eval_cache.h"
 #include "engine/thread_pool.h"
 #include "model/architecture.h"
@@ -54,6 +69,23 @@ struct EngineOptions {
     /// recompiled.  Off = whole-tree keying only (the PR-1 behaviour).
     /// Never changes results — evaluation is modular either way.
     bool modularize = true;
+    /// Keep one long-lived bdd::PersistentBddCompiler per worker thread
+    /// instead of a fresh throwaway BddManager per module: candidates
+    /// that share structure re-derive shared subtrees from the compile
+    /// memo instead of reallocating them.  Never changes probabilities —
+    /// only where the BDD nodes live (ProbabilityResult::bdd_total_nodes
+    /// becomes an allocation delta, see docs/bdd.md).
+    bool persistent_bdd = true;
+    /// Interior-node high water per persistent manager at which the next
+    /// compile safe point runs a mark-and-compact collection.
+    /// 0 disables collection.
+    std::size_t bdd_gc_node_threshold = std::size_t{1} << 20;
+    /// In analyze_batch, group candidates whose canonical trees are
+    /// shape-identical (rate-only variants) and evaluate each module for
+    /// all lanes of a group in ONE compilation + ONE batched multi-lambda
+    /// probability sweep.  Per-lane results are bitwise identical to
+    /// ungrouped evaluation.  Requires persistent_bdd.
+    bool batch_rate_variants = true;
 };
 
 /// Resolves `requested` (0 = ASILKIT_THREADS env var, else hardware
@@ -105,6 +137,18 @@ public:
         /// generation (explore::search_mapping reports them here so DSE
         /// accounting stays in one snapshot).
         std::uint64_t lint_rejections = 0;
+        /// Persistent-compilation view (zero with persistent_bdd off):
+        /// gates served by / inserted into the per-thread subtree memos
+        /// ("bdd.subtree_memo_*") and safe-point collections the
+        /// persistent managers ran ("bdd.gc.collections").
+        std::uint64_t subtree_memo_hits = 0;
+        std::uint64_t subtree_memo_misses = 0;
+        std::uint64_t gc_collections = 0;
+        /// Batched multi-lambda kernel view (zero with batching off):
+        /// shape-identical groups analyze_batch formed and the lanes
+        /// they carried ("engine.batch_groups" / "engine.batch_lanes").
+        std::uint64_t batch_groups = 0;
+        std::uint64_t batch_lanes = 0;
     };
     [[nodiscard]] Stats stats() const;
 
@@ -116,9 +160,35 @@ public:
     void clear_cache() { cache_.clear(); }
 
 private:
+    /// One model through build -> canonical -> keys, the thread-safe
+    /// front half of analyze(); `finish` / `finish_group` are the back
+    /// half (cache lookups, modular evaluation, inserts).
+    struct PreparedModel {
+        analysis::ProbabilityResult result;  ///< ft_stats / warnings filled
+        ftree::FaultTree canonical;
+        std::uint64_t tree_key = 0;
+        std::uint64_t shape_hash = 0;  ///< 0 unless grouping was requested
+    };
+    [[nodiscard]] PreparedModel prepare(const ArchitectureModel& m,
+                                        const analysis::ProbabilityOptions& options,
+                                        bool want_shape);
+    void finish(PreparedModel& p, const analysis::ProbabilityOptions& options);
+    void finish_group(std::span<PreparedModel* const> lanes,
+                      const analysis::ProbabilityOptions& options);
+
+    /// The calling thread's persistent compiler (created on first use),
+    /// or nullptr with persistent_bdd off.  Each compiler is used by
+    /// exactly one thread; the mutex guards only the map.
+    [[nodiscard]] bdd::PersistentBddCompiler* compiler_lane();
+
     ThreadPool pool_;
     EvalCache cache_;
     bool modularize_;
+    bool persistent_bdd_;
+    bool batch_rate_variants_;
+    std::size_t bdd_gc_node_threshold_;
+    std::mutex compilers_mutex_;
+    std::unordered_map<std::thread::id, std::unique_ptr<bdd::PersistentBddCompiler>> compilers_;
     // Registry-backed counters (relaxed atomic adds: analyze() runs
     // concurrently from pool tasks; stats() is a monitoring snapshot,
     // not a synchronisation point).  `base_` anchors the per-instance
@@ -129,6 +199,11 @@ private:
     obs::Counter& module_hits_;
     obs::Counter& module_misses_;
     obs::Counter& lint_rejections_;
+    obs::Counter& subtree_memo_hits_;
+    obs::Counter& subtree_memo_misses_;
+    obs::Counter& gc_collections_;
+    obs::Counter& batch_groups_;
+    obs::Counter& batch_lanes_;
     Stats base_;
 };
 

@@ -155,17 +155,22 @@ MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOpti
         constexpr double kRejected = std::numeric_limits<double>::infinity();
         std::atomic<std::uint64_t> rejected{0};
 
-        // Score all candidates of this iteration as one parallel batch.
-        // Each task copies the model and evaluates with its own fault
-        // tree and BDD manager; only the eval cache is shared (and a hit
-        // returns the bitwise-identical probability a miss would
-        // compute).  Provably-invalid candidates are rejected by the
-        // linter before fault-tree generation; their +infinity score is
-        // never selected, keeping results independent of the filter.
+        // Score all candidates of this iteration in two batched phases.
+        // Phase 1 (parallel): copy the model, apply the move, run the
+        // lint pre-filter and the (cheap) cost metric.  Provably-invalid
+        // candidates are rejected before fault-tree generation; their
+        // +infinity score is never selected, keeping results independent
+        // of the filter.  Phase 2: hand every survivor to the engine as
+        // ONE analyze_batch — that is where tree-key dedup and the
+        // batched multi-lambda kernel see the whole iteration at once
+        // (rejected slots stay null and are skipped).  Probabilities are
+        // bitwise identical to per-candidate analyze() calls.
         std::vector<Objective> scores(moves.size());
         {
             const obs::ObsSpan evaluate_span("evaluate", "explore", "candidates",
                                              static_cast<double>(moves.size()));
+            std::vector<ArchitectureModel> trials(moves.size());
+            std::vector<const ArchitectureModel*> models(moves.size(), nullptr);
             engine.pool().parallel_for(moves.size(), [&](std::size_t i) {
                 ArchitectureModel trial = m;
                 apply_merge(trial, moves[i].first, moves[i].second);
@@ -175,8 +180,15 @@ MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOpti
                     rejected.fetch_add(1, std::memory_order_relaxed);
                     return;
                 }
-                scores[i] = evaluate(trial, options, engine);
+                scores[i].cost = cost::total_cost(trial, options.metric);
+                trials[i] = std::move(trial);
+                models[i] = &trials[i];
             });
+            const std::vector<analysis::ProbabilityResult> batch =
+                engine.analyze_batch(models, options.probability);
+            for (std::size_t i = 0; i < moves.size(); ++i) {
+                if (models[i] != nullptr) scores[i].probability = batch[i].failure_probability;
+            }
         }
         obs_queue_depth.set(0.0);
         engine.note_lint_rejections(rejected.load(std::memory_order_relaxed));

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <functional>
 #include <ostream>
+#include <tuple>
 #include <unordered_set>
 
 #include "core/hash.h"
@@ -173,6 +174,42 @@ std::uint64_t FaultTree::structural_hash() const {
     return visit(root);
 }
 
+std::uint64_t FaultTree::shape_hash() const {
+    const FtRef root = top();  // throws when the tree has no top event
+    // Mirrors structural_hash() — first-occurrence event numbering keeps
+    // the sharing pattern — with the lambda bits omitted, so rate-only
+    // variants of one structure hash equal.
+    std::unordered_map<std::uint32_t, std::uint64_t> basic_id;
+    std::unordered_map<std::uint32_t, std::uint64_t> gate_memo;
+    std::function<std::uint64_t(FtRef)> visit = [&](FtRef r) -> std::uint64_t {
+        if (r.kind == FtRef::Kind::Basic) {
+            const auto [it, inserted] = basic_id.try_emplace(r.index, basic_id.size());
+            return hash::combine(0x7368617065ull /* "shape" */, it->second);
+        }
+        if (auto it = gate_memo.find(r.index); it != gate_memo.end()) return it->second;
+        const Gate& g = gates_[r.index];
+        std::uint64_t h = hash::combine(0x67617465ull /* "gate" */,
+                                        static_cast<std::uint64_t>(g.kind));
+        for (FtRef c : g.children) h = hash::combine(h, visit(c));
+        gate_memo.emplace(r.index, h);
+        return h;
+    };
+    return visit(root);
+}
+
+bool identical_shape(const FaultTree& a, const FaultTree& b) {
+    if (a.has_top() != b.has_top()) return false;
+    if (a.has_top() && a.top() != b.top()) return false;
+    if (a.basic_events().size() != b.basic_events().size()) return false;
+    if (a.gates().size() != b.gates().size()) return false;
+    for (std::size_t g = 0; g < a.gates().size(); ++g) {
+        const Gate& ga = a.gates()[g];
+        const Gate& gb = b.gates()[g];
+        if (ga.kind != gb.kind || ga.children != gb.children) return false;
+    }
+    return true;
+}
+
 FaultTree canonical_form(const FaultTree& ft) {
     const FtRef root = ft.top();
 
@@ -205,10 +242,23 @@ FaultTree canonical_form(const FaultTree& ft) {
         }
     }
 
-    // Phase 1: bottom-up ordering hashes.  Child hashes are sorted
-    // before combining, so the hash is invariant under child permutation
-    // — it only *orders* children; the final structural_hash() of the
-    // rebuilt tree is what captures sharing exactly.
+    // Phase 1: bottom-up ordering hashes, one rate-blind and one
+    // rate-inclusive per node.  Child hashes are sorted before
+    // combining, so both are invariant under child permutation — they
+    // only *order* children; the final structural_hash() of the rebuilt
+    // tree is what captures sharing exactly.
+    //
+    // Children sort primarily by the rate-blind hash (shape + sharing),
+    // with the rate-inclusive hash as tiebreaker.  Rates therefore only
+    // order siblings that shape and sharing cannot separate — so a
+    // rate-only perturbation (the iterative-DSE regime: one
+    // lambda_override nudged per round) almost never reorders children,
+    // and the perturbed variants canonicalise to *index-identical*
+    // shapes.  That shape stability is what the engine's batched
+    // multi-lambda evaluation and the persistent compiler's subtree
+    // memo key on (see shape_hash()/identical_shape()).  Sorting by the
+    // rate-inclusive hash alone would make every lambda nudge reshuffle
+    // siblings into an unrelated order.
     std::unordered_map<std::uint32_t, std::uint64_t> gate_prelim;
     std::function<std::uint64_t(FtRef)> prelim = [&](FtRef r) -> std::uint64_t {
         if (r.kind == FtRef::Kind::Basic) {
@@ -231,12 +281,34 @@ FaultTree canonical_form(const FaultTree& ft) {
         gate_prelim.emplace(r.index, h);
         return h;
     };
+    std::unordered_map<std::uint32_t, std::uint64_t> gate_shape;
+    std::function<std::uint64_t(FtRef)> shape_prelim = [&](FtRef r) -> std::uint64_t {
+        if (r.kind == FtRef::Kind::Basic) {
+            // Reference counts, not rates: a branch containing a
+            // *shared* event (the single resource event a candidate
+            // merge creates) must still order apart from a pristine
+            // branch of the same shape.
+            return hash::combine(0x7368617065ull /* "shape" */, basic_refs[r.index]);
+        }
+        if (auto it = gate_shape.find(r.index); it != gate_shape.end()) return it->second;
+        const Gate& g = ft.gate(r.index);
+        std::vector<std::uint64_t> child_hashes;
+        child_hashes.reserve(g.children.size());
+        for (FtRef c : g.children) child_hashes.push_back(shape_prelim(c));
+        std::sort(child_hashes.begin(), child_hashes.end());
+        std::uint64_t h =
+            hash::combine(0x67617465ull /* "gate" */, static_cast<std::uint64_t>(g.kind));
+        h = hash::combine(h, gate_refs[r.index]);
+        for (const std::uint64_t ch : child_hashes) h = hash::combine(h, ch);
+        gate_shape.emplace(r.index, h);
+        return h;
+    };
 
     // Phase 2: rebuild with children stably sorted by their phase-1
-    // hash.  Stability keeps ties (identical subtree shapes whose
-    // sharing differs) in original order — those never produce a false
-    // cache hit because the final order-dependent hash still separates
-    // them.
+    // (rate-blind, rate-inclusive) hash pair.  Stability keeps full
+    // ties (identical subtree shapes, sharing and rates) in original
+    // order — those never produce a false cache hit because the final
+    // order-dependent hash still separates them.
     FaultTree out;
     std::unordered_map<std::uint32_t, FtRef> basic_map;
     std::unordered_map<std::uint32_t, FtRef> gate_map;
@@ -250,16 +322,18 @@ FaultTree canonical_form(const FaultTree& ft) {
         }
         if (auto it = gate_map.find(r.index); it != gate_map.end()) return it->second;
         const Gate& g = ft.gate(r.index);
-        std::vector<std::pair<std::uint64_t, std::size_t>> order;
+        std::vector<std::tuple<std::uint64_t, std::uint64_t, std::size_t>> order;
         order.reserve(g.children.size());
         for (std::size_t i = 0; i < g.children.size(); ++i) {
-            order.emplace_back(prelim(g.children[i]), i);
+            order.emplace_back(shape_prelim(g.children[i]), prelim(g.children[i]), i);
         }
-        std::stable_sort(order.begin(), order.end(),
-                         [](const auto& a, const auto& b) { return a.first < b.first; });
+        std::stable_sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+            if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) < std::get<0>(b);
+            return std::get<1>(a) < std::get<1>(b);
+        });
         std::vector<FtRef> children;
         children.reserve(order.size());
-        for (const auto& [h, i] : order) children.push_back(rebuild(g.children[i]));
+        for (const auto& [sh, h, i] : order) children.push_back(rebuild(g.children[i]));
         const FtRef added = out.add_gate(g.name, g.kind, std::move(children));
         gate_map.emplace(r.index, added);
         return added;

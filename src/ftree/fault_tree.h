@@ -106,6 +106,18 @@ public:
     /// tree has no top event.
     [[nodiscard]] std::uint64_t structural_hash() const;
 
+    /// structural_hash() with the failure rates left out: two trees
+    /// share a shape hash when they are isomorphic as shared DAGs with
+    /// identical gate kinds, child order and event sharing, whatever
+    /// their lambdas.  This is the grouping key of the engine's batched
+    /// multi-lambda evaluation: rate-only variants of one candidate
+    /// shape collapse onto one group and share a single BDD compilation
+    /// (the BDD is a function of structure only; rates enter at the
+    /// probability sweep).  Like any 64-bit key it can collide, so
+    /// group membership is confirmed with identical_shape() before any
+    /// lane sharing.  Throws when the tree has no top event.
+    [[nodiscard]] std::uint64_t shape_hash() const;
+
     /// The basic events reachable from `root` (deduplicated, by index).
     [[nodiscard]] std::vector<std::uint32_t> reachable_basic_events(FtRef root) const;
 
@@ -131,5 +143,17 @@ private:
 /// cache turns the steepest-descent candidate sweep — where symmetric
 /// moves are ubiquitous — into cache hits.
 [[nodiscard]] FaultTree canonical_form(const FaultTree& ft);
+
+/// Exact index-wise structural equality ignoring names and failure
+/// rates: same gate count/kinds/child lists, same basic-event count,
+/// same top reference.  Conservative for arbitrary trees (isomorphic
+/// trees with permuted indices compare unequal — never the unsafe
+/// direction), and exact for trees built by canonical_form(), whose
+/// rebuild numbers nodes in a structure-determined traversal order:
+/// shape-identical canonical trees are index-identical.  This is the
+/// collision-proof confirmation behind shape_hash() grouping, and it
+/// guarantees that an event/gate index in one tree addresses the
+/// corresponding node of every tree in the group.
+[[nodiscard]] bool identical_shape(const FaultTree& a, const FaultTree& b);
 
 }  // namespace asilkit::ftree

@@ -1,0 +1,386 @@
+// Persistent-manager tests: mark-and-compact collection (pin contract,
+// unique-table rebuild, memo invalidation), the batched multi-lambda
+// probability kernel (bitwise vs sequential, property vs brute force),
+// the forced-collision regression for the probability memo, and the
+// PersistentBddCompiler subtree memo.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "bdd/from_fault_tree.h"
+#include "ftree/fault_tree.h"
+#include "ftree/modules.h"
+#include "helpers.h"
+
+namespace asilkit::bdd {
+namespace {
+
+/// The same tree with every failure rate scaled: shape-identical by
+/// construction (indices preserved), rates free — the "rate-only
+/// candidate variant" the persistent compiler is built for.
+ftree::FaultTree scale_rates(const ftree::FaultTree& ft, double factor) {
+    ftree::FaultTree out;
+    for (const ftree::BasicEvent& b : ft.basic_events()) {
+        (void)out.add_basic_event(b.name, b.lambda * factor);
+    }
+    std::vector<ftree::FtRef> gate_refs;
+    for (const ftree::Gate& g : ft.gates()) {
+        gate_refs.push_back(out.add_gate(g.name, g.kind, {}));
+    }
+    for (std::size_t i = 0; i < ft.gates().size(); ++i) {
+        for (const ftree::FtRef c : ft.gates()[i].children) out.add_child(gate_refs[i], c);
+    }
+    if (ft.has_top()) out.set_top(ft.top());
+    return out;
+}
+
+// ---- generational collection ------------------------------------------------
+
+TEST(BddGc, CollectCompactsAndPreservesPinnedRoots) {
+    BddManager mgr(6);
+    const BddRef f = mgr.apply_or(mgr.apply_and(mgr.variable(0), mgr.variable(1)),
+                                  mgr.apply_and(mgr.variable(2), mgr.variable(3)));
+    const std::vector<double> p{0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+    const double prob_before = mgr.probability(f, p);
+    const std::size_t f_nodes = mgr.node_count(f);
+    const BddManager::PinId pin = mgr.pin(f);
+
+    // Unpinned garbage: dies at the next collection.
+    (void)mgr.apply_or(mgr.apply_and(mgr.variable(4), mgr.variable(5)), mgr.variable(0));
+    (void)mgr.apply_and(mgr.variable(3), mgr.variable(5));
+
+    const std::size_t size_before = mgr.size();
+    const BddManager::GcResult gc = mgr.collect();
+    EXPECT_EQ(gc.live_nodes + gc.freed_nodes, size_before);
+    EXPECT_GT(gc.freed_nodes, 0u);
+    EXPECT_EQ(mgr.size(), gc.live_nodes);
+    EXPECT_EQ(mgr.gc_collections(), 1u);
+
+    const BddRef f2 = mgr.pinned(pin);
+    EXPECT_EQ(mgr.node_count(f2), f_nodes);
+    // The probability memo was dropped at collection (node numbering
+    // changed); the recomputed value must be bitwise what it was.
+    EXPECT_EQ(mgr.probability(f2, p), prob_before);
+
+    // Only the pinned subgraph survived: the arena is exactly as large
+    // as a fresh manager's reachable set for the same function.
+    BddManager fresh(6);
+    const BddRef g = fresh.apply_or(fresh.apply_and(fresh.variable(0), fresh.variable(1)),
+                                    fresh.apply_and(fresh.variable(2), fresh.variable(3)));
+    EXPECT_EQ(mgr.size(), fresh.node_count(g));
+
+    mgr.unpin(pin);
+    EXPECT_THROW((void)mgr.pinned(pin), AnalysisError);
+}
+
+TEST(BddGc, UniqueTableRebuildKeepsHashConsing) {
+    BddManager mgr(4);
+    const BddRef f = mgr.apply_or(mgr.apply_and(mgr.variable(0), mgr.variable(1)),
+                                  mgr.variable(2));
+    const BddManager::PinId pin = mgr.pin(f);
+    (void)mgr.apply_and(mgr.variable(2), mgr.variable(3));  // garbage
+    (void)mgr.collect();
+    // Re-deriving the pinned function must hash-cons onto the surviving
+    // (renumbered) nodes, not allocate duplicates.
+    const std::size_t size_after_gc = mgr.size();
+    const BddRef rebuilt = mgr.apply_or(mgr.apply_and(mgr.variable(0), mgr.variable(1)),
+                                        mgr.variable(2));
+    EXPECT_EQ(rebuilt, mgr.pinned(pin));
+    // The derivation allocates only the build intermediates that died at
+    // the collection (standalone leaves, the bare AND) — everything in
+    // the pinned subgraph is found in the rebuilt unique table, so a
+    // second collection is back to exactly the pinned subgraph.
+    const BddManager::GcResult again = mgr.collect();
+    EXPECT_EQ(again.live_nodes, size_after_gc);
+    EXPECT_EQ(mgr.size(), size_after_gc);
+}
+
+TEST(BddGc, PinTicketsRecycleAndValidate) {
+    BddManager mgr(2);
+    const BddManager::PinId a = mgr.pin(mgr.variable(0));
+    const BddManager::PinId b = mgr.pin(mgr.variable(1));
+    EXPECT_NE(a, b);
+    mgr.unpin(a);
+    const BddManager::PinId c = mgr.pin(kTrue);  // pinning a terminal is legal
+    EXPECT_EQ(c, a);                             // free-list recycling
+    EXPECT_EQ(mgr.pinned(c), kTrue);
+    EXPECT_THROW(mgr.unpin(99), AnalysisError);
+    mgr.unpin(b);
+    mgr.unpin(c);
+}
+
+TEST(BddGc, ThresholdPollingContract) {
+    BddManager mgr(8);
+    EXPECT_FALSE(mgr.gc_due());  // 0 disables the trigger
+    mgr.set_gc_threshold(4);
+    EXPECT_EQ(mgr.gc_threshold(), 4u);
+    BddRef acc = mgr.variable(0);
+    for (std::uint32_t v = 1; v < 8; ++v) acc = mgr.apply_or(acc, mgr.variable(v));
+    EXPECT_TRUE(mgr.gc_due());
+    const BddManager::PinId pin = mgr.pin(acc);
+    (void)mgr.collect();
+    // The OR chain is all live, so compaction cannot get under the
+    // threshold here — gc_due() keeps reporting, collect() still works.
+    EXPECT_EQ(mgr.size(), mgr.node_count(mgr.pinned(pin)));
+    mgr.unpin(pin);
+}
+
+TEST(BddGc, EnsureVariablesWidensWithoutDisturbingDiagrams) {
+    BddManager mgr(2);
+    const BddRef f = mgr.apply_and(mgr.variable(0), mgr.variable(1));
+    mgr.ensure_variables(5);
+    EXPECT_EQ(mgr.variable_count(), 5u);
+    const BddRef g = mgr.apply_or(f, mgr.variable(4));
+    const std::vector<double> p{0.5, 0.5, 0.0, 0.0, 0.25};
+    EXPECT_NEAR(mgr.probability(g, p), 0.25 + 0.75 * 0.25, 1e-12);
+    mgr.ensure_variables(3);  // never shrinks
+    EXPECT_EQ(mgr.variable_count(), 5u);
+}
+
+// ---- batched multi-lambda kernel --------------------------------------------
+
+TEST(BatchKernel, MatchesSequentialProbabilityBitwise) {
+    std::mt19937 rng(42);
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    for (std::uint32_t seed = 0; seed < 20; ++seed) {
+        const ftree::FaultTree ft = testing::random_fault_tree(seed, 4 + seed % 9, 2 + seed % 5);
+        const CompiledFaultTree compiled = compile_fault_tree(ft);
+        const std::size_t nvars = compiled.event_of_var.size();
+        std::vector<ProbVector> lanes(5, ProbVector(nvars));
+        for (ProbVector& lane : lanes) {
+            for (double& v : lane) v = dist(rng);
+        }
+        const std::vector<double> batch = compiled.manager.probability_batch(compiled.root, lanes);
+        ASSERT_EQ(batch.size(), lanes.size());
+        for (std::size_t j = 0; j < lanes.size(); ++j) {
+            // Bitwise: the per-node Shannon expression is a pure function
+            // of the canonical diagram, whatever the sweep extent.
+            EXPECT_EQ(batch[j], compiled.manager.probability(compiled.root, lanes[j]))
+                << "seed " << seed << " lane " << j;
+        }
+    }
+}
+
+TEST(BatchKernel, PropertyMatchesBruteForcePerLane) {
+    const double factors[] = {1.0, 1.25, 1.5, 2.0};
+    for (std::uint32_t seed = 0; seed < 12; ++seed) {
+        const ftree::FaultTree base = testing::random_fault_tree(seed, 3 + seed % 8, 2 + seed % 4);
+        const CompiledFaultTree compiled = compile_fault_tree(base);
+        std::vector<ftree::FaultTree> variants;
+        std::vector<ProbVector> lanes;
+        for (const double factor : factors) {
+            variants.push_back(scale_rates(base, factor));
+            ProbVector lane;
+            for (const std::uint32_t event : compiled.event_of_var) {
+                lane.push_back(
+                    basic_event_probability(variants.back().basic_event(event).lambda, 1.0));
+            }
+            lanes.push_back(std::move(lane));
+        }
+        const std::vector<double> batch = compiled.manager.probability_batch(compiled.root, lanes);
+        for (std::size_t j = 0; j < variants.size(); ++j) {
+            EXPECT_NEAR(batch[j], testing::brute_force_probability(variants[j]), 1e-10)
+                << "seed " << seed << " lane " << j;
+        }
+    }
+}
+
+TEST(BatchKernel, TerminalFastPaths) {
+    BddManager mgr(2);
+    const std::vector<ProbVector> lanes{{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}};
+    const std::vector<double> ones = mgr.probability_batch(kTrue, lanes);
+    const std::vector<double> zeros = mgr.probability_batch(kFalse, lanes);
+    for (const double v : ones) EXPECT_EQ(v, 1.0);
+    for (const double v : zeros) EXPECT_EQ(v, 0.0);
+}
+
+TEST(BatchKernel, ValidatesLanes) {
+    BddManager mgr(3);
+    const BddRef f = mgr.apply_or(mgr.variable(0), mgr.variable(2));
+    EXPECT_THROW((void)mgr.probability_batch(f, {}), AnalysisError);
+    const std::vector<ProbVector> ragged{{0.1, 0.2, 0.3}, {0.1, 0.2}};
+    EXPECT_THROW((void)mgr.probability_batch(f, ragged), AnalysisError);
+    // Lanes may be shorter than variable_count(), but never shorter than
+    // the reachable variables (f tests variable 2).
+    const std::vector<ProbVector> shallow{{0.1, 0.2}, {0.3, 0.4}};
+    EXPECT_THROW((void)mgr.probability_batch(f, shallow), AnalysisError);
+    const BddRef g = mgr.variable(0);
+    const std::vector<double> ok = mgr.probability_batch(g, shallow);
+    EXPECT_EQ(ok[0], 0.1);
+    EXPECT_EQ(ok[1], 0.3);
+}
+
+// ---- probability memo: forced fingerprint collision -------------------------
+//
+// probability() used to trust a 64-bit chained fingerprint of the
+// probability vector (key = mix64(key ^ bits), seeded mix64(n)).  mix64
+// is an invertible bijection, so a second vector colliding with any
+// given one can be constructed outright — and the memo then served the
+// FIRST vector's per-node probabilities for the second.  The memo now
+// compares a retained copy of the vector bit-for-bit.
+
+TEST(ProbabilityMemo, SurvivesForcedFingerprintCollision) {
+    BddManager mgr(2);
+    const BddRef f = mgr.variable(0);
+    const auto bits = [](double d) { return std::bit_cast<std::uint64_t>(d); };
+
+    const double a1 = 0.25;
+    const double a2 = 0.5;
+    const double b1 = 0.75;
+    // Choose b2 so (b1, b2) collides with (a1, a2) under the retired
+    // fingerprint: equal chain state before the final mix64.
+    const std::uint64_t k0 = detail::mix64(2);
+    const double b2 = std::bit_cast<double>(detail::mix64(k0 ^ bits(a1)) ^
+                                            detail::mix64(k0 ^ bits(b1)) ^ bits(a2));
+
+    const auto retired_fingerprint = [&](double p1, double p2) {
+        std::uint64_t key = detail::mix64(2);  // mix64(variable_count)
+        key = detail::mix64(key ^ bits(p1));
+        key = detail::mix64(key ^ bits(p2));
+        return key;
+    };
+    ASSERT_EQ(retired_fingerprint(a1, a2), retired_fingerprint(b1, b2));
+
+    // f only tests variable 0, so the second lane's garbage double is
+    // never read — but the vectors differ, so the memo must not replay.
+    const std::vector<double> va{a1, a2};
+    const std::vector<double> vb{b1, b2};
+    EXPECT_EQ(mgr.probability(f, va), 0.25);
+    EXPECT_EQ(mgr.probability(f, vb), 0.75);  // a stale memo returns 0.25
+    EXPECT_EQ(mgr.probability(f, va), 0.25);
+}
+
+// ---- PersistentBddCompiler --------------------------------------------------
+
+TEST(PersistentCompiler, RateVariantsHitSubtreeMemo) {
+    const ftree::FaultTree ft = testing::random_fault_tree(7, 10, 6);
+    PersistentBddCompiler comp;
+    const PersistentBddCompiler::CompileResult first = comp.compile(ft);
+    EXPECT_GT(first.nodes_allocated, 0u);
+    const PersistentBddCompiler::Stats s1 = comp.stats();
+    EXPECT_EQ(s1.memo_hits, 0u);
+    EXPECT_GT(s1.memo_misses, 0u);
+
+    // A rate-only variant is a 100 % memo hit: same diagram, same root,
+    // zero allocation — the memo keys are rate-blind.
+    const PersistentBddCompiler::CompileResult second = comp.compile(scale_rates(ft, 1.5));
+    EXPECT_EQ(second.root, first.root);
+    EXPECT_EQ(second.event_of_var, first.event_of_var);
+    EXPECT_EQ(second.nodes_allocated, 0u);
+    const PersistentBddCompiler::Stats s2 = comp.stats();
+    EXPECT_GT(s2.memo_hits, s1.memo_hits);
+    EXPECT_EQ(s2.memo_misses, s1.memo_misses);
+}
+
+TEST(PersistentCompiler, CompileMatchesFreshManagerBitwise) {
+    PersistentBddCompiler comp;
+    for (std::uint32_t seed = 0; seed < 10; ++seed) {
+        const ftree::FaultTree ft = testing::random_fault_tree(seed, 4 + seed % 8, 2 + seed % 5);
+        const PersistentBddCompiler::CompileResult res = comp.compile(ft);
+        const std::vector<ProbVector> lanes{
+            PersistentBddCompiler::variable_probabilities(ft, res.event_of_var, 1.0)};
+        const double persistent = comp.manager().probability_batch(res.root, lanes).front();
+
+        const CompiledFaultTree fresh = compile_fault_tree(ft);
+        const double reference =
+            fresh.manager.probability(fresh.root, fresh.variable_probabilities(ft, 1.0));
+        EXPECT_EQ(persistent, reference) << "seed " << seed;
+    }
+}
+
+TEST(PersistentCompiler, ModuleEvaluationMatchesFreshBitwise) {
+    PersistentBddCompiler comp;
+    for (std::uint32_t seed = 0; seed < 8; ++seed) {
+        const ftree::FaultTree ft =
+            ftree::canonical_form(testing::random_fault_tree(seed, 6 + seed % 6, 3 + seed % 4));
+        const ftree::ModuleDecomposition dec = ftree::find_modules(ft);
+        std::vector<double> module_prob(dec.size());
+        std::vector<double> child_probs;
+        for (std::size_t i = 0; i < dec.size(); ++i) {
+            child_probs.clear();
+            for (const std::uint32_t child : dec.modules[i].child_modules) {
+                child_probs.push_back(module_prob[child]);
+            }
+            const ModuleEvalResult fresh = evaluate_module(ft, dec, i, child_probs, 1.0);
+            const ModuleEvalResult persistent =
+                comp.evaluate_module(ft, dec, i, child_probs, 1.0);
+            EXPECT_EQ(persistent.probability, fresh.probability)
+                << "seed " << seed << " module " << i;
+            EXPECT_EQ(persistent.bdd_nodes, fresh.bdd_nodes);
+            EXPECT_EQ(persistent.variables, fresh.variables);
+            module_prob[i] = fresh.probability;
+        }
+    }
+}
+
+TEST(PersistentCompiler, LanesMatchPerLaneEvaluationBitwise) {
+    const ftree::FaultTree base = testing::random_fault_tree(11, 8, 5);
+    const double factors[] = {1.0, 1.25, 1.5, 2.0};
+    std::vector<ftree::FaultTree> canon;
+    for (const double factor : factors) {
+        canon.push_back(ftree::canonical_form(scale_rates(base, factor)));
+    }
+    const std::size_t k = canon.size();
+    for (std::size_t j = 1; j < k; ++j) {
+        ASSERT_TRUE(ftree::identical_shape(canon.front(), canon[j]))
+            << "rate-only variants must canonicalise index-identically";
+    }
+    std::vector<ftree::ModuleDecomposition> decs;
+    for (const ftree::FaultTree& ft : canon) decs.push_back(ftree::find_modules(ft));
+    const std::size_t nmodules = decs.front().size();
+
+    PersistentBddCompiler comp;
+    std::vector<std::vector<double>> batched(k, std::vector<double>(nmodules));
+    std::vector<std::vector<double>> reference(k, std::vector<double>(nmodules));
+    std::vector<const ftree::FaultTree*> trees;
+    for (const ftree::FaultTree& ft : canon) trees.push_back(&ft);
+    for (std::size_t i = 0; i < nmodules; ++i) {
+        std::vector<std::vector<double>> child_probs(k);
+        std::vector<std::span<const double>> spans;
+        for (std::size_t j = 0; j < k; ++j) {
+            for (const std::uint32_t child : decs[j].modules[i].child_modules) {
+                child_probs[j].push_back(batched[j][child]);
+            }
+            spans.emplace_back(child_probs[j]);
+        }
+        const std::vector<ModuleEvalResult> lanes =
+            comp.evaluate_module_lanes(trees, decs.front(), i, spans, 1.0);
+        ASSERT_EQ(lanes.size(), k);
+        for (std::size_t j = 0; j < k; ++j) {
+            batched[j][i] = lanes[j].probability;
+            std::vector<double> ref_children;
+            for (const std::uint32_t child : decs[j].modules[i].child_modules) {
+                ref_children.push_back(reference[j][child]);
+            }
+            const ModuleEvalResult ref =
+                evaluate_module(canon[j], decs[j], i, ref_children, 1.0);
+            reference[j][i] = ref.probability;
+            EXPECT_EQ(batched[j][i], reference[j][i]) << "module " << i << " lane " << j;
+        }
+    }
+}
+
+TEST(PersistentCompiler, CollectionsDoNotChangeResults) {
+    PersistentBddCompiler tiny({.gc_node_threshold = 32});
+    PersistentBddCompiler big;  // default threshold: never reached here
+    for (std::uint32_t seed = 0; seed < 20; ++seed) {
+        const ftree::FaultTree ft = testing::random_fault_tree(seed, 5 + seed % 9, 3 + seed % 5);
+        const PersistentBddCompiler::CompileResult rt = tiny.compile(ft);
+        const PersistentBddCompiler::CompileResult rb = big.compile(ft);
+        const std::vector<ProbVector> lanes{
+            PersistentBddCompiler::variable_probabilities(ft, rt.event_of_var, 1.0)};
+        EXPECT_EQ(tiny.manager().probability_batch(rt.root, lanes).front(),
+                  big.manager().probability_batch(rb.root, lanes).front())
+            << "seed " << seed;
+    }
+    EXPECT_GT(tiny.stats().collections, 0u);
+    EXPECT_EQ(big.stats().collections, 0u);
+}
+
+}  // namespace
+}  // namespace asilkit::bdd

@@ -444,6 +444,141 @@ TEST(Modularize, UntouchedModulesReplayAcrossVariants) {
     EXPECT_EQ(after.module_hits, stats.module_hits);
 }
 
+// ---- persistent compilation & the batched multi-lambda kernel --------------
+
+TEST(Persistence, ToggleNeverChangesSearchResults) {
+    // Persistent managers, the subtree compile memo and batch grouping
+    // only change where BDD nodes live and how often they are rebuilt —
+    // the whole search must be bitwise identical with everything off
+    // (fresh throwaway managers, the PR-1 behaviour) and everything on,
+    // at any thread count.
+    ArchitectureModel base = scenarios::chain_n_stages(3);
+    for (const char* n : {"f1", "f2", "f3"}) transform::expand(base, base.find_app_node(n));
+
+    ArchitectureModel off_model = base;
+    explore::MappingSearchOptions off;
+    off.engine = {.threads = 1,
+                  .cache_capacity = 1 << 12,
+                  .persistent_bdd = false,
+                  .batch_rate_variants = false};
+    const auto r_off = explore::search_mapping(off_model, off);
+
+    ArchitectureModel mid_model = base;
+    explore::MappingSearchOptions mid;  // persistent on, grouping off
+    mid.engine = {.threads = 4, .cache_capacity = 1 << 12, .batch_rate_variants = false};
+    const auto r_mid = explore::search_mapping(mid_model, mid);
+
+    ArchitectureModel on_model = base;
+    explore::MappingSearchOptions on;  // defaults: persistent + batching
+    on.engine = {.threads = 4, .cache_capacity = 1 << 12};
+    engine::EvalEngine on_engine(on.engine);
+    const auto r_on = explore::search_mapping(on_model, on, on_engine);
+
+    for (const auto* r : {&r_mid, &r_on}) {
+        EXPECT_EQ(r_off.probability_before, r->probability_before);  // bitwise
+        EXPECT_EQ(r_off.probability_after, r->probability_after);
+        EXPECT_EQ(r_off.cost_after, r->cost_after);
+        EXPECT_EQ(r_off.merges, r->merges);
+        EXPECT_EQ(r_off.iterations, r->iterations);
+    }
+    EXPECT_EQ(io::to_json(off_model).dump(), io::to_json(mid_model).dump());
+    EXPECT_EQ(io::to_json(off_model).dump(), io::to_json(on_model).dump());
+
+    // The persistent run actually exercised the subtree memo.
+    const auto stats = on_engine.stats();
+    EXPECT_GT(stats.subtree_memo_misses, 0u);
+    EXPECT_GT(stats.subtree_memo_hits, 0u);
+}
+
+TEST(Persistence, ForcedCollectionsStillExact) {
+    // A pathologically small GC threshold forces mark-and-compact
+    // collections throughout the search; probabilities, the selected
+    // mapping and the final model must not move.
+    ArchitectureModel off_model = scenarios::chain_n_stages(5);
+    explore::MappingSearchOptions off;
+    off.engine = {.threads = 1,
+                  .cache_capacity = 0,
+                  .persistent_bdd = false,
+                  .batch_rate_variants = false};
+    const auto r_off = explore::search_mapping(off_model, off);
+
+    ArchitectureModel gc_model = scenarios::chain_n_stages(5);
+    explore::MappingSearchOptions gc;
+    gc.engine = {.threads = 2, .cache_capacity = 0, .bdd_gc_node_threshold = 64};
+    engine::EvalEngine gc_engine(gc.engine);
+    const auto r_gc = explore::search_mapping(gc_model, gc, gc_engine);
+
+    EXPECT_EQ(r_off.probability_after, r_gc.probability_after);  // bitwise
+    EXPECT_EQ(r_off.cost_after, r_gc.cost_after);
+    EXPECT_EQ(r_off.merges, r_gc.merges);
+    EXPECT_EQ(io::to_json(off_model).dump(), io::to_json(gc_model).dump());
+    EXPECT_GT(gc_engine.stats().gc_collections, 0u)
+        << "threshold 64 must trigger collections on this workload";
+}
+
+TEST(BatchRateVariants, GroupsLanesAndMatchesSoloAnalysis) {
+    // Rate-only variants of one architecture: identical canonical shape,
+    // distinct tree keys.  analyze_batch must collapse them onto one
+    // shape group, push the modules through the multi-lambda kernel, and
+    // reproduce the solo (fresh-manager, ungrouped) probabilities
+    // bitwise.
+    const ArchitectureModel base = scenarios::chain_n_stages(4);
+    std::vector<ArchitectureModel> variants;
+    for (int v = 0; v < 4; ++v) {
+        ArchitectureModel m = base;
+        const ResourceId act = m.mapped_resources(m.find_app_node("act")).front();
+        m.resources().node(act).lambda_override = 1e-9 * (1.0 + 0.25 * v);
+        variants.push_back(std::move(m));
+    }
+    analysis::ProbabilityOptions options;
+    options.include_location_events = false;
+
+    engine::EvalEngine solo({.threads = 1,
+                             .cache_capacity = 0,
+                             .persistent_bdd = false,
+                             .batch_rate_variants = false});
+    std::vector<double> expected;
+    expected.reserve(variants.size());
+    for (const ArchitectureModel& m : variants) {
+        expected.push_back(solo.analyze(m, options).failure_probability);
+    }
+    EXPECT_NE(expected[0], expected[1]) << "variants must differ for this test to mean anything";
+
+    engine::EvalEngine batched({.threads = 2, .cache_capacity = 1 << 12});
+    std::vector<const ArchitectureModel*> ptrs;
+    for (const ArchitectureModel& m : variants) ptrs.push_back(&m);
+    const auto results = batched.analyze_batch(ptrs, options);
+    ASSERT_EQ(results.size(), variants.size());
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        EXPECT_EQ(results[i].failure_probability, expected[i]) << "lane " << i;  // bitwise
+    }
+
+    const auto stats = batched.stats();
+    EXPECT_EQ(stats.batch_groups, 1u) << "four rate variants, one shape group";
+    EXPECT_EQ(stats.batch_lanes, 4u);
+}
+
+TEST(ExplorationPersistence, CurveIdenticalWithPersistenceOff) {
+    explore::ExplorationOptions off;
+    off.rng_seed = 1234;
+    off.probability.approximate = true;
+    off.engine = {.threads = 1,
+                  .cache_capacity = 0,
+                  .persistent_bdd = false,
+                  .batch_rate_variants = false};
+
+    explore::ExplorationOptions on = off;
+    on.engine = {.threads = 4, .cache_capacity = 1 << 12};
+
+    const ArchitectureModel model = scenarios::ecotwin_lateral_control();
+    const std::vector<std::string> nodes = scenarios::ecotwin_decision_nodes();
+    const explore::ExplorationResult a = explore::run_exploration(model, nodes, off);
+    const explore::ExplorationResult b = explore::run_exploration(model, nodes, on);
+
+    expect_identical_curves(a.curve, b.curve);
+    EXPECT_EQ(io::to_json(a.final_model).dump(), io::to_json(b.final_model).dump());
+}
+
 TEST(SharedEngine, AccumulatesAcrossSearches) {
     engine::EvalEngine engine({.threads = 1, .cache_capacity = 1 << 12});
     explore::MappingSearchOptions options;

@@ -42,7 +42,7 @@ explore::MappingSearchResult run_search(const engine::EngineOptions& eng) {
 
 void print_report() {
     bench::heading("Mapping-search DSE engine (chain x3, all stages expanded)");
-    const auto serial = run_search({.threads = 1, .cache_capacity = 0});
+    const auto serial = run_search({.threads = 1, .cache_capacity = 0, .candidate_dedup = false});
     bench::row("evaluations per search", static_cast<double>(serial.evaluations));
     bench::row("merges applied", static_cast<double>(serial.merges));
     bench::row("P(fail) after search", serial.probability_after);
@@ -83,7 +83,7 @@ void print_report() {
 void BM_MappingSearch_Serial(benchmark::State& state) {
     std::uint64_t evals = 0;
     bench::time_batch(state, "bench.search_serial_ns", [&] {
-        const auto r = run_search({.threads = 1, .cache_capacity = 0});
+        const auto r = run_search({.threads = 1, .cache_capacity = 0, .candidate_dedup = false});
         evals = r.evaluations;
         benchmark::DoNotOptimize(r);
     });
@@ -97,7 +97,7 @@ BENCHMARK(BM_MappingSearch_Serial)->Unit(benchmark::kMillisecond)->UseManualTime
 void BM_MappingSearch_Parallel(benchmark::State& state) {
     std::uint64_t evals = 0;
     bench::time_batch(state, "bench.search_parallel_ns", [&] {
-        const auto r = run_search({.threads = 0, .cache_capacity = 0});
+        const auto r = run_search({.threads = 0, .cache_capacity = 0, .candidate_dedup = false});
         evals = r.evaluations;
         benchmark::DoNotOptimize(r);
     });

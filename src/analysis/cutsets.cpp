@@ -106,4 +106,183 @@ std::size_t minimal_cut_order(const std::vector<CutSet>& cut_sets) noexcept {
     return best;
 }
 
+CutSetLowerBound::CutSetLowerBound(std::vector<CutSet> cuts, std::vector<double> event_probability)
+    : cuts_(std::move(cuts)), probs_(std::move(event_probability)) {
+    const std::size_t k = cuts_.size();
+    cut_prob_.resize(k);
+    pair_sum_.assign(k, 0.0);
+    postings_.resize(probs_.size());
+    double max_single = 0.0;
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+        cut_prob_[i] = set_probability(cuts_[i], {});
+        s1_ += cut_prob_[i];
+        sum_sq += cut_prob_[i] * cut_prob_[i];
+        max_single = std::max(max_single, cut_prob_[i]);
+        for (std::uint32_t e : cuts_[i]) {
+            if (e >= postings_.size()) throw AnalysisError("CutSetLowerBound: event index out of range");
+            postings_[e].push_back(static_cast<std::uint32_t>(i));
+        }
+    }
+    by_prob_desc_.resize(k);
+    for (std::size_t i = 0; i < k; ++i) by_prob_desc_[i] = static_cast<std::uint32_t>(i);
+    std::sort(by_prob_desc_.begin(), by_prob_desc_.end(), [&](std::uint32_t a, std::uint32_t b) {
+        if (cut_prob_[a] != cut_prob_[b]) return cut_prob_[a] > cut_prob_[b];
+        return a < b;
+    });
+
+    // S2 over all pairs, factorised: independent pairs contribute
+    // P(C_i) * P(C_j), summed in closed form as (S1^2 - sum P^2) / 2.
+    // Only pairs sharing at least one event deviate from the product —
+    // their exact joint probability divides the shared events out, so
+    // the (nonnegative) correction is applied per unique sharing pair,
+    // enumerated through the postings index.
+    s2_ = std::max(0.0, (s1_ * s1_ - sum_sq) * 0.5);
+    for (std::size_t i = 0; i < k; ++i) pair_sum_[i] = cut_prob_[i] * (s1_ - cut_prob_[i]);
+    std::vector<std::uint64_t> sharing;
+    for (const std::vector<std::uint32_t>& posts : postings_) {
+        for (std::size_t x = 0; x < posts.size(); ++x) {
+            for (std::size_t y = x + 1; y < posts.size(); ++y) {
+                sharing.push_back((static_cast<std::uint64_t>(posts[x]) << 32) | posts[y]);
+            }
+        }
+    }
+    std::sort(sharing.begin(), sharing.end());
+    sharing.erase(std::unique(sharing.begin(), sharing.end()), sharing.end());
+    for (const std::uint64_t key : sharing) {
+        const auto i = static_cast<std::uint32_t>(key >> 32);
+        const auto j = static_cast<std::uint32_t>(key);
+        const double correction =
+            pair_probability(cuts_[i], cuts_[j], {}) - cut_prob_[i] * cut_prob_[j];
+        pair_sum_[i] += correction;
+        pair_sum_[j] += correction;
+        s2_ += correction;
+    }
+    base_bound_ = std::min(std::max({0.0, max_single, s1_ - s2_}), 1.0);
+}
+
+const std::vector<std::uint32_t>& CutSetLowerBound::cuts_containing(std::uint32_t e) const noexcept {
+    static const std::vector<std::uint32_t> kEmpty;
+    return e < postings_.size() ? postings_[e] : kEmpty;
+}
+
+double CutSetLowerBound::priced(std::uint32_t e,
+                                const std::vector<std::pair<std::uint32_t, double>>& ov) const {
+    for (const auto& [event, p] : ov) {
+        if (event == e) return p;
+    }
+    return probs_[e];
+}
+
+double CutSetLowerBound::set_probability(
+    const CutSet& cs, const std::vector<std::pair<std::uint32_t, double>>& ov) const {
+    double p = 1.0;
+    for (std::uint32_t e : cs) p *= priced(e, ov);
+    return p;
+}
+
+double CutSetLowerBound::pair_probability(
+    const CutSet& a, const CutSet& b,
+    const std::vector<std::pair<std::uint32_t, double>>& ov) const {
+    // Product over the union of the two (sorted) event sets.
+    double p = 1.0;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] == b[j]) {
+            p *= priced(a[i], ov);
+            ++i;
+            ++j;
+        } else if (a[i] < b[j]) {
+            p *= priced(a[i++], ov);
+        } else {
+            p *= priced(b[j++], ov);
+        }
+    }
+    for (; i < a.size(); ++i) p *= priced(a[i], ov);
+    for (; j < b.size(); ++j) p *= priced(b[j], ov);
+    return p;
+}
+
+double CutSetLowerBound::rebound(const Substitution& s) const {
+    const auto is_affected = [&](std::size_t i) {
+        return std::binary_search(s.affected.begin(), s.affected.end(),
+                                  static_cast<std::uint32_t>(i));
+    };
+
+    // S1' = S1 - (affected mass) + (replacement mass).  The best single
+    // surviving cut is the first unaffected index in probability order.
+    double s1 = s1_;
+    for (std::uint32_t i : s.affected) s1 -= cut_prob_[i];
+    const double s1_surviving = s1;
+    double max_single = 0.0;
+    for (std::uint32_t i : by_prob_desc_) {
+        if (!is_affected(i)) {
+            max_single = cut_prob_[i];
+            break;
+        }
+    }
+    std::vector<double> repl_prob;
+    repl_prob.reserve(s.replacements.size());
+    for (const CutSet& r : s.replacements) {
+        const double p = set_probability(r, s.overrides);
+        repl_prob.push_back(p);
+        s1 += p;
+        max_single = std::max(max_single, p);
+    }
+
+    // Pairs lost: every pair with at least one affected endpoint, i.e.
+    // sum of affected T_i minus the double-counted affected-affected pairs.
+    double removed = 0.0;
+    for (std::uint32_t i : s.affected) removed += pair_sum_[i];
+    for (std::size_t x = 0; x < s.affected.size(); ++x) {
+        for (std::size_t y = x + 1; y < s.affected.size(); ++y) {
+            removed -= pair_probability(cuts_[s.affected[x]], cuts_[s.affected[y]], {});
+        }
+    }
+
+    // Pairs gained: replacement x surviving-original and replacement x
+    // replacement.  A replacement sharing no events with a surviving cut
+    // contributes exactly P(r) * P(C_j), so the whole surviving sweep
+    // collapses to P(r) * S1_surviving; only the cuts the postings index
+    // lists for r's events need the exact joint probability.  Surviving
+    // cuts contain no overridden events (substitution precondition), so
+    // their stored probabilities price the products correctly.
+    double added = 0.0;
+    std::vector<std::uint32_t> sharing;
+    for (std::size_t x = 0; x < s.replacements.size(); ++x) {
+        const CutSet& r = s.replacements[x];
+        if (repl_prob[x] == 0.0) continue;  // every pair with r has probability 0
+        added += repl_prob[x] * s1_surviving;
+        sharing.clear();
+        for (std::uint32_t e : r) {
+            const std::vector<std::uint32_t>& posts = postings_[e];
+            sharing.insert(sharing.end(), posts.begin(), posts.end());
+        }
+        std::sort(sharing.begin(), sharing.end());
+        sharing.erase(std::unique(sharing.begin(), sharing.end()), sharing.end());
+        for (std::uint32_t j : sharing) {
+            if (is_affected(j)) continue;
+            added += pair_probability(r, cuts_[j], s.overrides) - repl_prob[x] * cut_prob_[j];
+        }
+    }
+    for (std::size_t x = 0; x < s.replacements.size(); ++x) {
+        for (std::size_t y = x + 1; y < s.replacements.size(); ++y) {
+            added += pair_probability(s.replacements[x], s.replacements[y], s.overrides);
+        }
+    }
+
+    const double s2 = s2_ - removed + added;
+    return std::min(std::max({0.0, max_single, s1 - s2}), 1.0);
+}
+
+std::vector<double> basic_event_probabilities(const ftree::FaultTree& ft, double mission_hours) {
+    std::vector<double> probs;
+    probs.reserve(ft.basic_events().size());
+    for (const ftree::BasicEvent& e : ft.basic_events()) {
+        probs.push_back(bdd::basic_event_probability(e.lambda, mission_hours));
+    }
+    return probs;
+}
+
 }  // namespace asilkit::analysis

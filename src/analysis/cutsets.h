@@ -39,4 +39,84 @@ struct CutSetOptions {
 /// Order (cardinality) of the smallest cut set; 0 when there are none.
 [[nodiscard]] std::size_t minimal_cut_order(const std::vector<CutSet>& cut_sets) noexcept;
 
+/// Admissible (never over-estimating) lower bound on the top-event
+/// probability from a family of cut sets, with support for cheap
+/// re-bounding after substituting a few cuts.
+///
+/// The bound is the second-order Bonferroni inequality combined with the
+/// best single cut:
+///
+///     P(top) >= P(union of cuts) >= max( max_i P(C_i),  S1 - S2 )
+///
+/// where S1 = sum_i P(C_i) and S2 = sum_{i<j} P(C_i and C_j); under event
+/// independence P(C_i and C_j) is the probability product over the merged
+/// event set.  Both inequalities hold for ANY finite list of cuts of a
+/// monotone structure function — duplicates and non-minimal cuts only
+/// weaken the bound, never break it — which is exactly what makes the
+/// substitution API sound for conservatively transformed cut lists.
+///
+/// Under event independence a pair of cuts sharing no events satisfies
+/// P(C_i and C_j) = P(C_i) * P(C_j), so S2 splits into a closed form
+/// over all pairs plus corrections for the (sparse) event-sharing pairs
+/// found through the postings index.  Construction is therefore
+/// O(k + sharing pairs) instead of O(k^2); rebound() is
+/// O(|affected|^2 + |affected| * sharing) instead of O(|affected| * k).
+class CutSetLowerBound {
+public:
+    /// `event_probability[e]` is the failure probability of basic event e
+    /// over the mission; `cuts` index into it.  Cut sets must be sorted.
+    CutSetLowerBound(std::vector<CutSet> cuts, std::vector<double> event_probability);
+
+    [[nodiscard]] std::size_t cut_count() const noexcept { return cuts_.size(); }
+    [[nodiscard]] const std::vector<CutSet>& cuts() const noexcept { return cuts_; }
+    [[nodiscard]] double event_probability(std::uint32_t e) const { return probs_.at(e); }
+
+    /// Lower bound with no substitution applied.
+    [[nodiscard]] double base_bound() const noexcept { return base_bound_; }
+
+    /// Indices (ascending) of the cuts containing event e; empty for
+    /// events outside every cut (or out of range).
+    [[nodiscard]] const std::vector<std::uint32_t>& cuts_containing(std::uint32_t e) const noexcept;
+
+    /// A conservative rewrite of the cut list: the cuts at `affected`
+    /// are dropped and `replacements` (cuts of the transformed structure
+    /// function, sorted event lists) take their place; `overrides`
+    /// re-prices individual events.  Precondition: every cut containing
+    /// an overridden event is listed in `affected` (its re-priced form,
+    /// if still a cut, belongs in `replacements`).
+    struct Substitution {
+        std::vector<std::uint32_t> affected;  ///< sorted, unique cut indices
+        std::vector<CutSet> replacements;
+        std::vector<std::pair<std::uint32_t, double>> overrides;  ///< event -> new probability
+    };
+
+    /// Lower bound on P(union) of the substituted cut list.
+    [[nodiscard]] double rebound(const Substitution& s) const;
+
+private:
+    [[nodiscard]] double priced(std::uint32_t e,
+                                const std::vector<std::pair<std::uint32_t, double>>& ov) const;
+    [[nodiscard]] double set_probability(
+        const CutSet& cs, const std::vector<std::pair<std::uint32_t, double>>& ov) const;
+    [[nodiscard]] double pair_probability(
+        const CutSet& a, const CutSet& b,
+        const std::vector<std::pair<std::uint32_t, double>>& ov) const;
+
+    std::vector<CutSet> cuts_;
+    std::vector<double> probs_;
+    std::vector<double> cut_prob_;               ///< P(C_i)
+    std::vector<double> pair_sum_;               ///< T_i = sum_{j != i} P(C_i and C_j)
+    std::vector<std::vector<std::uint32_t>> postings_;  ///< event -> cut indices
+    std::vector<std::uint32_t> by_prob_desc_;    ///< cut indices, P(C_i) descending
+    double s1_ = 0.0;
+    double s2_ = 0.0;
+    double base_bound_ = 0.0;
+};
+
+/// Basic-event probabilities for a whole fault tree over `mission_hours`,
+/// indexed by basic-event index — the natural `event_probability` input
+/// for CutSetLowerBound.
+[[nodiscard]] std::vector<double> basic_event_probabilities(const ftree::FaultTree& ft,
+                                                            double mission_hours = 1.0);
+
 }  // namespace asilkit::analysis

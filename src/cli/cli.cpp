@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <fstream>
 #include <map>
 #include <optional>
 #include <ostream>
@@ -13,6 +14,8 @@
 #include "cost/cost_analysis.h"
 #include "explore/advisor.h"
 #include "explore/driver.h"
+#include "explore/mapping_search.h"
+#include "io/json.h"
 #include "io/csv.h"
 #include "io/dot.h"
 #include "io/graphml.h"
@@ -296,6 +299,72 @@ int cmd_reduce(const Args& args, std::ostream& out) {
     return 0;
 }
 
+/// One NDJSON line per front change: the anytime contract's streamed
+/// output.  Each line is a complete JSON object, so a consumer can
+/// follow the file while the search still runs.
+class FrontStream {
+public:
+    explicit FrontStream(const std::string& path) : stream_(path) {
+        if (!stream_) throw IoError("cannot open '" + path + "' for writing");
+    }
+    void write(const explore::TradeoffPoint& p, std::size_t front_size) {
+        io::Json line = io::Json::object();
+        line["label"] = p.label;
+        line["cost"] = p.cost;
+        line["failure_probability"] = p.failure_probability;
+        line["front_size"] = static_cast<std::uint64_t>(front_size);
+        stream_ << line.dump() << "\n";
+        stream_.flush();  // a crashed/killed run still leaves every line behind
+        ++lines_;
+    }
+    [[nodiscard]] std::size_t lines() const noexcept { return lines_; }
+
+private:
+    std::ofstream stream_;
+    std::size_t lines_ = 0;
+};
+
+int cmd_search(const Args& args, std::ostream& out) {
+    ArchitectureModel m = load_positional_model(args);
+    explore::MappingSearchOptions options;
+    options.metric = parse_metric(args.get("metric", "1"));
+    options.probability.approximate = args.has("approximate");
+    if (args.has("hours")) options.probability.mission_hours = std::stod(args.get("hours"));
+    if (args.has("max-nodes")) {
+        options.max_nodes_per_resource =
+            static_cast<std::size_t>(std::stoul(args.get("max-nodes")));
+    }
+    if (args.has("threads")) {
+        options.engine.threads = static_cast<unsigned>(std::stoul(args.get("threads")));
+    }
+    std::optional<FrontStream> stream;
+    if (args.has("stream-front")) {
+        stream.emplace(args.get("stream-front"));
+        options.on_front_update = [&](const explore::TradeoffPoint& p, std::size_t front_size) {
+            stream->write(p, front_size);
+        };
+    }
+    const explore::MappingSearchResult r = explore::search_mapping(m, options);
+    out << "merges            : " << r.merges << " over " << r.iterations << " iteration(s)"
+        << (r.reached_local_optimum ? " (local optimum)" : "") << "\n"
+        << "cost              : " << r.cost_before << " -> " << r.cost_after << "\n"
+        << "P(system failure) : " << r.probability_before << " -> " << r.probability_after << "\n"
+        << "evaluations       : " << r.evaluations << " (" << r.bound_rejections
+        << " bound-pruned, " << r.lint_rejections << " lint-rejected, " << r.dedup_hits
+        << " dedup hits)\n"
+        << "front             : " << r.front.size() << " point(s), " << r.front_updates
+        << " update(s)\n";
+    if (stream) {
+        out << "front stream written to " << args.get("stream-front") << " (" << stream->lines()
+            << " lines)\n";
+    }
+    if (args.has("out")) {
+        io::save_model(m, args.get("out"));
+        out << "optimized model written to " << args.get("out") << "\n";
+    }
+    return 0;
+}
+
 int cmd_explore(const Args& args, std::ostream& out) {
     const ArchitectureModel m = load_positional_model(args);
     if (!args.has("nodes")) throw IoError("explore: missing --nodes a,b,c");
@@ -308,8 +377,19 @@ int cmd_explore(const Args& args, std::ostream& out) {
     options.strategy = parse_strategy(args.get("strategy", "BB"));
     options.metric = parse_metric(args.get("metric", "1"));
     options.probability.approximate = true;
+    std::optional<FrontStream> stream;
+    if (args.has("stream-front")) {
+        stream.emplace(args.get("stream-front"));
+        options.on_front_update = [&](const explore::TradeoffPoint& p, std::size_t front_size) {
+            stream->write(p, front_size);
+        };
+    }
     const explore::ExplorationResult result = explore::run_exploration(m, nodes, options);
     for (const explore::TradeoffPoint& p : result.curve.points) out << "  " << p << "\n";
+    if (stream) {
+        out << "front stream written to " << args.get("stream-front") << " (" << stream->lines()
+            << " lines)\n";
+    }
     if (args.has("csv")) {
         io::CsvWriter csv({"label", "cost", "failure_probability"});
         for (const explore::TradeoffPoint& p : result.curve.points) {
@@ -417,6 +497,7 @@ int dispatch(const std::string& command, const Args& parsed, std::ostream& out,
     if (command == "expand") return cmd_expand(parsed, out);
     if (command == "connect") return cmd_connect(parsed, out);
     if (command == "reduce") return cmd_reduce(parsed, out);
+    if (command == "search") return cmd_search(parsed, out);
     if (command == "explore") return cmd_explore(parsed, out);
     if (command == "export") return cmd_export(parsed, out);
     if (command == "diff") return cmd_diff(parsed, out);
@@ -479,8 +560,11 @@ std::string usage() {
            "  expand    model.json --node NAME [--strategy S] [--branches N] -o out.json\n"
            "  connect   model.json [--merger NAME | --all] -o out.json\n"
            "  reduce    model.json -o out.json\n"
+           "  search    model.json [--metric M] [--max-nodes N] [--hours H]\n"
+           "            [--approximate] [--threads N] [--stream-front front.ndjson]\n"
+           "            [-o optimized.json]\n"
            "  explore   model.json --nodes a,b,c [--strategy S] [--metric M]\n"
-           "            [--csv curve.csv] [-o final.json]\n"
+           "            [--csv curve.csv] [--stream-front front.ndjson] [-o final.json]\n"
            "  export    model.json --layer app|resources|physical|ftree\n"
            "            [--format dot|graphml] -o out.dot\n"
            "  diff      before.json after.json\n"

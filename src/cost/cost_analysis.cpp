@@ -21,6 +21,14 @@ double total_cost(const ArchitectureModel& m, const CostMetric& metric,
     return total;
 }
 
+double merged_total_cost(double current_total, const CostMetric& metric, const Resource& into,
+                         const Resource& from) {
+    Resource merged = into;
+    merged.asil = asil_max(into.asil, from.asil);
+    return current_total - metric.resource_cost(into) - metric.resource_cost(from) +
+           metric.resource_cost(merged);
+}
+
 CostReport cost_report(const ArchitectureModel& m, const CostMetric& metric,
                        const CostOptions& options) {
     CostReport report;

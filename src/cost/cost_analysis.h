@@ -40,4 +40,13 @@ struct CostReport {
 [[nodiscard]] CostReport cost_report(const ArchitectureModel& m, const CostMetric& metric,
                                      const CostOptions& options = {});
 
+/// Total cost after merging resource `from` into `into` (the merge raises
+/// `into` to the cheapest feasible ASIL — asil_max of the pair, per Eq. 3
+/// — and removes `from`), given the pre-merge `current_total` under the
+/// same metric and default CostOptions.  This mirrors the bookkeeping of
+/// explore::search_mapping's apply_merge exactly, so the value is both an
+/// admissible lower bound for pruning and the exact post-merge total.
+[[nodiscard]] double merged_total_cost(double current_total, const CostMetric& metric,
+                                       const Resource& into, const Resource& from);
+
 }  // namespace asilkit::cost

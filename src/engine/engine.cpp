@@ -57,6 +57,7 @@ EvalEngine::EvalEngine(const EngineOptions& options)
       modularize_(options.modularize),
       persistent_bdd_(options.persistent_bdd),
       batch_rate_variants_(options.batch_rate_variants),
+      candidate_dedup_(options.candidate_dedup),
       bdd_gc_node_threshold_(options.bdd_gc_node_threshold),
       analyze_calls_(obs::Registry::global().counter("engine.analyze_calls")),
       tree_hits_(obs::Registry::global().counter("engine.tree_hits")),
@@ -64,6 +65,7 @@ EvalEngine::EvalEngine(const EngineOptions& options)
       module_hits_(obs::Registry::global().counter("engine.module_hits")),
       module_misses_(obs::Registry::global().counter("engine.module_misses")),
       lint_rejections_(obs::Registry::global().counter("engine.lint_rejections")),
+      dedup_hits_(obs::Registry::global().counter("explore.dedup_hits")),
       subtree_memo_hits_(obs::Registry::global().counter("bdd.subtree_memo_hits")),
       subtree_memo_misses_(obs::Registry::global().counter("bdd.subtree_memo_misses")),
       gc_collections_(obs::Registry::global().counter("bdd.gc.collections")),
@@ -75,6 +77,7 @@ EvalEngine::EvalEngine(const EngineOptions& options)
     base_.module_hits = module_hits_.value();
     base_.module_misses = module_misses_.value();
     base_.lint_rejections = lint_rejections_.value();
+    base_.dedup_hits = dedup_hits_.value();
     base_.subtree_memo_hits = subtree_memo_hits_.value();
     base_.subtree_memo_misses = subtree_memo_misses_.value();
     base_.gc_collections = gc_collections_.value();
@@ -91,12 +94,26 @@ EvalEngine::Stats EvalEngine::stats() const {
     s.module_hits = module_hits_.value() - base_.module_hits;
     s.module_misses = module_misses_.value() - base_.module_misses;
     s.lint_rejections = lint_rejections_.value() - base_.lint_rejections;
+    s.dedup_hits = dedup_hits_.value() - base_.dedup_hits;
     s.subtree_memo_hits = subtree_memo_hits_.value() - base_.subtree_memo_hits;
     s.subtree_memo_misses = subtree_memo_misses_.value() - base_.subtree_memo_misses;
     s.gc_collections = gc_collections_.value() - base_.gc_collections;
     s.batch_groups = batch_groups_.value() - base_.batch_groups;
     s.batch_lanes = batch_lanes_.value() - base_.batch_lanes;
     return s;
+}
+
+std::optional<EvalValue> EvalEngine::dedup_lookup(std::uint64_t key) {
+    if (!candidate_dedup_) return std::nullopt;
+    const std::lock_guard<std::mutex> lock(dedup_mutex_);
+    if (const auto it = dedup_map_.find(key); it != dedup_map_.end()) return it->second;
+    return std::nullopt;
+}
+
+void EvalEngine::dedup_insert(std::uint64_t key, const EvalValue& value) {
+    if (!candidate_dedup_) return;
+    const std::lock_guard<std::mutex> lock(dedup_mutex_);
+    dedup_map_.emplace(key, value);
 }
 
 bdd::PersistentBddCompiler* EvalEngine::compiler_lane() {
@@ -148,6 +165,18 @@ void EvalEngine::finish(PreparedModel& p, const analysis::ProbabilityOptions& op
     if (const auto cached = cache_.lookup(p.tree_key)) {
         tree_hits_.inc();
         fill_from_value(p.result, *cached);
+        return;
+    }
+    // LRU miss: the non-evicting candidate memo may still know this
+    // canonical tree from an earlier iteration / sweep branch whose
+    // entry was evicted (or never cached, capacity 0).  The stored value
+    // is the bitwise EvalValue of that evaluation — identical to what
+    // re-evaluating would produce — so serving it is a tree hit.
+    if (const auto remembered = dedup_lookup(p.tree_key)) {
+        tree_hits_.inc();
+        dedup_hits_.inc();
+        cache_.insert(p.tree_key, *remembered);
+        fill_from_value(p.result, *remembered);
         return;
     }
     tree_misses_.inc();
@@ -210,6 +239,7 @@ void EvalEngine::finish(PreparedModel& p, const analysis::ProbabilityOptions& op
 
     total.failure_probability = module_prob.back();
     cache_.insert(p.tree_key, total);
+    dedup_insert(p.tree_key, total);
     fill_from_value(p.result, total);
 }
 
@@ -225,6 +255,11 @@ void EvalEngine::finish_group(std::span<PreparedModel* const> lanes,
         if (const auto cached = cache_.lookup(p->tree_key)) {
             tree_hits_.inc();
             fill_from_value(p->result, *cached);
+        } else if (const auto remembered = dedup_lookup(p->tree_key)) {
+            tree_hits_.inc();
+            dedup_hits_.inc();
+            cache_.insert(p->tree_key, *remembered);
+            fill_from_value(p->result, *remembered);
         } else {
             tree_misses_.inc();
             live.push_back(p);
@@ -339,6 +374,7 @@ void EvalEngine::finish_group(std::span<PreparedModel* const> lanes,
     for (std::size_t j = 0; j < k; ++j) {
         totals[j].failure_probability = module_prob[j].back();
         cache_.insert(live[j]->tree_key, totals[j]);
+        dedup_insert(live[j]->tree_key, totals[j]);
         fill_from_value(live[j]->result, totals[j]);
     }
 }

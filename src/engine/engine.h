@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <unordered_map>
@@ -86,6 +87,15 @@ struct EngineOptions {
     /// probability sweep.  Per-lane results are bitwise identical to
     /// ungrouped evaluation.  Requires persistent_bdd.
     bool batch_rate_variants = true;
+    /// Cross-iteration / cross-branch candidate dedup: remember every
+    /// evaluated canonical tree (by the same key the eval cache uses) in
+    /// a non-evicting memo and serve repeats from it when the LRU cache
+    /// cannot — so a trade-off sweep's branches stop re-evaluating merged
+    /// shapes an earlier branch already scored, whatever the cache
+    /// capacity or eviction history.  A served value is the bitwise
+    /// EvalValue the evaluation produced, so results never change; hits
+    /// count as tree hits and additionally as "explore.dedup_hits".
+    bool candidate_dedup = true;
 };
 
 /// Resolves `requested` (0 = ASILKIT_THREADS env var, else hardware
@@ -137,6 +147,10 @@ public:
         /// generation (explore::search_mapping reports them here so DSE
         /// accounting stays in one snapshot).
         std::uint64_t lint_rejections = 0;
+        /// Evaluations served by the non-evicting candidate memo after
+        /// an LRU miss ("explore.dedup_hits"); a subset of tree_hits.
+        /// Zero with candidate_dedup off or while the LRU never evicts.
+        std::uint64_t dedup_hits = 0;
         /// Persistent-compilation view (zero with persistent_bdd off):
         /// gates served by / inserted into the per-thread subtree memos
         /// ("bdd.subtree_memo_*") and safe-point collections the
@@ -181,12 +195,21 @@ private:
     /// exactly one thread; the mutex guards only the map.
     [[nodiscard]] bdd::PersistentBddCompiler* compiler_lane();
 
+    /// Candidate memo lookup/insert; no-ops (nullopt) with the feature
+    /// off.  Guarded by dedup_mutex_ — the memo sits behind the LRU, so
+    /// traffic is bounded by tree misses, not lookups.
+    [[nodiscard]] std::optional<EvalValue> dedup_lookup(std::uint64_t key);
+    void dedup_insert(std::uint64_t key, const EvalValue& value);
+
     ThreadPool pool_;
     EvalCache cache_;
     bool modularize_;
     bool persistent_bdd_;
     bool batch_rate_variants_;
+    bool candidate_dedup_;
     std::size_t bdd_gc_node_threshold_;
+    std::mutex dedup_mutex_;
+    std::unordered_map<std::uint64_t, EvalValue> dedup_map_;
     std::mutex compilers_mutex_;
     std::unordered_map<std::thread::id, std::unique_ptr<bdd::PersistentBddCompiler>> compilers_;
     // Registry-backed counters (relaxed atomic adds: analyze() runs
@@ -199,6 +222,7 @@ private:
     obs::Counter& module_hits_;
     obs::Counter& module_misses_;
     obs::Counter& lint_rejections_;
+    obs::Counter& dedup_hits_;
     obs::Counter& subtree_memo_hits_;
     obs::Counter& subtree_memo_misses_;
     obs::Counter& gc_collections_;

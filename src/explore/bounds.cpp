@@ -1,0 +1,270 @@
+#include "explore/bounds.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "bdd/from_fault_tree.h"
+#include "core/error.h"
+#include "cost/cost_analysis.h"
+#include "ftree/builder.h"
+#include "obs/metrics.h"
+
+namespace asilkit::explore {
+namespace {
+
+// Beyond this many cut sets the Bonferroni precompute stops paying for
+// itself against plain engine evaluations.
+constexpr std::size_t kMaxCuts = 2048;
+
+/// Process-wide memo for minimal-cut-set enumeration, keyed by
+/// fault-tree shape.  A DSE driver's trade-off sweep starts many
+/// searches from the same seed architecture (capacity x metric
+/// configurations), and every such search's bound context re-derives
+/// the seed's cut sets — the MOCUS enumeration dominates context
+/// construction, yet it depends only on the tree's gate structure:
+/// not on rates, names, or the cost metric.  So shapes that hash equal
+/// AND are confirmed index-identical by ftree::identical_shape() share
+/// one enumeration (always with default CutSetOptions, the only ones
+/// the bound context uses).  Small and move-to-front; a miss just
+/// enumerates.
+class CutSetMemo {
+public:
+    std::shared_ptr<const std::vector<analysis::CutSet>> cuts_for(const ftree::FaultTree& tree) {
+        static obs::Counter& hits = obs::Registry::global().counter("explore.cutset_memo_hits");
+        const std::uint64_t key = tree.shape_hash();
+        {
+            const std::lock_guard<std::mutex> lock(mu_);
+            for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+                if (it->key == key && ftree::identical_shape(it->tree, tree)) {
+                    std::rotate(entries_.begin(), it, it + 1);
+                    hits.inc();
+                    return entries_.front().cuts;
+                }
+            }
+        }
+        // Enumerate outside the lock; a racing duplicate enumeration is
+        // wasted work, never a wrong answer.
+        auto cuts = std::make_shared<const std::vector<analysis::CutSet>>(
+            analysis::minimal_cut_sets(tree));
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (entries_.size() >= kCapacity) entries_.pop_back();
+        entries_.insert(entries_.begin(), Entry{key, tree, cuts});
+        return cuts;
+    }
+
+private:
+    struct Entry {
+        std::uint64_t key;
+        ftree::FaultTree tree;  ///< retained for the collision-proof confirmation
+        std::shared_ptr<const std::vector<analysis::CutSet>> cuts;
+    };
+    static constexpr std::size_t kCapacity = 4;
+    std::mutex mu_;
+    std::vector<Entry> entries_;
+};
+
+CutSetMemo& cut_set_memo() {
+    static CutSetMemo memo;
+    return memo;
+}
+
+// Both bounds are exact-arithmetic sound; the slack absorbs the
+// floating-point rounding difference between the bound computation and
+// the engine's own evaluation of the same quantity, keeping
+// bound <= engine value certain in FP as well.
+constexpr double kProbabilitySlack = 1.0 - 1e-9;
+constexpr double kCostSlack = 1.0 - 1e-12;
+
+/// Sorted union of `extra` into sorted `cs`, in place.
+void merge_into(analysis::CutSet& cs, const std::vector<std::uint32_t>& extra) {
+    const std::size_t mid = cs.size();
+    cs.insert(cs.end(), extra.begin(), extra.end());
+    std::inplace_merge(cs.begin(), cs.begin() + static_cast<std::ptrdiff_t>(mid), cs.end());
+    cs.erase(std::unique(cs.begin(), cs.end()), cs.end());
+}
+
+}  // namespace
+
+MergeBoundContext::MergeBoundContext(const ArchitectureModel& m, const cost::CostMetric& metric,
+                                     const analysis::ProbabilityOptions& prob_options,
+                                     double current_total_cost)
+    : model_(m),
+      metric_(metric),
+      prob_options_(prob_options),
+      current_total_cost_(current_total_cost),
+      location_events_(prob_options.include_location_events) {
+    try {
+        ftree::FtBuildOptions build;
+        build.approximate = prob_options_.approximate;
+        build.include_location_events = prob_options_.include_location_events;
+        build.rates = prob_options_.rates;
+        const ftree::FtBuildResult built = ftree::build_fault_tree(m, build);
+
+        for (ResourceId r : m.used_resources()) {
+            ResourceEvents ev;
+            const std::string event_name =
+                std::string(ftree::kResourceEventPrefix) + m.resources().node(r).name;
+            if (built.tree.has_basic_event(event_name)) {
+                ev.event = built.tree.find_basic_event(event_name).index;
+            }
+            ev.locations = m.resource_locations(r);
+            std::sort(ev.locations.begin(), ev.locations.end());
+            for (LocationId loc : ev.locations) {
+                const std::string loc_name =
+                    std::string(ftree::kLocationEventPrefix) + m.physical().node(loc).name;
+                if (built.tree.has_basic_event(loc_name)) {
+                    ev.loc_events.push_back(built.tree.find_basic_event(loc_name).index);
+                }
+            }
+            std::sort(ev.loc_events.begin(), ev.loc_events.end());
+            ev.loc_events.erase(std::unique(ev.loc_events.begin(), ev.loc_events.end()),
+                                ev.loc_events.end());
+            resource_events_.emplace(r, std::move(ev));
+        }
+        events_ok_ = true;
+
+        const std::shared_ptr<const std::vector<analysis::CutSet>> cuts =
+            cut_set_memo().cuts_for(built.tree);
+        if (cuts->size() > kMaxCuts) return;  // lb_ stays empty -> unusable
+        event_probs_ = analysis::basic_event_probabilities(built.tree, prob_options_.mission_hours);
+        lb_.emplace(*cuts, event_probs_);
+    } catch (const AnalysisError&) {
+        lb_.reset();  // no probability bound for this model; never prune
+    }
+}
+
+const MergeBoundContext::ResourceEvents& MergeBoundContext::events_of(ResourceId r) const {
+    return resource_events_.at(r);
+}
+
+/// The conservative cut rewrite for merging `from` (events `eb`) into
+/// `into` (events `ea`): re-price the survivor for its asil_max raise,
+/// substitute res:from by res:into in every cut pricing it, and widen by
+/// the survivor's location events when a cut relied on the old ones.
+/// Widening (more events required to fail jointly) can only lower the
+/// cut's probability — sound.  See docs/explore.md for the monotonicity
+/// argument that each rewrite IS a cut of the merged top event.
+analysis::CutSetLowerBound::Substitution MergeBoundContext::substitution_for(
+    ResourceId into, ResourceId from, const ResourceEvents& ea, const ResourceEvents& eb,
+    bool same_locations) const {
+    analysis::CutSetLowerBound::Substitution sub;
+    // Re-priced survivor event: the merge raises `into` to asil_max of
+    // the pair, exactly as apply_merge will (a lambda_override, being a
+    // data-sheet fact about the part, survives the ASIL raise).
+    if (ea.event) {
+        Resource merged = model_.resources().node(into);
+        merged.asil = asil_max(merged.asil, model_.resources().node(from).asil);
+        sub.overrides.emplace_back(
+            *ea.event, bdd::basic_event_probability(prob_options_.rates.resource_rate(merged),
+                                                    prob_options_.mission_hours));
+    }
+
+    // A cut is affected when its probability changes (it prices res:into
+    // or res:from) or when its validity depends on the moved nodes' old
+    // locations (it contains a loc event of `from` while the merge
+    // relocates — i.e. the location sets differ).
+    std::vector<std::uint32_t> affected;
+    const auto add_postings = [&](std::uint32_t event) {
+        const auto& posts = lb_->cuts_containing(event);
+        affected.insert(affected.end(), posts.begin(), posts.end());
+    };
+    if (ea.event) add_postings(*ea.event);
+    if (eb.event) add_postings(*eb.event);
+    if (!same_locations) {
+        for (std::uint32_t e : eb.loc_events) add_postings(e);
+    }
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+
+    sub.replacements.reserve(affected.size());
+    for (std::uint32_t i : affected) {
+        analysis::CutSet rewritten = lb_->cuts()[i];
+        if (eb.event) {
+            const auto it = std::lower_bound(rewritten.begin(), rewritten.end(), *eb.event);
+            if (it != rewritten.end() && *it == *eb.event) {
+                rewritten.erase(it);
+                merge_into(rewritten, {*ea.event});
+            }
+        }
+        if (!same_locations) {
+            const bool touches_old_location = std::any_of(
+                eb.loc_events.begin(), eb.loc_events.end(), [&](std::uint32_t e) {
+                    return std::binary_search(rewritten.begin(), rewritten.end(), e);
+                });
+            if (touches_old_location) merge_into(rewritten, ea.loc_events);
+        }
+        sub.replacements.push_back(std::move(rewritten));
+    }
+    sub.affected = std::move(affected);
+    return sub;
+}
+
+MergeBoundContext::Bounds MergeBoundContext::bounds(ResourceId into, ResourceId from) const {
+    Bounds out;
+    const Resource& a = model_.resources().node(into);
+    const Resource& b = model_.resources().node(from);
+    out.cost_lb = cost::merged_total_cost(current_total_cost_, metric_, a, b) * kCostSlack;
+    if (!lb_) return out;  // probability_lb = 0: never prunes
+
+    const ResourceEvents& ea = events_of(into);
+    const ResourceEvents& eb = events_of(from);
+    if (eb.event && !ea.event) return out;  // cannot express the substitution soundly
+    const bool same_locations = !location_events_ || ea.locations == eb.locations;
+    const analysis::CutSetLowerBound::Substitution sub =
+        substitution_for(into, from, ea, eb, same_locations);
+    out.probability_lb = lb_->rebound(sub) * kProbabilitySlack;
+    return out;
+}
+
+void MergeBoundContext::commit(ResourceId into, ResourceId from, double new_total_cost) {
+    current_total_cost_ = new_total_cost;
+    if (!events_ok_) return;
+    // Copies: the map is mutated below, and substitution_for takes refs.
+    const ResourceEvents ea = events_of(into);
+    const ResourceEvents eb = events_of(from);
+    resource_events_.erase(from);
+    if (!lb_) return;
+    if (eb.event && !ea.event) {
+        // The accepted merge itself is inexpressible as a cut rewrite;
+        // without a sound family for the merged model the probability
+        // bound is retired for the rest of the search (cost bounds keep
+        // working).  Unreachable for models the fault-tree builder
+        // prices completely — every mapped resource gets an event.
+        lb_.reset();
+        return;
+    }
+    const bool same_locations = !location_events_ || ea.locations == eb.locations;
+    analysis::CutSetLowerBound::Substitution sub =
+        substitution_for(into, from, ea, eb, same_locations);
+
+    // Materialize the substituted family as the new base: every
+    // rewritten cut is a cut of the merged top event, so the next
+    // iteration's bounds stay admissible without a fault-tree rebuild or
+    // cut re-enumeration.  Sort + dedup keeps the family canonical and
+    // stops duplicates accumulating over long walks.
+    std::vector<analysis::CutSet> next;
+    next.reserve(lb_->cut_count() + sub.replacements.size());
+    std::size_t skip = 0;
+    for (std::uint32_t i = 0; i < lb_->cut_count(); ++i) {
+        if (skip < sub.affected.size() && sub.affected[skip] == i) {
+            ++skip;
+            continue;
+        }
+        next.push_back(lb_->cuts()[i]);
+    }
+    for (analysis::CutSet& r : sub.replacements) next.push_back(std::move(r));
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    for (const auto& [event, probability] : sub.overrides) event_probs_[event] = probability;
+    if (next.size() > kMaxCuts) {
+        lb_.reset();
+        return;
+    }
+    lb_.emplace(std::move(next), event_probs_);
+}
+
+}  // namespace asilkit::explore
+

@@ -4,6 +4,7 @@
 
 #include "core/error.h"
 #include "explore/mapping_opt.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "transform/connect.h"
 #include "transform/expand.h"
@@ -14,7 +15,16 @@ namespace asilkit::explore {
 ExplorationResult run_exploration(const ArchitectureModel& model,
                                   const std::vector<std::string>& nodes_to_expand,
                                   const ExplorationOptions& options) {
+    engine::EvalEngine engine(options.engine);
+    return run_exploration(model, nodes_to_expand, options, engine);
+}
+
+ExplorationResult run_exploration(const ArchitectureModel& model,
+                                  const std::vector<std::string>& nodes_to_expand,
+                                  const ExplorationOptions& options,
+                                  engine::EvalEngine& engine) {
     const obs::ObsSpan span("run_exploration", "explore");
+    static obs::Counter& obs_front_updates = obs::Registry::global().counter("explore.front_updates");
     ExplorationResult result;
     result.final_model = model;  // work on a copy
     ArchitectureModel& m = result.final_model;
@@ -23,10 +33,17 @@ ExplorationResult run_exploration(const ArchitectureModel& model,
     std::mt19937 rng(options.rng_seed);
     std::uniform_real_distribution<double> uniform(0.0, 1.0);
 
-    engine::EvalEngine engine(options.engine);
+    ParetoTracker local_tracker;
+    ParetoTracker& tracker = options.front_tracker ? *options.front_tracker : local_tracker;
     auto record = [&](std::string label) {
         result.curve.points.push_back(
             measure_point(m, std::move(label), options.metric, options.probability, engine));
+        const TradeoffPoint& point = result.curve.points.back();
+        if (tracker.insert(point)) {
+            ++result.front_updates;
+            obs_front_updates.inc();
+            if (options.on_front_update) options.on_front_update(point, tracker.front().size());
+        }
     };
 
     record("initial");
@@ -83,6 +100,7 @@ ExplorationResult run_exploration(const ArchitectureModel& model,
         record("mapping-optimized");
     }
 
+    result.front = tracker.front();
     result.engine_stats = engine.stats();
     result.engine_cache = result.engine_stats.cache;
     return result;

@@ -11,6 +11,8 @@
 // is a pure function of (model, node list, options).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,6 +21,7 @@
 #include "core/decomposition.h"
 #include "cost/cost_metric.h"
 #include "engine/engine.h"
+#include "explore/pareto.h"
 #include "explore/tradeoff.h"
 #include "model/architecture.h"
 
@@ -45,6 +48,15 @@ struct ExplorationOptions {
     /// memoises repeated measurements of isomorphic states, and results
     /// are bitwise identical for any thread/cache setting.
     engine::EngineOptions engine{};
+    /// Anytime front streaming: every measured point is offered to a
+    /// best-front-so-far; when it changes, the point and the updated
+    /// front size are reported here (synchronously, in flow order).
+    std::function<void(const TradeoffPoint& point, std::size_t front_size)> on_front_update;
+    /// Optional caller-owned tracker to accumulate one front across
+    /// several runs (a whole strategy x metric sweep); defaults to a
+    /// tracker local to the run, whose front lands in
+    /// ExplorationResult::front either way.
+    ParetoTracker* front_tracker = nullptr;
 };
 
 struct ExplorationResult {
@@ -60,6 +72,12 @@ struct ExplorationResult {
     /// split (module counters are zero when options.engine.modularize is
     /// off).
     engine::EvalEngine::Stats engine_stats{};
+    /// Best front so far over the measured points (ascending cost).
+    /// With options.front_tracker set, this is that tracker's front —
+    /// including points accumulated by earlier runs feeding it.
+    std::vector<TradeoffPoint> front;
+    /// Front changes streamed during this run.
+    std::uint64_t front_updates = 0;
 };
 
 /// Runs the flow on a copy of `model`, expanding the nodes named in
@@ -68,5 +86,16 @@ struct ExplorationResult {
 [[nodiscard]] ExplorationResult run_exploration(const ArchitectureModel& model,
                                                 const std::vector<std::string>& nodes_to_expand,
                                                 const ExplorationOptions& options = {});
+
+/// Same, but on a caller-owned engine: a sweep running the flow many
+/// times (strategy x metric configurations, rate studies) shares the
+/// pool, the evaluation cache AND the non-evicting candidate-dedup memo
+/// across its branches — identical intermediate states measured by
+/// different branches stop re-evaluating.  The result's engine counters
+/// cover the engine's whole lifetime, not just this call.
+[[nodiscard]] ExplorationResult run_exploration(const ArchitectureModel& model,
+                                                const std::vector<std::string>& nodes_to_expand,
+                                                const ExplorationOptions& options,
+                                                engine::EvalEngine& engine);
 
 }  // namespace asilkit::explore

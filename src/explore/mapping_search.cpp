@@ -1,20 +1,41 @@
 #include "explore/mapping_search.h"
 
+#include <algorithm>
 #include <atomic>
 #include <limits>
 #include <map>
+#include <numeric>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/error.h"
 #include "cost/cost_analysis.h"
+#include "explore/bounds.h"
 #include "lint/lint.h"
 #include "model/blocks.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace asilkit::explore {
+
+namespace detail {
+
+std::uint64_t pack_region_id(std::uint64_t merger, std::uint64_t branch) {
+    constexpr std::uint64_t kHalf = std::uint64_t{1} << 32;
+    if (merger >= kHalf - 1) {
+        throw ModelError("pack_region_id: merger id does not fit 32 bits or is the invalid id");
+    }
+    if (branch >= kHalf) {
+        throw ModelError("pack_region_id: branch index does not fit 32 bits");
+    }
+    return (merger << 32) | branch;
+}
+
+}  // namespace detail
+
 namespace {
 
 /// Region id per node: (merger id, branch index) for branch nodes, a
@@ -29,7 +50,7 @@ std::unordered_map<NodeId, RegionId> region_of_nodes(const ArchitectureModel& m)
     for (const RedundantBlock& block : find_redundant_blocks(m)) {
         if (!block.well_formed) continue;
         for (std::size_t b = 0; b < block.branches.size(); ++b) {
-            const RegionId id = (static_cast<RegionId>(block.merger.value()) << 16) | b;
+            const RegionId id = detail::pack_region_id(block.merger.value(), b);
             for (NodeId n : block.branches[b].nodes) region[n] = id;
         }
     }
@@ -57,12 +78,6 @@ struct Objective {
     }
 };
 
-Objective evaluate(const ArchitectureModel& m, const MappingSearchOptions& options,
-                   engine::EvalEngine& engine) {
-    return {engine.analyze(m, options.probability).failure_probability,
-            cost::total_cost(m, options.metric)};
-}
-
 /// Merges `from` into `into`: remaps nodes, raises the readiness level if
 /// needed, and erases `from`.
 void apply_merge(ArchitectureModel& m, ResourceId into, ResourceId from) {
@@ -73,6 +88,22 @@ void apply_merge(ArchitectureModel& m, ResourceId into, ResourceId from) {
         m.unmap_node(n, from);
     }
     m.erase_resource(from);
+}
+
+/// Front point for one state of the walk; the objective and diagnostics
+/// come from the evaluation that scored the state — no re-analysis.
+TradeoffPoint search_point(const ArchitectureModel& m, std::string label, const Objective& obj,
+                           const analysis::ProbabilityResult& prob) {
+    TradeoffPoint point;
+    point.label = std::move(label);
+    point.cost = obj.cost;
+    point.failure_probability = obj.probability;
+    point.app_nodes = m.app().node_count();
+    point.resources = m.resources().node_count();
+    point.ft_dag_nodes = prob.ft_stats.dag_nodes;
+    point.ft_paths = prob.ft_stats.paths;
+    point.bdd_nodes = prob.bdd_nodes;
+    return point;
 }
 
 }  // namespace
@@ -88,17 +119,40 @@ MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOpti
     static obs::Counter& obs_iterations = obs::Registry::global().counter("explore.iterations");
     static obs::Counter& obs_candidates =
         obs::Registry::global().counter("explore.candidates_generated");
+    static obs::Counter& obs_bound_rejections =
+        obs::Registry::global().counter("explore.bound_rejections");
+    static obs::Counter& obs_front_updates =
+        obs::Registry::global().counter("explore.front_updates");
     static obs::Gauge& obs_queue_depth = obs::Registry::global().gauge("engine.queue_depth");
     static obs::Gauge& obs_queue_depth_max =
         obs::Registry::global().gauge("engine.queue_depth_max");
 
     MappingSearchResult result;
     const engine::EvalEngine::Stats stats_before = engine.stats();
-    {
-        const Objective initial = evaluate(m, options, engine);
-        result.probability_before = initial.probability;
-        result.cost_before = initial.cost;
-    }
+
+    ParetoTracker local_tracker;
+    ParetoTracker& tracker = options.front_tracker != nullptr ? *options.front_tracker
+                                                              : local_tracker;
+    const auto publish = [&](const TradeoffPoint& point) {
+        if (!tracker.insert(point)) return;
+        ++result.front_updates;
+        obs_front_updates.inc();
+        if (options.on_front_update) options.on_front_update(point, tracker.front().size());
+    };
+
+    // The one unconditional full evaluation: every later state's exact
+    // objective is carried forward from the batch that scored it.
+    analysis::ProbabilityResult current_prob = engine.analyze(m, options.probability);
+    Objective current{current_prob.failure_probability, cost::total_cost(m, options.metric)};
+    result.probability_before = current.probability;
+    result.cost_before = current.cost;
+    publish(search_point(m, "initial", current, current_prob));
+
+    // One bound context per SEARCH: built on the first iteration (fault
+    // tree + minimal cut sets + Bonferroni precompute) and then carried
+    // across accepted merges by commit(), which rewrites the cut family
+    // in place of re-enumerating it.
+    std::optional<MergeBoundContext> bound_ctx;
 
     for (; result.iterations < options.max_iterations; ++result.iterations) {
         const obs::ObsSpan iter_span("iteration", "explore", "iteration",
@@ -125,8 +179,9 @@ MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOpti
             }
 
             // Flatten the capacity-feasible moves in deterministic bucket
-            // order; the scan below walks the same order, so the selected
-            // move is independent of how the batch is scheduled.
+            // order; selection works on (score, move index), so the
+            // chosen move is independent of how the batch is scheduled
+            // AND of how the bound ordering permutes the evaluations.
             for (const auto& [key, resources] : buckets) {
                 for (std::size_t i = 0; i < resources.size(); ++i) {
                     for (std::size_t j = i + 1; j < resources.size(); ++j) {
@@ -138,11 +193,10 @@ MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOpti
                 }
             }
         }
-        obs_candidates.add(moves.size());
-        obs_queue_depth.set(static_cast<double>(moves.size()));
-        obs_queue_depth_max.set_max(static_cast<double>(moves.size()));
-
-        const Objective current = evaluate(m, options, engine);
+        const std::size_t n = moves.size();
+        obs_candidates.add(n);
+        obs_queue_depth.set(static_cast<double>(n));
+        obs_queue_depth_max.set_max(static_cast<double>(n));
 
         // Baseline for the lint pre-filter: candidates may not introduce
         // a new structural error over what the current model already has
@@ -155,64 +209,145 @@ MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOpti
         constexpr double kRejected = std::numeric_limits<double>::infinity();
         std::atomic<std::uint64_t> rejected{0};
 
-        // Score all candidates of this iteration in two batched phases.
-        // Phase 1 (parallel): copy the model, apply the move, run the
-        // lint pre-filter and the (cheap) cost metric.  Provably-invalid
-        // candidates are rejected before fault-tree generation; their
-        // +infinity score is never selected, keeping results independent
-        // of the filter.  Phase 2: hand every survivor to the engine as
-        // ONE analyze_batch — that is where tree-key dedup and the
-        // batched multi-lambda kernel see the whole iteration at once
-        // (rejected slots stay null and are skipped).  Probabilities are
-        // bitwise identical to per-candidate analyze() calls.
-        std::vector<Objective> scores(moves.size());
+        // Bound-check stage: O(affected cuts) per candidate against the
+        // carried context.  Each bound is admissible — never above the
+        // candidate's exact objective — so the best-bound-first
+        // evaluation below can stop early without ever changing the
+        // selected move.
+        std::vector<Objective> lower;
+        bool have_bounds = false;
+        if (options.bound_pruning && n > 0) {
+            const obs::ObsSpan bound_span("bound_check", "explore", "candidates",
+                                          static_cast<double>(n));
+            if (!bound_ctx) {
+                bound_ctx.emplace(m, options.metric, options.probability, current.cost);
+            }
+            lower.resize(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                const MergeBoundContext::Bounds b =
+                    bound_ctx->bounds(moves[i].first, moves[i].second);
+                lower[i] = Objective{b.probability_lb, b.cost_lb};
+            }
+            have_bounds = true;
+        }
+
+        std::vector<std::size_t> order(n);
+        std::iota(order.begin(), order.end(), 0);
+        if (have_bounds) {
+            std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+                if (lower[i] < lower[j]) return true;
+                if (lower[j] < lower[i]) return false;
+                return i < j;
+            });
+        }
+
+        // `beats` is the selection total order of the original serial
+        // scan, made explicit so candidates can be examined in any
+        // sequence: strictly better objective wins; an equal objective
+        // wins only against another candidate of higher move index
+        // (never against the incumbent state).  The final winner is the
+        // unique minimum of this order over everything evaluated.
+        Objective best = current;
+        std::optional<std::size_t> best_index;
+        analysis::ProbabilityResult best_prob;
+        const auto beats = [&](const Objective& s, std::size_t idx) {
+            if (s < best) return true;
+            if (best < s) return false;
+            return best_index.has_value() && idx < *best_index;
+        };
+
+        // Lazy chunked evaluation, best bound first.  Each chunk runs
+        // the proven pipeline: parallel copy + lint + cost, then ONE
+        // analyze_batch so tree-key dedup and the batched multi-lambda
+        // kernel see the chunk at once.  Before starting a chunk, if the
+        // next candidate's bound cannot beat the best move found so far,
+        // no remaining candidate can (bounds ascend in `order` and never
+        // exceed their exact scores) — everything left is pruned without
+        // any fault-tree/BDD work.
+        // With bounds in play the smallest chunk stops earliest (no
+        // wasted evaluations past the winner); without them the loop
+        // never breaks, so larger chunks feed the batched kernel
+        // better.  The selection is chunk-size independent either way,
+        // but the chunk size must not depend on the thread count: the
+        // break point — and with it the evaluations counter — sits on a
+        // chunk boundary, and observable counters stay identical at any
+        // thread count (tests/test_obs.cpp Determinism).
+        const std::size_t chunk_size = have_bounds ? 2 : 8;
+        std::size_t pos = 0;
         {
             const obs::ObsSpan evaluate_span("evaluate", "explore", "candidates",
-                                             static_cast<double>(moves.size()));
-            std::vector<ArchitectureModel> trials(moves.size());
-            std::vector<const ArchitectureModel*> models(moves.size(), nullptr);
-            engine.pool().parallel_for(moves.size(), [&](std::size_t i) {
-                ArchitectureModel trial = m;
-                apply_merge(trial, moves[i].first, moves[i].second);
-                if (options.lint_prefilter &&
-                    lint::structural_error_count(trial) > baseline_errors) {
-                    scores[i] = {kRejected, kRejected};
-                    rejected.fetch_add(1, std::memory_order_relaxed);
-                    return;
+                                             static_cast<double>(n));
+            std::vector<ArchitectureModel> trials(std::min(chunk_size, n));
+            std::vector<const ArchitectureModel*> model_ptrs;
+            while (pos < n) {
+                if (have_bounds && !beats(lower[order[pos]], order[pos])) break;
+                const std::size_t end = std::min(pos + chunk_size, n);
+                const std::size_t count = end - pos;
+                model_ptrs.assign(count, nullptr);
+                std::vector<Objective> scores(count);
+                engine.pool().parallel_for(count, [&](std::size_t t) {
+                    const std::size_t idx = order[pos + t];
+                    ArchitectureModel trial = m;
+                    apply_merge(trial, moves[idx].first, moves[idx].second);
+                    if (options.lint_prefilter &&
+                        lint::structural_error_count(trial) > baseline_errors) {
+                        scores[t] = {kRejected, kRejected};
+                        rejected.fetch_add(1, std::memory_order_relaxed);
+                        return;
+                    }
+                    scores[t].cost = cost::total_cost(trial, options.metric);
+                    trials[t] = std::move(trial);
+                    model_ptrs[t] = &trials[t];
+                });
+                const std::vector<analysis::ProbabilityResult> batch =
+                    engine.analyze_batch(model_ptrs, options.probability);
+                for (std::size_t t = 0; t < count; ++t) {
+                    if (model_ptrs[t] == nullptr) continue;  // lint-rejected
+                    scores[t].probability = batch[t].failure_probability;
+                    const std::size_t idx = order[pos + t];
+                    if (beats(scores[t], idx)) {
+                        best = scores[t];
+                        best_index = idx;
+                        best_prob = batch[t];
+                    }
                 }
-                scores[i].cost = cost::total_cost(trial, options.metric);
-                trials[i] = std::move(trial);
-                models[i] = &trials[i];
-            });
-            const std::vector<analysis::ProbabilityResult> batch =
-                engine.analyze_batch(models, options.probability);
-            for (std::size_t i = 0; i < moves.size(); ++i) {
-                if (models[i] != nullptr) scores[i].probability = batch[i].failure_probability;
+                pos = end;
             }
         }
         obs_queue_depth.set(0.0);
         engine.note_lint_rejections(rejected.load(std::memory_order_relaxed));
+        if (pos < n) {
+            const std::uint64_t pruned = n - pos;
+            result.bound_rejections += pruned;
+            obs_bound_rejections.add(pruned);
+        }
 
         const obs::ObsSpan select_span("select", "explore");
-        Objective best = current;
-        std::optional<std::pair<ResourceId, ResourceId>> best_move;
-        for (std::size_t i = 0; i < moves.size(); ++i) {
-            if (scores[i] < best) {
-                best = scores[i];
-                best_move = moves[i];
-            }
-        }
-        if (!best_move) {
+        if (!best_index.has_value()) {
             result.reached_local_optimum = true;
             break;
         }
-        apply_merge(m, best_move->first, best_move->second);
+        const auto [into, from] = moves[*best_index];
+        std::string label = "merge#" + std::to_string(result.merges + 1) + "(" +
+                            m.resources().node(into).name + "<-" +
+                            m.resources().node(from).name + ")";
+        // Advance the carried bound context across the accepted merge
+        // (must see the pre-merge model) before mutating the model.
+        if (bound_ctx) bound_ctx->commit(into, from, best.cost);
+        apply_merge(m, into, from);
         ++result.merges;
+        // Carry the winner's exact objective (and its diagnostics) as
+        // the next iteration's incumbent: the applied model's canonical
+        // tree is the one the batch scored, so re-evaluating could only
+        // reproduce these very numbers.
+        current = best;
+        current_prob = std::move(best_prob);
+        publish(search_point(m, std::move(label), current, current_prob));
     }
 
-    const Objective final_objective = evaluate(m, options, engine);
-    result.probability_after = final_objective.probability;
-    result.cost_after = final_objective.cost;
+    result.probability_after = current.probability;
+    result.cost_after = current.cost;
+    result.front = tracker.front();
 
     const engine::EvalEngine::Stats stats_after = engine.stats();
     result.evaluations = stats_after.analyze_calls - stats_before.analyze_calls;
@@ -221,6 +356,7 @@ MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOpti
     result.module_cache_hits = stats_after.module_hits - stats_before.module_hits;
     result.module_cache_misses = stats_after.module_misses - stats_before.module_misses;
     result.lint_rejections = stats_after.lint_rejections - stats_before.lint_rejections;
+    result.dedup_hits = stats_after.dedup_hits - stats_before.dedup_hits;
     return result;
 }
 

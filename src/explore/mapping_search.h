@@ -6,22 +6,49 @@
 // A steepest-descent local search over resource-merge moves: two
 // resources of the same kind hosting nodes of the same *region* (the same
 // redundant branch, or both outside any branch) may be merged when the
-// combined utilisation stays within capacity.  Every candidate move is
-// evaluated on the real objective — exact BDD failure probability first,
-// architecture cost second — and the best improving move is applied until
-// a local optimum is reached.  Cross-branch merges are never candidates:
-// they would introduce the Common Cause Faults the CCF analysis rejects.
+// combined utilisation stays within capacity.  Candidate moves flow
+// through a staged generate -> bound-check -> lint -> evaluate pipeline:
+// admissible lower bounds (explore/bounds.h) order the candidates
+// best-bound-first and prove most of them unable to beat the incumbent
+// before any fault-tree/BDD work; the survivors are evaluated on the real
+// objective — exact BDD failure probability first, architecture cost
+// second — and the best improving move is applied until a local optimum
+// is reached.  The search is *anytime*: every accepted state streams
+// through a best-front-so-far (ParetoTracker) the caller can observe via
+// on_front_update.  Cross-branch merges are never candidates: they would
+// introduce the Common Cause Faults the CCF analysis rejects.
+//
+// Exactness contract: bound pruning, the lint pre-filter and the
+// engine's candidate dedup only skip work that provably cannot change
+// the outcome — the searched model, every objective and the emitted
+// front are bitwise identical with each feature on or off, at any
+// thread count (docs/explore.md gives the arguments; the tests in
+// tests/test_mapping_search.cpp enforce them at threads 1/2/4/8).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "analysis/probability.h"
 #include "cost/cost_metric.h"
 #include "engine/engine.h"
+#include "explore/pareto.h"
 #include "model/architecture.h"
 
 namespace asilkit::explore {
+
+namespace detail {
+
+/// Packs a (merger id, branch index) pair into one collision-free 64-bit
+/// region id.  Both halves must fit 32 bits and the merger id must be a
+/// valid NodeId (not the all-ones sentinel) — so the result can never
+/// alias another pair or the trunk region (~0); throws ModelError
+/// otherwise.
+[[nodiscard]] std::uint64_t pack_region_id(std::uint64_t merger, std::uint64_t branch);
+
+}  // namespace detail
 
 struct MappingSearchOptions {
     /// Capacity limit: a shared resource may host at most this many
@@ -33,18 +60,39 @@ struct MappingSearchOptions {
     /// Also consider merging resources of trunk (non-branch) nodes.
     bool include_non_branch_nodes = true;
     /// Candidate evaluation: thread count and eval-cache capacity.  All
-    /// candidate merges of an iteration are scored as one parallel
-    /// batch; the best improving move is still selected and applied
-    /// serially, so the search is deterministic in the thread count.
+    /// surviving candidate merges are scored in parallel batches; the
+    /// best improving move is still selected and applied serially, so
+    /// the search is deterministic in the thread count.
     engine::EngineOptions engine{};
     /// Run the structural linter (lint::structural_error_count) on every
     /// candidate before fault-tree generation and reject candidates that
     /// introduce a *new* error-severity finding over the iteration's
     /// baseline.  A rejected candidate scores +infinity, which the
-    /// serial selection scan can never pick — so results are bitwise
-    /// identical with the pre-filter on or off, at any thread count; the
-    /// filter only skips evaluations that could not have won.
+    /// selection can never pick — so results are bitwise identical with
+    /// the pre-filter on or off, at any thread count; the filter only
+    /// skips evaluations that could not have won.
     bool lint_prefilter = true;
+    /// Bound-check stage: compute admissible (cost, probability) lower
+    /// bounds for every candidate from the current model's minimal cut
+    /// sets and Table II metric (explore/bounds.h), evaluate candidates
+    /// best-bound-first, and stop as soon as the next bound proves no
+    /// remaining candidate can beat the best evaluated move.  Because
+    /// each bound never exceeds its candidate's exact objective, the
+    /// selected move — and therefore the entire search — is bitwise
+    /// identical with pruning on or off; only `evaluations` shrinks.
+    /// Pruned candidates count into MappingSearchResult::bound_rejections
+    /// ("explore.bound_rejections").
+    bool bound_pruning = true;
+    /// Anytime front streaming: every accepted state (and the initial
+    /// one) is offered to a best-front-so-far; when it changes, the new
+    /// point is reported here together with the updated front size.
+    /// Called synchronously from the search thread, in walk order.
+    std::function<void(const TradeoffPoint& point, std::size_t front_size)> on_front_update;
+    /// Optional caller-owned tracker to accumulate the front across
+    /// several searches (e.g. a trade-off sweep); defaults to a tracker
+    /// local to this call, whose front lands in
+    /// MappingSearchResult::front either way.
+    ParetoTracker* front_tracker = nullptr;
 };
 
 struct MappingSearchResult {
@@ -71,6 +119,21 @@ struct MappingSearchResult {
     /// Candidates the lint pre-filter rejected before fault-tree
     /// generation (0 when options.lint_prefilter is off).
     std::uint64_t lint_rejections = 0;
+    /// Candidates pruned by the bound check without any fault-tree/BDD
+    /// work (0 when options.bound_pruning is off).
+    std::uint64_t bound_rejections = 0;
+    /// Evaluations the engine served from its non-evicting candidate
+    /// memo after an LRU miss (subset of eval_cache_hits; 0 with
+    /// options.engine.candidate_dedup off).
+    std::uint64_t dedup_hits = 0;
+    /// Front changes streamed during this search (>= 1: the initial
+    /// state always enters an empty front).
+    std::uint64_t front_updates = 0;
+    /// Best front so far at the end of the search: the non-dominated
+    /// (cost, probability) states of the walk, ascending cost.  When
+    /// options.front_tracker is set, this is that tracker's front —
+    /// including points from earlier searches feeding it.
+    std::vector<TradeoffPoint> front;
 
     [[nodiscard]] double eval_cache_hit_rate() const noexcept {
         return evaluations == 0
@@ -91,8 +154,9 @@ struct MappingSearchResult {
 MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOptions& options = {});
 
 /// Same, but on a caller-owned engine: repeated searches (e.g. across a
-/// tradeoff sweep) share the pool and the evaluation cache.  The
-/// result's eval counters cover only this call.
+/// tradeoff sweep) share the pool, the evaluation cache and the
+/// candidate-dedup memo.  The result's eval counters cover only this
+/// call.
 MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOptions& options,
                                    engine::EvalEngine& engine);
 

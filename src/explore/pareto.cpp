@@ -1,8 +1,20 @@
 #include "explore/pareto.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace asilkit::explore {
+
+namespace {
+
+/// Lexicographic (cost, failure_probability) order used by both the
+/// batch sweep and the tracker staircase.
+bool cost_prob_less(const TradeoffPoint& a, const TradeoffPoint& b) noexcept {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.failure_probability < b.failure_probability;
+}
+
+}  // namespace
 
 bool dominates(const TradeoffPoint& a, const TradeoffPoint& b) noexcept {
     const bool no_worse = a.cost <= b.cost && a.failure_probability <= b.failure_probability;
@@ -11,24 +23,50 @@ bool dominates(const TradeoffPoint& a, const TradeoffPoint& b) noexcept {
 }
 
 std::vector<TradeoffPoint> pareto_front(const std::vector<TradeoffPoint>& points) {
+    // Sort by (cost, probability); any dominator of p sorts strictly
+    // before p, so p is non-dominated iff its probability is strictly
+    // below every earlier point's (equal-cost ties: only the first of an
+    // equal-probability run survives, matching the old unique() dedup).
+    std::vector<TradeoffPoint> sorted = points;
+    std::stable_sort(sorted.begin(), sorted.end(), cost_prob_less);
     std::vector<TradeoffPoint> front;
-    for (const TradeoffPoint& candidate : points) {
-        const bool dominated = std::any_of(points.begin(), points.end(), [&](const TradeoffPoint& other) {
-            return dominates(other, candidate);
-        });
-        if (!dominated) front.push_back(candidate);
+    double best_probability = 0.0;
+    for (TradeoffPoint& p : sorted) {
+        if (!front.empty() && p.failure_probability >= best_probability) continue;
+        best_probability = p.failure_probability;
+        front.push_back(std::move(p));
     }
-    std::sort(front.begin(), front.end(), [](const TradeoffPoint& a, const TradeoffPoint& b) {
-        if (a.cost != b.cost) return a.cost < b.cost;
-        return a.failure_probability < b.failure_probability;
-    });
-    front.erase(std::unique(front.begin(), front.end(),
-                            [](const TradeoffPoint& a, const TradeoffPoint& b) {
-                                return a.cost == b.cost &&
-                                       a.failure_probability == b.failure_probability;
-                            }),
-                front.end());
     return front;
+}
+
+bool ParetoTracker::insert(TradeoffPoint p) {
+    ++offers_;
+    // First staircase point at cost >= p.cost.
+    auto it = std::lower_bound(front_.begin(), front_.end(), p,
+                               [](const TradeoffPoint& a, const TradeoffPoint& b) {
+                                   return a.cost < b.cost;
+                               });
+    // Everything before `it` is strictly cheaper; the nearest such point
+    // has the minimum probability among them (probabilities descend), so
+    // it alone decides whether p is dominated from the left.  A point at
+    // equal cost dominates (or duplicates) p unless p's probability is
+    // strictly lower.
+    if (it != front_.begin() && std::prev(it)->failure_probability <= p.failure_probability) {
+        return false;
+    }
+    if (it != front_.end() && it->cost == p.cost &&
+        it->failure_probability <= p.failure_probability) {
+        return false;
+    }
+    // p survives; evict the contiguous run it dominates (cost >= p.cost,
+    // probability >= p.probability — staircase order makes it a prefix
+    // of [it, end)).
+    auto last = it;
+    while (last != front_.end() && last->failure_probability >= p.failure_probability) ++last;
+    it = front_.erase(it, last);
+    front_.insert(it, std::move(p));
+    ++updates_;
+    return true;
 }
 
 }  // namespace asilkit::explore

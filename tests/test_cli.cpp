@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "io/json.h"
 #include "io/model_json.h"
 
 namespace asilkit::cli {
@@ -429,6 +430,51 @@ TEST_F(CliTest, ExploreTraceCoversAllLayers) {
                             "\"cat\":\"bdd\""}) {
         EXPECT_NE(t.find(cat), std::string::npos) << cat;
     }
+}
+
+TEST_F(CliTest, SearchOptimizesAndStreamsFront) {
+    const std::string eco = temp_path("cli_search_model.json");
+    ASSERT_EQ(run({"demo", "ecotwin", "-o", eco}).exit_code, 0);
+    const std::string front = temp_path("cli_search_front.ndjson");
+    const std::string optimized = temp_path("cli_search_out.json");
+    const CliRun r = run({"search", eco, "--approximate", "--stream-front", front, "-o",
+                          optimized});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    EXPECT_NE(r.out.find("merges"), std::string::npos);
+    EXPECT_NE(r.out.find("front stream written to"), std::string::npos);
+    // The stream is NDJSON: one complete JSON object per line, the first
+    // being the initial state.
+    std::ifstream in(front);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        const io::Json parsed = io::Json::parse(line);
+        EXPECT_TRUE(parsed.is_object());
+        EXPECT_TRUE(parsed.contains("cost"));
+        EXPECT_TRUE(parsed.contains("failure_probability"));
+        EXPECT_TRUE(parsed.contains("front_size"));
+        if (lines == 0) EXPECT_EQ(parsed.at("label").as_string(), "initial");
+        ++lines;
+    }
+    EXPECT_GE(lines, 1u);
+    EXPECT_NO_THROW((void)io::load_model(optimized));
+}
+
+TEST_F(CliTest, ExploreStreamsFront) {
+    const std::string eco = temp_path("cli_explore_front_model.json");
+    ASSERT_EQ(run({"demo", "ecotwin", "-o", eco}).exit_code, 0);
+    const std::string front = temp_path("cli_explore_front.ndjson");
+    const CliRun r =
+        run({"explore", eco, "--nodes", "wm_eth,wm_can", "--stream-front", front});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    std::ifstream in(front);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        EXPECT_TRUE(io::Json::parse(line).is_object());
+        ++lines;
+    }
+    EXPECT_GE(lines, 1u);
 }
 
 TEST_F(CliTest, OptionNeedingValueAtEndFails) {

@@ -360,11 +360,14 @@ TEST(MappingSearch, ReportsCacheCounters) {
     // Expanded nodes yield redundant branches with identical rate
     // structure: every candidate merge inside branch 1 has a mirror in
     // branch 2 whose canonical tree is the same, so within one cold
-    // sweep steepest descent re-derives the mirrored candidates and each
-    // iteration's current-state re-evaluation from cache.  (Trunk-trunk
-    // candidates have no symmetry partner and always miss; steady-state
-    // reuse across searches is covered by SharedEngine below and by
-    // bench_mapping_search.)
+    // sweep steepest descent re-derives the mirrored candidates from
+    // cache.  (Trunk-trunk candidates have no symmetry partner and
+    // always miss; the incumbent's objective is carried forward instead
+    // of re-evaluated, and the bound-pruned best-first loop stops at
+    // the earliest chunk boundary, so many mirror partners are pruned
+    // before they could hit — the rate is far lower than it was before
+    // bound pruning.  Steady-state reuse across searches is covered by
+    // SharedEngine below and by bench_mapping_search.)
     ArchitectureModel m = scenarios::chain_n_stages(3);
     for (const char* n : {"f1", "f2", "f3"}) transform::expand(m, m.find_app_node(n));
     explore::MappingSearchOptions options;
@@ -372,7 +375,7 @@ TEST(MappingSearch, ReportsCacheCounters) {
     const auto r = explore::search_mapping(m, options);
     EXPECT_EQ(r.evaluations, r.eval_cache_hits + r.eval_cache_misses);
     EXPECT_GT(r.evaluations, 0u);
-    EXPECT_GT(r.eval_cache_hit_rate(), 1.0 / 3.0);
+    EXPECT_GT(r.eval_cache_hit_rate(), 1.0 / 8.0);
 }
 
 // ---- modularization --------------------------------------------------------

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "analysis/ccf.h"
+#include "core/error.h"
 #include "io/model_json.h"
 #include "model/validation.h"
 #include "scenarios/micro.h"
@@ -146,6 +150,176 @@ TEST(MappingSearch, LintRejectionCounterReported) {
     ArchitectureModel m = scenarios::chain_n_stages(4);
     const MappingSearchResult r = search_mapping(m, {});
     EXPECT_EQ(r.lint_rejections, 0u);
+}
+
+// ---- exactness contract ----------------------------------------------------
+
+namespace {
+
+void expect_same_front(const std::vector<TradeoffPoint>& a, const std::vector<TradeoffPoint>& b,
+                       unsigned threads) {
+    ASSERT_EQ(a.size(), b.size()) << threads;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].label, b[i].label) << threads << " point " << i;
+        EXPECT_EQ(a[i].cost, b[i].cost) << threads << " point " << i;  // bitwise
+        EXPECT_EQ(a[i].failure_probability, b[i].failure_probability)
+            << threads << " point " << i;
+    }
+}
+
+}  // namespace
+
+TEST(MappingSearch, BoundPruningNeverChangesResults) {
+    // The bound check may only skip candidates whose admissible lower
+    // bound proves them unable to beat the best evaluated move; the
+    // searched model, every objective AND the emitted front must be
+    // bitwise identical with pruning on or off, at any thread count.
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        ArchitectureModel pruned = scenarios::chain_n_stages(6);
+        ArchitectureModel exhaustive = scenarios::chain_n_stages(6);
+        transform::expand(pruned, pruned.find_app_node("f3"));
+        transform::expand(exhaustive, exhaustive.find_app_node("f3"));
+
+        MappingSearchOptions options;
+        options.engine.threads = threads;
+        options.bound_pruning = true;
+        const MappingSearchResult r_on = search_mapping(pruned, options);
+        options.bound_pruning = false;
+        const MappingSearchResult r_off = search_mapping(exhaustive, options);
+
+        EXPECT_EQ(r_on.merges, r_off.merges) << threads;
+        EXPECT_EQ(r_on.iterations, r_off.iterations) << threads;
+        EXPECT_EQ(r_on.probability_before, r_off.probability_before) << threads;
+        EXPECT_EQ(r_on.probability_after, r_off.probability_after) << threads;
+        EXPECT_EQ(r_on.cost_after, r_off.cost_after) << threads;
+        EXPECT_EQ(io::to_json(pruned).dump(), io::to_json(exhaustive).dump()) << threads;
+        expect_same_front(r_on.front, r_off.front, threads);
+        EXPECT_EQ(r_off.bound_rejections, 0u);
+        // Pruning must actually do something on this walk, or the bench
+        // claims are vacuous.
+        EXPECT_GT(r_on.bound_rejections, 0u) << threads;
+        EXPECT_LT(r_on.evaluations, r_off.evaluations) << threads;
+    }
+}
+
+TEST(MappingSearch, CandidateDedupNeverChangesResults) {
+    // The engine memo replays the bitwise EvalValue an earlier
+    // evaluation produced, so toggling it (with an evicting cache, where
+    // it can actually serve) never changes the search.
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        ArchitectureModel with = scenarios::chain_n_stages(6);
+        ArchitectureModel without = scenarios::chain_n_stages(6);
+        transform::expand(with, with.find_app_node("f3"));
+        transform::expand(without, without.find_app_node("f3"));
+
+        MappingSearchOptions options;
+        options.engine = {.threads = threads, .cache_capacity = 2};  // constant eviction
+        options.engine.candidate_dedup = true;
+        const MappingSearchResult r_with = search_mapping(with, options);
+        options.engine.candidate_dedup = false;
+        const MappingSearchResult r_without = search_mapping(without, options);
+
+        EXPECT_EQ(r_with.merges, r_without.merges) << threads;
+        EXPECT_EQ(r_with.iterations, r_without.iterations) << threads;
+        EXPECT_EQ(r_with.probability_after, r_without.probability_after) << threads;
+        EXPECT_EQ(r_with.cost_after, r_without.cost_after) << threads;
+        EXPECT_EQ(io::to_json(with).dump(), io::to_json(without).dump()) << threads;
+        expect_same_front(r_with.front, r_without.front, threads);
+        EXPECT_EQ(r_without.dedup_hits, 0u);
+    }
+}
+
+TEST(MappingSearch, PruningAndDedupTogetherStayExact) {
+    // Both features at once vs neither: the full staged pipeline against
+    // the plain exhaustive search.
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        ArchitectureModel staged = scenarios::chain_n_stages(6);
+        ArchitectureModel plain = scenarios::chain_n_stages(6);
+        transform::expand(staged, staged.find_app_node("f3"));
+        transform::expand(plain, plain.find_app_node("f3"));
+
+        MappingSearchOptions options;
+        options.engine.threads = threads;
+        options.bound_pruning = true;
+        options.engine.candidate_dedup = true;
+        const MappingSearchResult r_staged = search_mapping(staged, options);
+        options.bound_pruning = false;
+        options.engine.candidate_dedup = false;
+        options.lint_prefilter = false;
+        const MappingSearchResult r_plain = search_mapping(plain, options);
+
+        EXPECT_EQ(r_staged.merges, r_plain.merges) << threads;
+        EXPECT_EQ(r_staged.probability_after, r_plain.probability_after) << threads;
+        EXPECT_EQ(r_staged.cost_after, r_plain.cost_after) << threads;
+        EXPECT_EQ(io::to_json(staged).dump(), io::to_json(plain).dump()) << threads;
+        expect_same_front(r_staged.front, r_plain.front, threads);
+    }
+}
+
+// ---- anytime front ---------------------------------------------------------
+
+TEST(MappingSearch, StreamsFrontInWalkOrder) {
+    ArchitectureModel m = scenarios::chain_n_stages(6);
+    MappingSearchOptions options;
+    std::vector<TradeoffPoint> streamed;
+    std::vector<std::size_t> sizes;
+    options.on_front_update = [&](const TradeoffPoint& p, std::size_t front_size) {
+        streamed.push_back(p);
+        sizes.push_back(front_size);
+    };
+    const MappingSearchResult r = search_mapping(m, options);
+
+    // The initial state always opens the front; every accepted merge of
+    // a steepest-descent walk strictly improves the objective, so each
+    // one updates the front too.
+    ASSERT_GE(streamed.size(), 1u);
+    EXPECT_EQ(streamed.front().label, "initial");
+    EXPECT_EQ(streamed.size(), r.front_updates);
+    EXPECT_EQ(streamed.size(), r.merges + 1);
+    EXPECT_EQ(r.front.size(), sizes.back());
+    // The last streamed point is the local optimum the search returns.
+    EXPECT_EQ(streamed.back().failure_probability, r.probability_after);
+    EXPECT_EQ(streamed.back().cost, r.cost_after);
+}
+
+TEST(MappingSearch, CallerOwnedTrackerAccumulatesAcrossSearches) {
+    ParetoTracker tracker;
+    MappingSearchOptions options;
+    options.front_tracker = &tracker;
+
+    ArchitectureModel tight_model = scenarios::chain_n_stages(6);
+    options.max_nodes_per_resource = 2;
+    const MappingSearchResult r_tight = search_mapping(tight_model, options);
+
+    ArchitectureModel loose_model = scenarios::chain_n_stages(6);
+    options.max_nodes_per_resource = 8;
+    const MappingSearchResult r_loose = search_mapping(loose_model, options);
+
+    // The second result's front is the shared tracker's: it has seen both
+    // walks, so it dominates (or equals) each run's own best state.
+    EXPECT_EQ(r_loose.front.size(), tracker.front().size());
+    EXPECT_GE(r_tight.front.size(), 1u);
+    for (std::size_t i = 1; i < r_loose.front.size(); ++i) {
+        EXPECT_GT(r_loose.front[i].cost, r_loose.front[i - 1].cost);
+        EXPECT_LT(r_loose.front[i].failure_probability,
+                  r_loose.front[i - 1].failure_probability);
+    }
+}
+
+// ---- region-id packing -----------------------------------------------------
+
+TEST(MappingSearch, PackRegionIdIsCollisionFree) {
+    // Regression: the old (merger << 16) | branch packing aliased e.g.
+    // (merger 2, branch 0) with (merger 1, branch 0x10000).
+    EXPECT_NE(detail::pack_region_id(2, 0), detail::pack_region_id(1, 0x10000));
+    EXPECT_EQ(detail::pack_region_id(3, 5), (std::uint64_t{3} << 32) | 5u);
+    // Distinct pairs across the full 32-bit branch range stay distinct.
+    EXPECT_NE(detail::pack_region_id(0, 1), detail::pack_region_id(1, 0));
+    // The trunk sentinel (~0) is unreachable: the all-ones merger id is
+    // the invalid NodeId and is rejected.
+    EXPECT_THROW((void)detail::pack_region_id(0xFFFFFFFFu, 0xFFFFFFFFu), ModelError);
+    EXPECT_THROW((void)detail::pack_region_id(std::uint64_t{1} << 32, 0), ModelError);
+    EXPECT_THROW((void)detail::pack_region_id(0, std::uint64_t{1} << 32), ModelError);
 }
 
 }  // namespace

@@ -1,0 +1,141 @@
+#include "explore/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace asilkit::explore {
+namespace {
+
+TradeoffPoint point(double cost, double probability) {
+    TradeoffPoint p;
+    p.cost = cost;
+    p.failure_probability = probability;
+    return p;
+}
+
+/// Brute-force O(n^2) reference: the non-dominated points, deduplicated
+/// by (cost, probability) keeping the first occurrence, in (cost,
+/// probability) order — the contract pareto_front's sweep implements.
+std::vector<TradeoffPoint> reference_front(const std::vector<TradeoffPoint>& points) {
+    std::vector<TradeoffPoint> sorted = points;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const TradeoffPoint& a, const TradeoffPoint& b) {
+                         if (a.cost != b.cost) return a.cost < b.cost;
+                         return a.failure_probability < b.failure_probability;
+                     });
+    std::vector<TradeoffPoint> front;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const TradeoffPoint& p = sorted[i];
+        bool keep = true;
+        for (const TradeoffPoint& q : points) {
+            if (dominates(q, p)) {
+                keep = false;
+                break;
+            }
+        }
+        if (keep && i > 0 && sorted[i - 1].cost == p.cost &&
+            sorted[i - 1].failure_probability == p.failure_probability) {
+            keep = false;  // duplicate collapse
+        }
+        if (keep) front.push_back(p);
+    }
+    return front;
+}
+
+void expect_same(const std::vector<TradeoffPoint>& got, const std::vector<TradeoffPoint>& want) {
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].cost, want[i].cost) << "point " << i;
+        EXPECT_EQ(got[i].failure_probability, want[i].failure_probability) << "point " << i;
+    }
+}
+
+TEST(Pareto, SweepMatchesBruteForceOnRandomInputs) {
+    // A discrete value grid forces equal-cost and duplicate ties, the
+    // cases where sweep and reference could plausibly diverge.
+    std::mt19937 rng(7);
+    std::uniform_int_distribution<int> grid(0, 9);
+    for (int round = 0; round < 200; ++round) {
+        std::vector<TradeoffPoint> points;
+        const int n = grid(rng) * 3;
+        points.reserve(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            points.push_back(point(grid(rng), grid(rng) / 10.0));
+        }
+        expect_same(pareto_front(points), reference_front(points));
+    }
+}
+
+TEST(Pareto, SweepHandlesEdgeCases) {
+    EXPECT_TRUE(pareto_front({}).empty());
+    const auto single = pareto_front({point(3, 0.5)});
+    ASSERT_EQ(single.size(), 1u);
+    EXPECT_EQ(single[0].cost, 3);
+    // All-identical points collapse to one.
+    const auto dup = pareto_front({point(2, 0.4), point(2, 0.4), point(2, 0.4)});
+    EXPECT_EQ(dup.size(), 1u);
+    // A chain where every point is optimal survives whole.
+    const auto chain = pareto_front({point(3, 0.1), point(1, 0.3), point(2, 0.2)});
+    EXPECT_EQ(chain.size(), 3u);
+}
+
+TEST(Pareto, TrackerMatchesBatchFrontInAnyOrder) {
+    // Feeding every point through insert() must land on exactly the
+    // batch front, whatever the arrival order — the incremental tracker
+    // is the anytime view of the same set.
+    std::mt19937 rng(11);
+    std::uniform_int_distribution<int> grid(0, 9);
+    for (int round = 0; round < 200; ++round) {
+        std::vector<TradeoffPoint> points;
+        const int n = 1 + grid(rng) * 2;
+        points.reserve(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            points.push_back(point(grid(rng), grid(rng) / 10.0));
+        }
+        ParetoTracker tracker;
+        for (const TradeoffPoint& p : points) tracker.insert(p);
+        expect_same(tracker.front(), pareto_front(points));
+        EXPECT_EQ(tracker.offers(), static_cast<std::uint64_t>(n));
+    }
+}
+
+TEST(Pareto, TrackerInsertReportsFrontChanges) {
+    ParetoTracker tracker;
+    EXPECT_TRUE(tracker.insert(point(5, 0.5)));   // first point always enters
+    EXPECT_FALSE(tracker.insert(point(5, 0.5)));  // exact duplicate
+    EXPECT_FALSE(tracker.insert(point(6, 0.6)));  // dominated
+    EXPECT_TRUE(tracker.insert(point(6, 0.4)));   // extends the staircase
+    EXPECT_TRUE(tracker.insert(point(4, 0.45)));  // cheaper, not dominated
+    EXPECT_TRUE(tracker.insert(point(3, 0.3)));   // dominates 5/0.5, 6/0.4, 4/0.45
+    ASSERT_EQ(tracker.front().size(), 1u);
+    EXPECT_EQ(tracker.front()[0].cost, 3);
+    EXPECT_EQ(tracker.updates(), 4u);
+    EXPECT_EQ(tracker.offers(), 6u);
+
+    tracker.clear();
+    EXPECT_TRUE(tracker.front().empty());
+    EXPECT_EQ(tracker.updates(), 0u);
+    EXPECT_EQ(tracker.offers(), 0u);
+}
+
+TEST(Pareto, TrackerKeepsStaircaseInvariant) {
+    // After any insertion sequence: costs strictly ascend, probabilities
+    // strictly descend.
+    std::mt19937 rng(13);
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    ParetoTracker tracker;
+    for (int i = 0; i < 500; ++i) {
+        tracker.insert(point(uniform(rng) * 100.0, uniform(rng)));
+        const auto& front = tracker.front();
+        for (std::size_t j = 1; j < front.size(); ++j) {
+            ASSERT_GT(front[j].cost, front[j - 1].cost);
+            ASSERT_LT(front[j].failure_probability, front[j - 1].failure_probability);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace asilkit::explore

@@ -1,0 +1,214 @@
+// Incremental fault-tree generation benchmark: per-thread component-
+// fragment builders (ftree::IncrementalTreeBuilder) against from-scratch
+// tree builds on the EcoTwin trade-off sweep.
+//
+// Workload: the same expanded EcoTwin lateral-control model as
+// bench_pruning, swept across capacity x metric configurations on one
+// shared engine whose result LRU is deliberately tiny — so revisited
+// candidates miss the LRU and reach tree generation, the regime the
+// fragment layer is built for.  The sweep runs twice on the same
+// engine: the first pass is the cold start (every composition
+// assembled once), the second is the steady state an iterative DSE
+// driver lives in (every composition already in the finished-tree
+// memo).  Results are bitwise identical on/off (asserted in
+// tests/test_mapping_search.cpp at threads 1/2/4/8); only the tree
+// construction work differs.
+//
+// Counters exported per timing (consumed by tools/bench_to_json):
+//   prepares_warm     tree-generation calls in the steady-state pass
+//   gates_warm        gates constructed during the steady-state pass
+//                     (registry delta of "ftree.gates_built")
+//   gates_per_prepare_warm  the acceptance metric: gate constructions
+//                     per steady-state candidate
+//   fragment_reuse_rate     reused / (built + reused) over both passes
+//   memo_hits         compositions served whole from the finished-tree
+//                     memo (zero gates, zero fragment work)
+#include "bench_util.h"
+
+#include "cost/cost_analysis.h"
+#include "engine/engine.h"
+#include "explore/mapping_search.h"
+#include "scenarios/ecotwin.h"
+#include "transform/expand.h"
+
+using namespace asilkit;
+
+namespace {
+
+ArchitectureModel workload() {
+    ArchitectureModel m = scenarios::ecotwin_lateral_control();
+    // Expand most of the communication-heavy decision chain, as
+    // bench_pruning does: redundant branches make every tree build
+    // genuinely costly (many gates, many modules).
+    for (const char* n :
+         {"objs_eth", "objs_bb", "env_out", "wm_eth", "wm_can", "lateral_control", "ctrl_out"}) {
+        transform::expand(m, m.find_app_node(n));
+    }
+    // Field-calibrated per-instance rates (same spread as
+    // bench_pruning): separates otherwise-tied candidates on the
+    // objective so the sweep explores a realistic candidate mix.
+    std::size_t instance = 0;
+    for (ResourceId r : m.used_resources()) {
+        const double calibrated =
+            m.resource_lambda(r) * (1.0 + 0.003 * static_cast<double>(++instance));
+        m.resources().node(r).lambda_override = calibrated;
+    }
+    return m;
+}
+
+struct PassTotals {
+    std::uint64_t evals = 0;
+    std::uint64_t prepares = 0;  // LRU misses: candidates that reached tree generation
+    std::uint64_t gates = 0;     // "ftree.gates_built" delta over the pass
+    std::uint64_t fragments_built = 0;
+    std::uint64_t fragments_reused = 0;
+    std::uint64_t memo_hits = 0;
+};
+
+/// One capacity x metric sweep over `shared`, with the gate-construction
+/// registry counter sampled around it.
+PassTotals run_pass(engine::EvalEngine& shared) {
+    obs::Counter& gates = obs::Registry::global().counter("ftree.gates_built");
+    PassTotals totals;
+    const std::uint64_t gates_before = gates.value();
+    for (const std::size_t capacity : {std::size_t{2}, std::size_t{3}, std::size_t{4}}) {
+        for (const int metric : {1, 2}) {
+            ArchitectureModel m = workload();
+            explore::MappingSearchOptions options;
+            options.max_nodes_per_resource = capacity;
+            options.metric = metric == 1 ? cost::CostMetric::exponential_metric1()
+                                         : cost::CostMetric::exponential_metric2();
+            const explore::MappingSearchResult r = explore::search_mapping(m, options, shared);
+            totals.evals += r.evaluations;
+            totals.prepares += r.eval_cache_misses;
+            totals.fragments_built += r.fragments_built;
+            totals.fragments_reused += r.fragments_reused;
+            totals.memo_hits += r.ftree_memo_hits;
+        }
+    }
+    totals.gates = gates.value() - gates_before;
+    return totals;
+}
+
+struct SweepTotals {
+    PassTotals cold;
+    PassTotals warm;
+};
+
+/// The double sweep: cold pass then the identical steady-state pass on
+/// one shared engine.  The tiny LRU forces revisited candidates back
+/// through tree generation — with the fragment layer on, the warm pass
+/// serves them from the finished-tree memo instead of rebuilding.
+SweepTotals run_sweep(bool incremental) {
+    engine::EngineOptions eng;
+    eng.threads = 1;
+    eng.cache_capacity = 8;
+    eng.candidate_dedup = false;  // isolate the tree-generation layer
+    eng.incremental_ftree = incremental;
+    engine::EvalEngine shared(eng);
+    SweepTotals totals;
+    totals.cold = run_pass(shared);
+    totals.warm = run_pass(shared);
+    return totals;
+}
+
+double per(std::uint64_t num, std::uint64_t den) {
+    return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+void print_report() {
+    bench::heading("Incremental fault-tree generation (EcoTwin trade-off sweep)");
+    const SweepTotals off = run_sweep(false);
+    const SweepTotals on = run_sweep(true);
+    bench::row("tree generations, cold pass", static_cast<double>(on.cold.prepares));
+    bench::row("gates/candidate, full rebuild (warm)", per(off.warm.gates, off.warm.prepares));
+    bench::row("gates/candidate, incremental (warm)", per(on.warm.gates, on.warm.prepares));
+    if (on.warm.gates > 0) {
+        bench::row("gate-construction reduction (warm)",
+                   per(off.warm.gates, off.warm.prepares) / per(on.warm.gates, on.warm.prepares));
+    } else {
+        bench::row("gate-construction reduction (warm)",
+                   std::string("inf (steady state builds zero gates)"));
+    }
+    const std::uint64_t frags = on.cold.fragments_built + on.cold.fragments_reused +
+                                on.warm.fragments_built + on.warm.fragments_reused;
+    bench::row("fragment reuse rate",
+               per(on.cold.fragments_reused + on.warm.fragments_reused, frags));
+    bench::row("finished-tree memo hits (warm)", static_cast<double>(on.warm.memo_hits));
+    bench::note("fronts and searched models are bitwise identical on/off");
+    bench::note("(asserted by tests/test_mapping_search.cpp at threads 1/2/4/8).");
+}
+
+// The double sweep with incremental generation off: every LRU miss
+// rebuilds its fault tree from the model, cold and warm alike.
+void BM_IncrementalSweep_Off(benchmark::State& state) {
+    SweepTotals totals;
+    bench::time_batch(state, "bench.incremental_sweep_off_ns", [&] {
+        totals = run_sweep(false);
+        benchmark::DoNotOptimize(totals);
+    });
+    state.counters["prepares_warm"] = static_cast<double>(totals.warm.prepares);
+    state.counters["gates_warm"] = static_cast<double>(totals.warm.gates);
+    state.counters["gates_per_prepare_warm"] = per(totals.warm.gates, totals.warm.prepares);
+    state.counters["cache_hit_rate"] = 0.0;
+}
+BENCHMARK(BM_IncrementalSweep_Off)->Unit(benchmark::kMillisecond)->UseManualTime();
+
+// The same double sweep with the fragment layer on.
+void BM_IncrementalSweep_On(benchmark::State& state) {
+    SweepTotals totals;
+    bench::time_batch(state, "bench.incremental_sweep_on_ns", [&] {
+        totals = run_sweep(true);
+        benchmark::DoNotOptimize(totals);
+    });
+    const std::uint64_t frags = totals.cold.fragments_built + totals.cold.fragments_reused +
+                                totals.warm.fragments_built + totals.warm.fragments_reused;
+    state.counters["prepares_warm"] = static_cast<double>(totals.warm.prepares);
+    state.counters["gates_warm"] = static_cast<double>(totals.warm.gates);
+    state.counters["gates_per_prepare_warm"] = per(totals.warm.gates, totals.warm.prepares);
+    state.counters["memo_hits"] = static_cast<double>(totals.warm.memo_hits);
+    state.counters["cache_hit_rate"] =
+        per(totals.cold.fragments_reused + totals.warm.fragments_reused, frags);
+}
+BENCHMARK(BM_IncrementalSweep_On)->Unit(benchmark::kMillisecond)->UseManualTime();
+
+// Steady-state analyze latency: two rate-variant models alternating
+// through an engine whose LRU holds only one of them, so every analyze
+// is an LRU miss and pays tree generation.  With the fragment layer on
+// the finished-tree memo serves both after the first round.
+void BM_RepeatAnalyze(benchmark::State& state) {
+    const bool incremental = state.range(0) != 0;
+    engine::EngineOptions eng;
+    eng.threads = 1;
+    eng.cache_capacity = 1;
+    eng.candidate_dedup = false;
+    eng.incremental_ftree = incremental;
+    engine::EvalEngine shared(eng);
+    const ArchitectureModel a = workload();
+    ArchitectureModel b = workload();
+    {
+        const ResourceId r = b.used_resources().front();
+        b.resources().node(r).lambda_override = b.resource_lambda(r) * 1.5;
+    }
+    const analysis::ProbabilityOptions options;
+    // Warm-up round: both compositions enter the finished-tree memo
+    // (and, off, prove the LRU really thrashes).
+    (void)shared.analyze(a, options);
+    (void)shared.analyze(b, options);
+    obs::Counter& gates = obs::Registry::global().counter("ftree.gates_built");
+    const std::uint64_t gates_before = gates.value();
+    std::uint64_t analyzes = 0;
+    bench::time_batch(state, "bench.repeat_analyze_ns", [&] {
+        benchmark::DoNotOptimize(shared.analyze(a, options));
+        benchmark::DoNotOptimize(shared.analyze(b, options));
+        analyzes += 2;
+    });
+    state.counters["gates_per_analyze"] =
+        analyzes == 0 ? 0.0 : per(gates.value() - gates_before, analyzes);
+    state.counters["cache_hit_rate"] = 0.0;
+}
+BENCHMARK(BM_RepeatAnalyze)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->UseManualTime();
+
+}  // namespace
+
+ASILKIT_BENCH_MAIN(print_report)

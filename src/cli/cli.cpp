@@ -51,7 +51,8 @@ struct Args {
 
 /// Options that are flags (no value follows).
 bool is_flag(const std::string& key) {
-    return key == "approximate" || key == "all" || key == "help" || key == "strict";
+    return key == "approximate" || key == "all" || key == "help" || key == "strict" ||
+           key == "no-incremental-ftree";
 }
 
 Args parse_args(const std::vector<std::string>& argv) {
@@ -337,6 +338,9 @@ int cmd_search(const Args& args, std::ostream& out) {
     if (args.has("threads")) {
         options.engine.threads = static_cast<unsigned>(std::stoul(args.get("threads")));
     }
+    // Escape hatch for A/B timing; never changes the searched model or
+    // the front (docs/ftree.md).
+    if (args.has("no-incremental-ftree")) options.engine.incremental_ftree = false;
     std::optional<FrontStream> stream;
     if (args.has("stream-front")) {
         stream.emplace(args.get("stream-front"));
@@ -465,6 +469,7 @@ int cmd_stats(const Args& args, std::ostream& out) {
         if (args.has("threads")) {
             engine_options.threads = static_cast<unsigned>(std::stoul(args.get("threads")));
         }
+        if (args.has("no-incremental-ftree")) engine_options.incremental_ftree = false;
         engine::EvalEngine engine(engine_options);
         const analysis::ProbabilityResult result = engine.analyze(m, options);
         out << "model             : " << m.name() << "\n"
@@ -561,15 +566,15 @@ std::string usage() {
            "  connect   model.json [--merger NAME | --all] -o out.json\n"
            "  reduce    model.json -o out.json\n"
            "  search    model.json [--metric M] [--max-nodes N] [--hours H]\n"
-           "            [--approximate] [--threads N] [--stream-front front.ndjson]\n"
-           "            [-o optimized.json]\n"
+           "            [--approximate] [--threads N] [--no-incremental-ftree]\n"
+           "            [--stream-front front.ndjson] [-o optimized.json]\n"
            "  explore   model.json --nodes a,b,c [--strategy S] [--metric M]\n"
            "            [--csv curve.csv] [--stream-front front.ndjson] [-o final.json]\n"
            "  export    model.json --layer app|resources|physical|ftree\n"
            "            [--format dot|graphml] -o out.dot\n"
            "  diff      before.json after.json\n"
            "  stats     [model.json] [--approximate] [--hours H] [--threads N]\n"
-           "            [--format text|json]\n"
+           "            [--no-incremental-ftree] [--format text|json]\n"
            "\n"
            "observability (any command):\n"
            "  --trace out.json    write a Chrome/Perfetto trace of the run\n"

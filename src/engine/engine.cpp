@@ -58,6 +58,7 @@ EvalEngine::EvalEngine(const EngineOptions& options)
       persistent_bdd_(options.persistent_bdd),
       batch_rate_variants_(options.batch_rate_variants),
       candidate_dedup_(options.candidate_dedup),
+      incremental_ftree_(options.incremental_ftree),
       bdd_gc_node_threshold_(options.bdd_gc_node_threshold),
       analyze_calls_(obs::Registry::global().counter("engine.analyze_calls")),
       tree_hits_(obs::Registry::global().counter("engine.tree_hits")),
@@ -70,7 +71,10 @@ EvalEngine::EvalEngine(const EngineOptions& options)
       subtree_memo_misses_(obs::Registry::global().counter("bdd.subtree_memo_misses")),
       gc_collections_(obs::Registry::global().counter("bdd.gc.collections")),
       batch_groups_(obs::Registry::global().counter("engine.batch_groups")),
-      batch_lanes_(obs::Registry::global().counter("engine.batch_lanes")) {
+      batch_lanes_(obs::Registry::global().counter("engine.batch_lanes")),
+      fragments_built_(obs::Registry::global().counter("ftree.fragment.built")),
+      fragments_reused_(obs::Registry::global().counter("ftree.fragment.reused")),
+      ftree_memo_hits_(obs::Registry::global().counter("ftree.memo_hits")) {
     base_.analyze_calls = analyze_calls_.value();
     base_.tree_hits = tree_hits_.value();
     base_.tree_misses = tree_misses_.value();
@@ -83,6 +87,9 @@ EvalEngine::EvalEngine(const EngineOptions& options)
     base_.gc_collections = gc_collections_.value();
     base_.batch_groups = batch_groups_.value();
     base_.batch_lanes = batch_lanes_.value();
+    base_.fragments_built = fragments_built_.value();
+    base_.fragments_reused = fragments_reused_.value();
+    base_.ftree_memo_hits = ftree_memo_hits_.value();
 }
 
 EvalEngine::Stats EvalEngine::stats() const {
@@ -100,6 +107,9 @@ EvalEngine::Stats EvalEngine::stats() const {
     s.gc_collections = gc_collections_.value() - base_.gc_collections;
     s.batch_groups = batch_groups_.value() - base_.batch_groups;
     s.batch_lanes = batch_lanes_.value() - base_.batch_lanes;
+    s.fragments_built = fragments_built_.value() - base_.fragments_built;
+    s.fragments_reused = fragments_reused_.value() - base_.fragments_reused;
+    s.ftree_memo_hits = ftree_memo_hits_.value() - base_.ftree_memo_hits;
     return s;
 }
 
@@ -129,6 +139,15 @@ bdd::PersistentBddCompiler* EvalEngine::compiler_lane() {
     return slot.get();
 }
 
+ftree::IncrementalTreeBuilder* EvalEngine::ftree_lane() {
+    if (!incremental_ftree_) return nullptr;
+    const std::thread::id id = std::this_thread::get_id();
+    const std::lock_guard<std::mutex> lock(ftree_lanes_mutex_);
+    std::unique_ptr<ftree::IncrementalTreeBuilder>& slot = ftree_lanes_[id];
+    if (slot == nullptr) slot = std::make_unique<ftree::IncrementalTreeBuilder>();
+    return slot.get();
+}
+
 EvalEngine::PreparedModel EvalEngine::prepare(const ArchitectureModel& m,
                                               const analysis::ProbabilityOptions& options,
                                               bool want_shape) {
@@ -138,14 +157,8 @@ EvalEngine::PreparedModel EvalEngine::prepare(const ArchitectureModel& m,
     build_options.approximate = options.approximate;
     build_options.include_location_events = options.include_location_events;
     build_options.rates = options.rates;
-    ftree::FtBuildResult built = ftree::build_fault_tree(m, build_options);
 
     PreparedModel p;
-    p.result.ft_stats = built.tree.stats();
-    p.result.approximated_blocks = built.approximated_blocks;
-    p.result.cycles_cut = built.cycles_cut;
-    p.result.warnings = std::move(built.warnings);
-
     // The engine evaluates the canonical form of the tree: gate children
     // sorted by a structural subtree hash.  AND/OR commute, so the
     // probability is unchanged — but candidate architectures that differ
@@ -155,9 +168,31 @@ EvalEngine::PreparedModel EvalEngine::prepare(const ArchitectureModel& m,
     // same BDD variable orders, and bit-identical arithmetic.  That is
     // what makes a cache hit safe to substitute for a fresh evaluation
     // at any thread count.
-    p.canonical = ftree::canonical_form(built.tree);
-    p.tree_key = hash::combine(p.canonical.structural_hash(), double_bits(options.mission_hours));
-    if (want_shape) p.shape_hash = p.canonical.shape_hash();
+    if (ftree::IncrementalTreeBuilder* const builder = ftree_lane()) {
+        // Incremental path: fragments dirty-tracked per thread, repeat
+        // compositions served from the finished-tree memo.  The
+        // assembled tree is bitwise identical to build_fault_tree, so
+        // everything derived below matches the full-rebuild path.
+        ftree::IncrementalTreeBuilder::Prepared prep = builder->prepare(m, build_options);
+        p.result.ft_stats = prep.stats;
+        p.result.approximated_blocks = prep.approximated_blocks;
+        p.result.cycles_cut = prep.cycles_cut;
+        p.result.warnings = std::move(prep.warnings);
+        p.canonical = std::move(prep.canonical);
+        p.modules = std::move(prep.modules);
+        p.tree_key = hash::combine(prep.structural_hash, double_bits(options.mission_hours));
+        if (want_shape) p.shape_hash = prep.shape_hash;
+        return p;
+    }
+
+    ftree::FtBuildResult built = ftree::build_fault_tree(m, build_options);
+    p.result.ft_stats = built.tree.stats();
+    p.result.approximated_blocks = built.approximated_blocks;
+    p.result.cycles_cut = built.cycles_cut;
+    p.result.warnings = std::move(built.warnings);
+    p.canonical = std::make_shared<const ftree::FaultTree>(ftree::canonical_form(built.tree));
+    p.tree_key = hash::combine(p.canonical->structural_hash(), double_bits(options.mission_hours));
+    if (want_shape) p.shape_hash = p.canonical->shape_hash();
     return p;
 }
 
@@ -187,7 +222,14 @@ void EvalEngine::finish(PreparedModel& p, const analysis::ProbabilityOptions& op
     // previously scored candidates and replays from cache — module
     // subtree hashes are context-free, so the same region under a
     // different tree yields the same key and the same bitwise value.
-    const ftree::ModuleDecomposition dec = ftree::find_modules(p.canonical);
+    // The incremental builder hands the decomposition over with the
+    // tree; the full-rebuild path computes it here, as before.
+    std::shared_ptr<const ftree::ModuleDecomposition> dec_owned = p.modules;
+    if (dec_owned == nullptr) {
+        dec_owned =
+            std::make_shared<const ftree::ModuleDecomposition>(ftree::find_modules(*p.canonical));
+    }
+    const ftree::ModuleDecomposition& dec = *dec_owned;
     bdd::PersistentBddCompiler* const compiler = compiler_lane();
     std::vector<double> module_prob(dec.size());
     std::vector<double> child_probs;
@@ -216,9 +258,9 @@ void EvalEngine::finish(PreparedModel& p, const analysis::ProbabilityOptions& op
         }
         const bdd::ModuleEvalResult eval =
             compiler != nullptr
-                ? compiler->evaluate_module(p.canonical, dec, i, child_probs,
+                ? compiler->evaluate_module(*p.canonical, dec, i, child_probs,
                                             options.mission_hours)
-                : bdd::evaluate_module(p.canonical, dec, i, child_probs, options.mission_hours);
+                : bdd::evaluate_module(*p.canonical, dec, i, child_probs, options.mission_hours);
         module_prob[i] = eval.probability;
         total.bdd_nodes += eval.bdd_nodes;
         total.bdd_total_nodes += eval.bdd_total_nodes;
@@ -272,10 +314,16 @@ void EvalEngine::finish_group(std::span<PreparedModel* const> lanes,
     // find_modules boundaries and order are purely structural, so every
     // lane decomposes identically; the per-lane runs exist because
     // module subtree hashes (the cache keys) include the lane's rates.
-    std::vector<ftree::ModuleDecomposition> decs;
+    // Lanes prepared incrementally carry their decomposition already.
+    std::vector<std::shared_ptr<const ftree::ModuleDecomposition>> decs;
     decs.reserve(k);
-    for (const PreparedModel* p : live) decs.push_back(ftree::find_modules(p->canonical));
-    const std::size_t nmodules = decs.front().size();
+    for (const PreparedModel* p : live) {
+        decs.push_back(p->modules != nullptr
+                           ? p->modules
+                           : std::make_shared<const ftree::ModuleDecomposition>(
+                                 ftree::find_modules(*p->canonical)));
+    }
+    const std::size_t nmodules = decs.front()->size();
 
     std::vector<std::vector<double>> module_prob(k, std::vector<double>(nmodules));
     std::vector<EvalValue> totals(k);
@@ -295,7 +343,7 @@ void EvalEngine::finish_group(std::span<PreparedModel* const> lanes,
         dedup.clear();
         first_with_key.clear();
         for (std::size_t j = 0; j < k; ++j) {
-            keys[j] = module_cache_key(decs[j].modules[i].subtree_hash, options.mission_hours);
+            keys[j] = module_cache_key(decs[j]->modules[i].subtree_hash, options.mission_hours);
             if (modularize_) {
                 if (const auto cached = cache_.lookup(keys[j])) {
                     ++local_hits;
@@ -325,8 +373,8 @@ void EvalEngine::finish_group(std::span<PreparedModel* const> lanes,
             child_probs.resize(eval_lanes.size());
             for (std::size_t idx = 0; idx < eval_lanes.size(); ++idx) {
                 const std::size_t j = eval_lanes[idx];
-                trees.push_back(&live[j]->canonical);
-                for (const std::uint32_t child : decs[j].modules[i].child_modules) {
+                trees.push_back(live[j]->canonical.get());
+                for (const std::uint32_t child : decs[j]->modules[i].child_modules) {
                     child_probs[idx].push_back(module_prob[j][child]);
                 }
                 child_spans.emplace_back(child_probs[idx]);
@@ -334,7 +382,7 @@ void EvalEngine::finish_group(std::span<PreparedModel* const> lanes,
             // One compilation + one SoA sweep for every lane of the
             // module; dec structure is lane-independent, so the first
             // lane's decomposition addresses them all.
-            evals = compiler->evaluate_module_lanes(trees, decs.front(), i, child_spans,
+            evals = compiler->evaluate_module_lanes(trees, *decs.front(), i, child_spans,
                                                     options.mission_hours);
             for (std::size_t idx = 0; idx < eval_lanes.size(); ++idx) {
                 const std::size_t j = eval_lanes[idx];
@@ -429,8 +477,8 @@ std::vector<analysis::ProbabilityResult> EvalEngine::analyze_batch(
             std::vector<std::size_t>& candidates = units_of_shape[prepared[i]->shape_hash];
             bool placed = false;
             for (const std::size_t u : candidates) {
-                if (ftree::identical_shape(prepared[units[u].front()]->canonical,
-                                           prepared[i]->canonical)) {
+                if (ftree::identical_shape(*prepared[units[u].front()]->canonical,
+                                           *prepared[i]->canonical)) {
                     units[u].push_back(i);
                     placed = true;
                     break;

@@ -52,6 +52,8 @@
 #include "bdd/from_fault_tree.h"
 #include "engine/eval_cache.h"
 #include "engine/thread_pool.h"
+#include "ftree/cft.h"
+#include "ftree/modules.h"
 #include "model/architecture.h"
 #include "obs/metrics.h"
 
@@ -87,6 +89,17 @@ struct EngineOptions {
     /// probability sweep.  Per-lane results are bitwise identical to
     /// ungrouped evaluation.  Requires persistent_bdd.
     bool batch_rate_variants = true;
+    /// Generate fault trees through per-thread component-fragment
+    /// builders (ftree::IncrementalTreeBuilder) instead of from scratch:
+    /// a candidate edit regenerates only the fragments whose model facts
+    /// changed, and a *repeat* composition — the steady state of a
+    /// trade-off sweep — reuses the finished canonical tree, hashes and
+    /// module decomposition by reference, constructing zero gates.
+    /// Never changes results: assembled trees are bitwise identical to
+    /// full rebuilds (docs/ftree.md gives the argument), so tree keys,
+    /// cache traffic and probabilities are unchanged at any thread
+    /// count.
+    bool incremental_ftree = true;
     /// Cross-iteration / cross-branch candidate dedup: remember every
     /// evaluated canonical tree (by the same key the eval cache uses) in
     /// a non-evicting memo and serve repeats from it when the LRU cache
@@ -163,6 +176,14 @@ public:
         /// they carried ("engine.batch_groups" / "engine.batch_lanes").
         std::uint64_t batch_groups = 0;
         std::uint64_t batch_lanes = 0;
+        /// Incremental tree generation view (zero with incremental_ftree
+        /// off): component fragments regenerated vs reused by the
+        /// per-thread builders ("ftree.fragment.built" /
+        /// "ftree.fragment.reused") and whole compositions served from
+        /// the finished-tree memo ("ftree.memo_hits").
+        std::uint64_t fragments_built = 0;
+        std::uint64_t fragments_reused = 0;
+        std::uint64_t ftree_memo_hits = 0;
     };
     [[nodiscard]] Stats stats() const;
 
@@ -179,7 +200,14 @@ private:
     /// half (cache lookups, modular evaluation, inserts).
     struct PreparedModel {
         analysis::ProbabilityResult result;  ///< ft_stats / warnings filled
-        ftree::FaultTree canonical;
+        /// Canonical tree, shared by reference with the incremental
+        /// builders' composition memo (repeat candidates alias ONE
+        /// immutable tree instead of each carrying a copy).
+        std::shared_ptr<const ftree::FaultTree> canonical;
+        /// Module decomposition carried over from the incremental
+        /// builder; null on the full-rebuild path (finish/finish_group
+        /// then compute it locally, as before).
+        std::shared_ptr<const ftree::ModuleDecomposition> modules;
         std::uint64_t tree_key = 0;
         std::uint64_t shape_hash = 0;  ///< 0 unless grouping was requested
     };
@@ -195,6 +223,11 @@ private:
     /// exactly one thread; the mutex guards only the map.
     [[nodiscard]] bdd::PersistentBddCompiler* compiler_lane();
 
+    /// The calling thread's incremental tree builder (created on first
+    /// use), or nullptr with incremental_ftree off — same lane pattern
+    /// as compiler_lane().
+    [[nodiscard]] ftree::IncrementalTreeBuilder* ftree_lane();
+
     /// Candidate memo lookup/insert; no-ops (nullopt) with the feature
     /// off.  Guarded by dedup_mutex_ — the memo sits behind the LRU, so
     /// traffic is bounded by tree misses, not lookups.
@@ -207,11 +240,15 @@ private:
     bool persistent_bdd_;
     bool batch_rate_variants_;
     bool candidate_dedup_;
+    bool incremental_ftree_;
     std::size_t bdd_gc_node_threshold_;
     std::mutex dedup_mutex_;
     std::unordered_map<std::uint64_t, EvalValue> dedup_map_;
     std::mutex compilers_mutex_;
     std::unordered_map<std::thread::id, std::unique_ptr<bdd::PersistentBddCompiler>> compilers_;
+    std::mutex ftree_lanes_mutex_;
+    std::unordered_map<std::thread::id, std::unique_ptr<ftree::IncrementalTreeBuilder>>
+        ftree_lanes_;
     // Registry-backed counters (relaxed atomic adds: analyze() runs
     // concurrently from pool tasks; stats() is a monitoring snapshot,
     // not a synchronisation point).  `base_` anchors the per-instance
@@ -228,6 +265,9 @@ private:
     obs::Counter& gc_collections_;
     obs::Counter& batch_groups_;
     obs::Counter& batch_lanes_;
+    obs::Counter& fragments_built_;
+    obs::Counter& fragments_reused_;
+    obs::Counter& ftree_memo_hits_;
     Stats base_;
 };
 

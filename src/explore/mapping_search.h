@@ -18,8 +18,9 @@
 // on_front_update.  Cross-branch merges are never candidates: they would
 // introduce the Common Cause Faults the CCF analysis rejects.
 //
-// Exactness contract: bound pruning, the lint pre-filter and the
-// engine's candidate dedup only skip work that provably cannot change
+// Exactness contract: bound pruning, the lint pre-filter, the engine's
+// candidate dedup and its incremental component-fragment tree
+// generation (docs/ftree.md) only skip work that provably cannot change
 // the outcome — the searched model, every objective and the emitted
 // front are bitwise identical with each feature on or off, at any
 // thread count (docs/explore.md gives the arguments; the tests in
@@ -126,6 +127,16 @@ struct MappingSearchResult {
     /// memo after an LRU miss (subset of eval_cache_hits; 0 with
     /// options.engine.candidate_dedup off).
     std::uint64_t dedup_hits = 0;
+    /// Incremental fault-tree generation counters (zero with
+    /// options.engine.incremental_ftree off): component fragments the
+    /// per-thread builders regenerated vs reused by reference, and
+    /// candidate trees served whole from the finished-composition memo
+    /// (those construct zero gates).  Scheduling-dependent at threads
+    /// > 1 — which thread's builder sees a candidate first varies —
+    /// unlike the searched model and objectives, which never vary.
+    std::uint64_t fragments_built = 0;
+    std::uint64_t fragments_reused = 0;
+    std::uint64_t ftree_memo_hits = 0;
     /// Front changes streamed during this search (>= 1: the initial
     /// state always enters an empty front).
     std::uint64_t front_updates = 0;

@@ -219,9 +219,11 @@ FaultTree canonical_form(const FaultTree& ft) {
     // event a candidate merge creates — orders differently from a
     // pristine branch whose events carry the same rates.  Without this,
     // mirror merges in redundant branches tie under a sharing-blind hash
-    // and stable sort keeps them apart.
+    // and stable sort keeps them apart.  The same walk records each
+    // event's parent gates for the phase-1.5 context refinement.
     std::unordered_map<std::uint32_t, std::uint32_t> basic_refs;
     std::unordered_map<std::uint32_t, std::uint32_t> gate_refs;
+    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> basic_parents;
     {
         std::vector<FtRef> stack{root};
         std::unordered_set<std::uint32_t> visited;
@@ -234,6 +236,7 @@ FaultTree canonical_form(const FaultTree& ft) {
             for (FtRef c : ft.gate(r.index).children) {
                 if (c.kind == FtRef::Kind::Basic) {
                     ++basic_refs[c.index];
+                    basic_parents[c.index].push_back(r.index);
                 } else {
                     ++gate_refs[c.index];
                     stack.push_back(c);
@@ -304,11 +307,77 @@ FaultTree canonical_form(const FaultTree& ft) {
         return h;
     };
 
-    // Phase 2: rebuild with children stably sorted by their phase-1
+    // Phase 1.5: context refinement.  The phase-1 hashes see an event as
+    // (rate, ref count) — two *distinct* shared events with equal rates
+    // and equal ref counts tie, and the stable sort then falls back to
+    // construction order.  Construction order is declaration order of
+    // the source model, so two isomorphic models declared in different
+    // component/edge order could canonicalise into trees whose event
+    // first-occurrence patterns differ — different structural_hash for
+    // the same structure.  One Weisfeiler–Leman-style round breaks the
+    // tie by context: each event is refined with the sorted multiset of
+    // its parent gates' phase-1 hashes, so events shared into different
+    // regions order apart by content, not by declaration order.  The
+    // rate-blind refinement uses rate-blind parent hashes, keeping the
+    // primary sort key rate-blind — a lambda nudge still cannot reorder
+    // siblings that shape and sharing separate (the property the batched
+    // multi-lambda evaluation keys on).
+    prelim(root);        // populate gate_prelim for every reachable gate
+    shape_prelim(root);  // populate gate_shape likewise
+    auto context_sig = [&](const std::vector<std::uint32_t>& parents,
+                           const std::unordered_map<std::uint32_t, std::uint64_t>& gate_hash) {
+        std::vector<std::uint64_t> hs;
+        hs.reserve(parents.size());
+        for (const std::uint32_t g : parents) hs.push_back(gate_hash.at(g));
+        std::sort(hs.begin(), hs.end());
+        std::uint64_t h = 0x637478ull /* "ctx" */;
+        for (const std::uint64_t ph : hs) h = hash::combine(h, ph);
+        return h;
+    };
+    std::unordered_map<std::uint32_t, std::uint64_t> refined_gate;
+    std::function<std::uint64_t(FtRef)> refined = [&](FtRef r) -> std::uint64_t {
+        if (r.kind == FtRef::Kind::Basic) {
+            return hash::combine(prelim(r), context_sig(basic_parents[r.index], gate_prelim));
+        }
+        if (auto it = refined_gate.find(r.index); it != refined_gate.end()) return it->second;
+        const Gate& g = ft.gate(r.index);
+        std::vector<std::uint64_t> child_hashes;
+        child_hashes.reserve(g.children.size());
+        for (FtRef c : g.children) child_hashes.push_back(refined(c));
+        std::sort(child_hashes.begin(), child_hashes.end());
+        std::uint64_t h =
+            hash::combine(0x67617465ull /* "gate" */, static_cast<std::uint64_t>(g.kind));
+        h = hash::combine(h, gate_refs[r.index]);
+        for (const std::uint64_t ch : child_hashes) h = hash::combine(h, ch);
+        refined_gate.emplace(r.index, h);
+        return h;
+    };
+    std::unordered_map<std::uint32_t, std::uint64_t> refined_shape_gate;
+    std::function<std::uint64_t(FtRef)> refined_shape = [&](FtRef r) -> std::uint64_t {
+        if (r.kind == FtRef::Kind::Basic) {
+            return hash::combine(shape_prelim(r), context_sig(basic_parents[r.index], gate_shape));
+        }
+        if (auto it = refined_shape_gate.find(r.index); it != refined_shape_gate.end()) {
+            return it->second;
+        }
+        const Gate& g = ft.gate(r.index);
+        std::vector<std::uint64_t> child_hashes;
+        child_hashes.reserve(g.children.size());
+        for (FtRef c : g.children) child_hashes.push_back(refined_shape(c));
+        std::sort(child_hashes.begin(), child_hashes.end());
+        std::uint64_t h =
+            hash::combine(0x67617465ull /* "gate" */, static_cast<std::uint64_t>(g.kind));
+        h = hash::combine(h, gate_refs[r.index]);
+        for (const std::uint64_t ch : child_hashes) h = hash::combine(h, ch);
+        refined_shape_gate.emplace(r.index, h);
+        return h;
+    };
+
+    // Phase 2: rebuild with children stably sorted by their refined
     // (rate-blind, rate-inclusive) hash pair.  Stability keeps full
-    // ties (identical subtree shapes, sharing and rates) in original
-    // order — those never produce a false cache hit because the final
-    // order-dependent hash still separates them.
+    // ties (identical subtree shapes, sharing, rates and context) in
+    // original order — those never produce a false cache hit because the
+    // final order-dependent hash still separates them.
     FaultTree out;
     std::unordered_map<std::uint32_t, FtRef> basic_map;
     std::unordered_map<std::uint32_t, FtRef> gate_map;
@@ -325,7 +394,7 @@ FaultTree canonical_form(const FaultTree& ft) {
         std::vector<std::tuple<std::uint64_t, std::uint64_t, std::size_t>> order;
         order.reserve(g.children.size());
         for (std::size_t i = 0; i < g.children.size(); ++i) {
-            order.emplace_back(shape_prelim(g.children[i]), prelim(g.children[i]), i);
+            order.emplace_back(refined_shape(g.children[i]), refined(g.children[i]), i);
         }
         std::stable_sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
             if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) < std::get<0>(b);

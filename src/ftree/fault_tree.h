@@ -142,6 +142,14 @@ private:
 /// construction and Shannon evaluation.  This is how the engine's eval
 /// cache turns the steepest-descent candidate sweep — where symmetric
 /// moves are ubiquitous — into cache hits.
+///
+/// The ordering keys are refined with a context signature (each event's
+/// sorted multiset of parent-gate hashes), so the canonical tree — and
+/// with it structural_hash()/shape_hash() — is invariant under the
+/// component and edge *declaration order* of the source model even when
+/// distinct shared events carry equal rates and reference counts (the
+/// Table-I norm).  tests/test_ftree.cpp and tests/test_cft.cpp hold
+/// shuffled-but-isomorphic builds to hash equality.
 [[nodiscard]] FaultTree canonical_form(const FaultTree& ft);
 
 /// Exact index-wise structural equality ignoring names and failure

@@ -1,0 +1,411 @@
+// Component fault trees: fragment assembly, dirty tracking and the
+// incremental builder's exactness contract (docs/ftree.md).
+#include "ftree/cft.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ftree/builder.h"
+#include "ftree/modules.h"
+#include "model/architecture.h"
+#include "scenarios/ecotwin.h"
+#include "scenarios/fig3.h"
+#include "scenarios/micro.h"
+#include "transform/expand.h"
+
+namespace asilkit::ftree {
+namespace {
+
+/// Bitwise arena equality: same events (names, rates, indices), same
+/// gates (names, kinds, child lists), same top.  Stricter than
+/// isomorphism on purpose — the exactness contract promises the
+/// incremental path produces the *identical* tree, not an equivalent
+/// one.
+void expect_identical_trees(const FaultTree& a, const FaultTree& b) {
+    ASSERT_EQ(a.basic_events().size(), b.basic_events().size());
+    for (std::size_t i = 0; i < a.basic_events().size(); ++i) {
+        EXPECT_EQ(a.basic_events()[i].name, b.basic_events()[i].name) << i;
+        EXPECT_EQ(a.basic_events()[i].lambda, b.basic_events()[i].lambda) << i;
+    }
+    ASSERT_EQ(a.gates().size(), b.gates().size());
+    for (std::size_t i = 0; i < a.gates().size(); ++i) {
+        EXPECT_EQ(a.gates()[i].name, b.gates()[i].name) << i;
+        EXPECT_EQ(a.gates()[i].kind, b.gates()[i].kind) << i;
+        EXPECT_EQ(a.gates()[i].children, b.gates()[i].children) << i;
+    }
+    ASSERT_EQ(a.has_top(), b.has_top());
+    if (a.has_top()) EXPECT_TRUE(a.top() == b.top());
+}
+
+void expect_assembly_matches(const ArchitectureModel& m, const FtBuildOptions& options) {
+    std::unordered_map<std::uint32_t, ComponentFragment> fragments;
+    for (const NodeId n : m.app().node_ids()) {
+        fragments.emplace(n.value(), build_fragment(m, n, options));
+    }
+    const FtBuildResult assembled = assemble_fault_tree(
+        m, options, [&](NodeId n) { return &fragments.at(n.value()); });
+    const FtBuildResult full = build_fault_tree(m, options);
+
+    expect_identical_trees(assembled.tree, full.tree);
+    EXPECT_EQ(assembled.warnings, full.warnings);
+    EXPECT_EQ(assembled.approximated_blocks, full.approximated_blocks);
+    EXPECT_EQ(assembled.cycles_cut, full.cycles_cut);
+}
+
+TEST(ComponentFragments, AssemblyIsBitwiseIdenticalToFullBuild) {
+    std::vector<ArchitectureModel> models;
+    models.push_back(scenarios::fig3_camera_gps_fusion());
+    models.push_back(scenarios::fig3_with_shared_ecu_ccf());
+    models.push_back(scenarios::ecotwin_lateral_control());
+    {
+        ArchitectureModel expanded = scenarios::ecotwin_lateral_control();
+        transform::expand(expanded, expanded.find_app_node("lateral_control"));
+        models.push_back(std::move(expanded));
+    }
+    models.push_back(scenarios::chain_1in_2out());
+
+    for (const ArchitectureModel& m : models) {
+        for (const bool approximate : {false, true}) {
+            for (const bool locations : {false, true}) {
+                FtBuildOptions options;
+                options.approximate = approximate;
+                options.include_location_events = locations;
+                SCOPED_TRACE(m.name() + (approximate ? " approx" : " exact") +
+                             (locations ? " +loc" : " -loc"));
+                expect_assembly_matches(m, options);
+            }
+        }
+    }
+}
+
+TEST(ComponentFragments, NoResourceWarningSurvivesAssembly) {
+    ArchitectureModel m("unmapped");
+    const LocationId zone = m.add_location({"zone", kDefaultLocationLambda, {}});
+    const NodeId s = m.add_node_with_dedicated_resource(
+        {"sens", NodeKind::Sensor, AsilTag{Asil::B}, {}}, zone);
+    const NodeId a = m.add_node_with_dedicated_resource(
+        {"act", NodeKind::Actuator, AsilTag{Asil::B}, {}}, zone);
+    const NodeId orphan = m.add_app_node({"orphan", NodeKind::Functional, AsilTag{Asil::B}, {}});
+    m.connect_app(s, orphan);
+    m.connect_app(orphan, a);
+    expect_assembly_matches(m, {});
+}
+
+TEST(ComponentFragments, FragmentKeyIgnoresUnrelatedEdits) {
+    ArchitectureModel m = scenarios::ecotwin_lateral_control();
+    const FtBuildOptions options;
+    const NodeId sensor = m.find_app_node("camera");
+    const std::uint64_t before = fragment_key(m, sensor, options);
+
+    // An edit elsewhere in the model must not move this node's key.
+    ArchitectureModel other = m;
+    const ResourceId act_hw = other.find_resource("steering_actuator_hw");
+    ASSERT_TRUE(act_hw.valid());
+    other.resources().node(act_hw).lambda_override = 4.2e-9;
+    EXPECT_EQ(fragment_key(other, sensor, options), before);
+
+    // An edit to its own resource must.
+    ArchitectureModel own = m;
+    const ResourceId cam_hw = own.mapped_resources(sensor).front();
+    own.resources().node(cam_hw).lambda_override = 4.2e-9;
+    EXPECT_NE(fragment_key(own, sensor, options), before);
+}
+
+std::vector<std::uint32_t> sorted_values(std::vector<NodeId> ids) {
+    std::vector<std::uint32_t> out;
+    out.reserve(ids.size());
+    for (const NodeId n : ids) out.push_back(n.value());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+// Satellite: rate, ASIL and connectivity edits each dirty exactly the
+// expected fragment set — no over-, no under-invalidation.
+TEST(DirtyFragments, RateEditDirtiesExactlyTheHostedNodes) {
+    const ArchitectureModel before = scenarios::ecotwin_lateral_control();
+    ArchitectureModel after = before;
+    const ResourceId r = after.find_resource("lateral_control_hw");
+    ASSERT_TRUE(r.valid());
+    after.resources().node(r).lambda_override = 7.5e-8;
+    EXPECT_EQ(sorted_values(dirty_fragments(before, after, {})),
+              sorted_values(after.nodes_on_resource(r)));
+    EXPECT_FALSE(after.nodes_on_resource(r).empty());
+}
+
+TEST(DirtyFragments, ResourceAsilEditDirtiesExactlyTheHostedNodes) {
+    // ASIL readiness selects the Table-I decade, so raising it changes
+    // the hosted nodes' intrinsic rates — and nothing else.
+    const ArchitectureModel before = scenarios::ecotwin_lateral_control();
+    ArchitectureModel after = before;
+    const ResourceId r = after.find_resource("world_model_hw");
+    ASSERT_TRUE(r.valid());
+    after.resources().node(r).asil = Asil::B;
+    EXPECT_EQ(sorted_values(dirty_fragments(before, after, {})),
+              sorted_values(after.nodes_on_resource(r)));
+}
+
+TEST(DirtyFragments, NodeAsilEditDirtiesExactlyThatNode) {
+    const ArchitectureModel before = scenarios::ecotwin_lateral_control();
+    ArchitectureModel after = before;
+    const NodeId n = after.find_app_node("lateral_control");
+    after.app().node(n).asil = AsilTag{Asil::B};
+    EXPECT_EQ(sorted_values(dirty_fragments(before, after, {})),
+              sorted_values({n}));
+}
+
+TEST(DirtyFragments, ConnectivityEditDirtiesExactlyTheSink) {
+    // A new channel changes only the sink's inport wiring: its failure
+    // gate gains an input, every other fragment is untouched.
+    const ArchitectureModel before = scenarios::ecotwin_lateral_control();
+    ArchitectureModel after = before;
+    const NodeId from = after.find_app_node("camera");
+    const NodeId to = after.find_app_node("lateral_control");
+    after.connect_app(from, to);
+    EXPECT_EQ(sorted_values(dirty_fragments(before, after, {})),
+              sorted_values({to}));
+}
+
+TEST(DirtyFragments, MappingEditDirtiesExactlyTheRemappedNode) {
+    const ArchitectureModel before = scenarios::ecotwin_lateral_control();
+    ArchitectureModel after = before;
+    const NodeId n = after.find_app_node("lateral_control");
+    const ResourceId extra = after.find_resource("world_model_hw");
+    ASSERT_TRUE(extra.valid());
+    after.map_node(n, extra);
+    EXPECT_EQ(sorted_values(dirty_fragments(before, after, {})),
+              sorted_values({n}));
+}
+
+TEST(DirtyFragments, ErasedNodeCountsAsDirty) {
+    const ArchitectureModel before = scenarios::chain_1in_2out();
+    ArchitectureModel after = before;
+    const NodeId n = after.find_app_node("n");
+    after.erase_app_node(n, /*drop_dedicated_resources=*/true);
+    const std::vector<std::uint32_t> dirty =
+        sorted_values(dirty_fragments(before, after, {}));
+    EXPECT_TRUE(std::binary_search(dirty.begin(), dirty.end(), n.value()));
+}
+
+TEST(DirtyFragments, IdenticalModelsAreClean) {
+    const ArchitectureModel m = scenarios::ecotwin_lateral_control();
+    EXPECT_TRUE(dirty_fragments(m, m, {}).empty());
+}
+
+/// Full-rebuild reference for one model: canonical tree + hashes +
+/// module hashes.
+struct Reference {
+    FaultTree canonical;
+    std::uint64_t structural = 0;
+    std::uint64_t shape = 0;
+    std::vector<std::uint64_t> module_hashes;
+};
+
+Reference reference_of(const ArchitectureModel& m, const FtBuildOptions& options) {
+    Reference ref;
+    ref.canonical = canonical_form(build_fault_tree(m, options).tree);
+    ref.structural = ref.canonical.structural_hash();
+    ref.shape = ref.canonical.shape_hash();
+    for (const Module& mod : find_modules(ref.canonical).modules) {
+        ref.module_hashes.push_back(mod.subtree_hash);
+    }
+    return ref;
+}
+
+void expect_matches_reference(const IncrementalTreeBuilder::Prepared& prep,
+                              const Reference& ref) {
+    ASSERT_NE(prep.canonical, nullptr);
+    ASSERT_NE(prep.modules, nullptr);
+    expect_identical_trees(*prep.canonical, ref.canonical);
+    EXPECT_EQ(prep.structural_hash, ref.structural);
+    EXPECT_EQ(prep.shape_hash, ref.shape);
+    std::vector<std::uint64_t> module_hashes;
+    for (const Module& mod : prep.modules->modules) module_hashes.push_back(mod.subtree_hash);
+    EXPECT_EQ(module_hashes, ref.module_hashes);
+}
+
+TEST(IncrementalTreeBuilder, TracksEditsAndStaysExact) {
+    FtBuildOptions options;
+    IncrementalTreeBuilder builder;
+
+    ArchitectureModel m = scenarios::ecotwin_lateral_control();
+    const std::size_t nodes = m.app().node_ids().size();
+
+    // Cold start: every fragment is built once.
+    expect_matches_reference(builder.prepare(m, options), reference_of(m, options));
+    EXPECT_EQ(builder.last_pass().fragments_built, nodes);
+    EXPECT_EQ(builder.last_pass().fragments_reused, 0u);
+    EXPECT_FALSE(builder.last_pass().memo_hit);
+
+    // Rate edit: only the hosted fragments regenerate.
+    const ResourceId r = m.find_resource("lateral_control_hw");
+    ASSERT_TRUE(r.valid());
+    m.resources().node(r).lambda_override = 7.5e-8;
+    expect_matches_reference(builder.prepare(m, options), reference_of(m, options));
+    EXPECT_EQ(builder.last_pass().fragments_built, m.nodes_on_resource(r).size());
+    EXPECT_EQ(builder.last_pass().fragments_reused,
+              nodes - m.nodes_on_resource(r).size());
+    EXPECT_FALSE(builder.last_pass().memo_hit);
+
+    // Connectivity edit: only the sink regenerates.
+    m.connect_app(m.find_app_node("camera"), m.find_app_node("lateral_control"));
+    expect_matches_reference(builder.prepare(m, options), reference_of(m, options));
+    EXPECT_EQ(builder.last_pass().fragments_built, 1u);
+    EXPECT_EQ(builder.last_pass().fragments_reused, nodes - 1);
+}
+
+TEST(IncrementalTreeBuilder, RevisitedCompositionHitsTheMemo) {
+    FtBuildOptions options;
+    IncrementalTreeBuilder builder;
+
+    // A -> B -> A: the walk of a search that tries a move, tries
+    // another, and re-scores the first — the steady state the memo
+    // exists for.
+    ArchitectureModel a = scenarios::ecotwin_lateral_control();
+    ArchitectureModel b = a;
+    b.resources().node(b.find_resource("lateral_control_hw")).lambda_override = 7.5e-8;
+
+    const IncrementalTreeBuilder::Prepared first = builder.prepare(a, options);
+    EXPECT_FALSE(builder.last_pass().memo_hit);
+    (void)builder.prepare(b, options);
+    EXPECT_FALSE(builder.last_pass().memo_hit);
+
+    const IncrementalTreeBuilder::Prepared again = builder.prepare(a, options);
+    EXPECT_TRUE(builder.last_pass().memo_hit);
+    EXPECT_EQ(builder.last_pass().fragments_built, 0u);
+    EXPECT_EQ(builder.last_pass().fragments_reused, a.app().node_ids().size());
+    // The memo serves the same immutable tree by reference.
+    EXPECT_EQ(again.canonical.get(), first.canonical.get());
+    EXPECT_EQ(again.modules.get(), first.modules.get());
+    expect_matches_reference(again, reference_of(a, options));
+}
+
+TEST(IncrementalTreeBuilder, DistinctOptionsNeverShareMemoEntries) {
+    IncrementalTreeBuilder builder;
+    ArchitectureModel m = scenarios::fig3_camera_gps_fusion();
+
+    FtBuildOptions exact;
+    FtBuildOptions approx;
+    approx.approximate = true;
+
+    (void)builder.prepare(m, exact);
+    const IncrementalTreeBuilder::Prepared a = builder.prepare(m, approx);
+    EXPECT_FALSE(builder.last_pass().memo_hit);
+    expect_matches_reference(a, reference_of(m, approx));
+    const IncrementalTreeBuilder::Prepared e = builder.prepare(m, exact);
+    EXPECT_TRUE(builder.last_pass().memo_hit);
+    expect_matches_reference(e, reference_of(m, exact));
+}
+
+/// The same entangled-sharing model built under a node/edge declaration
+/// permutation.  Two shared ECUs carry the SAME Table-I rate and the
+/// SAME reference count, so only the context refinement in
+/// canonical_form can order their events deterministically — the
+/// regression the shuffled build pins down.
+ArchitectureModel entangled(bool shuffled) {
+    ArchitectureModel m(shuffled ? "entangled-shuffled" : "entangled");
+    const LocationId zone = m.add_location({"zone", kDefaultLocationLambda, {}});
+
+    AppNode sens{"sens", NodeKind::Sensor, AsilTag{Asil::B}, {}};
+    AppNode f1{"f1", NodeKind::Functional, AsilTag{Asil::B}, {}};
+    AppNode f2{"f2", NodeKind::Functional, AsilTag{Asil::B}, {}};
+    AppNode f3{"f3", NodeKind::Functional, AsilTag{Asil::B}, {}};
+    AppNode act{"act", NodeKind::Actuator, AsilTag{Asil::B}, {}};
+
+    NodeId n_sens, n_f1, n_f2, n_f3, n_act;
+    if (shuffled) {
+        n_act = m.add_app_node(act);
+        n_f3 = m.add_app_node(f3);
+        n_f1 = m.add_app_node(f1);
+        n_sens = m.add_app_node(sens);
+        n_f2 = m.add_app_node(f2);
+    } else {
+        n_sens = m.add_app_node(sens);
+        n_f1 = m.add_app_node(f1);
+        n_f2 = m.add_app_node(f2);
+        n_f3 = m.add_app_node(f3);
+        n_act = m.add_app_node(act);
+    }
+
+    Resource sens_hw;
+    sens_hw.name = "sens_hw";
+    sens_hw.kind = ResourceKind::Sensor;
+    sens_hw.asil = Asil::B;
+    Resource act_hw;
+    act_hw.name = "act_hw";
+    act_hw.kind = ResourceKind::Actuator;
+    act_hw.asil = Asil::B;
+    // The entangled pair: ecu_a hosts {f1, f2}, ecu_b hosts {f2, f3} —
+    // same kind, same ASIL, hence the same Table-I rate and (in the
+    // tree) the same reference count.  Their events are distinguishable
+    // only by which gates share them.
+    Resource ecu_a;
+    ecu_a.name = "ecu_a";
+    ecu_a.kind = ResourceKind::Functional;
+    ecu_a.asil = Asil::B;
+    Resource ecu_b;
+    ecu_b.name = "ecu_b";
+    ecu_b.kind = ResourceKind::Functional;
+    ecu_b.asil = Asil::B;
+
+    ResourceId r_sens, r_act, r_a, r_b;
+    if (shuffled) {
+        r_b = m.add_resource(ecu_b);
+        r_act = m.add_resource(act_hw);
+        r_a = m.add_resource(ecu_a);
+        r_sens = m.add_resource(sens_hw);
+    } else {
+        r_sens = m.add_resource(sens_hw);
+        r_a = m.add_resource(ecu_a);
+        r_b = m.add_resource(ecu_b);
+        r_act = m.add_resource(act_hw);
+    }
+    for (const ResourceId r : {r_sens, r_a, r_b, r_act}) m.place_resource(r, zone);
+
+    if (shuffled) {
+        m.map_node(n_f2, r_b);
+        m.map_node(n_act, r_act);
+        m.map_node(n_f3, r_b);
+        m.map_node(n_f1, r_a);
+        m.map_node(n_sens, r_sens);
+        m.map_node(n_f2, r_a);
+        m.connect_app(n_f3, n_act);
+        m.connect_app(n_sens, n_f1);
+        m.connect_app(n_f2, n_f3);
+        m.connect_app(n_f1, n_f2);
+    } else {
+        m.map_node(n_sens, r_sens);
+        m.map_node(n_f1, r_a);
+        m.map_node(n_f2, r_a);
+        m.map_node(n_f2, r_b);
+        m.map_node(n_f3, r_b);
+        m.map_node(n_act, r_act);
+        m.connect_app(n_sens, n_f1);
+        m.connect_app(n_f1, n_f2);
+        m.connect_app(n_f2, n_f3);
+        m.connect_app(n_f3, n_act);
+    }
+    return m;
+}
+
+// Satellite: structural_hash / canonical_form must be invariant under
+// the component and edge declaration order of the source model.
+TEST(DeclarationOrder, ShuffledIsomorphicModelHashesEqual) {
+    for (const bool approximate : {false, true}) {
+        FtBuildOptions options;
+        options.approximate = approximate;
+        const FaultTree a =
+            canonical_form(build_fault_tree(entangled(false), options).tree);
+        const FaultTree b =
+            canonical_form(build_fault_tree(entangled(true), options).tree);
+        EXPECT_EQ(a.structural_hash(), b.structural_hash()) << approximate;
+        EXPECT_EQ(a.shape_hash(), b.shape_hash()) << approximate;
+        EXPECT_TRUE(identical_shape(a, b)) << approximate;
+    }
+}
+
+}  // namespace
+}  // namespace asilkit::ftree

@@ -595,5 +595,42 @@ TEST(SharedEngine, AccumulatesAcrossSearches) {
     EXPECT_EQ(r1.probability_after, r2.probability_after);
 }
 
+TEST(IncrementalFtree, AnalyzeMatchesFullRebuildAndMemoisesRepeats) {
+    const ArchitectureModel m = scenarios::ecotwin_lateral_control();
+    for (const bool approximate : {false, true}) {
+        analysis::ProbabilityOptions options;
+        options.approximate = approximate;
+
+        // The full-rebuild engine runs (and snapshots its registry
+        // deltas) first: the counters are process-global, so its view
+        // must close before the incremental engine adds to them.
+        engine::EngineOptions off_options{.threads = 1};
+        off_options.incremental_ftree = false;
+        engine::EvalEngine off(off_options);
+        const analysis::ProbabilityResult r_off = off.analyze(m, options);
+        const engine::EvalEngine::Stats off_stats = off.stats();
+        EXPECT_EQ(off_stats.fragments_built, 0u);
+        EXPECT_EQ(off_stats.fragments_reused, 0u);
+        EXPECT_EQ(off_stats.ftree_memo_hits, 0u);
+
+        engine::EvalEngine on({.threads = 1});
+        const analysis::ProbabilityResult r_on = on.analyze(m, options);
+        EXPECT_EQ(r_on.failure_probability, r_off.failure_probability);  // bitwise
+        EXPECT_EQ(r_on.ft_stats.gates, r_off.ft_stats.gates);
+        EXPECT_EQ(r_on.ft_stats.basic_events, r_off.ft_stats.basic_events);
+        EXPECT_EQ(r_on.warnings, r_off.warnings);
+        EXPECT_EQ(r_on.approximated_blocks, r_off.approximated_blocks);
+
+        // A repeat candidate on the warm engine serves the whole
+        // composition from the finished-tree memo, zero fragments
+        // rebuilt.
+        const analysis::ProbabilityResult again = on.analyze(m, options);
+        EXPECT_EQ(again.failure_probability, r_on.failure_probability);
+        EXPECT_EQ(again.ft_stats.gates, r_on.ft_stats.gates);
+        EXPECT_GT(on.stats().ftree_memo_hits, 0u);
+        EXPECT_GT(on.stats().fragments_reused, 0u);
+    }
+}
+
 }  // namespace
 }  // namespace asilkit

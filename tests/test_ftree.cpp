@@ -353,5 +353,40 @@ TEST(Modules, SubtreeHashIsContextFree) {
     EXPECT_NE(d1.top().subtree_hash, d2.top().subtree_hash);
 }
 
+TEST(CanonicalForm, ConstructionOrderOfTiedSharedEventsDoesNotChangeHashes) {
+    // Regression: two DISTINCT shared events with the same lambda and
+    // the same reference count tie in the bottom-up ordering hashes;
+    // before the context refinement, the stable sort fell back to
+    // construction order, so isomorphic trees built in different arena
+    // orders canonicalised differently.  The entanglement below (a is
+    // shared by or1/and_c, b by or1/and_d) is only resolvable through
+    // each event's parent-gate context.
+    auto build = [](bool swapped) {
+        FaultTree t;
+        FtRef a{};
+        FtRef b{};
+        if (swapped) {
+            b = t.add_basic_event("b", 1e-7);
+            a = t.add_basic_event("a", 1e-7);
+        } else {
+            a = t.add_basic_event("a", 1e-7);
+            b = t.add_basic_event("b", 1e-7);
+        }
+        const FtRef c = t.add_basic_event("c", 2e-7);
+        const FtRef d = t.add_basic_event("d", 3e-7);
+        const FtRef or1 = swapped ? t.add_gate("or1", GateKind::Or, {b, a})
+                                  : t.add_gate("or1", GateKind::Or, {a, b});
+        const FtRef and_c = t.add_gate("and_c", GateKind::And, {a, c});
+        const FtRef and_d = t.add_gate("and_d", GateKind::And, {b, d});
+        t.set_top(t.add_gate("top", GateKind::Or, {or1, and_c, and_d}));
+        return t;
+    };
+    const FaultTree c1 = canonical_form(build(false));
+    const FaultTree c2 = canonical_form(build(true));
+    EXPECT_EQ(c1.structural_hash(), c2.structural_hash());
+    EXPECT_EQ(c1.shape_hash(), c2.shape_hash());
+    EXPECT_TRUE(identical_shape(c1, c2));
+}
+
 }  // namespace
 }  // namespace asilkit::ftree

@@ -256,6 +256,43 @@ TEST(MappingSearch, PruningAndDedupTogetherStayExact) {
     }
 }
 
+TEST(MappingSearch, IncrementalFtreeNeverChangesResults) {
+    // Incremental component-fragment tree generation assembles bitwise
+    // identical trees (docs/ftree.md), so the searched model, every
+    // objective and the front must match the full-rebuild path exactly,
+    // at any thread count.
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        ArchitectureModel incremental = scenarios::chain_n_stages(6);
+        ArchitectureModel full = scenarios::chain_n_stages(6);
+        transform::expand(incremental, incremental.find_app_node("f3"));
+        transform::expand(full, full.find_app_node("f3"));
+
+        MappingSearchOptions options;
+        options.engine.threads = threads;
+        options.engine.incremental_ftree = true;
+        const MappingSearchResult r_on = search_mapping(incremental, options);
+        options.engine.incremental_ftree = false;
+        const MappingSearchResult r_off = search_mapping(full, options);
+
+        EXPECT_EQ(r_on.merges, r_off.merges) << threads;
+        EXPECT_EQ(r_on.iterations, r_off.iterations) << threads;
+        EXPECT_EQ(r_on.probability_before, r_off.probability_before) << threads;
+        EXPECT_EQ(r_on.probability_after, r_off.probability_after) << threads;
+        EXPECT_EQ(r_on.cost_before, r_off.cost_before) << threads;
+        EXPECT_EQ(r_on.cost_after, r_off.cost_after) << threads;
+        EXPECT_EQ(io::to_json(incremental).dump(), io::to_json(full).dump()) << threads;
+        expect_same_front(r_on.front, r_off.front, threads);
+        // The fragment caches must actually carry load on this walk
+        // (exact counts are scheduling-dependent at threads > 1, so only
+        // the on/off split is asserted).
+        EXPECT_GT(r_on.fragments_reused, 0u) << threads;
+        EXPECT_GT(r_on.fragments_built, 0u) << threads;
+        EXPECT_EQ(r_off.fragments_built, 0u);
+        EXPECT_EQ(r_off.fragments_reused, 0u);
+        EXPECT_EQ(r_off.ftree_memo_hits, 0u);
+    }
+}
+
 // ---- anytime front ---------------------------------------------------------
 
 TEST(MappingSearch, StreamsFrontInWalkOrder) {

@@ -115,21 +115,21 @@ EvalEngine::Stats EvalEngine::stats() const {
 
 std::optional<EvalValue> EvalEngine::dedup_lookup(std::uint64_t key) {
     if (!candidate_dedup_) return std::nullopt;
-    const std::lock_guard<std::mutex> lock(dedup_mutex_);
+    const core::MutexLock lock(dedup_mutex_);
     if (const auto it = dedup_map_.find(key); it != dedup_map_.end()) return it->second;
     return std::nullopt;
 }
 
 void EvalEngine::dedup_insert(std::uint64_t key, const EvalValue& value) {
     if (!candidate_dedup_) return;
-    const std::lock_guard<std::mutex> lock(dedup_mutex_);
+    const core::MutexLock lock(dedup_mutex_);
     dedup_map_.emplace(key, value);
 }
 
 bdd::PersistentBddCompiler* EvalEngine::compiler_lane() {
     if (!persistent_bdd_) return nullptr;
     const std::thread::id id = std::this_thread::get_id();
-    const std::lock_guard<std::mutex> lock(compilers_mutex_);
+    const core::MutexLock lock(compilers_mutex_);
     std::unique_ptr<bdd::PersistentBddCompiler>& slot = compilers_[id];
     if (slot == nullptr) {
         bdd::PersistentBddCompiler::Options o;
@@ -142,7 +142,7 @@ bdd::PersistentBddCompiler* EvalEngine::compiler_lane() {
 ftree::IncrementalTreeBuilder* EvalEngine::ftree_lane() {
     if (!incremental_ftree_) return nullptr;
     const std::thread::id id = std::this_thread::get_id();
-    const std::lock_guard<std::mutex> lock(ftree_lanes_mutex_);
+    const core::MutexLock lock(ftree_lanes_mutex_);
     std::unique_ptr<ftree::IncrementalTreeBuilder>& slot = ftree_lanes_[id];
     if (slot == nullptr) slot = std::make_unique<ftree::IncrementalTreeBuilder>();
     return slot.get();

@@ -41,12 +41,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "core/sync.h"
 
 #include "analysis/probability.h"
 #include "bdd/from_fault_tree.h"
@@ -242,13 +243,18 @@ private:
     bool candidate_dedup_;
     bool incremental_ftree_;
     std::size_t bdd_gc_node_threshold_;
-    std::mutex dedup_mutex_;
-    std::unordered_map<std::uint64_t, EvalValue> dedup_map_;
-    std::mutex compilers_mutex_;
-    std::unordered_map<std::thread::id, std::unique_ptr<bdd::PersistentBddCompiler>> compilers_;
-    std::mutex ftree_lanes_mutex_;
+    core::Mutex dedup_mutex_;
+    std::unordered_map<std::uint64_t, EvalValue> dedup_map_ GUARDED_BY(dedup_mutex_);
+    // The lane maps are guarded; the lane OBJECTS the unique_ptrs own
+    // are not — each is created once under the mutex and then used by
+    // exactly one thread (its key), so pointees are thread-confined by
+    // construction, not by locking.
+    core::Mutex compilers_mutex_;
+    std::unordered_map<std::thread::id, std::unique_ptr<bdd::PersistentBddCompiler>>
+        compilers_ GUARDED_BY(compilers_mutex_);
+    core::Mutex ftree_lanes_mutex_;
     std::unordered_map<std::thread::id, std::unique_ptr<ftree::IncrementalTreeBuilder>>
-        ftree_lanes_;
+        ftree_lanes_ GUARDED_BY(ftree_lanes_mutex_);
     // Registry-backed counters (relaxed atomic adds: analyze() runs
     // concurrently from pool tasks; stats() is a monitoring snapshot,
     // not a synchronisation point).  `base_` anchors the per-instance

@@ -14,7 +14,7 @@ EvalCache::EvalCache(std::size_t capacity)
 }
 
 std::optional<EvalValue> EvalCache::lookup(std::uint64_t key) {
-    std::lock_guard lock(mutex_);
+    const core::MutexLock lock(mutex_);
     if (const auto it = map_.find(key); it != map_.end()) {
         hits_.inc();
         return it->second;
@@ -25,7 +25,7 @@ std::optional<EvalValue> EvalCache::lookup(std::uint64_t key) {
 
 void EvalCache::insert(std::uint64_t key, const EvalValue& value) {
     if (capacity_ == 0) return;
-    std::lock_guard lock(mutex_);
+    const core::MutexLock lock(mutex_);
     const auto [it, inserted] = map_.insert_or_assign(key, value);
     if (!inserted) return;  // racing re-insert of the same tree
     fifo_.push_back(key);
@@ -37,7 +37,7 @@ void EvalCache::insert(std::uint64_t key, const EvalValue& value) {
 }
 
 EvalCache::Stats EvalCache::stats() const {
-    std::lock_guard lock(mutex_);
+    const core::MutexLock lock(mutex_);
     Stats s;
     s.hits = hits_.value() - hits_base_;
     s.misses = misses_.value() - misses_base_;
@@ -48,7 +48,7 @@ EvalCache::Stats EvalCache::stats() const {
 }
 
 void EvalCache::clear() {
-    std::lock_guard lock(mutex_);
+    const core::MutexLock lock(mutex_);
     map_.clear();
     fifo_.clear();
     // Registry counters are process-global and monotonic; clearing this

@@ -31,10 +31,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
+#include "core/sync.h"
 #include "obs/metrics.h"
 
 namespace asilkit::engine {
@@ -80,19 +80,22 @@ public:
     void clear();
 
 private:
-    std::size_t capacity_;
-    mutable std::mutex mutex_;
-    std::unordered_map<std::uint64_t, EvalValue> map_;
-    std::deque<std::uint64_t> fifo_;  // insertion order, oldest first
+    std::size_t capacity_;  ///< immutable after construction: read lock-free
+    mutable core::Mutex mutex_;
+    std::unordered_map<std::uint64_t, EvalValue> map_ GUARDED_BY(mutex_);
+    /// Insertion order, oldest first.
+    std::deque<std::uint64_t> fifo_ GUARDED_BY(mutex_);
     // Registry-backed counters ("engine.cache.hits" etc.) plus the
     // registry values captured at construction/clear(); stats() reports
-    // the delta so per-instance accounting stays exact.
+    // the delta so per-instance accounting stays exact.  The counters
+    // are process-global atomics (unguarded by design); the snapshot
+    // bases move only under mutex_.
     obs::Counter& hits_;
     obs::Counter& misses_;
     obs::Counter& evictions_;
-    std::uint64_t hits_base_ = 0;
-    std::uint64_t misses_base_ = 0;
-    std::uint64_t evictions_base_ = 0;
+    std::uint64_t hits_base_ GUARDED_BY(mutex_) = 0;
+    std::uint64_t misses_base_ GUARDED_BY(mutex_) = 0;
+    std::uint64_t evictions_base_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace asilkit::engine

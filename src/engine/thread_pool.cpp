@@ -13,7 +13,7 @@ ThreadPool::ThreadPool(unsigned threads) : threads_(std::max(threads, 1u)) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard lock(mutex_);
+        const core::MutexLock lock(mutex_);
         stopping_ = true;
     }
     wake_workers_.notify_all();
@@ -25,8 +25,8 @@ void ThreadPool::worker_loop() {
     for (;;) {
         Batch* batch = nullptr;
         {
-            std::unique_lock lock(mutex_);
-            wake_workers_.wait(lock, [&] { return stopping_ || epoch_ != seen_epoch; });
+            const core::MutexLock lock(mutex_);
+            while (!stopping_ && epoch_ == seen_epoch) wake_workers_.wait(mutex_);
             if (stopping_) return;
             seen_epoch = epoch_;
             batch = batch_;
@@ -34,7 +34,7 @@ void ThreadPool::worker_loop() {
         }
         if (batch != nullptr) {
             run_batch(*batch);
-            std::lock_guard lock(mutex_);
+            const core::MutexLock lock(mutex_);
             if (--active_ == 0) batch_done_.notify_all();
         }
     }
@@ -47,13 +47,13 @@ void ThreadPool::run_batch(Batch& batch) {
         try {
             (*batch.fn)(i);
         } catch (...) {
-            std::lock_guard lock(batch.error_mutex);
+            const core::MutexLock lock(batch.error_mutex);
             if (!batch.error) batch.error = std::current_exception();
         }
         if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch.count) {
             // Take the pool mutex so the notification cannot slip into
             // the caller's predicate-check window.
-            std::lock_guard lock(mutex_);
+            const core::MutexLock lock(mutex_);
             batch_done_.notify_all();
         }
     }
@@ -81,7 +81,7 @@ void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::s
     batch.fn = &fn;
     batch.count = count;
     {
-        std::lock_guard lock(mutex_);
+        const core::MutexLock lock(mutex_);
         batch_ = &batch;
         ++epoch_;
     }
@@ -92,13 +92,22 @@ void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::s
         // the batch: `batch` lives on this stack frame, so an in-flight
         // worker that claimed no task must still be drained before it
         // is destroyed.
-        std::unique_lock lock(mutex_);
-        batch_done_.wait(lock, [&] {
-            return batch.done.load(std::memory_order_acquire) == count && active_ == 0;
-        });
+        const core::MutexLock lock(mutex_);
+        while (batch.done.load(std::memory_order_acquire) != count || active_ != 0) {
+            batch_done_.wait(mutex_);
+        }
         batch_ = nullptr;
     }
-    if (batch.error) std::rethrow_exception(batch.error);
+    std::exception_ptr error;
+    {
+        // All tasks are drained, so no writer remains — but the error
+        // slot's contract is "guarded by error_mutex" and the annotated
+        // build enforces it, so the final read takes the (uncontended)
+        // lock too.
+        const core::MutexLock lock(batch.error_mutex);
+        error = batch.error;
+    }
+    if (error) std::rethrow_exception(error);
 }
 
 }  // namespace asilkit::engine

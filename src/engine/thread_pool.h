@@ -15,14 +15,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/sync.h"
 
 namespace asilkit::engine {
 
@@ -49,12 +49,15 @@ public:
 
 private:
     struct Batch {
+        // `fn` and `count` are set once before the batch is published
+        // under the pool mutex and immutable while workers can see the
+        // batch, so tasks read them without synchronisation.
         const std::function<void(std::size_t)>* fn = nullptr;
         std::size_t count = 0;
         std::atomic<std::size_t> next{0};
         std::atomic<std::size_t> done{0};
-        std::exception_ptr error;
-        std::mutex error_mutex;
+        core::Mutex error_mutex;
+        std::exception_ptr error GUARDED_BY(error_mutex);
     };
 
     void worker_loop();
@@ -62,13 +65,13 @@ private:
 
     unsigned threads_;
     std::vector<std::thread> workers_;
-    std::mutex mutex_;
-    std::condition_variable wake_workers_;
-    std::condition_variable batch_done_;
-    Batch* batch_ = nullptr;    // guarded by mutex_
-    std::uint64_t epoch_ = 0;   // guarded by mutex_; bumped per batch
-    std::size_t active_ = 0;    // guarded by mutex_; workers inside the batch
-    bool stopping_ = false;     // guarded by mutex_
+    core::Mutex mutex_;
+    core::CondVar wake_workers_;
+    core::CondVar batch_done_;
+    Batch* batch_ GUARDED_BY(mutex_) = nullptr;
+    std::uint64_t epoch_ GUARDED_BY(mutex_) = 0;   ///< bumped per batch
+    std::size_t active_ GUARDED_BY(mutex_) = 0;    ///< workers inside the batch
+    bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace asilkit::engine

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "bdd/from_fault_tree.h"
 #include "core/error.h"
+#include "core/sync.h"
 #include "cost/cost_analysis.h"
 #include "ftree/builder.h"
 #include "obs/metrics.h"
@@ -36,7 +36,7 @@ public:
         static obs::Counter& hits = obs::Registry::global().counter("explore.cutset_memo_hits");
         const std::uint64_t key = tree.shape_hash();
         {
-            const std::lock_guard<std::mutex> lock(mu_);
+            const core::MutexLock lock(mu_);
             for (auto it = entries_.begin(); it != entries_.end(); ++it) {
                 if (it->key == key && ftree::identical_shape(it->tree, tree)) {
                     std::rotate(entries_.begin(), it, it + 1);
@@ -49,7 +49,7 @@ public:
         // wasted work, never a wrong answer.
         auto cuts = std::make_shared<const std::vector<analysis::CutSet>>(
             analysis::minimal_cut_sets(tree));
-        const std::lock_guard<std::mutex> lock(mu_);
+        const core::MutexLock lock(mu_);
         if (entries_.size() >= kCapacity) entries_.pop_back();
         entries_.insert(entries_.begin(), Entry{key, tree, cuts});
         return cuts;
@@ -62,8 +62,8 @@ private:
         std::shared_ptr<const std::vector<analysis::CutSet>> cuts;
     };
     static constexpr std::size_t kCapacity = 4;
-    std::mutex mu_;
-    std::vector<Entry> entries_;
+    core::Mutex mu_;
+    std::vector<Entry> entries_ GUARDED_BY(mu_);
 };
 
 CutSetMemo& cut_set_memo() {

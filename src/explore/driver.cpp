@@ -42,7 +42,7 @@ ExplorationResult run_exploration(const ArchitectureModel& model,
         if (tracker.insert(point)) {
             ++result.front_updates;
             obs_front_updates.inc();
-            if (options.on_front_update) options.on_front_update(point, tracker.front().size());
+            if (options.on_front_update) options.on_front_update(point, tracker.front_size());
         }
     };
 

@@ -137,7 +137,7 @@ MappingSearchResult search_mapping(ArchitectureModel& m, const MappingSearchOpti
         if (!tracker.insert(point)) return;
         ++result.front_updates;
         obs_front_updates.inc();
-        if (options.on_front_update) options.on_front_update(point, tracker.front().size());
+        if (options.on_front_update) options.on_front_update(point, tracker.front_size());
     };
 
     // The one unconditional full evaluation: every later state's exact

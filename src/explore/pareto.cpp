@@ -40,6 +40,7 @@ std::vector<TradeoffPoint> pareto_front(const std::vector<TradeoffPoint>& points
 }
 
 bool ParetoTracker::insert(TradeoffPoint p) {
+    const core::MutexLock lock(mu_);
     ++offers_;
     // First staircase point at cost >= p.cost.
     auto it = std::lower_bound(front_.begin(), front_.end(), p,
@@ -67,6 +68,33 @@ bool ParetoTracker::insert(TradeoffPoint p) {
     front_.insert(it, std::move(p));
     ++updates_;
     return true;
+}
+
+std::vector<TradeoffPoint> ParetoTracker::front() const {
+    const core::MutexLock lock(mu_);
+    return front_;
+}
+
+std::size_t ParetoTracker::front_size() const {
+    const core::MutexLock lock(mu_);
+    return front_.size();
+}
+
+std::uint64_t ParetoTracker::updates() const {
+    const core::MutexLock lock(mu_);
+    return updates_;
+}
+
+std::uint64_t ParetoTracker::offers() const {
+    const core::MutexLock lock(mu_);
+    return offers_;
+}
+
+void ParetoTracker::clear() {
+    const core::MutexLock lock(mu_);
+    front_.clear();
+    updates_ = 0;
+    offers_ = 0;
 }
 
 }  // namespace asilkit::explore

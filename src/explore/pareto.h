@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/sync.h"
 #include "explore/tradeoff.h"
 
 namespace asilkit::explore {
@@ -33,6 +34,14 @@ namespace asilkit::explore {
 /// the tracker's lifetime, so a whole run is O(n log n) like the batch
 /// sweep).  Feeding every point of a set through insert() yields exactly
 /// pareto_front() of that set (asserted by tests/test_pareto.cpp).
+///
+/// Thread-safe: a tracker may be shared across concurrent searches via
+/// MappingSearchOptions::front_tracker (the sharing `asilkit serve`
+/// multiplexes on), so the staircase and its counters live behind a
+/// mutex and front() returns a consistent snapshot rather than a
+/// reference into mutable state.  Within one search, inserts happen on
+/// the calling thread in deterministic order, so the lock never changes
+/// results — it only makes cross-search sharing legal.
 class ParetoTracker {
 public:
     /// Offers a point.  Returns true iff the front changed (the point is
@@ -40,25 +49,25 @@ public:
     /// of — a point already on the front).  Dominated offers are dropped.
     bool insert(TradeoffPoint p);
 
-    /// Current front, ascending cost.
-    [[nodiscard]] const std::vector<TradeoffPoint>& front() const noexcept { return front_; }
+    /// Snapshot of the current front, ascending cost.
+    [[nodiscard]] std::vector<TradeoffPoint> front() const;
+
+    /// Number of points currently on the front.
+    [[nodiscard]] std::size_t front_size() const;
 
     /// Number of insert() calls that changed the front.
-    [[nodiscard]] std::uint64_t updates() const noexcept { return updates_; }
+    [[nodiscard]] std::uint64_t updates() const;
 
     /// Number of insert() calls observed (changed or not).
-    [[nodiscard]] std::uint64_t offers() const noexcept { return offers_; }
+    [[nodiscard]] std::uint64_t offers() const;
 
-    void clear() noexcept {
-        front_.clear();
-        updates_ = 0;
-        offers_ = 0;
-    }
+    void clear();
 
 private:
-    std::vector<TradeoffPoint> front_;
-    std::uint64_t updates_ = 0;
-    std::uint64_t offers_ = 0;
+    mutable core::Mutex mu_;
+    std::vector<TradeoffPoint> front_ GUARDED_BY(mu_);
+    std::uint64_t updates_ GUARDED_BY(mu_) = 0;
+    std::uint64_t offers_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace asilkit::explore

@@ -53,6 +53,35 @@ void SarifLog::add_result(const std::string& rule_id, const std::string& level,
     results_.push_back(std::move(result));
 }
 
+void SarifLog::add_result_at(const std::string& rule_id, const std::string& level,
+                             const std::string& message, const std::string& uri, int line) {
+    Json result = Json::object();
+    result["ruleId"] = rule_id;
+    const auto it = std::find(rule_ids_.begin(), rule_ids_.end(), rule_id);
+    if (it != rule_ids_.end()) {
+        result["ruleIndex"] = static_cast<std::int64_t>(it - rule_ids_.begin());
+    }
+    result["level"] = level;
+    Json text = Json::object();
+    text["text"] = message;
+    result["message"] = std::move(text);
+    if (!uri.empty()) {
+        Json artifact = Json::object();
+        artifact["uri"] = uri;
+        Json physical = Json::object();
+        physical["artifactLocation"] = std::move(artifact);
+        if (line >= 1) {
+            Json region = Json::object();
+            region["startLine"] = static_cast<std::int64_t>(line);
+            physical["region"] = std::move(region);
+        }
+        Json location = Json::object();
+        location["physicalLocation"] = std::move(physical);
+        result["locations"] = JsonArray{std::move(location)};
+    }
+    results_.push_back(std::move(result));
+}
+
 Json SarifLog::to_json() const {
     Json driver = Json::object();
     driver["name"] = tool_name_;

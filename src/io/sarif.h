@@ -42,6 +42,14 @@ public:
                     const std::string& message, const std::string& logical_name,
                     const std::string& logical_kind, const std::string& fixit = {});
 
+    /// Appends one result anchored to a source artifact instead of a
+    /// model element: physicalLocation.artifactLocation.uri = `uri`
+    /// (repo-relative, '/'-separated), region.startLine = `line` when
+    /// line >= 1.  Used by source-level tools (asilkit-archcheck) whose
+    /// findings point at files, not architecture nodes.
+    void add_result_at(const std::string& rule_id, const std::string& level,
+                       const std::string& message, const std::string& uri, int line = 0);
+
     /// The complete SARIF document: {"$schema", "version", "runs": [...]}.
     [[nodiscard]] Json to_json() const;
 

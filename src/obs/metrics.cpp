@@ -107,7 +107,7 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(std::string_view id) {
-    std::lock_guard lock(mutex_);
+    const core::MutexLock lock(mutex_);
     auto it = counters_.find(id);
     if (it == counters_.end()) {
         it = counters_.emplace(std::string(id), std::unique_ptr<Counter>(new Counter())).first;
@@ -116,7 +116,7 @@ Counter& Registry::counter(std::string_view id) {
 }
 
 Gauge& Registry::gauge(std::string_view id) {
-    std::lock_guard lock(mutex_);
+    const core::MutexLock lock(mutex_);
     auto it = gauges_.find(id);
     if (it == gauges_.end()) {
         it = gauges_.emplace(std::string(id), std::unique_ptr<Gauge>(new Gauge())).first;
@@ -125,7 +125,7 @@ Gauge& Registry::gauge(std::string_view id) {
 }
 
 Histogram& Registry::histogram(std::string_view id, std::span<const double> bounds) {
-    std::lock_guard lock(mutex_);
+    const core::MutexLock lock(mutex_);
     auto it = histograms_.find(id);
     if (it == histograms_.end()) {
         it = histograms_
@@ -138,7 +138,7 @@ Histogram& Registry::histogram(std::string_view id, std::span<const double> boun
 }
 
 MetricsSnapshot Registry::snapshot() const {
-    std::lock_guard lock(mutex_);
+    const core::MutexLock lock(mutex_);
     MetricsSnapshot snap;
     snap.counters.reserve(counters_.size());
     for (const auto& [id, c] : counters_) snap.counters.push_back({id, c->value()});
@@ -161,7 +161,7 @@ MetricsSnapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-    std::lock_guard lock(mutex_);
+    const core::MutexLock lock(mutex_);
     for (auto& [id, c] : counters_) c->value_.store(0, std::memory_order_relaxed);
     for (auto& [id, g] : gauges_) g->value_.store(0.0, std::memory_order_relaxed);
     for (auto& [id, h] : histograms_) {

@@ -27,11 +27,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "core/sync.h"
 
 namespace asilkit::obs {
 
@@ -162,10 +163,17 @@ public:
 private:
     Registry() = default;
 
-    mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+    // The registration maps are guarded; the metric CELLS they own are
+    // not — a registered Counter/Gauge/Histogram is all-atomic inside
+    // and lives for the process, so instrumentation sites update them
+    // lock-free through the references counter()/gauge()/histogram()
+    // hand out.
+    mutable core::Mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+        GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_ GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+        GUARDED_BY(mutex_);
 };
 
 namespace detail {

@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <vector>
+
+#include "core/sync.h"
 
 namespace asilkit::obs {
 namespace {
@@ -34,11 +35,18 @@ struct ThreadBuffer;
 /// static destruction order.
 struct TraceState {
     std::atomic<std::uint64_t> dropped{0};
-    Clock::time_point epoch = Clock::now();
-    std::mutex mutex;  // guards buffers, orphans, next_tid
-    std::vector<ThreadBuffer*> buffers;
-    std::vector<Event> orphans;  // events of exited threads
-    std::uint32_t next_tid = 0;
+    /// Session epoch as Clock ticks since the clock's own epoch.
+    /// Atomic, not mutex-guarded: record() reads it on every event while
+    /// start_tracing() may rewrite it from another thread — as a plain
+    /// time_point that was a data race the thread-safety audit flushed
+    /// (TSan never saw it because sessions usually start before workers
+    /// trace).
+    std::atomic<Clock::rep> epoch{Clock::now().time_since_epoch().count()};
+    core::Mutex mutex;
+    std::vector<ThreadBuffer*> buffers GUARDED_BY(mutex);
+    /// Events of exited threads.
+    std::vector<Event> orphans GUARDED_BY(mutex);
+    std::uint32_t next_tid GUARDED_BY(mutex) = 0;
 };
 
 TraceState& state() {
@@ -50,17 +58,21 @@ TraceState& state() {
 /// path (only the owning thread pushes); a drain locks it briefly to
 /// move the events out.
 struct ThreadBuffer {
-    std::mutex mutex;
-    std::vector<Event> events;
+    core::Mutex mutex;
+    std::vector<Event> events GUARDED_BY(mutex);
+    // `tid` and `registered` are owner-thread-confined: written once by
+    // the owning thread (under the global mutex, which orders them for
+    // the drain path) and thereafter read only by that thread, so they
+    // carry no GUARDED_BY contract.
     std::uint32_t tid = 0;
     bool registered = false;
 
     ~ThreadBuffer() {
         TraceState& s = state();
-        std::lock_guard global(s.mutex);
+        const core::MutexLock global(s.mutex);
         if (registered) {
             std::erase(s.buffers, this);
-            std::lock_guard local(mutex);
+            const core::MutexLock local(mutex);
             s.orphans.insert(s.orphans.end(), events.begin(), events.end());
         }
     }
@@ -93,11 +105,11 @@ std::vector<Event> drain_events() {
     TraceState& s = state();
     std::vector<Event> all;
     {
-        std::lock_guard global(s.mutex);
+        const core::MutexLock global(s.mutex);
         all = std::move(s.orphans);
         s.orphans.clear();
         for (ThreadBuffer* b : s.buffers) {
-            std::lock_guard local(b->mutex);
+            const core::MutexLock local(b->mutex);
             all.insert(all.end(), b->events.begin(), b->events.end());
             b->events.clear();
         }
@@ -109,10 +121,10 @@ std::vector<Event> drain_events() {
 
 void clear_events() {
     TraceState& s = state();
-    std::lock_guard global(s.mutex);
+    const core::MutexLock global(s.mutex);
     s.orphans.clear();
     for (ThreadBuffer* b : s.buffers) {
-        std::lock_guard local(b->mutex);
+        const core::MutexLock local(b->mutex);
         b->events.clear();
     }
     s.dropped.store(0, std::memory_order_relaxed);
@@ -132,14 +144,18 @@ void record(char ph, const char* name, const char* cat, const char* arg_key,
         // Register before taking the local mutex: the drain path locks
         // global-then-local, so the record path must never hold the
         // local mutex while waiting on the global one.
-        std::lock_guard global(s.mutex);
+        const core::MutexLock global(s.mutex);
         b.tid = s.next_tid++;
         s.buffers.push_back(&b);
         b.registered = true;
     }
-    const auto ts = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - s.epoch).count());
-    std::lock_guard local(b.mutex);
+    const auto since = Clock::now().time_since_epoch() -
+                       Clock::duration(s.epoch.load(std::memory_order_relaxed));
+    // Clamp: an event racing a session restart may observe the new epoch
+    // after its own clock read; it belongs to the cleared session anyway.
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(since).count();
+    const auto ts = static_cast<std::uint64_t>(ns < 0 ? 0 : ns);
+    const core::MutexLock local(b.mutex);
     if (b.events.size() >= kMaxEventsPerThread) {
         s.dropped.fetch_add(1, std::memory_order_relaxed);
         return;
@@ -152,7 +168,7 @@ void record(char ph, const char* name, const char* cat, const char* arg_key,
 
 void start_tracing() {
     clear_events();
-    state().epoch = Clock::now();
+    state().epoch.store(Clock::now().time_since_epoch().count(), std::memory_order_relaxed);
     detail::g_tracing.store(true, std::memory_order_relaxed);
 }
 
@@ -160,10 +176,10 @@ void stop_tracing() { detail::g_tracing.store(false, std::memory_order_relaxed);
 
 std::uint64_t trace_event_count() {
     TraceState& s = state();
-    std::lock_guard global(s.mutex);
+    const core::MutexLock global(s.mutex);
     std::uint64_t n = s.orphans.size();
     for (ThreadBuffer* b : s.buffers) {
-        std::lock_guard local(b->mutex);
+        const core::MutexLock local(b->mutex);
         n += b->events.size();
     }
     return n;

@@ -1,0 +1,3 @@
+#pragma once
+#include "alpha/b.h"
+inline int alpha_a() { return alpha_b() + 1; }

@@ -1,0 +1,3 @@
+#pragma once
+#include "alpha/a.h"
+inline int alpha_b() { return 2; }

@@ -1,0 +1,3 @@
+#pragma once
+#include "alpha/b.h"
+inline int beta_c() { return alpha_b(); }

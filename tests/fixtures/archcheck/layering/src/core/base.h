@@ -1,0 +1,2 @@
+#pragma once
+inline int core_base() { return 1; }

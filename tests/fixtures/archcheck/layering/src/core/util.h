@@ -1,0 +1,4 @@
+#pragma once
+#include "core/base.h"
+#include "engine/pool.h"
+inline int core_util() { return core_base() + engine_pool(); }

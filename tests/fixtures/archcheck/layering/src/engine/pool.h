@@ -1,0 +1,3 @@
+#pragma once
+#include "core/base.h"
+inline int engine_pool() { return core_base() * 2; }

@@ -1,0 +1,49 @@
+// Negative-compile probe for the thread-safety annotations.
+//
+// Compiled by ctest ONLY under Clang (see tests/CMakeLists.txt) with
+// -Wthread-safety -Werror -fsyntax-only, twice:
+//   * without ASILKIT_NEGATIVE_VIOLATION: must COMPILE — the positive
+//     control proving the probe itself is well-formed, so the expected
+//     failure below can only come from the seeded violation;
+//   * with -DASILKIT_NEGATIVE_VIOLATION: must FAIL (WILL_FAIL ctest
+//     property) — a GUARDED_BY member touched without its mutex is a
+//     -Wthread-safety error, which is the whole point of the migration.
+//
+// If the violating branch ever starts compiling, the annotations have
+// silently stopped being enforced (wrong flags, attributes compiled
+// out) and the static-analysis job is running blind.
+#include "core/sync.h"
+
+#include <cstddef>
+
+namespace {
+
+class Counter {
+public:
+    void increment() {
+        const asilkit::core::MutexLock lock(mu_);
+        ++value_;
+    }
+
+    [[nodiscard]] std::size_t read() {
+#if defined(ASILKIT_NEGATIVE_VIOLATION)
+        // Seeded violation: guarded read without holding mu_.
+        return value_;
+#else
+        const asilkit::core::MutexLock lock(mu_);
+        return value_;
+#endif
+    }
+
+private:
+    asilkit::core::Mutex mu_;
+    std::size_t value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Counter c;
+    c.increment();
+    return c.read() == 1 ? 0 : 1;
+}

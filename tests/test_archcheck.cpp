@@ -1,0 +1,187 @@
+// Tests for asilkit-archcheck: layer-spec parsing, closure semantics,
+// seeded-fixture detection (include cycle, layering violation), the
+// clean-tree guarantee on the real src/, and SARIF shape.
+#include "archcheck.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "io/json.h"
+
+namespace asilkit::archcheck {
+namespace {
+
+// Paths baked in by tests/CMakeLists.txt.
+const std::string kRepoRoot = ASILKIT_SOURCE_DIR;
+const std::string kFixtures = kRepoRoot + "/tests/fixtures/archcheck";
+
+LayerSpec spec_from_text(const std::string& text) {
+    return parse_layers(io::Json::parse(text));
+}
+
+TEST(ArchcheckSpec, ParsesLayersAndIgnoresCommentKeys) {
+    const LayerSpec spec = spec_from_text(
+        R"({"_comment": ["ignored"], "layers": {"core": [], "io": ["core"]}})");
+    EXPECT_TRUE(spec.declares("core"));
+    EXPECT_TRUE(spec.declares("io"));
+    EXPECT_FALSE(spec.declares("_comment"));
+    EXPECT_EQ(spec.allowed.size(), 2u);
+}
+
+TEST(ArchcheckSpec, RejectsMalformedDocuments) {
+    EXPECT_THROW(spec_from_text(R"([1, 2])"), IoError);
+    EXPECT_THROW(spec_from_text(R"({"no_layers": true})"), IoError);
+    EXPECT_THROW(spec_from_text(R"({"layers": {"core": "not-an-array"}})"), IoError);
+    EXPECT_THROW(spec_from_text(R"({"layers": {}})"), IoError);
+}
+
+TEST(ArchcheckSpec, ClosureIsTransitiveAndExcludesSelf) {
+    const LayerSpec spec = spec_from_text(
+        R"({"layers": {"a": ["b"], "b": ["c"], "c": [], "d": ["a"]}})");
+    EXPECT_EQ(spec.closure("d"), (std::set<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(spec.closure("a"), (std::set<std::string>{"b", "c"}));
+    EXPECT_TRUE(spec.closure("c").empty());
+    // Undeclared layers have empty closures rather than throwing: the
+    // analyzer reports them through arch.undeclared-layer instead.
+    EXPECT_TRUE(spec.closure("zzz").empty());
+}
+
+TEST(ArchcheckSpec, SelfCycleStaysOutOfItsOwnClosure) {
+    const LayerSpec spec = spec_from_text(R"({"layers": {"a": ["b"], "b": ["a"]}})");
+    EXPECT_EQ(spec.closure("a"), (std::set<std::string>{"b"}));
+}
+
+std::vector<Finding> findings_for_rule(const Report& report, const std::string& rule) {
+    std::vector<Finding> out;
+    for (const Finding& f : report.findings) {
+        if (f.rule == rule) out.push_back(f);
+    }
+    return out;
+}
+
+TEST(ArchcheckAnalyze, DetectsSeededIncludeCycle) {
+    const LayerSpec spec = load_layers(kFixtures + "/cycle/layers.json");
+    const Report report = analyze_tree(kFixtures + "/cycle/src", spec);
+
+    const auto cycles = findings_for_rule(report, kRuleCycle);
+    ASSERT_EQ(cycles.size(), 1u) << to_text(report);
+    EXPECT_EQ(cycles[0].file, "alpha/a.h");
+    EXPECT_NE(cycles[0].message.find("alpha/a.h"), std::string::npos);
+    EXPECT_NE(cycles[0].message.find("alpha/b.h"), std::string::npos);
+
+    // beta/c.h -> alpha/b.h is declared and must not be flagged.
+    EXPECT_TRUE(findings_for_rule(report, kRuleLayerViolation).empty()) << to_text(report);
+    EXPECT_EQ(report.files_scanned, 3u);
+    EXPECT_FALSE(report.clean());
+}
+
+TEST(ArchcheckAnalyze, DetectsSeededLayeringViolation) {
+    const LayerSpec spec = load_layers(kFixtures + "/layering/layers.json");
+    const Report report = analyze_tree(kFixtures + "/layering/src", spec);
+
+    const auto violations = findings_for_rule(report, kRuleLayerViolation);
+    ASSERT_EQ(violations.size(), 1u) << to_text(report);
+    EXPECT_EQ(violations[0].file, "core/util.h");
+    EXPECT_EQ(violations[0].line, 3);  // the engine/pool.h include
+    EXPECT_NE(violations[0].message.find("\"core\""), std::string::npos);
+    EXPECT_NE(violations[0].message.find("\"engine\""), std::string::npos);
+
+    // engine -> core is declared; only the upward edge is flagged.
+    EXPECT_TRUE(findings_for_rule(report, kRuleCycle).empty()) << to_text(report);
+    EXPECT_EQ(report.layers_seen, 2u);
+}
+
+TEST(ArchcheckAnalyze, FlagsUndeclaredLayersOncePerLayer) {
+    const LayerSpec spec = spec_from_text(R"({"layers": {"core": []}})");
+    const Report report = analyze_tree(kFixtures + "/layering/src", spec);
+    const auto undeclared = findings_for_rule(report, kRuleUndeclaredLayer);
+    ASSERT_EQ(undeclared.size(), 1u) << to_text(report);
+    EXPECT_NE(undeclared[0].message.find("\"engine\""), std::string::npos);
+}
+
+TEST(ArchcheckAnalyze, FlagsCyclicDeclaredDag) {
+    const LayerSpec spec = spec_from_text(R"({"layers": {"a": ["b"], "b": ["a"]}})");
+    const Report report = analyze_tree(kFixtures + "/cycle/src", spec);
+    EXPECT_FALSE(findings_for_rule(report, kRuleSpecCycle).empty()) << to_text(report);
+}
+
+TEST(ArchcheckAnalyze, FlagsDanglingSpecDependency) {
+    const LayerSpec spec = spec_from_text(R"({"layers": {"alpha": ["ghost"], "beta": ["alpha"]}})");
+    const Report report = analyze_tree(kFixtures + "/cycle/src", spec);
+    const auto dangling = findings_for_rule(report, kRuleSpecCycle);
+    ASSERT_EQ(dangling.size(), 1u) << to_text(report);
+    EXPECT_NE(dangling[0].message.find("\"ghost\""), std::string::npos);
+}
+
+TEST(ArchcheckAnalyze, ThrowsOnMissingRoot) {
+    const LayerSpec spec = spec_from_text(R"({"layers": {"core": []}})");
+    EXPECT_THROW(analyze_tree(kFixtures + "/no-such-dir", spec), IoError);
+}
+
+// The guarantee CI relies on: the real source tree is clean under the
+// checked-in layer spec.  A failure here means either an architectural
+// regression or a stale tools/archcheck/layers.json.
+TEST(ArchcheckAnalyze, RealSourceTreeIsClean) {
+    const LayerSpec spec = load_layers(kRepoRoot + "/tools/archcheck/layers.json");
+    const Report report = analyze_tree(kRepoRoot + "/src", spec);
+    EXPECT_TRUE(report.clean()) << to_text(report);
+    EXPECT_GT(report.files_scanned, 100u);
+    EXPECT_GT(report.include_edges, 200u);
+    EXPECT_GE(report.layers_seen, 14u);
+}
+
+TEST(ArchcheckOutput, TextRendersFindingsAndSummary) {
+    const LayerSpec spec = load_layers(kFixtures + "/layering/layers.json");
+    const Report report = analyze_tree(kFixtures + "/layering/src", spec);
+    const std::string text = to_text(report);
+    EXPECT_NE(text.find("core/util.h:3: error:"), std::string::npos) << text;
+    EXPECT_NE(text.find("[arch.layer-violation]"), std::string::npos) << text;
+    EXPECT_NE(text.find("1 finding"), std::string::npos) << text;
+}
+
+TEST(ArchcheckOutput, SarifCarriesRequiredPropertiesAndPhysicalLocations) {
+    const LayerSpec spec = load_layers(kFixtures + "/layering/layers.json");
+    const Report report = analyze_tree(kFixtures + "/layering/src", spec);
+    const io::Json doc = to_sarif(report);
+
+    EXPECT_EQ(doc.at("version").as_string(), "2.1.0");
+    EXPECT_FALSE(doc.at("$schema").as_string().empty());
+    const io::Json& run = doc.at("runs").as_array().at(0);
+    const io::Json& driver = run.at("tool").at("driver");
+    EXPECT_EQ(driver.at("name").as_string(), "asilkit-archcheck");
+    EXPECT_EQ(driver.at("rules").size(), 4u);
+
+    const io::JsonArray& results = run.at("results").as_array();
+    ASSERT_EQ(results.size(), 1u);
+    const io::Json& result = results.at(0);
+    EXPECT_EQ(result.at("ruleId").as_string(), kRuleLayerViolation);
+    EXPECT_EQ(result.at("level").as_string(), "error");
+    const io::Json& physical = result.at("locations").as_array().at(0).at("physicalLocation");
+    EXPECT_EQ(physical.at("artifactLocation").at("uri").as_string(), "core/util.h");
+    EXPECT_EQ(physical.at("region").at("startLine").as_int(), 3);
+}
+
+TEST(ArchcheckOutput, FindingsAreDeterministicallySorted) {
+    // Run the same analysis twice; reports must be identical, and the
+    // findings ordered by (file, line, rule).
+    const LayerSpec spec = spec_from_text(R"({"layers": {"core": []}})");
+    const Report a = analyze_tree(kFixtures + "/layering/src", spec);
+    const Report b = analyze_tree(kFixtures + "/layering/src", spec);
+    ASSERT_EQ(a.findings.size(), b.findings.size());
+    for (std::size_t i = 0; i < a.findings.size(); ++i) {
+        EXPECT_EQ(a.findings[i].message, b.findings[i].message);
+    }
+    EXPECT_TRUE(std::is_sorted(a.findings.begin(), a.findings.end(),
+                               [](const Finding& x, const Finding& y) {
+                                   return std::tie(x.file, x.line, x.rule, x.message) <
+                                          std::tie(y.file, y.line, y.rule, y.message);
+                               }));
+}
+
+}  // namespace
+}  // namespace asilkit::archcheck

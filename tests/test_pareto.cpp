@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <random>
+#include <thread>
 #include <vector>
 
 namespace asilkit::explore {
@@ -119,6 +120,39 @@ TEST(Pareto, TrackerInsertReportsFrontChanges) {
     EXPECT_TRUE(tracker.front().empty());
     EXPECT_EQ(tracker.updates(), 0u);
     EXPECT_EQ(tracker.offers(), 0u);
+}
+
+TEST(Pareto, TrackerSharedAcrossThreadsConvergesToBatchFront) {
+    // The tracker is internally synchronized so `asilkit serve` can
+    // share one instance across concurrent searches.  Hammer it from
+    // several threads, each inserting a disjoint slice of a fixed point
+    // set; the final front must equal the batch front of the union —
+    // the front is order-independent, so interleaving cannot change it.
+    std::mt19937 rng(17);
+    std::uniform_int_distribution<int> grid(0, 19);
+    std::vector<TradeoffPoint> points;
+    constexpr std::size_t kPoints = 800;
+    points.reserve(kPoints);
+    for (std::size_t i = 0; i < kPoints; ++i) {
+        points.push_back(point(grid(rng), grid(rng) / 20.0));
+    }
+
+    ParetoTracker tracker;
+    constexpr std::size_t kThreads = 4;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (std::size_t i = t; i < kPoints; i += kThreads) {
+                tracker.insert(points[i]);
+            }
+        });
+    }
+    for (std::thread& th : threads) th.join();
+
+    expect_same(tracker.front(), pareto_front(points));
+    EXPECT_EQ(tracker.offers(), kPoints);
+    EXPECT_EQ(tracker.front_size(), tracker.front().size());
 }
 
 TEST(Pareto, TrackerKeepsStaircaseInvariant) {

@@ -1,0 +1,319 @@
+#include "archcheck.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "core/error.h"
+#include "core/version.h"
+#include "io/sarif.h"
+
+namespace asilkit::archcheck {
+namespace fs = std::filesystem;
+
+namespace {
+
+/// A quoted include directive found in a file.
+struct Include {
+    std::string target;  ///< path as written between the quotes
+    int line = 0;        ///< 1-based
+};
+
+bool has_source_extension(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+/// Parses `#include "..."` directives (leading whitespace allowed, as is
+/// whitespace between '#' and 'include').  Angle-bracket includes are
+/// system/third-party and carry no layering obligations.
+std::vector<Include> parse_includes(const fs::path& path) {
+    std::ifstream in(path);
+    if (!in) throw IoError("cannot read " + path.string());
+    std::vector<Include> out;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::string_view s(line);
+        const auto skip_ws = [&s] {
+            while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+        };
+        skip_ws();
+        if (s.empty() || s.front() != '#') continue;
+        s.remove_prefix(1);
+        skip_ws();
+        if (!s.starts_with("include")) continue;
+        s.remove_prefix(7);
+        skip_ws();
+        if (s.empty() || s.front() != '"') continue;
+        s.remove_prefix(1);
+        const auto close = s.find('"');
+        if (close == std::string_view::npos) continue;
+        out.push_back(Include{std::string(s.substr(0, close)), lineno});
+    }
+    return out;
+}
+
+/// Root-relative path with '/' separators (stable across platforms, and
+/// the form SARIF artifactLocation.uri wants).
+std::string rel_key(const fs::path& p, const fs::path& root) {
+    return p.lexically_relative(root).generic_string();
+}
+
+/// Layer of a root-relative path: its first directory component, or ""
+/// for files directly under the root (the asilkit.h umbrella), which
+/// are exempt from layer checks.
+std::string layer_of(const std::string& rel) {
+    const auto slash = rel.find('/');
+    return slash == std::string::npos ? std::string() : rel.substr(0, slash);
+}
+
+}  // namespace
+
+std::set<std::string> LayerSpec::closure(const std::string& layer) const {
+    std::set<std::string> seen;
+    std::vector<const std::string*> stack;
+    const auto push_deps = [&](const std::string& l) {
+        if (const auto it = allowed.find(l); it != allowed.end()) {
+            for (const std::string& dep : it->second) {
+                if (seen.insert(dep).second) stack.push_back(&dep);
+            }
+        }
+    };
+    push_deps(layer);
+    while (!stack.empty()) {
+        const std::string& next = *stack.back();
+        stack.pop_back();
+        push_deps(next);
+    }
+    seen.erase(layer);
+    return seen;
+}
+
+LayerSpec parse_layers(const io::Json& doc) {
+    if (!doc.is_object()) throw IoError("layers document must be a JSON object");
+    const io::Json& layers = doc.get_or_null("layers");
+    if (!layers.is_object()) throw IoError("layers document needs a \"layers\" object");
+    LayerSpec spec;
+    for (const auto& [name, deps] : layers.as_object()) {
+        if (!name.empty() && name.front() == '_') continue;  // comment convention
+        if (!deps.is_array()) {
+            throw IoError("layer \"" + name + "\" must map to an array of layer names");
+        }
+        std::vector<std::string> list;
+        list.reserve(deps.as_array().size());
+        for (const io::Json& dep : deps.as_array()) list.push_back(dep.as_string());
+        std::sort(list.begin(), list.end());
+        spec.allowed.emplace(name, std::move(list));
+    }
+    if (spec.allowed.empty()) throw IoError("layers document declares no layers");
+    return spec;
+}
+
+LayerSpec load_layers(const std::string& path) {
+    return parse_layers(io::load_json_file(path));
+}
+
+Report analyze_tree(const std::string& root_path, const LayerSpec& spec) {
+    const fs::path root = fs::path(root_path).lexically_normal();
+    if (!fs::is_directory(root)) throw IoError("archcheck root is not a directory: " + root_path);
+
+    Report report;
+
+    // ---- declared-DAG sanity: the spec itself must be acyclic and
+    // closed (every referenced dep declared).  Violations here poison
+    // every later judgement, so they are reported and checking continues
+    // with the edges that ARE well-defined.
+    {
+        // Colors: 0 = unvisited, 1 = on stack, 2 = done.
+        std::map<std::string, int> color;
+        std::vector<std::string> cycle;
+        const std::function<bool(const std::string&)> dfs = [&](const std::string& l) -> bool {
+            color[l] = 1;
+            if (const auto it = spec.allowed.find(l); it != spec.allowed.end()) {
+                for (const std::string& dep : it->second) {
+                    if (!spec.declares(dep)) {
+                        report.findings.push_back(
+                            {kRuleSpecCycle, "error",
+                             "layer \"" + l + "\" declares undeclared dependency \"" + dep +
+                                 "\" in layers.json",
+                             "", 0});
+                        continue;
+                    }
+                    const int c = color[dep];
+                    if (c == 1) {
+                        cycle.push_back(dep);
+                        return true;
+                    }
+                    if (c == 0 && dfs(dep)) {
+                        cycle.push_back(dep);
+                        return true;
+                    }
+                }
+            }
+            color[l] = 2;
+            return false;
+        };
+        for (const auto& [layer, deps] : spec.allowed) {
+            if (color[layer] == 0 && dfs(layer)) {
+                std::string msg = "declared layer DAG is cyclic:";
+                for (auto it = cycle.rbegin(); it != cycle.rend(); ++it) msg += " " + *it;
+                report.findings.push_back({kRuleSpecCycle, "error", msg, "", 0});
+                break;
+            }
+        }
+    }
+
+    // ---- scan the tree: files in deterministic order so finding order
+    // (and SARIF diffs) are stable across filesystems.
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && has_source_extension(entry.path())) {
+            files.push_back(entry.path().lexically_normal());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    report.files_scanned = files.size();
+
+    std::set<std::string> known;  // root-relative keys of scanned files
+    for (const fs::path& f : files) known.insert(rel_key(f, root));
+
+    // Adjacency (by root-relative key) for cycle detection, plus the
+    // per-edge line anchors for reporting.
+    std::map<std::string, std::vector<std::pair<std::string, int>>> edges;
+    std::set<std::string> undeclared_reported;
+    std::set<std::string> layers_seen;
+
+    for (const fs::path& f : files) {
+        const std::string from = rel_key(f, root);
+        const std::string from_layer = layer_of(from);
+        if (!from_layer.empty()) {
+            layers_seen.insert(from_layer);
+            if (!spec.declares(from_layer) && undeclared_reported.insert(from_layer).second) {
+                report.findings.push_back(
+                    {kRuleUndeclaredLayer, "error",
+                     "directory \"" + from_layer +
+                         "\" is not declared in layers.json (first file: " + from + ")",
+                     from, 0});
+            }
+        }
+        const std::set<std::string> reach =
+            from_layer.empty() ? std::set<std::string>{} : spec.closure(from_layer);
+        for (const Include& inc : parse_includes(f)) {
+            // Resolve: root-relative first (the repo convention), then
+            // relative to the including file.
+            std::string to;
+            if (known.count(inc.target) != 0) {
+                to = inc.target;
+            } else {
+                const std::string sibling =
+                    rel_key((f.parent_path() / inc.target).lexically_normal(), root);
+                if (known.count(sibling) != 0) to = sibling;
+            }
+            if (to.empty()) continue;  // external quoted include: no obligation
+            ++report.include_edges;
+            edges[from].emplace_back(to, inc.line);
+
+            const std::string to_layer = layer_of(to);
+            // Umbrella files (no layer) may include anything; intra-layer
+            // edges are always fine; cross-layer edges must stay inside
+            // the declared closure.  Undeclared layers already reported.
+            if (from_layer.empty() || to_layer.empty() || from_layer == to_layer) continue;
+            if (!spec.declares(from_layer) || !spec.declares(to_layer)) continue;
+            if (reach.count(to_layer) == 0) {
+                report.findings.push_back(
+                    {kRuleLayerViolation, "error",
+                     "layer \"" + from_layer + "\" may not depend on layer \"" + to_layer +
+                         "\": " + from + " includes " + to,
+                     from, inc.line});
+            }
+        }
+    }
+    report.layers_seen = layers_seen.size();
+
+    // ---- file-level include cycles: iterative coloring DFS; each cycle
+    // reported once, anchored at its lexicographically-smallest member.
+    {
+        std::map<std::string, int> color;  // 0 unvisited / 1 on stack / 2 done
+        std::vector<std::string> path_stack;
+        const std::function<void(const std::string&)> dfs = [&](const std::string& file) {
+            color[file] = 1;
+            path_stack.push_back(file);
+            if (const auto it = edges.find(file); it != edges.end()) {
+                for (const auto& [to, line] : it->second) {
+                    const int c = color[to];
+                    if (c == 0) {
+                        dfs(to);
+                    } else if (c == 1) {
+                        // Found a back edge: the cycle is the stack
+                        // suffix starting at `to`.
+                        const auto begin =
+                            std::find(path_stack.begin(), path_stack.end(), to);
+                        std::vector<std::string> cycle(begin, path_stack.end());
+                        const auto anchor = std::min_element(cycle.begin(), cycle.end());
+                        std::string msg = "include cycle:";
+                        // Rotate so the message starts at the anchor —
+                        // one canonical rendering per cycle.
+                        std::rotate(cycle.begin(), anchor, cycle.end());
+                        for (const std::string& member : cycle) msg += " " + member + " ->";
+                        msg += " " + cycle.front();
+                        report.findings.push_back({kRuleCycle, "error", msg, cycle.front(), 0});
+                    }
+                }
+            }
+            path_stack.pop_back();
+            color[file] = 2;
+        };
+        for (const auto& [file, _] : edges) {
+            if (color[file] == 0) dfs(file);
+        }
+    }
+
+    std::sort(report.findings.begin(), report.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  return std::tie(a.file, a.line, a.rule, a.message) <
+                         std::tie(b.file, b.line, b.rule, b.message);
+              });
+    return report;
+}
+
+std::string to_text(const Report& report) {
+    std::ostringstream os;
+    for (const Finding& f : report.findings) {
+        if (f.file.empty()) {
+            os << "layers.json";
+        } else {
+            os << f.file;
+            if (f.line > 0) os << ":" << f.line;
+        }
+        os << ": " << f.level << ": " << f.message << " [" << f.rule << "]\n";
+    }
+    os << report.files_scanned << " files, " << report.include_edges << " include edges, "
+       << report.layers_seen << " layers: " << report.findings.size() << " finding"
+       << (report.findings.size() == 1 ? "" : "s") << "\n";
+    return os.str();
+}
+
+io::Json to_sarif(const Report& report) {
+    io::SarifLog log("asilkit-archcheck", kVersionString,
+                     "https://github.com/asilkit/asilkit");
+    log.add_rule(kRuleLayerViolation,
+                 "Include edge crosses layers against the declared layer DAG", "error");
+    log.add_rule(kRuleCycle, "File-level include cycle", "error");
+    log.add_rule(kRuleUndeclaredLayer, "Source directory not declared in layers.json",
+                 "error");
+    log.add_rule(kRuleSpecCycle, "Declared layer DAG is not a DAG", "error");
+    for (const Finding& f : report.findings) {
+        log.add_result_at(f.rule, f.level, f.message,
+                          f.file.empty() ? "layers.json" : f.file, f.line);
+    }
+    return log.to_json();
+}
+
+}  // namespace asilkit::archcheck

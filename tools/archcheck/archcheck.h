@@ -1,0 +1,91 @@
+// asilkit-archcheck: compile-time architecture conformance for src/.
+//
+// The codebase is layered (core -> model/graph -> ftree/cost -> bdd ->
+// analysis -> lint/engine -> explore -> cli, with obs and io as side
+// layers); the layering is what keeps the engine's concurrency model
+// auditable — a lower layer can never call back up into code that might
+// re-enter its locks.  This checker makes that architecture a build
+// artifact instead of a convention: it parses the quoted #include graph
+// of a source tree, maps every file to its layer (first path component),
+// and verifies
+//   * every cross-layer include edge is allowed by a declared layer DAG
+//     (tools/archcheck/layers.json — direct deps plus their transitive
+//     closure, so layering constrains direction, not minimality);
+//   * the declared DAG itself is acyclic;
+//   * every layer on disk is declared;
+//   * the file-level include graph has no cycles.
+// Findings are emitted as text and as SARIF 2.1.0 (io::SarifLog with
+// physical artifact locations), so CI merges them with clang-tidy and
+// thread-safety diagnostics into one static-analysis artifact.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "io/json.h"
+
+namespace asilkit::archcheck {
+
+/// Stable rule ids (SARIF ruleId values).
+inline constexpr const char* kRuleLayerViolation = "arch.layer-violation";
+inline constexpr const char* kRuleCycle = "arch.cycle";
+inline constexpr const char* kRuleUndeclaredLayer = "arch.undeclared-layer";
+inline constexpr const char* kRuleSpecCycle = "arch.spec-cycle";
+
+/// The declared layer DAG: layer -> directly allowed dependency layers.
+struct LayerSpec {
+    std::map<std::string, std::vector<std::string>> allowed;
+
+    /// Layers reachable from `layer` through declared edges (excluding
+    /// `layer` itself).  Empty for undeclared layers.
+    [[nodiscard]] std::set<std::string> closure(const std::string& layer) const;
+
+    [[nodiscard]] bool declares(const std::string& layer) const {
+        return allowed.find(layer) != allowed.end();
+    }
+};
+
+/// Parses the {"layers": {name: [deps...]}} document.  Keys beginning
+/// with '_' at the top level are ignored (comment convention).  Throws
+/// asilkit::IoError on malformed input.
+[[nodiscard]] LayerSpec parse_layers(const io::Json& doc);
+
+/// Convenience: load + parse a layers.json file.
+[[nodiscard]] LayerSpec load_layers(const std::string& path);
+
+struct Finding {
+    std::string rule;     ///< one of the kRule* ids
+    std::string level;    ///< SARIF level: "error" or "warning"
+    std::string message;
+    std::string file;     ///< path relative to the scanned root ('/' separators)
+    int line = 0;         ///< 1-based include line; 0 = whole file
+};
+
+struct Report {
+    std::vector<Finding> findings;
+    std::size_t files_scanned = 0;
+    std::size_t include_edges = 0;
+    std::size_t layers_seen = 0;
+
+    [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
+};
+
+/// Scans `root` recursively for C++ sources/headers (.h .hpp .cpp .cc),
+/// builds the quoted-include graph (includes resolved against `root`
+/// first, then against the including file's directory; unresolvable
+/// quoted includes are ignored), and checks it against `spec`.
+/// Findings are deterministic: sorted by (file, line, rule).
+[[nodiscard]] Report analyze_tree(const std::string& root, const LayerSpec& spec);
+
+/// Human-readable rendering, one finding per line plus a summary.
+[[nodiscard]] std::string to_text(const Report& report);
+
+/// SARIF 2.1.0 document with one run for the asilkit-archcheck tool;
+/// findings carry physical artifact locations relative to the scanned
+/// root.
+[[nodiscard]] io::Json to_sarif(const Report& report);
+
+}  // namespace asilkit::archcheck

@@ -1,0 +1,94 @@
+// asilkit-archcheck — architecture conformance checker for the asilkit
+// source tree.  Scans a source root's quoted #include graph, checks it
+// against the declared layer DAG, and reports violations as text and
+// (optionally) SARIF 2.1.0.
+//
+// Exit codes mirror the lint CLI so CI can distinguish outcomes:
+//   0 = clean, 3 = warning-level findings only, 4 = error-level findings,
+//   2 = usage error, 1 = I/O or parse failure.
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "archcheck.h"
+#include "core/error.h"
+#include "io/json.h"
+
+namespace {
+
+void usage(std::ostream& os) {
+    os << "usage: asilkit-archcheck --root <src-dir> --layers <layers.json>"
+          " [--sarif <out.sarif>] [--quiet]\n"
+          "  --root    source tree to scan (required)\n"
+          "  --layers  declared layer DAG (required)\n"
+          "  --sarif   also write findings as SARIF 2.1.0 to this path\n"
+          "  --quiet   suppress the text report on stdout\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string root;
+    std::string layers_path;
+    std::string sarif_path;
+    bool quiet = false;
+
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& a = args[i];
+        const auto take_value = [&](std::string& slot) -> bool {
+            if (i + 1 >= args.size()) {
+                std::cerr << "asilkit-archcheck: " << a << " needs a value\n";
+                return false;
+            }
+            slot = args[++i];
+            return true;
+        };
+        if (a == "--root") {
+            if (!take_value(root)) return 2;
+        } else if (a == "--layers") {
+            if (!take_value(layers_path)) return 2;
+        } else if (a == "--sarif") {
+            if (!take_value(sarif_path)) return 2;
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else if (a == "--help" || a == "-h") {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "asilkit-archcheck: unknown argument '" << a << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+    if (root.empty() || layers_path.empty()) {
+        usage(std::cerr);
+        return 2;
+    }
+
+    try {
+        const asilkit::archcheck::LayerSpec spec = asilkit::archcheck::load_layers(layers_path);
+        const asilkit::archcheck::Report report = asilkit::archcheck::analyze_tree(root, spec);
+        if (!quiet) std::cout << asilkit::archcheck::to_text(report);
+        if (!sarif_path.empty()) {
+            asilkit::io::save_json_file(asilkit::archcheck::to_sarif(report), sarif_path);
+            if (!quiet) std::cout << "wrote SARIF to " << sarif_path << "\n";
+        }
+        bool has_error = false;
+        bool has_warning = false;
+        for (const asilkit::archcheck::Finding& f : report.findings) {
+            if (f.level == "warning") {
+                has_warning = true;
+            } else {
+                has_error = true;
+            }
+        }
+        if (has_error) return 4;
+        if (has_warning) return 3;
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "asilkit-archcheck: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Convert GCC/Clang-style diagnostics to SARIF 2.1.0.
+
+Reads a build or clang-tidy log and emits one SARIF run on stdout, so
+CI can merge compiler/-Wthread-safety/clang-tidy findings with the
+asilkit-archcheck report into a single static-analysis artifact (see
+tools/ci/merge_sarif.py and docs/static-analysis.md).
+
+Recognized line shape (clang, gcc, and run-clang-tidy all emit it):
+
+    path/to/file.cpp:12:34: warning: message text [check-or-Wflag]
+
+Notes are attached to nothing and skipped; duplicate findings (same
+file/line/rule/message — headers re-reported per translation unit) are
+collapsed.  Exits 0 regardless of findings: converting is not judging.
+Usage: diagnostics_to_sarif.py --tool NAME [--root DIR] [LOGFILE...]
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+SARIF_SCHEMA = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+
+DIAG_RE = re.compile(
+    r"^(?P<file>[^:\s][^:]*?):(?P<line>\d+)(?::(?P<col>\d+))?:\s+"
+    r"(?P<level>warning|error):\s+(?P<msg>.*?)"
+    r"(?:\s+\[(?P<rule>[^\[\]]+)\])?$"
+)
+
+
+def parse_logs(streams, root):
+    findings = {}
+    for stream in streams:
+        for raw in stream:
+            m = DIAG_RE.match(raw.rstrip("\n"))
+            if not m:
+                continue
+            path = os.path.normpath(m.group("file"))
+            # Repo-relative URIs keep the SARIF portable across runners.
+            abs_root = os.path.abspath(root)
+            abs_path = os.path.abspath(path)
+            if abs_path.startswith(abs_root + os.sep):
+                path = os.path.relpath(abs_path, abs_root)
+            rule = m.group("rule") or "diagnostic"
+            key = (path, int(m.group("line")), rule, m.group("msg"))
+            findings[key] = {
+                "level": m.group("level"),
+                "col": int(m.group("col") or 0),
+            }
+    return findings
+
+
+def to_sarif(findings, tool_name):
+    rules = sorted({rule for (_, _, rule, _) in findings})
+    rule_index = {rule: i for i, rule in enumerate(rules)}
+    results = []
+    for (path, line, rule, msg), extra in sorted(findings.items()):
+        region = {"startLine": line}
+        if extra["col"]:
+            region["startColumn"] = extra["col"]
+        results.append(
+            {
+                "ruleId": rule,
+                "ruleIndex": rule_index[rule],
+                "level": extra["level"],
+                "message": {"text": msg},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": path.replace(os.sep, "/")},
+                            "region": region,
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "rules": [{"id": rule} for rule in rules],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tool", required=True, help="SARIF driver name")
+    parser.add_argument("--root", default=".", help="repo root for relative URIs")
+    parser.add_argument("logs", nargs="*", help="log files (default: stdin)")
+    args = parser.parse_args()
+
+    if args.logs:
+        streams = [open(path, encoding="utf-8", errors="replace") for path in args.logs]
+    else:
+        streams = [sys.stdin]
+    findings = parse_logs(streams, args.root)
+    json.dump(to_sarif(findings, args.tool), sys.stdout, indent=2)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()

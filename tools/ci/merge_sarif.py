@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Merge SARIF 2.1.0 documents into one multi-run document.
+
+Each input file contributes its runs unchanged (SARIF is explicitly
+multi-run: one run per tool), so clang-tidy, -Wthread-safety, and
+asilkit-archcheck findings land in a single static-analysis.sarif
+artifact.  Inputs that are missing or empty are skipped with a note on
+stderr — a converter upstream may legitimately have produced nothing.
+
+Usage: merge_sarif.py out.sarif in1.sarif [in2.sarif ...]
+Exits 1 only on malformed (unparsable) input.
+"""
+
+import json
+import sys
+
+SARIF_SCHEMA = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    out_path, in_paths = sys.argv[1], sys.argv[2:]
+
+    runs = []
+    total_results = 0
+    for path in in_paths:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except FileNotFoundError:
+            print(f"merge_sarif: skipping missing {path}", file=sys.stderr)
+            continue
+        except json.JSONDecodeError as e:
+            sys.exit(f"merge_sarif: {path} is not valid JSON: {e}")
+        doc_runs = doc.get("runs", [])
+        for run in doc_runs:
+            total_results += len(run.get("results", []))
+        runs.extend(doc_runs)
+
+    merged = {"$schema": SARIF_SCHEMA, "version": "2.1.0", "runs": runs}
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(merged, fh, indent=2)
+        fh.write("\n")
+    tools = ", ".join(
+        run.get("tool", {}).get("driver", {}).get("name", "?") for run in runs
+    )
+    print(f"merge_sarif: {len(runs)} runs ({tools}): {total_results} results")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,12 +21,17 @@
 #include "io/graphml.h"
 #include "io/model_diff.h"
 #include "io/model_json.h"
+#include "io/watch_rules.h"
 #include "engine/engine.h"
 #include "lint/emit.h"
 #include "lint/lint.h"
 #include "model/validation.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "obs/profile.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "scenarios/ecotwin.h"
 #include "scenarios/fig3.h"
 #include "scenarios/longitudinal.h"
@@ -52,7 +57,7 @@ struct Args {
 /// Options that are flags (no value follows).
 bool is_flag(const std::string& key) {
     return key == "approximate" || key == "all" || key == "help" || key == "strict" ||
-           key == "no-incremental-ftree";
+           key == "no-incremental-ftree" || key == "profile";
 }
 
 Args parse_args(const std::vector<std::string>& argv) {
@@ -460,6 +465,11 @@ int cmd_diff(const Args& args, std::ostream& out) {
 /// same run).  Prints the metrics snapshot as text or JSON.
 int cmd_stats(const Args& args, std::ostream& out) {
     obs::set_detail_enabled(true);  // stats exists to measure: populate histograms too
+    const bool want_profile = args.has("profile") || args.has("profile-out");
+    // A profile is folded from span events, so measuring one implies
+    // tracing the analysis below (a prior --trace session still counts:
+    // start_tracing is idempotent).
+    if (want_profile) obs::start_tracing();
     if (args.positionals.size() >= 2) {
         const ArchitectureModel m = io::load_model(args.positionals[1]);
         analysis::ProbabilityOptions options;
@@ -476,14 +486,40 @@ int cmd_stats(const Args& args, std::ostream& out) {
             << "P(system failure) : " << result.failure_probability << " over "
             << options.mission_hours << " h\n\n";
     }
+    if (want_profile) {
+        const obs::SpanProfile profile = obs::profile_current_trace();
+        if (args.has("profile-out")) {
+            // Always collapsed-stack format: the file feeds flamegraph.pl
+            // (or any folded-stack consumer) directly.
+            io::save_text_file(profile.to_collapsed(), args.get("profile-out"));
+            out << "wrote folded profile to " << args.get("profile-out") << "\n";
+        }
+        if (args.has("profile")) {
+            const std::string pf = args.get("profile-format", "text");
+            if (pf == "text") {
+                out << profile.to_text();
+            } else if (pf == "json") {
+                out << profile.to_json() << "\n";
+            } else if (pf == "collapsed") {
+                out << profile.to_collapsed();
+            } else {
+                throw IoError("unknown profile format '" + pf +
+                              "' (expected text, json or collapsed)");
+            }
+            return 0;  // the profile replaces the metrics document
+        }
+    }
     const obs::MetricsSnapshot snapshot = obs::Registry::global().snapshot();
     const std::string format = args.get("format", "text");
     if (format == "json") {
         out << snapshot.to_json() << "\n";
     } else if (format == "text") {
         out << snapshot.to_text();
+    } else if (format == "openmetrics") {
+        out << obs::to_openmetrics(snapshot);
     } else {
-        throw IoError("unknown format '" + format + "' (expected text or json)");
+        throw IoError("unknown format '" + format +
+                      "' (expected text, json or openmetrics)");
     }
     return 0;
 }
@@ -511,23 +547,75 @@ int dispatch(const std::string& command, const Args& parsed, std::ostream& out,
     return 2;
 }
 
-/// RAII for the global `--trace out.json` / `--metrics out.json`
-/// options (available on every subcommand): starts tracing before the
-/// command runs and writes the requested files afterwards — including
-/// on the error path, so a failing run still leaves its trace behind.
+/// RAII for the global observability options (available on every
+/// subcommand): `--trace out.json`, `--metrics out.json`, the
+/// time-series sampler (`--sample-out/--sample-ndjson/--sample-period/
+/// --sample-capacity/--openmetrics-out`) and the threshold watchdog
+/// (`--watch-rules/--watch-out`).  Telemetry starts before the command
+/// runs and the requested files are written afterwards — including on
+/// the error path, so a failing run still leaves its trace behind.
 class ObsSession {
 public:
-    explicit ObsSession(const Args& args)
-        : trace_path_(args.get("trace")), metrics_path_(args.get("metrics")) {
+    ObsSession(const Args& args, std::ostream& err)
+        : trace_path_(args.get("trace")),
+          metrics_path_(args.get("metrics")),
+          sample_out_(args.get("sample-out")) {
         if (!metrics_path_.empty()) obs::set_detail_enabled(true);
         if (!trace_path_.empty()) obs::start_tracing();
+
+        if (args.has("watch-rules")) {
+            watchdog_.emplace(io::load_watch_rules(args.get("watch-rules")));
+            if (args.has("watch-out")) {
+                watch_file_.open(args.get("watch-out"), std::ios::app);
+                if (!watch_file_) {
+                    throw IoError("cannot open '" + args.get("watch-out") +
+                                  "' for watchdog events");
+                }
+                watchdog_->set_sink(&watch_file_);
+            } else {
+                watchdog_->set_sink(&err);  // NDJSON events, one per line
+            }
+        }
+
+        const bool want_sampler = !sample_out_.empty() || args.has("sample-ndjson") ||
+                                  args.has("openmetrics-out") || watchdog_.has_value();
+        if (want_sampler) {
+            obs::set_detail_enabled(true);  // sampled series should include histograms
+            obs::TimeSeriesOptions options;
+            if (args.has("sample-period")) {
+                options.period =
+                    std::chrono::milliseconds(std::stoul(args.get("sample-period")));
+                if (options.period.count() <= 0) {
+                    options.period = std::chrono::milliseconds(1);
+                }
+            }
+            if (args.has("sample-capacity")) {
+                options.capacity =
+                    static_cast<std::size_t>(std::stoul(args.get("sample-capacity")));
+            }
+            options.ndjson_path = args.get("sample-ndjson");
+            options.openmetrics_path = args.get("openmetrics-out");
+            sampler_.emplace(options);
+            if (watchdog_) sampler_->attach_watchdog(&*watchdog_);
+            sampler_->start();
+        }
     }
     ~ObsSession() {
+        if (sampler_) {
+            sampler_->stop();
+            sampler_->sample_now();  // final state: short commands still get an end point
+            if (!sample_out_.empty()) {
+                try {
+                    io::save_text_file(sampler_->snapshot().to_json() + "\n", sample_out_);
+                } catch (...) {  // a failed telemetry write never masks the outcome
+                }
+            }
+        }
         if (!trace_path_.empty()) {
             obs::stop_tracing();
             try {
                 io::save_text_file(obs::trace_to_json(), trace_path_);
-            } catch (...) {  // a failed trace write never masks the command's outcome
+            } catch (...) {
             }
         }
         if (!metrics_path_.empty()) {
@@ -544,6 +632,10 @@ public:
 private:
     std::string trace_path_;
     std::string metrics_path_;
+    std::string sample_out_;
+    std::ofstream watch_file_;
+    std::optional<obs::Watchdog> watchdog_;
+    std::optional<obs::TimeSeriesSampler> sampler_;
 };
 
 }  // namespace
@@ -574,11 +666,21 @@ std::string usage() {
            "            [--format dot|graphml] -o out.dot\n"
            "  diff      before.json after.json\n"
            "  stats     [model.json] [--approximate] [--hours H] [--threads N]\n"
-           "            [--no-incremental-ftree] [--format text|json]\n"
+           "            [--no-incremental-ftree] [--format text|json|openmetrics]\n"
+           "            [--profile] [--profile-format text|json|collapsed]\n"
+           "            [--profile-out folded.txt]\n"
            "\n"
            "observability (any command):\n"
-           "  --trace out.json    write a Chrome/Perfetto trace of the run\n"
-           "  --metrics out.json  write a metrics-registry snapshot\n";
+           "  --trace out.json         write a Chrome/Perfetto trace of the run\n"
+           "  --metrics out.json       write a metrics-registry snapshot\n"
+           "  --sample-out ts.json     sample the registry periodically; write the\n"
+           "                           ring-buffered time series on exit\n"
+           "  --sample-ndjson ts.ndjson  append one metrics line per sampler tick\n"
+           "  --sample-period MS       sampler period (default 1000)\n"
+           "  --sample-capacity N      points retained per series (default 600)\n"
+           "  --openmetrics-out om.txt rewrite an OpenMetrics exposition per tick\n"
+           "  --watch-rules rules.json evaluate threshold rules every tick\n"
+           "  --watch-out events.ndjson  watchdog events (default: stderr)\n";
 }
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
@@ -589,7 +691,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
             return parsed.positionals.empty() && !parsed.has("help") ? 2 : 0;
         }
         const std::string& command = parsed.positionals.front();
-        const ObsSession obs_session(parsed);
+        const ObsSession obs_session(parsed, err);
         return dispatch(command, parsed, out, err);
     } catch (const Error& e) {
         err << "error: " << e.what() << "\n";

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "obs/trace.h"
+
 namespace asilkit::io {
 namespace {
 
@@ -47,6 +49,7 @@ ResourceKind resource_kind_from_string(const std::string& s) {
 }  // namespace
 
 Json to_json(const ArchitectureModel& m) {
+    const obs::ObsSpan span("model_serialize", "io");
     Json j = Json::object();
     j["name"] = m.name();
 
@@ -138,6 +141,7 @@ Json to_json(const ArchitectureModel& m) {
 }
 
 ArchitectureModel model_from_json(const Json& j) {
+    const obs::ObsSpan span("model_parse", "io");
     ArchitectureModel m(j.get_or_null("name").is_null() ? "" : j.at("name").as_string());
 
     std::vector<LocationId> locations;

@@ -1,0 +1,52 @@
+#include "io/watch_rules.h"
+
+#include "io/json.h"
+
+namespace asilkit::io {
+
+std::vector<obs::WatchdogRule> parse_watch_rules(const Json& doc) {
+    const Json& rules = doc.is_object() && doc.contains("rules") ? doc.at("rules") : doc;
+    if (!rules.is_array()) {
+        throw IoError("watch rules: expected an array (or {\"rules\": [...]})");
+    }
+    std::vector<obs::WatchdogRule> parsed;
+    parsed.reserve(rules.as_array().size());
+    for (const Json& entry : rules.as_array()) {
+        if (!entry.is_object()) throw IoError("watch rules: each rule must be an object");
+        obs::WatchdogRule rule;
+        if (!entry.contains("metric") || !entry.at("metric").is_string()) {
+            throw IoError("watch rules: rule is missing its \"metric\" id");
+        }
+        rule.metric = entry.at("metric").as_string();
+        rule.id = entry.contains("id") ? entry.at("id").as_string() : rule.metric;
+        if (!entry.contains("op") || !entry.at("op").is_string()) {
+            throw IoError("watch rules: rule '" + rule.id + "' is missing its \"op\"");
+        }
+        const auto op = obs::parse_op(entry.at("op").as_string());
+        if (!op) {
+            throw IoError("watch rules: rule '" + rule.id + "' has unknown op '" +
+                          entry.at("op").as_string() + "' (expected <, <=, >, >=)");
+        }
+        rule.op = *op;
+        if (!entry.contains("threshold") || !entry.at("threshold").is_number()) {
+            throw IoError("watch rules: rule '" + rule.id +
+                          "' is missing its numeric \"threshold\"");
+        }
+        rule.threshold = entry.at("threshold").as_number();
+        if (entry.contains("for_ms")) {
+            const double ms = entry.at("for_ms").as_number();
+            if (ms < 0) {
+                throw IoError("watch rules: rule '" + rule.id + "' has negative for_ms");
+            }
+            rule.for_ns = static_cast<std::uint64_t>(ms * 1e6);
+        }
+        parsed.push_back(std::move(rule));
+    }
+    return parsed;
+}
+
+std::vector<obs::WatchdogRule> load_watch_rules(const std::string& path) {
+    return parse_watch_rules(load_json_file(path));
+}
+
+}  // namespace asilkit::io

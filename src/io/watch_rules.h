@@ -1,0 +1,27 @@
+// JSON loader for watchdog rule files (`--watch-rules rules.json`).
+//
+// The obs layer depends only on core, so the parsing of rule files
+// lives here in io.  Accepted document shapes:
+//   {"rules": [ <rule>, ... ]}    or a bare    [ <rule>, ... ]
+// where each rule is
+//   {"id": "queue-deep",                  // optional: defaults to the metric
+//    "metric": "engine.queue_depth",     // registry id, or "a/b" ratio
+//    "op": ">",                          // <, <=, >, >= (or lt/le/gt/ge)
+//    "threshold": 500,
+//    "for_ms": 5000}                     // optional: defaults to 0
+// Malformed documents throw IoError naming the offending rule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/watchdog.h"
+
+namespace asilkit::io {
+
+class Json;
+
+[[nodiscard]] std::vector<obs::WatchdogRule> parse_watch_rules(const Json& doc);
+[[nodiscard]] std::vector<obs::WatchdogRule> load_watch_rules(const std::string& path);
+
+}  // namespace asilkit::io

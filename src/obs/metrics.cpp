@@ -88,6 +88,30 @@ void Histogram::observe(double v) noexcept {
     }
 }
 
+double histogram_quantile(std::span<const double> bounds,
+                          std::span<const std::uint64_t> counts, double q) noexcept {
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts) total += c;
+    if (total == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double rank = q * static_cast<double>(total);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0) continue;
+        const double lower = i == 0 ? 0.0 : bounds[i - 1];
+        const std::uint64_t before = cumulative;
+        cumulative += counts[i];
+        if (static_cast<double>(cumulative) < rank) continue;
+        if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+        const double upper = bounds[i];
+        const double into =
+            (rank - static_cast<double>(before)) / static_cast<double>(counts[i]);
+        return lower + (upper - lower) * (into < 0.0 ? 0.0 : into);
+    }
+    return bounds.empty() ? 0.0 : bounds.back();  // unreachable with exact counts
+}
+
 std::span<const double> latency_bounds_ns() noexcept {
     static const std::array<double, 24> bounds = [] {
         std::array<double, 24> b{};

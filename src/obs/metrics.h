@@ -103,6 +103,17 @@ private:
 /// (µs) and a cold EcoTwin exploration phase (s) in one histogram.
 [[nodiscard]] std::span<const double> latency_bounds_ns() noexcept;
 
+/// Estimates the q-quantile (q in [0, 1]) of a fixed-bucket histogram
+/// from its cumulative counts, Prometheus-style: the target rank is
+/// located by walking the buckets and the value is interpolated
+/// linearly inside the bucket that holds it (bucket 0 starts at 0).  A
+/// rank landing in the overflow bucket returns the last bound — the
+/// histogram cannot see past it.  Returns 0 when the histogram is
+/// empty.  `counts` has bounds.size() + 1 entries (last = overflow).
+/// Used by the span profiler's p50/p95 columns (obs/profile.h).
+[[nodiscard]] double histogram_quantile(std::span<const double> bounds,
+                                        std::span<const std::uint64_t> counts, double q) noexcept;
+
 /// One value of every registered metric, in registration-id order
 /// (std::map keeps snapshots deterministic and diffs clean).
 struct MetricsSnapshot {

@@ -1,0 +1,83 @@
+#include "obs/openmetrics.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace asilkit::obs {
+namespace {
+
+/// Shortest round-trip double rendering, matching the JSON writer's.
+std::string number(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    double parsed = 0.0;
+    for (int precision = 6; precision < 17; ++precision) {
+        char trial[40];
+        std::snprintf(trial, sizeof(trial), "%.*g", precision, v);
+        std::sscanf(trial, "%lf", &parsed);
+        if (parsed == v) return trial;
+    }
+    return buf;
+}
+
+void append_line(std::string& out, const std::string& name, const char* suffix,
+                 const std::string& labels, const std::string& value) {
+    out += name;
+    out += suffix;
+    out += labels;
+    out += ' ';
+    out += value;
+    out += '\n';
+}
+
+}  // namespace
+
+std::string openmetrics_name(std::string_view id) {
+    std::string name;
+    name.reserve(id.size() + 1);
+    for (const char c : id) {
+        const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                           (c >= '0' && c <= '9') || c == '_' || c == ':';
+        name += legal ? c : '_';
+    }
+    if (name.empty() || (name.front() >= '0' && name.front() <= '9')) {
+        name.insert(name.begin(), '_');
+    }
+    return name;
+}
+
+std::string to_openmetrics(const MetricsSnapshot& snapshot) {
+    std::string out;
+    for (const MetricsSnapshot::CounterSample& c : snapshot.counters) {
+        const std::string name = openmetrics_name(c.id);
+        out += "# TYPE " + name + " counter\n";
+        append_line(out, name, "_total", "", std::to_string(c.value));
+    }
+    for (const MetricsSnapshot::GaugeSample& g : snapshot.gauges) {
+        const std::string name = openmetrics_name(g.id);
+        out += "# TYPE " + name + " gauge\n";
+        append_line(out, name, "", "", number(g.value));
+    }
+    for (const MetricsSnapshot::HistogramSample& h : snapshot.histograms) {
+        const std::string name = openmetrics_name(h.id);
+        out += "# TYPE " + name + " histogram\n";
+        // Registry buckets are per-bucket counts with inclusive upper
+        // bounds — exactly the `le` semantics; the exposition wants the
+        // running (cumulative) total per bucket.
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < h.counts.size(); ++b) {
+            cumulative += h.counts[b];
+            const std::string le =
+                b < h.bounds.size() ? number(h.bounds[b]) : std::string("+Inf");
+            append_line(out, name, "_bucket", "{le=\"" + le + "\"}",
+                        std::to_string(cumulative));
+        }
+        append_line(out, name, "_sum", "", number(h.sum));
+        append_line(out, name, "_count", "", std::to_string(h.count));
+    }
+    out += "# EOF\n";
+    return out;
+}
+
+}  // namespace asilkit::obs

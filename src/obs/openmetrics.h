@@ -1,0 +1,34 @@
+// OpenMetrics / Prometheus text exposition of the metrics registry.
+//
+// Renders a MetricsSnapshot in the OpenMetrics text format
+// (https://prometheus.io/docs/specs/om/open_metrics_spec/): counters as
+// `<name>_total`, gauges verbatim, histograms as cumulative
+// `_bucket{le="..."}` series plus `_sum`/`_count`, terminated by the
+// mandatory `# EOF` line.  Dotted registry ids ("bdd.apply_hits") are
+// mapped to legal metric names ("bdd_apply_hits") — every character
+// outside [a-zA-Z0-9_:] becomes '_', with a leading '_' prepended when
+// the id starts with a digit.
+//
+// This string is what the future `asilkit serve` daemon returns from
+// its /metrics endpoint verbatim (ROADMAP item 1); today it is exposed
+// through `asilkit stats --format openmetrics` and written on a period
+// by the time-series sampler (obs/timeseries.h) so a Prometheus
+// file-based collector can scrape a long bench run.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace asilkit::obs {
+
+struct MetricsSnapshot;
+
+/// Maps a dotted registry id to a legal OpenMetrics metric name.
+[[nodiscard]] std::string openmetrics_name(std::string_view id);
+
+/// Renders the whole snapshot as an OpenMetrics text document,
+/// `# EOF` terminator included.  An empty snapshot renders as just the
+/// terminator — still a valid (empty) exposition.
+[[nodiscard]] std::string to_openmetrics(const MetricsSnapshot& snapshot);
+
+}  // namespace asilkit::obs

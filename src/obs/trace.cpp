@@ -189,6 +189,28 @@ std::uint64_t trace_dropped_count() {
     return state().dropped.load(std::memory_order_relaxed);
 }
 
+std::vector<TraceEvent> snapshot_events() {
+    TraceState& s = state();
+    std::vector<TraceEvent> all;
+    {
+        const core::MutexLock global(s.mutex);
+        all.reserve(s.orphans.size());
+        for (const Event& e : s.orphans) {
+            all.push_back(TraceEvent{e.name, e.cat, e.ts_ns, e.tid, e.ph});
+        }
+        for (ThreadBuffer* b : s.buffers) {
+            const core::MutexLock local(b->mutex);
+            for (const Event& e : b->events) {
+                all.push_back(TraceEvent{e.name, e.cat, e.ts_ns, e.tid, e.ph});
+            }
+        }
+    }
+    std::stable_sort(all.begin(), all.end(), [](const TraceEvent& a, const TraceEvent& b) {
+        return a.ts_ns < b.ts_ns;
+    });
+    return all;
+}
+
 void write_trace(std::ostream& os) {
     const std::vector<Event> events = drain_events();
     os << "{\"traceEvents\":[";

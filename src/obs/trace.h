@@ -24,6 +24,7 @@
 #include <atomic>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 namespace asilkit::obs {
 
@@ -56,6 +57,25 @@ void write_trace(std::ostream& os);
 /// tracing) and events dropped at the per-thread cap.
 [[nodiscard]] std::uint64_t trace_event_count();
 [[nodiscard]] std::uint64_t trace_dropped_count();
+
+/// One buffered span event, exposed for in-process aggregation (the
+/// span profiler, obs/profile.h).  `name` and `cat` point at the string
+/// literals the instrumentation sites recorded — valid for the process
+/// lifetime, never owned.
+struct TraceEvent {
+    const char* name;
+    const char* cat;
+    std::uint64_t ts_ns;  ///< nanoseconds since the session epoch
+    std::uint32_t tid;    ///< stable per-thread id (0, 1, ...)
+    char ph;              ///< 'B', 'E' or 'I'
+};
+
+/// Copies every buffered event, sorted by timestamp, WITHOUT consuming
+/// the buffers (unlike trace_to_json's drain) — so a profile can be
+/// aggregated and the full trace still exported afterwards.  The sort
+/// is stable, so each thread's events keep record order and per-thread
+/// B/E nesting survives for stack replay.
+[[nodiscard]] std::vector<TraceEvent> snapshot_events();
 
 /// A zero-duration instant event ("I"), for marking discrete
 /// occurrences such as a BDD unique-table resize.

@@ -1,0 +1,163 @@
+#include "obs/watchdog.h"
+
+#include <cstdio>
+#include <ostream>
+
+#include "obs/metrics.h"
+
+namespace asilkit::obs {
+namespace {
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string number(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    double parsed = 0.0;
+    for (int precision = 6; precision < 17; ++precision) {
+        char trial[40];
+        std::snprintf(trial, sizeof(trial), "%.*g", precision, v);
+        std::sscanf(trial, "%lf", &parsed);
+        if (parsed == v) return trial;
+    }
+    return buf;
+}
+
+/// Plain-id lookup: counters, then gauges, then the `.count`/`.sum`
+/// projections of a histogram.
+std::optional<double> lookup(std::string_view id, const MetricsSnapshot& snapshot) {
+    for (const MetricsSnapshot::CounterSample& c : snapshot.counters) {
+        if (c.id == id) return static_cast<double>(c.value);
+    }
+    for (const MetricsSnapshot::GaugeSample& g : snapshot.gauges) {
+        if (g.id == id) return g.value;
+    }
+    for (const MetricsSnapshot::HistogramSample& h : snapshot.histograms) {
+        if (id == h.id + ".count") return static_cast<double>(h.count);
+        if (id == h.id + ".sum") return h.sum;
+    }
+    return std::nullopt;
+}
+
+bool satisfied(WatchdogRule::Op op, double value, double threshold) {
+    switch (op) {
+        case WatchdogRule::Op::Lt: return value < threshold;
+        case WatchdogRule::Op::Le: return value <= threshold;
+        case WatchdogRule::Op::Gt: return value > threshold;
+        case WatchdogRule::Op::Ge: return value >= threshold;
+    }
+    return false;
+}
+
+}  // namespace
+
+std::optional<WatchdogRule::Op> parse_op(std::string_view text) {
+    if (text == "<" || text == "lt") return WatchdogRule::Op::Lt;
+    if (text == "<=" || text == "le") return WatchdogRule::Op::Le;
+    if (text == ">" || text == "gt") return WatchdogRule::Op::Gt;
+    if (text == ">=" || text == "ge") return WatchdogRule::Op::Ge;
+    return std::nullopt;
+}
+
+std::string WatchdogEvent::to_ndjson() const {
+    std::string out = "{\"event\":\"";
+    out += fired ? "fire" : "clear";
+    out += "\",\"rule\":\"" + json_escape(rule) + "\",\"metric\":\"" + json_escape(metric);
+    out += "\",\"value\":" + number(value) + ",\"threshold\":" + number(threshold);
+    out += ",\"ts_ns\":" + std::to_string(ts_ns);
+    out += ",\"window_ns\":" + std::to_string(window_ns) + "}";
+    return out;
+}
+
+Watchdog::Watchdog(std::vector<WatchdogRule> rules) : rules_(std::move(rules)) {
+    const core::MutexLock lock(mutex_);
+    states_.resize(rules_.size());
+}
+
+void Watchdog::set_sink(std::ostream* sink) {
+    const core::MutexLock lock(mutex_);
+    sink_ = sink;
+}
+
+std::optional<double> Watchdog::resolve_metric(std::string_view metric,
+                                               const MetricsSnapshot& snapshot) {
+    const std::size_t slash = metric.find('/');
+    if (slash == std::string_view::npos) return lookup(metric, snapshot);
+    const std::optional<double> numerator = lookup(metric.substr(0, slash), snapshot);
+    const std::optional<double> denominator = lookup(metric.substr(slash + 1), snapshot);
+    if (!numerator || !denominator || *denominator == 0.0) return std::nullopt;
+    return *numerator / *denominator;
+}
+
+void Watchdog::emit(const WatchdogEvent& event) {
+    events_.push_back(event);
+    if (event.fired) {
+        static Counter& fired_total = Registry::global().counter("obs.watchdog.fired");
+        fired_total.inc();
+    }
+    if (sink_ != nullptr) {
+        *sink_ << event.to_ndjson() << "\n";
+        sink_->flush();  // one complete line per event: tail -f friendly
+    }
+}
+
+void Watchdog::evaluate(std::uint64_t now_ns, const MetricsSnapshot& snapshot) {
+    const core::MutexLock lock(mutex_);
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+        const WatchdogRule& rule = rules_[i];
+        RuleState& state = states_[i];
+        const std::optional<double> value = resolve_metric(rule.metric, snapshot);
+        const bool breached =
+            value.has_value() && satisfied(rule.op, *value, rule.threshold);
+        if (breached) {
+            if (!state.breaching) {
+                state.breaching = true;
+                state.breach_start_ns = now_ns;
+            }
+            const std::uint64_t window = now_ns - state.breach_start_ns;
+            if (!state.fired && window >= rule.for_ns) {
+                state.fired = true;
+                emit(WatchdogEvent{rule.id, rule.metric, true, *value, rule.threshold,
+                                   now_ns, window});
+            }
+        } else {
+            if (state.fired) {
+                emit(WatchdogEvent{rule.id, rule.metric, false, value.value_or(0.0),
+                                   rule.threshold, now_ns,
+                                   now_ns - state.breach_start_ns});
+            }
+            state.breaching = false;
+            state.fired = false;
+        }
+    }
+}
+
+std::vector<WatchdogEvent> Watchdog::events() const {
+    const core::MutexLock lock(mutex_);
+    return events_;
+}
+
+std::size_t Watchdog::fire_count() const {
+    const core::MutexLock lock(mutex_);
+    std::size_t n = 0;
+    for (const WatchdogEvent& e : events_) n += e.fired ? 1 : 0;
+    return n;
+}
+
+}  // namespace asilkit::obs

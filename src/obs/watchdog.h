@@ -1,0 +1,111 @@
+// Threshold watchdog: declarative rules evaluated against registry
+// samples, firing structured NDJSON events when a metric breaches its
+// threshold for long enough.
+//
+// A rule is (metric, comparator, threshold, for_duration): "fire when
+// `engine.queue_depth > 500` has held for 5 s", "fire when the
+// EvalCache hit ratio `engine.cache.hits/engine.cache.misses` drops
+// below 0.25 for 2 s".  Rules are evaluated by the time-series sampler
+// thread on its period (obs/timeseries.h), or directly via evaluate()
+// with synthetic timestamps — which is how the unit tests drive the
+// for_duration logic deterministically, no clocks involved.
+//
+// Firing discipline: a rule fires ONCE when its breach has persisted
+// for at least `for_ns`, stays silent while the breach continues, and
+// emits a matching "clear" event when the metric recovers — so a flappy
+// metric produces fire/clear pairs, not a firehose.  Events append to
+// an optional NDJSON sink (stderr or a file; one JSON object per line,
+// flushed per event so `tail -f` works) and are kept in memory for
+// inspection.
+//
+// Rule files are JSON (loaded by io::load_watch_rules — the obs layer
+// itself depends only on core and parses nothing):
+//   {"rules": [{"id": "queue-deep", "metric": "engine.queue_depth",
+//               "op": ">", "threshold": 500, "for_ms": 5000}, ...]}
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/sync.h"
+
+namespace asilkit::obs {
+
+struct MetricsSnapshot;
+
+struct WatchdogRule {
+    enum class Op : std::uint8_t { Lt, Le, Gt, Ge };
+
+    std::string id;      ///< stable rule name, echoed in every event
+    std::string metric;  ///< registry id, or "a/b" for the ratio of two ids
+    Op op = Op::Gt;
+    double threshold = 0.0;
+    std::uint64_t for_ns = 0;  ///< breach must persist this long before firing
+};
+
+/// "<", "<=", ">", ">=" (or "lt"/"le"/"gt"/"ge"); nullopt on anything else.
+[[nodiscard]] std::optional<WatchdogRule::Op> parse_op(std::string_view text);
+
+struct WatchdogEvent {
+    std::string rule;
+    std::string metric;
+    bool fired = true;  ///< true = "fire", false = "clear"
+    double value = 0.0;
+    double threshold = 0.0;
+    std::uint64_t ts_ns = 0;      ///< evaluation timestamp of the transition
+    std::uint64_t window_ns = 0;  ///< breach duration at the transition
+
+    /// One-line JSON object (no trailing newline).
+    [[nodiscard]] std::string to_ndjson() const;
+};
+
+class Watchdog {
+public:
+    Watchdog() = default;
+    explicit Watchdog(std::vector<WatchdogRule> rules);
+
+    /// NDJSON event sink (nullptr = in-memory only).  Not owned; must
+    /// outlive evaluation.  Set before the sampler starts.
+    void set_sink(std::ostream* sink);
+
+    /// Evaluates every rule against `snapshot` at time `now_ns`
+    /// (monotonic, caller-supplied — the sampler passes steady-clock
+    /// nanoseconds, tests pass synthetic values).  A metric that cannot
+    /// be resolved (unknown id, ratio with zero denominator) counts as
+    /// "no data": the rule is treated as recovered, never as breached.
+    void evaluate(std::uint64_t now_ns, const MetricsSnapshot& snapshot);
+
+    [[nodiscard]] std::size_t rule_count() const noexcept { return rules_.size(); }
+    /// Copy of every event emitted so far, in emission order.
+    [[nodiscard]] std::vector<WatchdogEvent> events() const;
+    /// Fire events only (the count benches and tests usually want).
+    [[nodiscard]] std::size_t fire_count() const;
+
+    /// Resolves a rule metric against a snapshot: a plain id looks up
+    /// counters, then gauges, then histogram `<id>.count` / `<id>.sum`
+    /// projections; "a/b" divides two resolved ids (nullopt when the
+    /// denominator is 0).  Exposed for tests and the CLI's rule lint.
+    [[nodiscard]] static std::optional<double> resolve_metric(
+        std::string_view metric, const MetricsSnapshot& snapshot);
+
+private:
+    struct RuleState {
+        bool breaching = false;
+        bool fired = false;
+        std::uint64_t breach_start_ns = 0;
+    };
+
+    void emit(const WatchdogEvent& event) REQUIRES(mutex_);
+
+    std::vector<WatchdogRule> rules_;  // immutable after construction
+    mutable core::Mutex mutex_;
+    std::vector<RuleState> states_ GUARDED_BY(mutex_);
+    std::vector<WatchdogEvent> events_ GUARDED_BY(mutex_);
+    std::ostream* sink_ GUARDED_BY(mutex_) = nullptr;
+};
+
+}  // namespace asilkit::obs

@@ -5,6 +5,8 @@
 
 #include "core/error.h"
 #include "model/blocks.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace asilkit::transform {
 namespace {
@@ -130,6 +132,9 @@ bool can_connect(const ArchitectureModel& m, NodeId merger, std::string* why) {
 }
 
 ConnectResult connect(ArchitectureModel& m, NodeId merger) {
+    static obs::Counter& ops = obs::Registry::global().counter("transform.connect.ops");
+    ops.inc();
+    const obs::ObsSpan span("connect", "transform");
     std::string why;
     auto plan = plan_connect(m, merger, &why);
     if (!plan) {

@@ -4,6 +4,8 @@
 #include <string>
 
 #include "core/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace asilkit::transform {
 namespace {
@@ -62,6 +64,9 @@ std::vector<Asil> branch_levels(Asil parent, DecompositionStrategy strategy,
 }
 
 ExpandResult expand(ArchitectureModel& m, NodeId node, const ExpandOptions& options) {
+    static obs::Counter& ops = obs::Registry::global().counter("transform.expand.ops");
+    ops.inc();
+    const obs::ObsSpan span("expand", "transform");
     const AppNode original = m.app().node(node);  // copy: the node is erased below
     if (original.kind != NodeKind::Functional && original.kind != NodeKind::Communication) {
         throw TransformError("Expand(" + original.name + "): only functional and communication "

@@ -1,6 +1,8 @@
 #include "transform/reduce.h"
 
 #include "core/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace asilkit::transform {
 
@@ -18,6 +20,9 @@ bool can_reduce(const ArchitectureModel& m, NodeId first, NodeId second) {
 }
 
 ReduceResult reduce(ArchitectureModel& m, NodeId first, NodeId second) {
+    static obs::Counter& ops = obs::Registry::global().counter("transform.reduce.ops");
+    ops.inc();
+    const obs::ObsSpan span("reduce", "transform");
     if (!can_reduce(m, first, second)) {
         throw TransformError("Reduce: nodes are not a collapsible communication pair");
     }

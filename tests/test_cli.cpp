@@ -393,6 +393,131 @@ TEST_F(CliTest, StatsJsonFormat) {
     EXPECT_NE(r.out.find("\"engine.analyze_calls\""), std::string::npos);
 }
 
+TEST_F(CliTest, StatsOpenMetricsFormat) {
+    const CliRun r = run({"stats", model(), "--format", "openmetrics"});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    EXPECT_NE(r.out.find("# TYPE engine_analyze_calls counter\n"), std::string::npos);
+    EXPECT_NE(r.out.find("engine_analyze_calls_total"), std::string::npos);
+    // Exactly one terminator, at the very end of the exposition.
+    EXPECT_EQ(r.out.rfind("# EOF\n"), r.out.size() - 6);
+}
+
+// `stats` with no model never analyzes: it dumps whatever the registry
+// holds — possibly nothing — as a well-formed document and exits 0.
+// Plain TESTs (not TEST_F) so the fixture's demo run can't populate the
+// registry first when a case runs in its own ctest process.
+TEST(StatsEmptyRegistry, TextExitsZero) {
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(run_cli({"stats"}, out, err), 0) << err.str();
+}
+
+TEST(StatsEmptyRegistry, JsonIsWellFormed) {
+    std::ostringstream out;
+    std::ostringstream err;
+    ASSERT_EQ(run_cli({"stats", "--format", "json"}, out, err), 0) << err.str();
+    const io::Json doc = io::Json::parse(out.str());
+    EXPECT_TRUE(doc.at("counters").is_object());
+    EXPECT_TRUE(doc.at("gauges").is_object());
+    EXPECT_TRUE(doc.at("histograms").is_object());
+}
+
+TEST(StatsEmptyRegistry, OpenMetricsIsTerminated) {
+    std::ostringstream out;
+    std::ostringstream err;
+    ASSERT_EQ(run_cli({"stats", "--format", "openmetrics"}, out, err), 0) << err.str();
+    EXPECT_EQ(out.str().rfind("# EOF\n"), out.str().size() - 6);
+}
+
+TEST_F(CliTest, StatsProfilePrintsHotSpans) {
+    const CliRun r = run({"stats", model(), "--profile"});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    // The profile replaces the metrics document and names the analysis
+    // pipeline's spans.
+    EXPECT_NE(r.out.find("analyze"), std::string::npos);
+    EXPECT_NE(r.out.find("evaluate_module"), std::string::npos);
+    EXPECT_NE(r.out.find("edges:"), std::string::npos);
+    EXPECT_EQ(r.out.find("engine.analyze_calls"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsProfileOutWritesFoldedStacks) {
+    const std::string folded = temp_path("cli_profile.folded");
+    const CliRun r = run({"stats", model(), "--profile-out", folded});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    std::ifstream in(folded);
+    ASSERT_TRUE(in.good());
+    std::size_t lines = 0;
+    for (std::string line; std::getline(in, line); ++lines) {
+        // Brendan Gregg folded format: "root;child;leaf <self_ns>".
+        const std::size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        EXPECT_EQ(line.find_first_not_of("0123456789", space + 1), std::string::npos)
+            << line;
+    }
+    EXPECT_GT(lines, 0u);
+}
+
+TEST_F(CliTest, StatsProfileUnknownFormatFails) {
+    const CliRun r = run({"stats", model(), "--profile", "--profile-format", "bogus"});
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_NE(r.err.find("profile format"), std::string::npos);
+}
+
+TEST_F(CliTest, SamplerOptionsWriteTimeSeriesAndOpenMetrics) {
+    const std::string ts = temp_path("cli_ts.json");
+    const std::string om = temp_path("cli_om.txt");
+    const CliRun r = run({"analyze", model(), "--sample-out", ts, "--sample-period",
+                          "1", "--openmetrics-out", om});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+
+    std::ifstream ts_in(ts);
+    ASSERT_TRUE(ts_in.good());
+    std::stringstream ts_buf;
+    ts_buf << ts_in.rdbuf();
+    const io::Json doc = io::Json::parse(ts_buf.str());
+    EXPECT_GE(doc.at("ticks").as_number(), 1.0);  // final flush tick at minimum
+    EXPECT_FALSE(doc.at("series").as_array().empty());
+
+    std::ifstream om_in(om);
+    ASSERT_TRUE(om_in.good());
+    std::stringstream om_buf;
+    om_buf << om_in.rdbuf();
+    const std::string text = om_buf.str();
+    EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+}
+
+TEST_F(CliTest, WatchdogFiresFromRuleFile) {
+    const std::string rules = temp_path("cli_rules.json");
+    {
+        std::ofstream rules_out(rules);
+        rules_out << R"({"rules": [{"id": "ran", "metric": "engine.analyze_calls",
+                         "op": ">=", "threshold": 1}]})";
+    }
+    const std::string events = temp_path("cli_watch.ndjson");
+    const CliRun r = run({"analyze", model(), "--watch-rules", rules, "--watch-out",
+                          events, "--sample-period", "1"});
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+
+    std::ifstream in(events);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line)) << "watchdog wrote no events";
+    const io::Json event = io::Json::parse(line);
+    EXPECT_EQ(event.at("event").as_string(), "fire");
+    EXPECT_EQ(event.at("rule").as_string(), "ran");
+}
+
+TEST_F(CliTest, MalformedWatchRulesFail) {
+    const std::string rules = temp_path("cli_bad_rules.json");
+    {
+        std::ofstream rules_out(rules);
+        rules_out << R"({"rules": [{"op": ">", "threshold": 1}]})";
+    }
+    const CliRun r = run({"analyze", model(), "--watch-rules", rules});
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
 TEST_F(CliTest, TraceAndMetricsOptionsWriteFiles) {
     const std::string trace = temp_path("cli_trace.json");
     const std::string metrics = temp_path("cli_metrics.json");
@@ -453,7 +578,9 @@ TEST_F(CliTest, SearchOptimizesAndStreamsFront) {
         EXPECT_TRUE(parsed.contains("cost"));
         EXPECT_TRUE(parsed.contains("failure_probability"));
         EXPECT_TRUE(parsed.contains("front_size"));
-        if (lines == 0) EXPECT_EQ(parsed.at("label").as_string(), "initial");
+        if (lines == 0) {
+            EXPECT_EQ(parsed.at("label").as_string(), "initial");
+        }
         ++lines;
     }
     EXPECT_GE(lines, 1u);

@@ -1,0 +1,173 @@
+// Doc-drift guard: the metric and span catalogues in
+// docs/observability.md are stable API, so this test greps the real
+// source tree for emission sites and fails when the tables and the
+// code disagree — in either direction.  A `*` in a documented id is a
+// glob (e.g. `bench.*_ns` covers every bench histogram).
+//
+// Emission sites recognised:
+//   Registry::global().counter("id") / .gauge("id") / .histogram("id"
+//   time_batch(state, "id", ...)            (bench latency histograms)
+//   ObsSpan name("span", "cat");  trace_instant("span", "cat")
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef ASILKIT_SOURCE_DIR
+#error "ASILKIT_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/// All .cpp/.h files under the given roots (relative to the repo).
+std::vector<fs::path> source_files(const std::vector<std::string>& roots) {
+    std::vector<fs::path> files;
+    for (const std::string& root : roots) {
+        const fs::path dir = fs::path(ASILKIT_SOURCE_DIR) / root;
+        for (const fs::directory_entry& entry : fs::recursive_directory_iterator(dir)) {
+            if (!entry.is_regular_file()) continue;
+            const std::string ext = entry.path().extension().string();
+            if (ext == ".cpp" || ext == ".h") files.push_back(entry.path());
+        }
+    }
+    return files;
+}
+
+void collect_matches(const std::string& text, const std::regex& re, unsigned group,
+                     std::set<std::string>& out) {
+    for (std::sregex_iterator it(text.begin(), text.end(), re), end; it != end; ++it) {
+        out.insert((*it)[group].str());
+    }
+}
+
+/// Metric ids emitted by src/ and bench/.
+std::set<std::string> emitted_metric_ids() {
+    static const std::regex registry_re(R"((?:counter|gauge|histogram)\("([^"]+)\")");
+    static const std::regex bench_re(R"(time_batch\(state,\s*"([^"]+)\")");
+    std::set<std::string> ids;
+    for (const fs::path& file : source_files({"src", "bench"})) {
+        const std::string text = read_file(file);
+        collect_matches(text, registry_re, 1, ids);
+        collect_matches(text, bench_re, 1, ids);
+    }
+    return ids;
+}
+
+/// Span names emitted by src/ and bench/.
+std::set<std::string> emitted_span_names() {
+    static const std::regex span_re(R"re(ObsSpan\s+\w+\("([^"]+)",\s*"[^"]+\")re");
+    static const std::regex instant_re(R"re(trace_instant\("([^"]+)",\s*"[^"]+\")re");
+    std::set<std::string> names;
+    for (const fs::path& file : source_files({"src", "bench"})) {
+        const std::string text = read_file(file);
+        collect_matches(text, span_re, 1, names);
+        collect_matches(text, instant_re, 1, names);
+    }
+    return names;
+}
+
+/// Backticked tokens from the FIRST table cell of every row between
+/// `begin_heading` and the next `## ` heading.  The first cell carries
+/// the ids; later cells hold prose that may backtick unrelated code.
+std::set<std::string> documented_tokens(const std::string& doc,
+                                        const std::string& begin_heading) {
+    const std::size_t begin = doc.find(begin_heading);
+    EXPECT_NE(begin, std::string::npos) << "missing section " << begin_heading;
+    if (begin == std::string::npos) return {};
+    std::size_t end = doc.find("\n## ", begin);
+    if (end == std::string::npos) end = doc.size();
+
+    static const std::regex token_re("`([^`]+)`");
+    std::set<std::string> tokens;
+    std::istringstream lines(doc.substr(begin, end - begin));
+    for (std::string line; std::getline(lines, line);) {
+        if (line.empty() || line[0] != '|') continue;
+        const std::size_t cell_end = line.find('|', 1);
+        if (cell_end == std::string::npos) continue;
+        const std::string cell = line.substr(1, cell_end - 1);
+        collect_matches(cell, token_re, 1, tokens);
+    }
+    return tokens;
+}
+
+/// Glob match where `*` matches any run of characters.
+bool glob_match(const std::string& pattern, const std::string& text) {
+    std::string re;
+    for (const char c : pattern) {
+        if (c == '*') {
+            re += ".*";
+        } else if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+            re += c;
+        } else {
+            re += '\\';
+            re += c;
+        }
+    }
+    return std::regex_match(text, std::regex(re));
+}
+
+void expect_bidirectional(const std::set<std::string>& emitted,
+                          const std::set<std::string>& documented,
+                          const char* what) {
+    for (const std::string& id : emitted) {
+        bool found = false;
+        for (const std::string& doc : documented) {
+            if (glob_match(doc, id)) {
+                found = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(found) << what << " '" << id
+                           << "' is emitted by the source but missing from "
+                              "docs/observability.md";
+    }
+    for (const std::string& doc : documented) {
+        bool live = false;
+        for (const std::string& id : emitted) {
+            if (glob_match(doc, id)) {
+                live = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(live) << what << " '" << doc
+                          << "' is documented in docs/observability.md but no "
+                             "longer emitted anywhere in src/ or bench/";
+    }
+}
+
+TEST(DocDrift, MetricCatalogueMatchesEmissionSites) {
+    const std::string doc =
+        read_file(fs::path(ASILKIT_SOURCE_DIR) / "docs" / "observability.md");
+    expect_bidirectional(emitted_metric_ids(),
+                         documented_tokens(doc, "## Metric catalogue"), "metric");
+}
+
+TEST(DocDrift, SpanCatalogueMatchesEmissionSites) {
+    const std::string doc =
+        read_file(fs::path(ASILKIT_SOURCE_DIR) / "docs" / "observability.md");
+    expect_bidirectional(emitted_span_names(),
+                         documented_tokens(doc, "## Span catalogue"), "span");
+}
+
+/// The guard itself must not silently rot: both scans must keep finding
+/// a healthy population of emission sites.
+TEST(DocDrift, ScannersFindTheInstrumentation) {
+    EXPECT_GE(emitted_metric_ids().size(), 30u);
+    EXPECT_GE(emitted_span_names().size(), 20u);
+}
+
+}  // namespace

@@ -9,12 +9,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/timeseries.h"
+#include "obs/watchdog.h"
 
 #include "explore/mapping_search.h"
 #include "scenarios/micro.h"
@@ -248,6 +253,54 @@ TEST(Determinism, TraceOnOffAndThreadCountNeverChangeResults) {
         }
     }
     (void)trace_to_json();  // leave the buffers empty for other tests
+}
+
+/// The acceptance bar for the continuous-telemetry subsystem: running
+/// the FULL stack — tracing, a background sampler with an attached
+/// watchdog, and detail-mode histograms — changes no analysis result
+/// bit at any thread count.
+TEST(Determinism, FullTelemetryStackNeverChangesResults) {
+    const auto run_search = [](unsigned threads, bool telemetry) {
+        std::optional<TimeSeriesSampler> sampler;
+        std::optional<Watchdog> dog;
+        if (telemetry) {
+            start_tracing();
+            set_detail_enabled(true);
+            dog.emplace(std::vector<WatchdogRule>{
+                {"depth", "engine.queue_depth", WatchdogRule::Op::Gt, 1e9, 0}});
+            TimeSeriesOptions options;
+            options.period = std::chrono::milliseconds(1);
+            sampler.emplace(options);
+            sampler->attach_watchdog(&*dog);
+            sampler->start();
+        }
+        ArchitectureModel m = scenarios::chain_n_stages(2);
+        for (const char* n : {"f1", "f2"}) transform::expand(m, m.find_app_node(n));
+        explore::MappingSearchOptions options;
+        options.engine.threads = threads;
+        const explore::MappingSearchResult r = explore::search_mapping(m, options);
+        if (telemetry) {
+            sampler->stop();
+            sampler->sample_now();
+            EXPECT_GE(sampler->ticks(), 1u);
+            stop_tracing();
+            set_detail_enabled(false);
+            (void)trace_to_json();
+        }
+        return r;
+    };
+
+    const explore::MappingSearchResult baseline = run_search(1, false);
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        const explore::MappingSearchResult r = run_search(threads, true);
+        // Bitwise comparison: EXPECT_EQ on doubles, not NEAR.
+        EXPECT_EQ(r.probability_after, baseline.probability_after)
+            << "threads=" << threads;
+        EXPECT_EQ(r.cost_after, baseline.cost_after) << "threads=" << threads;
+        EXPECT_EQ(r.merges, baseline.merges) << "threads=" << threads;
+        EXPECT_EQ(r.iterations, baseline.iterations) << "threads=" << threads;
+        EXPECT_EQ(r.evaluations, baseline.evaluations) << "threads=" << threads;
+    }
 }
 
 }  // namespace

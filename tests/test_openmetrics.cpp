@@ -1,0 +1,76 @@
+// OpenMetrics exposition: name mangling, counter/gauge/histogram
+// rendering with cumulative buckets, and the mandatory terminator.
+// Snapshots are hand-built so the expected text is exact.
+#include "obs/openmetrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace asilkit::obs {
+namespace {
+
+TEST(OpenMetricsName, MapsDottedIdsToLegalNames) {
+    EXPECT_EQ(openmetrics_name("bdd.apply_hits"), "bdd_apply_hits");
+    EXPECT_EQ(openmetrics_name("engine.cache.hits"), "engine_cache_hits");
+    EXPECT_EQ(openmetrics_name("already_legal:name"), "already_legal:name");
+    EXPECT_EQ(openmetrics_name("has-dash and space"), "has_dash_and_space");
+    EXPECT_EQ(openmetrics_name("9starts.with.digit"), "_9starts_with_digit");
+    EXPECT_EQ(openmetrics_name(""), "_");  // never an illegal empty name
+}
+
+TEST(OpenMetrics, EmptySnapshotIsJustTheTerminator) {
+    EXPECT_EQ(to_openmetrics(MetricsSnapshot{}), "# EOF\n");
+}
+
+TEST(OpenMetrics, CountersGetTotalSuffixAndTypeLine) {
+    MetricsSnapshot snap;
+    snap.counters.push_back({"engine.analyze_calls", 41});
+    const std::string text = to_openmetrics(snap);
+    EXPECT_NE(text.find("# TYPE engine_analyze_calls counter\n"), std::string::npos);
+    EXPECT_NE(text.find("engine_analyze_calls_total 41\n"), std::string::npos);
+    EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+}
+
+TEST(OpenMetrics, GaugesRenderVerbatim) {
+    MetricsSnapshot snap;
+    snap.gauges.push_back({"engine.queue_depth", 2.5});
+    const std::string text = to_openmetrics(snap);
+    EXPECT_NE(text.find("# TYPE engine_queue_depth gauge\n"), std::string::npos);
+    EXPECT_NE(text.find("engine_queue_depth 2.5\n"), std::string::npos);
+}
+
+TEST(OpenMetrics, HistogramBucketsAreCumulativeWithInf) {
+    MetricsSnapshot snap;
+    MetricsSnapshot::HistogramSample hist;
+    hist.id = "engine.analyze_ns";
+    hist.bounds = {10.0, 100.0};
+    hist.counts = {3, 2, 1};  // per-bucket; exposition must cumulate
+    hist.count = 6;
+    hist.sum = 250.5;
+    snap.histograms.push_back(std::move(hist));
+    const std::string text = to_openmetrics(snap);
+
+    EXPECT_NE(text.find("# TYPE engine_analyze_ns histogram\n"), std::string::npos);
+    EXPECT_NE(text.find("engine_analyze_ns_bucket{le=\"10\"} 3\n"), std::string::npos);
+    EXPECT_NE(text.find("engine_analyze_ns_bucket{le=\"100\"} 5\n"), std::string::npos);
+    EXPECT_NE(text.find("engine_analyze_ns_bucket{le=\"+Inf\"} 6\n"), std::string::npos);
+    EXPECT_NE(text.find("engine_analyze_ns_sum 250.5\n"), std::string::npos);
+    EXPECT_NE(text.find("engine_analyze_ns_count 6\n"), std::string::npos);
+    // +Inf must equal _count: the spec's self-consistency requirement.
+}
+
+TEST(OpenMetrics, RealRegistryRoundTrips) {
+    Registry::global().counter("test.om.requests").add(3);
+    Registry::global().gauge("test.om.depth").set(1.5);
+    const std::string text = to_openmetrics(Registry::global().snapshot());
+    EXPECT_NE(text.find("test_om_requests_total 3"), std::string::npos);
+    EXPECT_NE(text.find("test_om_depth 1.5"), std::string::npos);
+    // Exactly one terminator, at the very end.
+    EXPECT_EQ(text.find("# EOF\n"), text.size() - 6);
+}
+
+}  // namespace
+}  // namespace asilkit::obs

@@ -1,0 +1,221 @@
+// Time-series sampler: ring-buffer wrap semantics, chronological
+// snapshots, the synchronous sample_now() driver, the background
+// thread's lifecycle, and the NDJSON / OpenMetrics / watchdog sinks.
+// Most tests drive sample_now() directly so no timing is involved.
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "io/json.h"
+#include "obs/metrics.h"
+#include "obs/watchdog.h"
+
+namespace asilkit::obs {
+namespace {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+class TempPath {
+public:
+    explicit TempPath(const char* name)
+        : path_(std::string(::testing::TempDir()) + name) {
+        std::remove(path_.c_str());
+    }
+    ~TempPath() { std::remove(path_.c_str()); }
+    [[nodiscard]] const std::string& str() const { return path_; }
+
+private:
+    std::string path_;
+};
+
+TEST(TimeSeries, SampleNowRecordsEverySeriesKind) {
+    Registry::global().counter("test.ts.requests").add(2);
+    Registry::global().gauge("test.ts.depth").set(4.5);
+    Registry::global()
+        .histogram("test.ts.latency", std::vector<double>{10.0, 100.0})
+        .observe(42.0);
+
+    TimeSeriesSampler sampler;
+    sampler.sample_now();
+    const TimeSeriesSnapshot snap = sampler.snapshot();
+    EXPECT_EQ(snap.ticks, 1u);
+
+    const TimeSeriesSnapshot::Series* counter = snap.find("test.ts.requests");
+    ASSERT_NE(counter, nullptr);
+    EXPECT_EQ(counter->kind, "counter");
+    ASSERT_EQ(counter->points.size(), 1u);
+    EXPECT_GE(counter->points[0].value, 2.0);
+
+    const TimeSeriesSnapshot::Series* gauge = snap.find("test.ts.depth");
+    ASSERT_NE(gauge, nullptr);
+    EXPECT_EQ(gauge->kind, "gauge");
+    EXPECT_EQ(gauge->points[0].value, 4.5);
+
+    // Histograms project to .count / .sum series.
+    const TimeSeriesSnapshot::Series* count = snap.find("test.ts.latency.count");
+    const TimeSeriesSnapshot::Series* sum = snap.find("test.ts.latency.sum");
+    ASSERT_NE(count, nullptr);
+    ASSERT_NE(sum, nullptr);
+    EXPECT_EQ(count->kind, "histogram");
+    EXPECT_GE(count->points[0].value, 1.0);
+    EXPECT_GE(sum->points[0].value, 42.0);
+}
+
+TEST(TimeSeries, RingWrapsKeepingNewestInChronologicalOrder) {
+    Counter& c = Registry::global().counter("test.ts.wrap");
+    TimeSeriesOptions options;
+    options.capacity = 3;
+    TimeSeriesSampler sampler(options);
+    for (int i = 0; i < 5; ++i) {
+        c.inc();
+        sampler.sample_now();
+    }
+    const TimeSeriesSnapshot snap = sampler.snapshot();
+    EXPECT_EQ(snap.ticks, 5u);
+    const TimeSeriesSnapshot::Series* s = snap.find("test.ts.wrap");
+    ASSERT_NE(s, nullptr);
+    ASSERT_EQ(s->points.size(), 3u);  // capacity, not tick count
+    // The three NEWEST points, oldest-first: values ascend and so do
+    // their timestamps.
+    EXPECT_EQ(s->points[2].value - s->points[0].value, 2.0);
+    EXPECT_LE(s->points[0].ts_ns, s->points[1].ts_ns);
+    EXPECT_LE(s->points[1].ts_ns, s->points[2].ts_ns);
+}
+
+TEST(TimeSeries, ZeroCapacityIsClampedToOne) {
+    TimeSeriesOptions options;
+    options.capacity = 0;
+    TimeSeriesSampler sampler(options);
+    sampler.sample_now();
+    sampler.sample_now();
+    const TimeSeriesSnapshot snap = sampler.snapshot();
+    EXPECT_EQ(snap.capacity, 1u);
+    for (const TimeSeriesSnapshot::Series& s : snap.series) {
+        EXPECT_LE(s.points.size(), 1u);
+    }
+}
+
+TEST(TimeSeries, SnapshotJsonParsesBack) {
+    Registry::global().counter("test.ts.json").inc();
+    TimeSeriesSampler sampler;
+    sampler.sample_now();
+    const io::Json doc = io::Json::parse(sampler.snapshot().to_json());
+    EXPECT_TRUE(doc.at("series").is_array());
+    EXPECT_EQ(doc.at("ticks").as_number(), 1.0);
+    EXPECT_EQ(doc.at("capacity").as_number(), 600.0);
+    bool found = false;
+    for (const io::Json& series : doc.at("series").as_array()) {
+        if (series.at("id").as_string() != "test.ts.json") continue;
+        found = true;
+        EXPECT_EQ(series.at("kind").as_string(), "counter");
+        const io::Json& point = series.at("points").as_array().front();
+        EXPECT_EQ(point.as_array().size(), 2u);  // [ts_ns, value]
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(TimeSeries, BackgroundThreadTicksAndStops) {
+    TimeSeriesOptions options;
+    options.period = std::chrono::milliseconds(5);
+    TimeSeriesSampler sampler(options);
+    EXPECT_FALSE(sampler.running());
+    sampler.start();
+    EXPECT_TRUE(sampler.running());
+    // The first tick is immediate; wait for at least one more.
+    while (sampler.ticks() < 2) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    sampler.stop();
+    EXPECT_FALSE(sampler.running());
+    const std::uint64_t after_stop = sampler.ticks();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(sampler.ticks(), after_stop);  // no thread left ticking
+    // Series survive stop() for export.
+    EXPECT_FALSE(sampler.snapshot().series.empty());
+}
+
+TEST(TimeSeries, StartIsIdempotentAndRestartable) {
+    TimeSeriesOptions options;
+    options.period = std::chrono::milliseconds(1);
+    TimeSeriesSampler sampler(options);
+    sampler.start();
+    sampler.start();  // second start: no second thread, no crash
+    while (sampler.ticks() < 1) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    sampler.stop();
+    sampler.stop();  // idempotent
+    const std::uint64_t ticks = sampler.ticks();
+    sampler.start();  // restart after stop works
+    while (sampler.ticks() <= ticks) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    sampler.stop();
+}
+
+TEST(TimeSeries, NdjsonSinkAppendsOneParseableLinePerTick) {
+    const TempPath path("ts_sink.ndjson");
+    Registry::global().counter("test.ts.ndjson").inc();
+    TimeSeriesOptions options;
+    options.ndjson_path = path.str();
+    TimeSeriesSampler sampler(options);
+    sampler.sample_now();
+    sampler.sample_now();
+
+    std::istringstream lines(read_file(path.str()));
+    std::string line;
+    std::size_t n = 0;
+    std::uint64_t last_ts = 0;
+    while (std::getline(lines, line)) {
+        const io::Json doc = io::Json::parse(line);
+        const auto ts = static_cast<std::uint64_t>(doc.at("ts_ns").as_number());
+        EXPECT_GE(ts, last_ts);
+        last_ts = ts;
+        EXPECT_TRUE(doc.at("metrics").is_object());
+        EXPECT_TRUE(doc.at("metrics").contains("counters"));
+        ++n;
+    }
+    EXPECT_EQ(n, 2u);
+}
+
+TEST(TimeSeries, OpenMetricsSinkRewritesValidExposition) {
+    const TempPath path("ts_om.txt");
+    Registry::global().counter("test.ts.om").inc();
+    TimeSeriesOptions options;
+    options.openmetrics_path = path.str();
+    TimeSeriesSampler sampler(options);
+    sampler.sample_now();
+    sampler.sample_now();  // rewrite, not append
+    const std::string text = read_file(path.str());
+    EXPECT_NE(text.find("test_ts_om_total"), std::string::npos);
+    // Exactly one document: one terminator, at the end.
+    EXPECT_EQ(text.find("# EOF\n"), text.size() - 6);
+}
+
+TEST(TimeSeries, AttachedWatchdogSeesEveryTick) {
+    Gauge& g = Registry::global().gauge("test.ts.watch");
+    Watchdog dog({{"watch", "test.ts.watch", WatchdogRule::Op::Gt, 10.0, 0}});
+    TimeSeriesSampler sampler;
+    sampler.attach_watchdog(&dog);
+    g.set(5.0);
+    sampler.sample_now();
+    EXPECT_EQ(dog.fire_count(), 0u);
+    g.set(50.0);
+    sampler.sample_now();
+    EXPECT_EQ(dog.fire_count(), 1u);
+    g.set(5.0);
+    sampler.sample_now();
+    ASSERT_EQ(dog.events().size(), 2u);
+    EXPECT_FALSE(dog.events()[1].fired);  // cleared on recovery
+}
+
+}  // namespace
+}  // namespace asilkit::obs

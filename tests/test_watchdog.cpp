@@ -1,0 +1,192 @@
+// Threshold-watchdog semantics, driven with synthetic clocks and
+// hand-built snapshots so every assertion is deterministic: fire only
+// after for_duration, fire once per breach episode, clear on recovery,
+// no-data never breaches.  Also covers the io-layer rule-file parser.
+#include "obs/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/json.h"
+#include "io/watch_rules.h"
+#include "obs/metrics.h"
+
+namespace asilkit::obs {
+namespace {
+
+MetricsSnapshot snapshot_with(double queue_depth, std::uint64_t hits = 0,
+                              std::uint64_t misses = 0) {
+    MetricsSnapshot snap;
+    snap.gauges.push_back({"engine.queue_depth", queue_depth});
+    snap.counters.push_back({"engine.cache.hits", hits});
+    snap.counters.push_back({"engine.cache.misses", misses});
+    MetricsSnapshot::HistogramSample hist;
+    hist.id = "engine.analyze_ns";
+    hist.bounds = {10.0, 100.0};
+    hist.counts = {3, 2, 1};
+    hist.count = 6;
+    hist.sum = 250.0;
+    snap.histograms.push_back(std::move(hist));
+    return snap;
+}
+
+TEST(ParseOp, AcceptsSymbolsAndMnemonics) {
+    EXPECT_EQ(parse_op("<"), WatchdogRule::Op::Lt);
+    EXPECT_EQ(parse_op("<="), WatchdogRule::Op::Le);
+    EXPECT_EQ(parse_op(">"), WatchdogRule::Op::Gt);
+    EXPECT_EQ(parse_op(">="), WatchdogRule::Op::Ge);
+    EXPECT_EQ(parse_op("lt"), WatchdogRule::Op::Lt);
+    EXPECT_EQ(parse_op("ge"), WatchdogRule::Op::Ge);
+    EXPECT_FALSE(parse_op("==").has_value());
+    EXPECT_FALSE(parse_op("").has_value());
+}
+
+TEST(ResolveMetric, PlainIdsAndHistogramProjections) {
+    const MetricsSnapshot snap = snapshot_with(7.0, 30, 10);
+    EXPECT_EQ(Watchdog::resolve_metric("engine.queue_depth", snap), 7.0);
+    EXPECT_EQ(Watchdog::resolve_metric("engine.cache.hits", snap), 30.0);
+    EXPECT_EQ(Watchdog::resolve_metric("engine.analyze_ns.count", snap), 6.0);
+    EXPECT_EQ(Watchdog::resolve_metric("engine.analyze_ns.sum", snap), 250.0);
+    EXPECT_FALSE(Watchdog::resolve_metric("no.such.metric", snap).has_value());
+}
+
+TEST(ResolveMetric, RatiosAndZeroDenominator) {
+    const MetricsSnapshot snap = snapshot_with(0.0, 30, 10);
+    EXPECT_EQ(Watchdog::resolve_metric("engine.cache.hits/engine.cache.misses", snap),
+              3.0);
+    // Zero denominator and half-missing ratios are no-data, not infinity.
+    EXPECT_FALSE(
+        Watchdog::resolve_metric("engine.cache.hits/engine.queue_depth", snap)
+            .has_value());
+    EXPECT_FALSE(
+        Watchdog::resolve_metric("engine.cache.hits/no.such", snap).has_value());
+}
+
+TEST(WatchdogTest, FiresAfterForDurationNotBefore) {
+    Watchdog dog({{"deep", "engine.queue_depth", WatchdogRule::Op::Gt, 5.0, 1000}});
+    dog.evaluate(0, snapshot_with(9.0));     // breach starts; window 0 < 1000
+    EXPECT_EQ(dog.fire_count(), 0u);
+    dog.evaluate(999, snapshot_with(9.0));   // window 999 < 1000: still silent
+    EXPECT_EQ(dog.fire_count(), 0u);
+    dog.evaluate(1000, snapshot_with(9.0));  // window 1000 >= 1000: fire
+    EXPECT_EQ(dog.fire_count(), 1u);
+    dog.evaluate(2000, snapshot_with(9.0));  // ongoing breach: no re-fire
+    EXPECT_EQ(dog.fire_count(), 1u);
+
+    const std::vector<WatchdogEvent> events = dog.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_TRUE(events[0].fired);
+    EXPECT_EQ(events[0].rule, "deep");
+    EXPECT_EQ(events[0].ts_ns, 1000u);
+    EXPECT_EQ(events[0].window_ns, 1000u);
+    EXPECT_EQ(events[0].value, 9.0);
+}
+
+TEST(WatchdogTest, ZeroForDurationFiresImmediately) {
+    Watchdog dog({{"any", "engine.queue_depth", WatchdogRule::Op::Ge, 1.0, 0}});
+    dog.evaluate(42, snapshot_with(1.0));
+    EXPECT_EQ(dog.fire_count(), 1u);
+}
+
+TEST(WatchdogTest, ClearsOnRecoveryAndCanRefire) {
+    Watchdog dog({{"deep", "engine.queue_depth", WatchdogRule::Op::Gt, 5.0, 100}});
+    dog.evaluate(0, snapshot_with(9.0));
+    dog.evaluate(100, snapshot_with(9.0));  // fire
+    dog.evaluate(200, snapshot_with(2.0));  // recovered: clear
+    std::vector<WatchdogEvent> events = dog.events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_TRUE(events[0].fired);
+    EXPECT_FALSE(events[1].fired);
+    EXPECT_EQ(events[1].ts_ns, 200u);
+
+    // A fresh breach episode starts its window from scratch and fires
+    // again once it persists.
+    dog.evaluate(300, snapshot_with(9.0));
+    EXPECT_EQ(dog.fire_count(), 1u);  // window restarted: not yet
+    dog.evaluate(400, snapshot_with(9.0));
+    EXPECT_EQ(dog.fire_count(), 2u);
+}
+
+TEST(WatchdogTest, InterruptedBreachNeverFires) {
+    Watchdog dog({{"deep", "engine.queue_depth", WatchdogRule::Op::Gt, 5.0, 1000}});
+    dog.evaluate(0, snapshot_with(9.0));
+    dog.evaluate(500, snapshot_with(1.0));   // breach broken before the window
+    dog.evaluate(600, snapshot_with(9.0));   // new episode
+    dog.evaluate(1500, snapshot_with(1.0));  // broken again at 900 < 1000
+    EXPECT_EQ(dog.fire_count(), 0u);
+    EXPECT_TRUE(dog.events().empty());  // no fire -> no clear either
+}
+
+TEST(WatchdogTest, UnresolvableMetricIsNoData) {
+    Watchdog dog({{"ghost", "does.not.exist", WatchdogRule::Op::Ge, 0.0, 0}});
+    dog.evaluate(0, snapshot_with(1.0));
+    dog.evaluate(100, snapshot_with(1.0));
+    EXPECT_EQ(dog.fire_count(), 0u);
+}
+
+TEST(WatchdogTest, SinkReceivesParseableNdjson) {
+    std::ostringstream sink;
+    Watchdog dog({{"deep", "engine.queue_depth", WatchdogRule::Op::Gt, 5.0, 0}});
+    dog.set_sink(&sink);
+    dog.evaluate(10, snapshot_with(9.0));
+    dog.evaluate(20, snapshot_with(1.0));
+
+    std::istringstream lines(sink.str());
+    std::string line;
+    std::vector<io::Json> parsed;
+    while (std::getline(lines, line)) parsed.push_back(io::Json::parse(line));
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].at("event").as_string(), "fire");
+    EXPECT_EQ(parsed[0].at("rule").as_string(), "deep");
+    EXPECT_EQ(parsed[0].at("metric").as_string(), "engine.queue_depth");
+    EXPECT_EQ(parsed[0].at("value").as_number(), 9.0);
+    EXPECT_EQ(parsed[0].at("threshold").as_number(), 5.0);
+    EXPECT_EQ(parsed[1].at("event").as_string(), "clear");
+}
+
+TEST(WatchRules, ParsesDocumentWithDefaults) {
+    const io::Json doc = io::Json::parse(R"({"rules": [
+        {"id": "deep", "metric": "engine.queue_depth", "op": ">",
+         "threshold": 500, "for_ms": 5000},
+        {"metric": "engine.cache.hits/engine.cache.misses", "op": "lt",
+         "threshold": 0.25}
+    ]})");
+    const std::vector<WatchdogRule> rules = io::parse_watch_rules(doc);
+    ASSERT_EQ(rules.size(), 2u);
+    EXPECT_EQ(rules[0].id, "deep");
+    EXPECT_EQ(rules[0].op, WatchdogRule::Op::Gt);
+    EXPECT_EQ(rules[0].threshold, 500.0);
+    EXPECT_EQ(rules[0].for_ns, 5'000'000'000u);
+    // id defaults to the metric; for_ms defaults to 0.
+    EXPECT_EQ(rules[1].id, "engine.cache.hits/engine.cache.misses");
+    EXPECT_EQ(rules[1].op, WatchdogRule::Op::Lt);
+    EXPECT_EQ(rules[1].for_ns, 0u);
+}
+
+TEST(WatchRules, AcceptsBareArray) {
+    const io::Json doc = io::Json::parse(
+        R"([{"metric": "a", "op": ">=", "threshold": 1}])");
+    EXPECT_EQ(io::parse_watch_rules(doc).size(), 1u);
+}
+
+TEST(WatchRules, RejectsMalformedRules) {
+    EXPECT_THROW(io::parse_watch_rules(io::Json::parse(R"({"rules": 3})")), IoError);
+    EXPECT_THROW(io::parse_watch_rules(io::Json::parse(
+                     R"([{"op": ">", "threshold": 1}])")),
+                 IoError);  // missing metric
+    EXPECT_THROW(io::parse_watch_rules(io::Json::parse(
+                     R"([{"metric": "a", "op": "!!", "threshold": 1}])")),
+                 IoError);  // unknown op
+    EXPECT_THROW(io::parse_watch_rules(io::Json::parse(
+                     R"([{"metric": "a", "op": ">"}])")),
+                 IoError);  // missing threshold
+    EXPECT_THROW(io::parse_watch_rules(io::Json::parse(
+                     R"([{"metric": "a", "op": ">", "threshold": 1, "for_ms": -5}])")),
+                 IoError);  // negative window
+}
+
+}  // namespace
+}  // namespace asilkit::obs

@@ -1,0 +1,139 @@
+// Merge logic behind tools/bench_to_json, factored out so the tests can
+// drive it directly (tests/test_bench_merge.cpp) without spawning the
+// tool.
+//
+// The tracked BENCH_*.json files accumulate over re-runs, so every
+// merge here is REPLACE-by-key, newest input wins:
+//   * benchmarks merge by "name" — a re-run of the same benchmark
+//     replaces the stale entry in place (original position kept, so
+//     diffs stay small); unseen names append in input order,
+//   * metrics summaries merge key-wise — a newer snapshot replaces the
+//     gauges it reports and leaves keys only the older run had,
+//   * an existing output file acts as the base, letting partial re-runs
+//     refresh a subset of a tracked file.
+#pragma once
+
+#include <string>
+
+#include "io/json.h"
+
+namespace asilkit::bench {
+
+// google-benchmark reports real_time in the unit named by "time_unit".
+inline double to_nanoseconds(double value, const std::string& unit) {
+    if (unit == "ns") return value;
+    if (unit == "us") return value * 1e3;
+    if (unit == "ms") return value * 1e6;
+    if (unit == "s") return value * 1e9;
+    return value;
+}
+
+/// One raw google-benchmark document -> array of compact entries
+/// ({"name", "ns_per_op", "cache_hit_rate", extras...}); repetition
+/// aggregates ("_mean" etc.) are skipped so re-runs diff cleanly.
+inline io::Json compact_benchmarks(const io::Json& raw) {
+    io::Json benchmarks = io::Json::array();
+    for (const io::Json& b : raw.at("benchmarks").as_array()) {
+        if (b.contains("run_type") && b.at("run_type").as_string() != "iteration") {
+            continue;
+        }
+        io::Json entry = io::Json::object();
+        entry["name"] = b.at("name").as_string();
+        entry["ns_per_op"] =
+            to_nanoseconds(b.at("real_time").as_number(), b.at("time_unit").as_string());
+        entry["cache_hit_rate"] =
+            b.contains("cache_hit_rate") ? b.at("cache_hit_rate").as_number() : 0.0;
+        if (b.contains("evals")) entry["evals"] = b.at("evals").as_number();
+        if (b.contains("engine_threads")) {
+            entry["engine_threads"] = b.at("engine_threads").as_number();
+        }
+        // Lint pre-filter counters (bench_lint) and persistent-
+        // compilation counters (bench_bdd_compile).
+        for (const char* key : {"findings", "rejects_per_sec", "lint_rejections",
+                                "memo_hit_rate", "gc_freed_nodes", "batch_lanes"}) {
+            if (b.contains(key)) entry[key] = b.at(key).as_number();
+        }
+        benchmarks.push_back(std::move(entry));
+    }
+    return benchmarks;
+}
+
+/// Merges `update` entries into the `base` benchmark array by "name":
+/// an entry whose name already exists replaces that entry in place;
+/// new names append in update order.
+inline void merge_benchmarks(io::Json& base, const io::Json& update) {
+    io::JsonArray& entries = base.as_array();
+    for (const io::Json& fresh : update.as_array()) {
+        const std::string& name = fresh.at("name").as_string();
+        bool replaced = false;
+        for (io::Json& existing : entries) {
+            if (existing.at("name").as_string() == name) {
+                existing = fresh;
+                replaced = true;
+                break;
+            }
+        }
+        if (!replaced) entries.push_back(fresh);
+    }
+}
+
+/// Selected gauges/counters of an obs metrics snapshot, folded into the
+/// tracked bench file.  Missing ids simply drop the derived field.
+inline io::Json metrics_summary(const io::Json& snapshot) {
+    io::Json summary = io::Json::object();
+    if (snapshot.contains("gauges")) {
+        const io::Json& gauges = snapshot.at("gauges");
+        if (gauges.contains("bdd.node_high_water")) {
+            summary["bdd_node_high_water"] = gauges.at("bdd.node_high_water").as_number();
+        }
+    }
+    if (snapshot.contains("counters")) {
+        const io::Json& counters = snapshot.at("counters");
+        if (counters.contains("bdd.apply_hits") && counters.contains("bdd.apply_lookups")) {
+            const double lookups = counters.at("bdd.apply_lookups").as_number();
+            if (lookups > 0) {
+                summary["bdd_apply_hit_rate"] =
+                    counters.at("bdd.apply_hits").as_number() / lookups;
+            }
+        }
+        if (counters.contains("engine.cache.hits") &&
+            counters.contains("engine.cache.misses")) {
+            const double total = counters.at("engine.cache.hits").as_number() +
+                                 counters.at("engine.cache.misses").as_number();
+            if (total > 0) {
+                summary["engine_cache_hit_rate"] =
+                    counters.at("engine.cache.hits").as_number() / total;
+            }
+        }
+    }
+    return summary;
+}
+
+/// Key-wise merge of two metrics summaries: `update` replaces the keys
+/// it has values for; keys only `base` knows survive.
+inline void merge_metrics(io::Json& base, const io::Json& update) {
+    for (const auto& [key, value] : update.as_object()) {
+        base[key] = value;
+    }
+}
+
+/// Compact summary of a sampler TimeSeriesSnapshot JSON (as written by
+/// `--sample-out`): tick/series counts plus the last sampled value of
+/// each series — enough to track telemetry coverage without committing
+/// full rings to the repo.
+inline io::Json timeseries_summary(const io::Json& ts) {
+    io::Json summary = io::Json::object();
+    summary["ticks"] = ts.at("ticks").as_number();
+    summary["period_ms"] = ts.at("period_ms").as_number();
+    io::Json last = io::Json::object();
+    for (const io::Json& series : ts.at("series").as_array()) {
+        const io::JsonArray& points = series.at("points").as_array();
+        if (points.empty()) continue;
+        last[series.at("id").as_string()] = points.back().as_array()[1];
+    }
+    summary["series"] = static_cast<std::uint64_t>(last.as_object().size());
+    summary["last"] = std::move(last);
+    return summary;
+}
+
+}  // namespace asilkit::bench

@@ -12,126 +12,82 @@
 // aggregate rows ("_mean" etc.) skipped so re-runs diff cleanly.  The
 // context is taken from the first input.
 //
-// An optional `--metrics snapshot.json` (an obs registry snapshot, as
-// written by a bench binary's own --metrics flag) adds a top-level
-// "metrics" object with the BDD gauges worth tracking alongside the
-// timings: bdd_node_high_water and bdd_apply_hit_rate (computed from
-// the apply_hits/apply_lookups counters).
+// Merge semantics (tools/bench_merge.h): everything is replace-by-key,
+// newest wins.  If the output file already exists it seeds the merge,
+// so a partial re-run refreshes just the benchmarks it actually ran;
+// later inputs override earlier ones benchmark-by-benchmark.
+//
+// Optional telemetry side-channels:
+//   --metrics snapshot.json   obs registry snapshot (repeatable; later
+//                             snapshots replace same-keyed summary
+//                             gauges) -> top-level "metrics" object
+//   --timeseries ts.json      sampler --sample-out snapshot -> compact
+//                             top-level "timeseries" summary
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_merge.h"
 #include "io/json.h"
 
-namespace {
-
-// google-benchmark reports real_time in the unit named by "time_unit".
-double to_nanoseconds(double value, const std::string& unit) {
-    if (unit == "ns") return value;
-    if (unit == "us") return value * 1e3;
-    if (unit == "ms") return value * 1e6;
-    if (unit == "s") return value * 1e9;
-    return value;
-}
-
-/// Selected gauges/counters of an obs metrics snapshot, folded into the
-/// tracked bench file.  Missing ids simply drop the derived field.
-asilkit::io::Json metrics_summary(const asilkit::io::Json& snapshot) {
-    asilkit::io::Json summary = asilkit::io::Json::object();
-    if (snapshot.contains("gauges")) {
-        const asilkit::io::Json& gauges = snapshot.at("gauges");
-        if (gauges.contains("bdd.node_high_water")) {
-            summary["bdd_node_high_water"] = gauges.at("bdd.node_high_water").as_number();
-        }
-    }
-    if (snapshot.contains("counters")) {
-        const asilkit::io::Json& counters = snapshot.at("counters");
-        if (counters.contains("bdd.apply_hits") && counters.contains("bdd.apply_lookups")) {
-            const double lookups = counters.at("bdd.apply_lookups").as_number();
-            if (lookups > 0) {
-                summary["bdd_apply_hit_rate"] =
-                    counters.at("bdd.apply_hits").as_number() / lookups;
-            }
-        }
-        if (counters.contains("engine.cache.hits") && counters.contains("engine.cache.misses")) {
-            const double total = counters.at("engine.cache.hits").as_number() +
-                                 counters.at("engine.cache.misses").as_number();
-            if (total > 0) {
-                summary["engine_cache_hit_rate"] =
-                    counters.at("engine.cache.hits").as_number() / total;
-            }
-        }
-    }
-    return summary;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-    std::string metrics_path;
+    std::vector<std::string> metrics_paths;
+    std::string timeseries_path;
     std::vector<char*> files;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
-            metrics_path = argv[++i];
+            metrics_paths.push_back(argv[++i]);
+        } else if (std::strcmp(argv[i], "--timeseries") == 0 && i + 1 < argc) {
+            timeseries_path = argv[++i];
         } else {
             files.push_back(argv[i]);
         }
     }
     if (files.size() < 2) {
         std::fprintf(stderr,
-                     "usage: %s [--metrics snapshot.json] <google-benchmark.json> "
-                     "[more.json...] <out.json>\n",
+                     "usage: %s [--metrics snapshot.json]... [--timeseries ts.json] "
+                     "<google-benchmark.json> [more.json...] <out.json>\n",
                      argv[0]);
         return 2;
     }
     try {
-        asilkit::io::Json out = asilkit::io::Json::object();
-        asilkit::io::Json context = asilkit::io::Json::object();
-        asilkit::io::Json benchmarks = asilkit::io::Json::array();
+        namespace io = asilkit::io;
+        namespace bench = asilkit::bench;
+
+        io::Json out = io::Json::object();
+        // An existing output seeds the merge: partial re-runs refresh
+        // only what they measured.
+        if (std::ifstream probe(files.back()); probe.good()) {
+            out = io::load_json_file(files.back());
+        }
+        if (!out.contains("benchmarks")) out["benchmarks"] = io::Json::array();
+        if (!out.contains("context")) out["context"] = io::Json::object();
 
         for (std::size_t input = 0; input + 1 < files.size(); ++input) {
-            const asilkit::io::Json raw = asilkit::io::load_json_file(files[input]);
-            if (input == 0 && raw.contains("context")) {
-                const asilkit::io::Json& ctx = raw.at("context");
+            const io::Json raw = io::load_json_file(files[input]);
+            if (raw.contains("context")) {
+                const io::Json& ctx = raw.at("context");
                 for (const char* key : {"date", "host_name", "num_cpus", "mhz_per_cpu",
                                         "library_build_type"}) {
-                    if (ctx.contains(key)) context[key] = ctx.at(key);
+                    if (ctx.contains(key)) out["context"][key] = ctx.at(key);
                 }
             }
-            for (const asilkit::io::Json& b : raw.at("benchmarks").as_array()) {
-                // Skip repetition aggregates; keep plain timings only.
-                if (b.contains("run_type") && b.at("run_type").as_string() != "iteration") {
-                    continue;
-                }
-                const std::string& name = b.at("name").as_string();
-                asilkit::io::Json entry = asilkit::io::Json::object();
-                entry["name"] = name;
-                entry["ns_per_op"] = to_nanoseconds(b.at("real_time").as_number(),
-                                                    b.at("time_unit").as_string());
-                entry["cache_hit_rate"] =
-                    b.contains("cache_hit_rate") ? b.at("cache_hit_rate").as_number() : 0.0;
-                if (b.contains("evals")) entry["evals"] = b.at("evals").as_number();
-                if (b.contains("engine_threads")) {
-                    entry["engine_threads"] = b.at("engine_threads").as_number();
-                }
-                // Lint pre-filter counters (bench_lint) and persistent-
-                // compilation counters (bench_bdd_compile).
-                for (const char* key : {"findings", "rejects_per_sec", "lint_rejections",
-                                        "memo_hit_rate", "gc_freed_nodes", "batch_lanes"}) {
-                    if (b.contains(key)) entry[key] = b.at(key).as_number();
-                }
-                benchmarks.push_back(std::move(entry));
-            }
+            bench::merge_benchmarks(out["benchmarks"], bench::compact_benchmarks(raw));
         }
 
-        out["context"] = std::move(context);
-        out["benchmarks"] = std::move(benchmarks);
-        if (!metrics_path.empty()) {
-            out["metrics"] = metrics_summary(asilkit::io::load_json_file(metrics_path));
+        for (const std::string& path : metrics_paths) {
+            if (!out.contains("metrics")) out["metrics"] = io::Json::object();
+            bench::merge_metrics(out["metrics"],
+                                 bench::metrics_summary(io::load_json_file(path)));
+        }
+        if (!timeseries_path.empty()) {
+            out["timeseries"] =
+                bench::timeseries_summary(io::load_json_file(timeseries_path));
         }
 
-        asilkit::io::save_json_file(out, files.back());
+        io::save_json_file(out, files.back());
         std::printf("wrote %s (%zu benchmarks)\n", files.back(),
                     out.at("benchmarks").size());
         return 0;

@@ -1,106 +1,18 @@
 #include "analysis/simulation.h"
 
-#include <cmath>
-#include <random>
-#include <vector>
-
+#include "analysis/sim_engine.h"
 #include "ftree/builder.h"
 
 namespace asilkit::analysis {
-namespace {
-
-/// One-pass evaluation order: gate indices sorted so every gate's gate
-/// children precede it.  Computed once per simulation, reused per trial.
-std::vector<std::uint32_t> evaluation_order(const ftree::FaultTree& ft) {
-    const auto gates = ft.gates();
-    std::vector<std::uint8_t> state(gates.size(), 0);  // 0 new, 1 open, 2 done
-    std::vector<std::uint32_t> order;
-    order.reserve(gates.size());
-    std::vector<std::uint32_t> stack;
-    for (std::uint32_t root = 0; root < gates.size(); ++root) {
-        if (state[root]) continue;
-        stack.push_back(root);
-        while (!stack.empty()) {
-            const std::uint32_t g = stack.back();
-            if (state[g] == 2) {
-                stack.pop_back();
-                continue;
-            }
-            if (state[g] == 1) {
-                state[g] = 2;
-                order.push_back(g);
-                stack.pop_back();
-                continue;
-            }
-            state[g] = 1;
-            for (const ftree::FtRef& c : gates[g].children) {
-                if (c.kind == ftree::FtRef::Kind::Gate && state[c.index] == 0) {
-                    stack.push_back(c.index);
-                }
-            }
-        }
-    }
-    return order;
-}
-
-/// Gate evaluation under one sampled assignment, in precomputed order.
-bool evaluate(const ftree::FaultTree& ft, const std::vector<std::uint32_t>& order,
-              const std::vector<bool>& events, std::vector<bool>& gate_values) {
-    const auto gates = ft.gates();
-    for (const std::uint32_t g : order) {
-        const ftree::Gate& gate = gates[g];
-        bool value = gate.kind == ftree::GateKind::And && !gate.children.empty();
-        for (const ftree::FtRef& c : gate.children) {
-            const bool child = c.kind == ftree::FtRef::Kind::Basic ? events[c.index]
-                                                                   : gate_values[c.index];
-            if (gate.kind == ftree::GateKind::Or) {
-                if (child) {
-                    value = true;
-                    break;
-                }
-            } else if (!child) {
-                value = false;
-                break;
-            }
-        }
-        gate_values[g] = value;
-    }
-    const ftree::FtRef top = ft.top();
-    return top.kind == ftree::FtRef::Kind::Basic ? events[top.index] : gate_values[top.index];
-}
-
-}  // namespace
 
 SimulationResult simulate_fault_tree(const ftree::FaultTree& ft,
                                      const SimulationOptions& options) {
     if (!ft.has_top()) throw AnalysisError("simulate_fault_tree: fault tree has no top event");
-    const auto basics = ft.basic_events();
-    std::vector<double> p(basics.size());
-    for (std::size_t i = 0; i < basics.size(); ++i) {
-        p[i] = 1.0 - std::exp(-basics[i].lambda * options.rate_scale * options.mission_hours);
-    }
-
-    std::mt19937_64 rng(options.seed);
-    std::uniform_real_distribution<double> uniform(0.0, 1.0);
-    std::vector<bool> events(basics.size());
-    std::vector<bool> gate_values(ft.gates().size());
-    const std::vector<std::uint32_t> order = evaluation_order(ft);
-
-    SimulationResult result;
-    result.trials = options.trials;
-    for (std::uint64_t t = 0; t < options.trials; ++t) {
-        for (std::size_t i = 0; i < p.size(); ++i) events[i] = uniform(rng) < p[i];
-        if (evaluate(ft, order, events, gate_values)) ++result.failures;
-    }
-    result.estimate =
-        static_cast<double>(result.failures) / static_cast<double>(result.trials);
-    result.std_error = std::sqrt(result.estimate * (1.0 - result.estimate) /
-                                 static_cast<double>(result.trials));
-    // Add half a trial of slack so a zero-failure run still brackets 0.
-    const double slack = 0.5 / static_cast<double>(result.trials);
-    result.ci95_low = result.estimate - 1.96 * result.std_error - slack;
-    result.ci95_high = result.estimate + 1.96 * result.std_error + slack;
-    return result;
+    // One-shot convenience: the evaluation plan (topological gate order,
+    // flattened children, rates) is compiled here and discarded.  Repeat
+    // callers — benches, the CLI's multi-run mode, future dynamic-gate
+    // fallbacks — should hold a SimEngine and amortize the plan.
+    return SimEngine(ft).run(options);
 }
 
 SimulationResult simulate_failure_probability(const ArchitectureModel& m,

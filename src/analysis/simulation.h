@@ -1,17 +1,24 @@
 // Monte Carlo fault simulation.
 //
 // An independent estimator for the top-event probability: sample every
-// basic event as Bernoulli(p_i), evaluate the fault tree, repeat.  Used
-// as a cross-validation substrate for the analytic (BDD) pipeline — the
-// two implementations share no code beyond the fault tree itself, so
-// agreement within the confidence interval is strong evidence of
-// correctness.
+// basic event as Bernoulli(p_i), evaluate the fault tree, repeat.  Two
+// engines share one options/result surface (see docs/simulation.md):
+//
+//   * Naive — the original scalar loop, one trial at a time through a
+//     sequential mt19937_64.  Kept bit-for-bit as the cross-validation
+//     oracle: it shares no code with the analytic (BDD) pipeline, so
+//     agreement within the confidence interval is strong evidence of
+//     correctness.
+//   * BitParallel — analysis::SimEngine (sim_engine.h): 64 trials per
+//     machine word, counter-based RNG, thread-pool fan-out, optional
+//     cut-set importance sampling.  Deterministic at every thread count
+//     and block size by construction.
 //
 // Naive sampling cannot resolve automotive-scale probabilities (1e-9
-// needs ~1e11 trials), so validation runs scale the rates up
+// needs ~1e11 trials), so validation runs either scale the rates up
 // (`rate_scale`) into the regime where a few hundred thousand trials
-// give tight intervals; the BDD is exact at every scale, so agreement at
-// inflated rates validates the machinery.
+// give tight intervals, or enable importance sampling, which estimates
+// the unscaled probability directly with likelihood-ratio weights.
 #pragma once
 
 #include <cstdint>
@@ -22,23 +29,55 @@
 
 namespace asilkit::analysis {
 
+enum class SimEngineKind : std::uint8_t {
+    Naive,       ///< scalar oracle loop (sequential mt19937_64)
+    BitParallel  ///< vectorized SimEngine (counter-based RNG, 64 trials/word)
+};
+
 struct SimulationOptions {
     std::uint64_t trials = 100000;
-    std::uint32_t seed = 1;
+    /// Full 64-bit seed space; the naive oracle feeds it to mt19937_64
+    /// unchanged, the bit-parallel engine uses it as the counter-RNG key.
+    std::uint64_t seed = 1;
     double mission_hours = 1.0;
     /// Multiplies every basic-event rate before sampling (validation aid).
     double rate_scale = 1.0;
     bool include_location_events = true;
     FailureRates rates{};
+
+    SimEngineKind engine = SimEngineKind::BitParallel;
+    /// Evaluation lanes for the bit-parallel engine (0 = ASILKIT_THREADS
+    /// env var, else hardware concurrency).  Results are bitwise
+    /// identical at every thread count.  Ignored by the naive engine.
+    unsigned threads = 1;
+    /// Scheduling unit in trials for the thread-pool fan-out; rounded up
+    /// to a multiple of the fixed accumulation granule (4096 trials), so
+    /// results are bitwise identical across block sizes too.
+    std::uint64_t block_trials = 1u << 16;
+
+    /// Rare-event importance sampling (bit-parallel engine only): bias
+    /// the proposal toward minimal-cut-set events and weight trials by
+    /// the likelihood ratio.  Unbiased at any bias level; makes
+    /// unscaled automotive rates (1e-9 fph) estimable.
+    bool importance_sampling = false;
+    /// Proposal floor for cut-set events: q_i = max(p_i, is_bias).
+    double is_bias = 0.05;
+    /// Order limit for the proposal's minimal-cut-set enumeration.
+    std::size_t is_max_order = 4;
 };
 
 struct SimulationResult {
-    double estimate = 0.0;   ///< failures / trials
-    double std_error = 0.0;  ///< sqrt(p(1-p)/n)
+    double estimate = 0.0;   ///< failures / trials (weighted under IS)
+    double std_error = 0.0;  ///< sqrt(p(1-p)/n), or the weighted-sample SE under IS
     double ci95_low = 0.0;
     double ci95_high = 0.0;
-    std::uint64_t failures = 0;
+    std::uint64_t failures = 0;  ///< raw failing trials (unweighted, even under IS)
     std::uint64_t trials = 0;
+    /// Kish effective sample size (sum w)^2 / sum w^2 of the
+    /// likelihood-ratio weights; equals `trials` when IS is off.  A
+    /// collapsed ESS (<< failures) flags an overdispersed proposal.
+    double ess = 0.0;
+    bool importance_sampled = false;
 
     /// True when `value` lies within the 95% confidence interval.
     [[nodiscard]] bool consistent_with(double value) const noexcept {
@@ -46,7 +85,9 @@ struct SimulationResult {
     }
 };
 
-/// Simulates an already-built fault tree.
+/// Simulates an already-built fault tree with the selected engine.
+/// Repeated runs over one tree should construct a SimEngine instead —
+/// this convenience wrapper recompiles the evaluation plan every call.
 [[nodiscard]] SimulationResult simulate_fault_tree(const ftree::FaultTree& ft,
                                                    const SimulationOptions& options = {});
 

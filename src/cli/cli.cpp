@@ -9,6 +9,7 @@
 #include "analysis/ccf.h"
 #include "analysis/fmea.h"
 #include "analysis/probability.h"
+#include "analysis/simulation.h"
 #include "analysis/tolerance.h"
 #include "analysis/traceability.h"
 #include "cost/cost_analysis.h"
@@ -57,7 +58,7 @@ struct Args {
 /// Options that are flags (no value follows).
 bool is_flag(const std::string& key) {
     return key == "approximate" || key == "all" || key == "help" || key == "strict" ||
-           key == "no-incremental-ftree" || key == "profile";
+           key == "no-incremental-ftree" || key == "profile" || key == "is";
 }
 
 Args parse_args(const std::vector<std::string>& argv) {
@@ -191,6 +192,66 @@ int cmd_analyze(const Args& args, std::ostream& out) {
         out << "approximated blocks: " << result.approximated_blocks << "\n";
     }
     for (const std::string& w : result.warnings) out << "warning: " << w << "\n";
+    return 0;
+}
+
+/// Monte Carlo estimation of the top-event probability via the
+/// vectorized SimEngine (docs/simulation.md).  Exit 0 always — the
+/// estimate plus its CI is the product; judging it is the caller's job.
+int cmd_simulate(const Args& args, std::ostream& out) {
+    const ArchitectureModel m = load_positional_model(args);
+    analysis::SimulationOptions options;
+    if (args.has("trials")) options.trials = std::stoull(args.get("trials"));
+    if (args.has("seed")) options.seed = std::stoull(args.get("seed"));
+    if (args.has("hours")) options.mission_hours = std::stod(args.get("hours"));
+    if (args.has("rate-scale")) options.rate_scale = std::stod(args.get("rate-scale"));
+    if (args.has("threads")) options.threads = static_cast<unsigned>(std::stoul(args.get("threads")));
+    if (args.has("block")) options.block_trials = std::stoull(args.get("block"));
+    options.importance_sampling = args.has("is");
+    if (args.has("is-bias")) options.is_bias = std::stod(args.get("is-bias"));
+    if (args.has("is-max-order")) {
+        options.is_max_order = static_cast<std::size_t>(std::stoul(args.get("is-max-order")));
+    }
+    const std::string engine = args.get("engine", "bitparallel");
+    if (engine == "naive") {
+        options.engine = analysis::SimEngineKind::Naive;
+    } else if (engine == "bitparallel") {
+        options.engine = analysis::SimEngineKind::BitParallel;
+    } else {
+        throw IoError("unknown engine '" + engine + "' (expected naive or bitparallel)");
+    }
+
+    const analysis::SimulationResult r = analysis::simulate_failure_probability(m, options);
+    const std::string format = args.get("format", "text");
+    if (format == "json") {
+        io::Json doc = io::Json::object();
+        doc["model"] = m.name();
+        doc["engine"] = engine;
+        doc["trials"] = r.trials;
+        doc["failures"] = r.failures;
+        doc["estimate"] = r.estimate;
+        doc["std_error"] = r.std_error;
+        doc["ci95_low"] = r.ci95_low;
+        doc["ci95_high"] = r.ci95_high;
+        doc["ess"] = r.ess;
+        doc["importance_sampled"] = r.importance_sampled;
+        doc["mission_hours"] = options.mission_hours;
+        doc["rate_scale"] = options.rate_scale;
+        out << doc.dump(2) << "\n";
+    } else if (format == "text") {
+        out << "model              : " << m.name() << "\n"
+            << "engine             : " << engine
+            << (r.importance_sampled ? " + importance sampling" : "") << "\n"
+            << "trials             : " << r.trials << "\n"
+            << "failures           : " << r.failures << "\n"
+            << "P(system failure)  : " << r.estimate << " over " << options.mission_hours
+            << " h\n"
+            << "std error          : " << r.std_error << "\n"
+            << "95% CI             : [" << r.ci95_low << ", " << r.ci95_high << "]\n"
+            << "effective samples  : " << r.ess << "\n";
+    } else {
+        throw IoError("unknown format '" + format + "' (expected text or json)");
+    }
     return 0;
 }
 
@@ -530,6 +591,7 @@ int dispatch(const std::string& command, const Args& parsed, std::ostream& out,
     if (command == "validate") return cmd_validate(parsed, out);
     if (command == "lint") return cmd_lint(parsed, out);
     if (command == "analyze") return cmd_analyze(parsed, out);
+    if (command == "simulate") return cmd_simulate(parsed, out);
     if (command == "ccf") return cmd_ccf(parsed, out);
     if (command == "tolerance") return cmd_tolerance(parsed, out);
     if (command == "trace") return cmd_trace(parsed, out);
@@ -649,6 +711,9 @@ std::string usage() {
            "  lint      model.json [--format text|json|sarif] [--rules config.json]\n"
            "            [-o report]   (exit: 0 clean, 3 warnings, 4 errors)\n"
            "  analyze   model.json [--approximate] [--hours H] [--metric 1|2|3]\n"
+           "  simulate  model.json [--trials N] [--seed S] [--engine naive|bitparallel]\n"
+           "            [--threads N] [--block N] [--is] [--is-bias Q] [--is-max-order K]\n"
+           "            [--hours H] [--rate-scale X] [--format text|json]\n"
            "  ccf       model.json\n"
            "  tolerance model.json [--max-order K]\n"
            "  trace     model.json\n"

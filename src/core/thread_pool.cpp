@@ -1,8 +1,22 @@
-#include "engine/thread_pool.h"
+#include "core/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
-namespace asilkit::engine {
+namespace asilkit::core {
+
+unsigned resolve_thread_count(unsigned requested) noexcept {
+    unsigned threads = requested;
+    if (threads == 0) {
+        if (const char* env = std::getenv("ASILKIT_THREADS"); env != nullptr && *env != '\0') {
+            threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+        }
+    }
+    if (threads == 0) threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+    return threads > 256 ? 256 : threads;
+}
 
 ThreadPool::ThreadPool(unsigned threads) : threads_(std::max(threads, 1u)) {
     workers_.reserve(threads_ - 1);
@@ -110,4 +124,4 @@ void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::s
     if (error) std::rethrow_exception(error);
 }
 
-}  // namespace asilkit::engine
+}  // namespace asilkit::core

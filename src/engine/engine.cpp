@@ -39,18 +39,6 @@ void fill_from_value(analysis::ProbabilityResult& result, const EvalValue& value
 
 }  // namespace
 
-unsigned resolve_thread_count(unsigned requested) noexcept {
-    unsigned threads = requested;
-    if (threads == 0) {
-        if (const char* env = std::getenv("ASILKIT_THREADS"); env != nullptr && *env != '\0') {
-            threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
-        }
-    }
-    if (threads == 0) threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 1;
-    return threads > 256 ? 256 : threads;
-}
-
 EvalEngine::EvalEngine(const EngineOptions& options)
     : pool_(resolve_thread_count(options.threads)),
       cache_(options.cache_capacity),

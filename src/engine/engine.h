@@ -112,10 +112,6 @@ struct EngineOptions {
     bool candidate_dedup = true;
 };
 
-/// Resolves `requested` (0 = ASILKIT_THREADS env var, else hardware
-/// concurrency) and clamps the result to [1, 256].
-[[nodiscard]] unsigned resolve_thread_count(unsigned requested) noexcept;
-
 class EvalEngine {
 public:
     explicit EvalEngine(const EngineOptions& options = {});

@@ -1,6 +1,8 @@
 #include "scenarios/synthetic.h"
 
+#include <cmath>
 #include <random>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -61,6 +63,47 @@ ArchitectureModel synthetic_model(const SyntheticOptions& options) {
         }
     }
     return b.take();
+}
+
+ftree::FaultTree synthetic_fault_tree(const SyntheticTreeOptions& options) {
+    if (options.events == 0) throw std::invalid_argument("synthetic_fault_tree: events == 0");
+    if (options.max_arity < 2) throw std::invalid_argument("synthetic_fault_tree: max_arity < 2");
+    std::mt19937 rng(options.seed);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    std::uniform_real_distribution<double> log_lambda(std::log(options.lambda_low),
+                                                      std::log(options.lambda_high));
+
+    ftree::FaultTree ft;
+    std::vector<ftree::FtRef> pool;
+    std::vector<std::uint8_t> referenced;
+    pool.reserve(options.events + options.gates);
+    referenced.reserve(options.events + options.gates);
+    for (std::size_t i = 0; i < options.events; ++i) {
+        pool.push_back(ft.add_basic_event("e" + std::to_string(i), std::exp(log_lambda(rng))));
+        referenced.push_back(0);
+    }
+    for (std::size_t i = 0; i < options.gates; ++i) {
+        const auto kind =
+            coin(rng) < options.and_fraction ? ftree::GateKind::And : ftree::GateKind::Or;
+        const std::size_t arity = 2 + rng() % (options.max_arity - 1);
+        std::vector<ftree::FtRef> children;
+        children.reserve(arity);
+        for (std::size_t c = 0; c < arity; ++c) {
+            const std::size_t pick = rng() % pool.size();
+            referenced[pick] = 1;
+            children.push_back(pool[pick]);
+        }
+        pool.push_back(ft.add_gate("g" + std::to_string(i), kind, std::move(children)));
+        referenced.push_back(0);
+    }
+    // Every dangling root feeds the top OR, so no generated node is dead
+    // weight in a sweep — the advertised node count is all working set.
+    std::vector<ftree::FtRef> roots;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+        if (referenced[i] == 0) roots.push_back(pool[i]);
+    }
+    ft.set_top(ft.add_gate("top", ftree::GateKind::Or, std::move(roots)));
+    return ft;
 }
 
 }  // namespace asilkit::scenarios

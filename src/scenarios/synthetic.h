@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "ftree/fault_tree.h"
 #include "model/architecture.h"
 
 namespace asilkit::scenarios {
@@ -24,5 +25,25 @@ struct SyntheticOptions {
 };
 
 [[nodiscard]] ArchitectureModel synthetic_model(const SyntheticOptions& options = {});
+
+/// Parameters for synthetic_fault_tree().  Sizes are exact: the result
+/// has `events` basic events and `gates + 1` gates (the extra one is
+/// the top gate that ORs together every otherwise-unreferenced root, so
+/// all nodes contribute to the top event).
+struct SyntheticTreeOptions {
+    std::uint32_t seed = 1;
+    std::size_t events = 64;       ///< basic events (leaves)
+    std::size_t gates = 32;        ///< internal AND/OR gates
+    std::size_t max_arity = 4;     ///< children per gate, uniform in [2, max_arity]
+    double and_fraction = 0.4;     ///< probability a gate is an AND
+    double lambda_low = 1e-7;      ///< per-hour failure rates, log-uniform
+    double lambda_high = 1e-4;     ///< in [lambda_low, lambda_high]
+};
+
+/// Seeded random fault-tree DAG for Monte Carlo / BDD scalability
+/// sweeps (docs/simulation.md).  Gates draw children from the pool of
+/// earlier nodes, so the result is acyclic by construction and scales
+/// to ~10^5 nodes in milliseconds.  Pure function of the options.
+[[nodiscard]] ftree::FaultTree synthetic_fault_tree(const SyntheticTreeOptions& options = {});
 
 }  // namespace asilkit::scenarios

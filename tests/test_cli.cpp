@@ -604,6 +604,46 @@ TEST_F(CliTest, ExploreStreamsFront) {
     EXPECT_GE(lines, 1u);
 }
 
+TEST_F(CliTest, SimulateReportsEstimateAndInterval) {
+    const CliRun r = run({"simulate", model(), "--trials", "20000", "--seed", "7",
+                          "--rate-scale", "1e6"});
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.out.find("P(system failure)"), std::string::npos);
+    EXPECT_NE(r.out.find("95% CI"), std::string::npos);
+    EXPECT_NE(r.out.find("effective samples"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateJsonHasEstimatorFields) {
+    const CliRun r = run({"simulate", model(), "--trials", "10000", "--format", "json"});
+    EXPECT_EQ(r.exit_code, 0);
+    const io::Json doc = io::Json::parse(r.out);
+    EXPECT_TRUE(doc.contains("estimate"));
+    EXPECT_TRUE(doc.contains("ci95_high"));
+    EXPECT_TRUE(doc.contains("ess"));
+    EXPECT_EQ(doc.at("trials").as_number(), 10000.0);
+    EXPECT_FALSE(doc.at("importance_sampled").as_bool());
+}
+
+TEST_F(CliTest, SimulateImportanceSamplingAtRealRates) {
+    // Unscaled automotive rates: the plain estimator would see ~0
+    // failures in 20k trials; the --is proposal must still resolve a
+    // positive estimate.
+    const CliRun r = run({"simulate", model(), "--trials", "20000", "--is",
+                          "--format", "json"});
+    EXPECT_EQ(r.exit_code, 0);
+    const io::Json doc = io::Json::parse(r.out);
+    EXPECT_TRUE(doc.at("importance_sampled").as_bool());
+    EXPECT_GT(doc.at("estimate").as_number(), 0.0);
+    EXPECT_LT(doc.at("estimate").as_number(), 1e-4);
+}
+
+TEST_F(CliTest, SimulateNaiveEngineAndBadEngine) {
+    EXPECT_EQ(run({"simulate", model(), "--trials", "1000", "--engine", "naive"}).exit_code, 0);
+    const CliRun bad = run({"simulate", model(), "--engine", "warp"});
+    EXPECT_EQ(bad.exit_code, 1);
+    EXPECT_NE(bad.err.find("unknown engine"), std::string::npos);
+}
+
 TEST_F(CliTest, OptionNeedingValueAtEndFails) {
     const CliRun r = run({"analyze", model(), "--hours"});
     EXPECT_EQ(r.exit_code, 1);

@@ -195,6 +195,40 @@ TEST(Synthetic, ValidatesAndIsAnalyzable) {
 }
 
 
+TEST(SyntheticTree, DeterministicAndExactlySized) {
+    const SyntheticTreeOptions options{.seed = 7, .events = 40, .gates = 25};
+    const ftree::FaultTree a = synthetic_fault_tree(options);
+    const ftree::FaultTree b = synthetic_fault_tree(options);
+    EXPECT_EQ(a.basic_events().size(), 40u);
+    EXPECT_EQ(a.gates().size(), 26u);  // +1 top gate
+    ASSERT_TRUE(a.has_top());
+    ASSERT_EQ(a.basic_events().size(), b.basic_events().size());
+    for (std::size_t e = 0; e < a.basic_events().size(); ++e) {
+        EXPECT_EQ(a.basic_events()[e].lambda, b.basic_events()[e].lambda);
+    }
+    EXPECT_EQ(analysis::fault_tree_probability(a), analysis::fault_tree_probability(b));
+}
+
+TEST(SyntheticTree, ScalesToLargeTreesQuickly) {
+    SyntheticTreeOptions options;
+    options.events = 60000;
+    options.gates = 40000;
+    const ftree::FaultTree ft = synthetic_fault_tree(options);
+    EXPECT_EQ(ft.basic_events().size() + ft.gates().size(), 100001u);
+    // Every generated node reaches the top: nothing dangles.
+    EXPECT_TRUE(ft.has_top());
+}
+
+TEST(SyntheticTree, ProbabilityIsNonTrivial) {
+    for (std::uint32_t seed = 1; seed <= 5; ++seed) {
+        SyntheticTreeOptions options;
+        options.seed = seed;
+        const double p = analysis::fault_tree_probability(synthetic_fault_tree(options));
+        EXPECT_GT(p, 0.0) << "seed " << seed;
+        EXPECT_LT(p, 1.0) << "seed " << seed;
+    }
+}
+
 TEST(Longitudinal, ValidatesClean) {
     const ArchitectureModel m = ecotwin_longitudinal_control();
     const ValidationReport report = validate(m);

@@ -58,7 +58,7 @@ TEST(Simulation, AgreesWithBddOnFig3AtScaledRates) {
     const ArchitectureModel m = scenarios::fig3_camera_gps_fusion();
     const double scale = 1e5;
     SimulationOptions sim_options;
-    sim_options.trials = 200000;
+    sim_options.trials = 400000;
     sim_options.rate_scale = scale;
     const SimulationResult r = simulate_failure_probability(m, sim_options);
 
